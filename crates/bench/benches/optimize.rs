@@ -1,0 +1,58 @@
+//! B4 — Optimizer cost: rule matching and rewriting for the three plan
+//! shapes (indexable selection, generic selection, spatial join), and
+//! the re-check overhead that makes every rewrite type-safe.
+
+use bench::spatial_db;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut db = spatial_db(50, 4, 9);
+    let mut group = c.benchmark_group("optimize");
+    group.bench_function("select-to-exactmatch", |b| {
+        b.iter(|| db.explain("cities select[pop = 500]").unwrap().len())
+    });
+    group.bench_function("select-to-scan", |b| {
+        b.iter(|| {
+            db.explain(r#"cities select[cname = "city1"]"#)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("spatial-join-rule", |b| {
+        b.iter(|| {
+            db.explain("cities states join[center inside region]")
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize, bench_ruleset_scaling);
+criterion_main!(benches);
+
+/// Ablation: optimizer cost as the rule set grows with never-matching
+/// rules (rule_attempts scale linearly; wall time should too).
+fn bench_ruleset_scaling(c: &mut Criterion) {
+    use sos_optimizer::{parse_rules, RuleStep};
+    let mut group = c.benchmark_group("optimize-ablation");
+    for extra in [0usize, 32, 128] {
+        let mut db = bench::spatial_db(20, 3, 11);
+        // Pad the optimizer with inert rules referencing an operator that
+        // never appears.
+        let mut padding = String::new();
+        for i in 0..extra {
+            padding.push_str(&format!(
+                "rule pad{i}: lhs never_used_operator_{i}(x); rhs x;\n"
+            ));
+        }
+        if !padding.is_empty() {
+            let rules = parse_rules(&padding).unwrap();
+            db.add_rule_step(RuleStep::exhaustive("padding", rules));
+        }
+        group.bench_function(format!("select-plan-with-{extra}-extra-rules"), |b| {
+            b.iter(|| db.explain("cities select[pop = 500]").unwrap().len())
+        });
+    }
+    group.finish();
+}

@@ -1,0 +1,53 @@
+//! B2 — Spatial join: the Section 5 LSD-tree plan vs the scan-based
+//! search join, over growing city counts. The index plan's advantage
+//! grows with the inner relation size.
+
+use bench::{as_count, spatial_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const INDEX_PLAN: &str = "cities_rep feed \
+    (fun (c: city) states_rep (c center) point_search \
+     filter[fun (s: state) c center inside s region]) \
+    search_join count";
+const SCAN_PLAN: &str = "cities_rep feed \
+    (fun (c: city) states_rep feed filter[fun (s: state) c center inside s region]) \
+    search_join count";
+
+fn bench_spatial_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_join");
+    group.sample_size(10);
+    for n_cities in [100usize, 400, 1000] {
+        let mut db = spatial_db(n_cities, 12, 5);
+        assert_eq!(
+            as_count(&db.query(INDEX_PLAN).unwrap()),
+            as_count(&db.query(SCAN_PLAN).unwrap())
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lsdtree-searchjoin", n_cities),
+            &(),
+            |b, _| b.iter(|| as_count(&db.query(INDEX_PLAN).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scan-searchjoin", n_cities),
+            &(),
+            |b, _| b.iter(|| as_count(&db.query(SCAN_PLAN).unwrap())),
+        );
+        // The optimizer-produced plan for the model query (Section 5 rule).
+        group.bench_with_input(
+            BenchmarkId::new("optimized-model-join", n_cities),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    as_count(
+                        &db.query("cities states join[center inside region] count")
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spatial_join);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! B3 — Parse + second-order type checking throughput as query size
+//! grows: the checker resolves one polymorphic operator per pipeline
+//! stage, so cost should scale roughly linearly in term size.
+
+use bench::{filter_chain, keyed_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_typecheck(c: &mut Criterion) {
+    let mut db = keyed_db(10); // tiny data: we measure the front-end
+    db.set_optimize(false);
+    let mut group = c.benchmark_group("typecheck");
+    for depth in [1usize, 4, 16, 64] {
+        let q = filter_chain(depth);
+        group.bench_with_input(BenchmarkId::new("parse+check", depth), &q, |b, q| {
+            // explain parses, checks and optimizes (optimizer disabled)
+            // without executing.
+            b.iter(|| db.explain(q).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_typecheck);
+criterion_main!(benches);

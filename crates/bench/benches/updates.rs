@@ -1,0 +1,55 @@
+//! B5 — Update functions (Section 6) on the clustering B-tree:
+//! single inserts, bulk stream_insert, delete-by-stream, and the
+//! key-update `re_insert` path.
+
+use bench::{as_count, item_tuples, keyed_db};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+
+    group.bench_function("insert-1000", |b| {
+        b.iter(|| {
+            let mut db = keyed_db(0);
+            db.bulk_insert("items_rep", item_tuples(1000)).unwrap();
+            as_count(&db.query("items_rep feed count").unwrap())
+        })
+    });
+
+    group.bench_function("model-delete-10pct-of-5000", |b| {
+        b.iter(|| {
+            let mut db = keyed_db(5000);
+            db.run("update items := delete(items, fun (t: item) t k < 500);")
+                .unwrap();
+            as_count(&db.query("items_rep feed count").unwrap())
+        })
+    });
+
+    group.bench_function("key-update-reinsert-10pct-of-5000", |b| {
+        b.iter(|| {
+            let mut db = keyed_db(5000);
+            db.run(
+                "update items := modify(items, fun (t: item) t k < 500, k, fun (t: item) t k + 10000);",
+            )
+            .unwrap();
+            as_count(&db.query("items_rep range_from[10000] count").unwrap())
+        })
+    });
+
+    group.bench_function("nonkey-modify-10pct-of-5000", |b| {
+        b.iter(|| {
+            let mut db = keyed_db(5000);
+            db.run(
+                r#"update items := modify(items, fun (t: item) t k < 500, payload, fun (t: item) "updated");"#,
+            )
+            .unwrap();
+            as_count(&db.query(r#"items_rep feed filter[payload = "updated"] count"#).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,385 @@
+//! Regenerates every experiment row recorded in EXPERIMENTS.md:
+//! correctness of each reproduced section, plus the cost-shape tables
+//! (page touches and wall time) that the criterion benches measure as
+//! wall time only.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin experiments
+//! ```
+
+use bench::{as_count, item_tuples, keyed_db, spatial_db};
+use sos_system::Database;
+use std::time::Instant;
+
+fn main() {
+    println!("Second-Order Signature — experiment harness");
+    println!("===========================================\n");
+    e1_e3();
+    f1();
+    e4_e5_b1();
+    b2();
+    e6();
+    e7_b5();
+    b3_b4();
+    b7();
+    e9_extensions();
+    println!("\nall experiments completed");
+}
+
+fn check(name: &str, ok: bool) {
+    println!("  [{}] {name}", if ok { "ok" } else { "FAIL" });
+    assert!(ok, "{name}");
+}
+
+/// E1–E3: type systems, operators, programs.
+fn e1_e3() {
+    println!("E1–E3: type systems, polymorphic operators, programs");
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type city = tuple(<(name, string), (pop, int), (country, string)>);
+        type city_rel = rel(city);
+        create cities : city_rel;
+        update cities := insert(cities, mktuple[(name, "Hagen"), (pop, 190000), (country, "Germany")]);
+        update cities := insert(cities, mktuple[(name, "Paris"), (pop, 2100000), (country, "France")]);
+        create french_cities : ( -> city_rel);
+        update french_cities := fun () cities select[country = "France"];
+        create cities_in : (string -> city_rel);
+        update cities_in := fun (c: string) cities select[country = c];
+    "#,
+    )
+    .unwrap();
+    check(
+        "relational model types and program (Sec 2.4)",
+        as_count(&db.query("cities select[pop > 1000000] count").unwrap()) == 1,
+    );
+    check(
+        "views as function objects",
+        as_count(&db.query("french_cities count").unwrap()) == 1,
+    );
+    check(
+        "parameterized views",
+        as_count(&db.query(r#"cities_in ("Germany") count"#).unwrap()) == 1,
+    );
+    let mut db2 = Database::new();
+    db2.load_spec("kinds NREL\nmodel cons nrel : (ident x (DATA | NREL))+ -> NREL")
+        .unwrap();
+    check(
+        "nested-relational model loads as a specification (Sec 2.1)",
+        db2.run("create books : nrel(<(title, string), (authors, nrel(<(name, string)>))>);")
+            .is_ok(),
+    );
+    println!();
+}
+
+/// F1: Figure 1 pattern matching, via the replace operator.
+fn f1() {
+    println!("F1: Figure 1 term-tree pattern matching");
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type person = tuple(<(name, string), (age, int)>);
+        create people : srel(person);
+    "#,
+    )
+    .unwrap();
+    let ok = db
+        .explain("people feed replace[age, fun (p: person) p age + 1] count")
+        .is_ok();
+    let bad = db
+        .explain("people feed replace[height, fun (p: person) 1] count")
+        .is_err();
+    check(
+        "stream(tuple(list)) pattern binds and constrains",
+        ok && bad,
+    );
+    println!();
+}
+
+/// E4/E5/B1: representation level; selection cost-shape table.
+fn e4_e5_b1() {
+    println!("E4/E5/B1: selection — B-tree range vs scan (N = 50k)");
+    let n = 50_000usize;
+    let mut db = keyed_db(n);
+    println!(
+        "  {:<12} {:>14} {:>14} {:>12} {:>12}",
+        "selectivity", "range pages", "scan pages", "range ms", "scan ms"
+    );
+    for selectivity in [0.001f64, 0.01, 0.1, 0.5, 1.0] {
+        let hi = ((n as f64) * selectivity) as i64 - 1;
+        let range_q = format!("items_rep range[0, {hi}] count");
+        let scan_q = format!("items_rep feed filter[k <= {hi}] count");
+
+        db.reset_pool_stats();
+        let t = Instant::now();
+        let a = as_count(&db.query(&range_q).unwrap());
+        let range_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let range_pages = db.pool_stats().logical_reads;
+
+        db.reset_pool_stats();
+        let t = Instant::now();
+        let b = as_count(&db.query(&scan_q).unwrap());
+        let scan_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let scan_pages = db.pool_stats().logical_reads;
+
+        assert_eq!(a, b, "plans must agree at selectivity {selectivity}");
+        println!(
+            "  {selectivity:<12} {range_pages:>14} {scan_pages:>14} {range_ms:>12.2} {scan_ms:>12.2}"
+        );
+    }
+    println!();
+}
+
+/// B2: spatial join sweep.
+fn b2() {
+    println!("B2: spatial join — LSD-tree search_join vs scan search_join (grid 12x12)");
+    println!(
+        "  {:<10} {:>8} {:>14} {:>14} {:>12} {:>12}",
+        "cities", "pairs", "index pages", "scan pages", "index ms", "scan ms"
+    );
+    for n_cities in [100usize, 400, 1000] {
+        let mut db = spatial_db(n_cities, 12, 5);
+        let index_plan = "cities states join[center inside region] count";
+        let scan_plan = "cities_rep feed \
+            (fun (c: city) states_rep feed filter[fun (s: state) c center inside s region]) \
+            search_join count";
+
+        db.reset_pool_stats();
+        let t = Instant::now();
+        let a = as_count(&db.query(index_plan).unwrap());
+        let index_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let index_pages = db.pool_stats().logical_reads;
+
+        db.reset_pool_stats();
+        let t = Instant::now();
+        let b = as_count(&db.query(scan_plan).unwrap());
+        let scan_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let scan_pages = db.pool_stats().logical_reads;
+
+        assert_eq!(a, b);
+        println!(
+            "  {n_cities:<10} {a:>8} {index_pages:>14} {scan_pages:>14} {index_ms:>12.2} {scan_ms:>12.2}"
+        );
+    }
+    println!();
+}
+
+/// E6: the optimizer's plans.
+fn e6() {
+    println!("E6: optimization rules (Section 5)");
+    let mut db = spatial_db(100, 4, 3);
+    let plan = db.explain("cities select[pop = 500]").unwrap();
+    check(
+        "select on key -> exactmatch",
+        plan.contains("exactmatch(cities_rep"),
+    );
+    let plan = db
+        .explain("cities states join[center inside region]")
+        .unwrap();
+    check(
+        "geometric join -> point_search search_join (the Section 5 rule)",
+        plan.contains("point_search(states_rep") && plan.contains("search_join"),
+    );
+    let stats = db.last_optimizer_stats();
+    println!(
+        "  optimizer: {} rewrites, {} rule attempts for the join plan",
+        stats.rewrites, stats.rule_attempts
+    );
+    println!();
+}
+
+/// E7/B5: update translation and throughput.
+fn e7_b5() {
+    println!("E7/B5: update functions (Section 6), N = 20k");
+    let n = 20_000usize;
+    let time = |db: &mut Database, stmt: &str| {
+        let t = Instant::now();
+        db.run(stmt).unwrap();
+        t.elapsed().as_secs_f64() * 1000.0
+    };
+
+    let mut db = keyed_db(0);
+    let t = Instant::now();
+    db.bulk_insert("items_rep", item_tuples(n)).unwrap();
+    let insert_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    let delete_ms = time(
+        &mut db,
+        &format!(
+            "update items := delete(items, fun (t: item) t k < {});",
+            n / 10
+        ),
+    );
+    let reinsert_ms = time(
+        &mut db,
+        &format!(
+            "update items := modify(items, fun (t: item) t k >= {}, k, fun (t: item) t k - {});",
+            9 * n / 10,
+            n
+        ),
+    );
+    let modify_ms = time(
+        &mut db,
+        r#"update items := modify(items, fun (t: item) t k < 0, payload, fun (t: item) "neg");"#,
+    );
+    println!(
+        "  {:<34} {:>10.1} ms",
+        format!("insert {n} tuples"),
+        insert_ms
+    );
+    println!(
+        "  {:<34} {:>10.1} ms",
+        "model delete 10% (translated)", delete_ms
+    );
+    println!(
+        "  {:<34} {:>10.1} ms",
+        "key update 10% (re_insert)", reinsert_ms
+    );
+    println!(
+        "  {:<34} {:>10.1} ms",
+        "non-key modify (in situ)", modify_ms
+    );
+    check(
+        "count preserved through the update sequence",
+        as_count(&db.query("items_rep feed count").unwrap()) == (n - n / 10) as i64,
+    );
+    println!();
+}
+
+/// B7: join strategies on an equi-join.
+fn b7() {
+    println!("B7: equi-join — optimizer's hashjoin vs scan search_join (50 depts)");
+    println!(
+        "  {:<8} {:>8} {:>12} {:>12}",
+        "emps", "pairs", "hash ms", "scan ms"
+    );
+    for n in [500usize, 2000, 8000] {
+        let mut db = Database::new();
+        db.run(
+            r#"
+            type emp = tuple(<(ename, string), (dept, int)>);
+            type dpt = tuple(<(dno, int), (dname, string)>);
+            create emps : rel(emp);
+            create depts : rel(dpt);
+            create emps_rep : tidrel(emp);
+            create depts_rep : tidrel(dpt);
+            create rep : catalog(<ident, ident>);
+            update rep := insert(rep, emps, emps_rep);
+            update rep := insert(rep, depts, depts_rep);
+        "#,
+        )
+        .unwrap();
+        let emps: Vec<sos_exec::Value> = (0..n)
+            .map(|i| {
+                sos_exec::Value::Tuple(vec![
+                    sos_exec::Value::Str(format!("e{i}")),
+                    sos_exec::Value::Int((i % 50) as i64),
+                ])
+            })
+            .collect();
+        let depts: Vec<sos_exec::Value> = (0..50)
+            .map(|d| {
+                sos_exec::Value::Tuple(vec![
+                    sos_exec::Value::Int(d as i64),
+                    sos_exec::Value::Str(format!("d{d}")),
+                ])
+            })
+            .collect();
+        db.bulk_insert("emps_rep", emps).unwrap();
+        db.bulk_insert("depts_rep", depts).unwrap();
+
+        let t = Instant::now();
+        let pairs = as_count(&db.query("emps depts join[dept = dno] count").unwrap());
+        let hash_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let t = Instant::now();
+        let pairs2 = as_count(
+            &db.query(
+                "emps_rep feed (fun (e: emp) depts_rep feed \
+                 filter[fun (d: dpt) e dept = d dno]) search_join count",
+            )
+            .unwrap(),
+        );
+        let scan_ms = t.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(pairs, pairs2);
+        println!("  {n:<8} {pairs:>8} {hash_ms:>12.2} {scan_ms:>12.2}");
+    }
+    println!();
+}
+
+/// E9: engineering extensions — multi-attribute B-tree prefix search
+/// and vacuum (B-tree rebuild).
+fn e9_extensions() {
+    println!("E9: extensions (mbtree prefix search, vacuum)");
+    // mbtree: composite-key clustering with prefix queries.
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type order = tuple(<(country, string), (year, int), (amount, int)>);
+        create orders : mbtree(order, <country, year>);
+    "#,
+    )
+    .unwrap();
+    let mut tuples = Vec::new();
+    for c in ["DE", "FR", "IN", "US", "JP", "BR", "CN", "GB"] {
+        for year in 1980..2020 {
+            for k in 0..8 {
+                tuples.push(sos_exec::Value::Tuple(vec![
+                    sos_exec::Value::Str(c.to_string()),
+                    sos_exec::Value::Int(year),
+                    sos_exec::Value::Int(year * 100 + k),
+                ]));
+            }
+        }
+    }
+    db.bulk_insert("orders", tuples).unwrap();
+    db.reset_pool_stats();
+    let n = as_count(&db.query(r#"orders prefixmatch["FR"] count"#).unwrap());
+    let prefix_pages = db.pool_stats().logical_reads;
+    db.reset_pool_stats();
+    let n2 = as_count(
+        &db.query(r#"orders feed filter[country = "FR"] count"#)
+            .unwrap(),
+    );
+    let scan_pages = db.pool_stats().logical_reads;
+    assert_eq!(n, n2);
+    println!("  prefixmatch[FR]: {n} tuples, {prefix_pages} pages (scan: {scan_pages} pages)");
+
+    // vacuum: page reclamation after mass deletion.
+    let mut db = keyed_db(20_000);
+    db.run("update items := delete(items, fun (t: item) t k mod 50 != 0);")
+        .unwrap();
+    db.reset_pool_stats();
+    db.query("items_rep feed count").unwrap();
+    let before = db.pool_stats().logical_reads;
+    db.run("update items_rep := vacuum(items_rep);").unwrap();
+    db.reset_pool_stats();
+    db.query("items_rep feed count").unwrap();
+    let after = db.pool_stats().logical_reads;
+    println!("  vacuum after deleting 98%: scan pages {before} -> {after}");
+    println!();
+}
+
+/// B3/B4: front-end costs.
+fn b3_b4() {
+    println!("B3/B4: parse+check and optimize costs");
+    let mut db = keyed_db(10);
+    for depth in [1usize, 4, 16, 64] {
+        let q = bench::filter_chain(depth);
+        let t = Instant::now();
+        let iters = 50;
+        for _ in 0..iters {
+            db.explain(&q).unwrap();
+        }
+        let per = t.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+        println!("  parse+check+optimize, chain depth {depth:>3}: {per:>8.3} ms");
+    }
+    let mut db = spatial_db(20, 3, 2);
+    let t = Instant::now();
+    let iters = 50;
+    for _ in 0..iters {
+        db.explain("cities states join[center inside region]")
+            .unwrap();
+    }
+    let per = t.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    println!("  spatial-join rule application:        {per:>8.3} ms");
+}

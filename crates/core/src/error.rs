@@ -1,0 +1,104 @@
+use crate::symbol::Symbol;
+use crate::types::DataType;
+
+/// Errors raised while kind-checking types or type-checking terms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckError {
+    /// An unknown type constructor name.
+    UnknownConstructor(Symbol),
+    /// An unknown kind name.
+    UnknownKind(Symbol),
+    /// No operator of this name is in scope.
+    UnknownOperator(Symbol),
+    /// A name that resolves neither as object nor variable nor operator.
+    UnknownName(Symbol),
+    /// A type failed its constructor's argument specification.
+    BadTypeArgs {
+        constructor: Symbol,
+        message: String,
+    },
+    /// Every specification of the operator failed to match the arguments.
+    NoMatchingSpec {
+        op: Symbol,
+        arg_types: Vec<String>,
+        /// Why each candidate spec was rejected.
+        rejections: Vec<String>,
+    },
+    /// A quantified variable was bound inconsistently.
+    InconsistentBinding {
+        var: Symbol,
+        first: String,
+        second: String,
+    },
+    /// A type did not belong to the kind a quantifier requires.
+    KindMismatch {
+        var: Symbol,
+        kind: Symbol,
+        found: DataType,
+    },
+    /// A concrete-syntax sequence could not be reduced to one operand.
+    BadSequence(String),
+    /// An implicit parameter function could not be elaborated.
+    BadImplicitFunction(String),
+    /// A type operator (Δ function) rejected its inputs.
+    TypeOperatorError { op: Symbol, message: String },
+    /// An update operator applied to something that is not an object.
+    UpdateTargetNotObject(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::UnknownConstructor(n) => write!(f, "unknown type constructor `{n}`"),
+            CheckError::UnknownKind(n) => write!(f, "unknown kind `{n}`"),
+            CheckError::UnknownOperator(n) => write!(f, "unknown operator `{n}`"),
+            CheckError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            CheckError::BadTypeArgs {
+                constructor,
+                message,
+            } => write!(
+                f,
+                "bad arguments for constructor `{constructor}`: {message}"
+            ),
+            CheckError::NoMatchingSpec {
+                op,
+                arg_types,
+                rejections,
+            } => {
+                write!(
+                    f,
+                    "no specification of operator `{op}` matches argument types ({})",
+                    arg_types.join(", ")
+                )?;
+                for r in rejections {
+                    write!(f, "\n  candidate rejected: {r}")?;
+                }
+                Ok(())
+            }
+            CheckError::InconsistentBinding { var, first, second } => {
+                write!(f, "variable `{var}` bound to both {first} and {second}")
+            }
+            CheckError::KindMismatch { var, kind, found } => write!(
+                f,
+                "variable `{var}` requires a type of kind {kind}, found {found}"
+            ),
+            CheckError::BadSequence(m) => write!(f, "cannot resolve expression sequence: {m}"),
+            CheckError::BadImplicitFunction(m) => {
+                write!(f, "cannot elaborate parameter function: {m}")
+            }
+            CheckError::TypeOperatorError { op, message } => {
+                write!(f, "type operator for `{op}` failed: {message}")
+            }
+            CheckError::UpdateTargetNotObject(m) => {
+                write!(f, "update must target a named object: {m}")
+            }
+            CheckError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+pub type CheckResult<T> = Result<T, CheckError>;

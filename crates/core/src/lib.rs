@@ -1,0 +1,46 @@
+//! # Second-order signature (SOS)
+//!
+//! This crate is the direct implementation of the paper's formal core
+//! (Section 3) together with the specification machinery of Sections 2
+//! and 4:
+//!
+//! * **Kinds** and **type constructors** form the top-level signature;
+//!   its terms are **types** ([`DataType`]). Type terms may embed values
+//!   (`string(4)`, attribute names) and even function expressions
+//!   (`lsdtree(state, fun (s: state) bbox(s region))`), which is why
+//!   [`TypeArg`] has expression variants.
+//! * **Operators** form the bottom-level signature. A polymorphic
+//!   operator is written as an [`spec::OperatorSpec`]: quantifiers over
+//!   kinds with **type patterns** (term trees with variables at inner
+//!   nodes — Figure 1 of the paper), argument **sort patterns** over the
+//!   extended sorts (products, unions, lists, functions), and a result
+//!   that is either a pattern or a **type operator** (a registered Rust
+//!   closure playing the role of the paper's Δ functions).
+//! * **Subtype rules** (`btree(t, a, d) < relrep(t)`) add the bounded
+//!   polymorphism of Section 4.
+//! * The [`check`] module is the working heart: it kind-checks types,
+//!   resolves polymorphic operator applications (including the paper's
+//!   concrete-syntax operand sequences and the implicit-lambda sugar of
+//!   Section 2.3), and produces a fully typed term ([`typed::TypedExpr`])
+//!   ready for optimization and execution.
+//!
+//! The crate is purely symbolic: no values are computed here. Execution
+//! semantics (the second-order *algebra*) live in `sos-exec`, keeping the
+//! paper's separation between a signature and the algebras that give it
+//! meaning.
+
+mod error;
+mod symbol;
+
+pub mod check;
+pub mod pattern;
+pub mod signature;
+pub mod spec;
+pub mod typed;
+pub mod types;
+
+pub use error::{CheckError, CheckResult};
+pub use signature::{Signature, TypeOpCtx};
+pub use spec::Level;
+pub use symbol::{sym, Symbol};
+pub use types::{Const, DataType, Expr, SeqAtom, TypeArg};

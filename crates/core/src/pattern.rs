@@ -1,0 +1,282 @@
+//! Sort patterns and type patterns.
+//!
+//! The paper specifies polymorphic operators by writing argument and
+//! result *sorts* that mention quantified type variables, e.g.
+//!
+//! ```text
+//! forall rel: rel(tuple) in REL.   rel x (tuple -> bool) -> rel   select
+//! ```
+//!
+//! A [`SortPattern`] is such a sort expression: a variable, a constructor
+//! application over further patterns, a kind (any type of that kind), or
+//! one of the extended sorts — list `s+`, product `(s1 x .. x sn)`, union
+//! `(s1 u .. u sn)`, function `(s1 .. sn -> s)`.
+//!
+//! A [`TypePattern`] is the quantifier pattern form: a term tree where
+//! inner nodes may carry both structure and a variable binder, exactly
+//! Figure 1 of the paper (`stream: stream(tuple: tuple(list))`).
+
+use crate::symbol::Symbol;
+use crate::types::TypeArg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A sort expression with variables, used for operator/constructor
+/// argument and result positions.
+#[derive(Clone, PartialEq)]
+pub enum SortPattern {
+    /// A quantified variable (`rel`, `tuple`, `dtype`, `attrname`, ...).
+    Var(Symbol),
+    /// A constructor application (`stream(tuple)`, or an atomic type like
+    /// `point`). In a value position (constructor arguments, operands)
+    /// this denotes *a value of that type*.
+    Cons(Symbol, Vec<SortPattern>),
+    /// Any type of the given kind (used in constructor definitions:
+    /// `(ident x DATA)+ -> TUPLE tuple`).
+    Kind(Symbol),
+    /// A list sort `s+`.
+    List(Box<SortPattern>),
+    /// A product sort `(s1 x ... x sn)`.
+    Product(Vec<SortPattern>),
+    /// A union sort `(s1 u ... u sn)`.
+    Union(Vec<SortPattern>),
+    /// A function sort `(s1 ... sn -> s)`.
+    Fun(Vec<SortPattern>, Box<SortPattern>),
+}
+
+impl SortPattern {
+    pub fn var(name: &str) -> SortPattern {
+        SortPattern::Var(Symbol::new(name))
+    }
+
+    pub fn atom(name: &str) -> SortPattern {
+        SortPattern::Cons(Symbol::new(name), Vec::new())
+    }
+
+    pub fn cons(name: &str, args: Vec<SortPattern>) -> SortPattern {
+        SortPattern::Cons(Symbol::new(name), args)
+    }
+
+    pub fn kind(name: &str) -> SortPattern {
+        SortPattern::Kind(Symbol::new(name))
+    }
+
+    /// Does this pattern contain a function sort anywhere? Arguments with
+    /// function sorts are elaborated late (they may be implicit lambdas).
+    pub fn contains_fun(&self) -> bool {
+        match self {
+            SortPattern::Fun(..) => true,
+            SortPattern::Var(_) | SortPattern::Kind(_) => false,
+            SortPattern::Cons(_, args) | SortPattern::Product(args) | SortPattern::Union(args) => {
+                args.iter().any(SortPattern::contains_fun)
+            }
+            SortPattern::List(el) => el.contains_fun(),
+        }
+    }
+
+    /// All variables mentioned in the pattern.
+    pub fn vars(&self, out: &mut Vec<Symbol>) {
+        match self {
+            SortPattern::Var(v) => out.push(v.clone()),
+            SortPattern::Kind(_) => {}
+            SortPattern::Cons(_, args) | SortPattern::Product(args) | SortPattern::Union(args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+            SortPattern::List(el) => el.vars(out),
+            SortPattern::Fun(params, res) => {
+                for p in params {
+                    p.vars(out);
+                }
+                res.vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for SortPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortPattern::Var(v) => write!(f, "{v}"),
+            SortPattern::Cons(n, args) if args.is_empty() => write!(f, "{n}"),
+            SortPattern::Cons(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            SortPattern::Kind(k) => write!(f, "{k}"),
+            SortPattern::List(el) => write!(f, "{el}+"),
+            SortPattern::Product(items) => {
+                write!(f, "(")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " x ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            SortPattern::Union(items) => {
+                write!(f, "(")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " u ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            SortPattern::Fun(params, res) => {
+                write!(f, "(")?;
+                for p in params {
+                    write!(f, "{p} ")?;
+                }
+                write!(f, "-> {res})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SortPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A quantifier pattern: a term tree with optional variable binders at
+/// the nodes (Figure 1).
+#[derive(Clone, PartialEq)]
+pub struct TypePattern {
+    /// The variable bound to the whole subterm matched here, if any.
+    pub binder: Option<Symbol>,
+    pub node: PatternNode,
+}
+
+/// The structural part of a [`TypePattern`] node.
+#[derive(Clone, PartialEq)]
+pub enum PatternNode {
+    /// No structure required (a pure variable / wildcard).
+    Any,
+    /// A constructor with sub-patterns.
+    Cons(Symbol, Vec<TypePattern>),
+}
+
+impl TypePattern {
+    /// A pure variable pattern `v`.
+    pub fn var(name: &str) -> TypePattern {
+        TypePattern {
+            binder: Some(Symbol::new(name)),
+            node: PatternNode::Any,
+        }
+    }
+
+    /// A constructor pattern `cons(p1, ..., pn)` without a binder.
+    pub fn cons(name: &str, args: Vec<TypePattern>) -> TypePattern {
+        TypePattern {
+            binder: None,
+            node: PatternNode::Cons(Symbol::new(name), args),
+        }
+    }
+
+    /// A bound constructor pattern `v: cons(p1, ..., pn)`.
+    pub fn bound_cons(binder: &str, name: &str, args: Vec<TypePattern>) -> TypePattern {
+        TypePattern {
+            binder: Some(Symbol::new(binder)),
+            node: PatternNode::Cons(Symbol::new(name), args),
+        }
+    }
+
+    /// All variables bound anywhere in the pattern.
+    pub fn vars(&self, out: &mut Vec<Symbol>) {
+        if let Some(b) = &self.binder {
+            out.push(b.clone());
+        }
+        if let PatternNode::Cons(_, args) = &self.node {
+            for a in args {
+                a.vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for TypePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.binder, &self.node) {
+            (Some(b), PatternNode::Any) => write!(f, "{b}"),
+            (None, PatternNode::Any) => write!(f, "_"),
+            (binder, PatternNode::Cons(n, args)) => {
+                if let Some(b) = binder {
+                    write!(f, "{b}: ")?;
+                }
+                write!(f, "{n}")?;
+                if !args.is_empty() {
+                    write!(f, "(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TypePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Variable bindings accumulated while matching.
+pub type Bindings = HashMap<Symbol, TypeArg>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_fun_detection() {
+        let p = SortPattern::Fun(
+            vec![SortPattern::var("tuple")],
+            Box::new(SortPattern::atom("bool")),
+        );
+        assert!(p.contains_fun());
+        assert!(SortPattern::List(Box::new(p.clone())).contains_fun());
+        assert!(!SortPattern::cons("stream", vec![SortPattern::var("t")]).contains_fun());
+    }
+
+    #[test]
+    fn vars_are_collected() {
+        let p = SortPattern::cons(
+            "stream",
+            vec![SortPattern::var("tuple"), SortPattern::var("x")],
+        );
+        let mut vs = Vec::new();
+        p.vars(&mut vs);
+        assert_eq!(vs, vec![Symbol::new("tuple"), Symbol::new("x")]);
+    }
+
+    #[test]
+    fn figure_1_pattern_displays_like_the_paper() {
+        // stream(tuple: tuple(list)) — the pattern of Figure 1(b).
+        let p = TypePattern::bound_cons(
+            "stream",
+            "stream",
+            vec![TypePattern {
+                binder: Some(Symbol::new("tuple")),
+                node: PatternNode::Cons(Symbol::new("tuple"), vec![TypePattern::var("list")]),
+            }],
+        );
+        assert_eq!(p.to_string(), "stream: stream(tuple: tuple(list))");
+    }
+}

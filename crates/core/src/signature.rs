@@ -1,0 +1,294 @@
+//! The signature registry: the in-memory form of a second-order
+//! signature `(K, Γ, T, Δ, Ω)` (Definition in Section 3.3).
+//!
+//! * `K` — the set of kinds,
+//! * `Γ` — the type constructors ([`TypeConstructorDef`]),
+//! * `T` — the types: terms over `Γ`, checked on demand by `check`,
+//! * `Δ` — the type operators: registered Rust closures computing result
+//!   types the patterns cannot express (`join`, `project`),
+//! * `Ω` — the operators ([`OperatorSpec`]).
+//!
+//! Subtype rules (Section 4) are carried alongside.
+
+use crate::pattern::Bindings;
+use crate::spec::{OpName, OperatorSpec, SubtypeRule, SyntaxPattern, TypeConstructorDef};
+use crate::symbol::Symbol;
+use crate::typed::TypedExpr;
+use crate::types::DataType;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Context handed to a type-operator closure: the variable bindings from
+/// matching, plus the actual (already elaborated) argument terms.
+pub struct TypeOpCtx<'a> {
+    pub bindings: &'a Bindings,
+    pub args: &'a [TypedExpr],
+}
+
+/// A type operator (the paper's Δ functions): computes the result type of
+/// a polymorphic operator from its instantiation.
+pub type TypeOpFn = Arc<dyn Fn(&TypeOpCtx) -> Result<DataType, String> + Send + Sync>;
+
+/// A complete second-order signature.
+#[derive(Default, Clone)]
+pub struct Signature {
+    kinds: HashSet<Symbol>,
+    constructors: HashMap<Symbol, TypeConstructorDef>,
+    specs: Vec<OperatorSpec>,
+    /// Indices of specs per fixed operator name.
+    by_name: HashMap<Symbol, Vec<usize>>,
+    /// Indices of specs whose name is a quantified variable (attribute
+    /// access operators).
+    var_named: Vec<usize>,
+    type_ops: HashMap<Symbol, TypeOpFn>,
+    subtypes: Vec<SubtypeRule>,
+    /// Extra kind memberships: Section 4 lists `int` and `string` under
+    /// both DATA and ORD. A constructor has one *defining* kind; these
+    /// sets add further kinds its types belong to.
+    kind_members: HashMap<Symbol, HashSet<Symbol>>,
+}
+
+impl Signature {
+    pub fn new() -> Signature {
+        Signature::default()
+    }
+
+    // ---- kinds ----
+
+    pub fn add_kind(&mut self, name: &str) {
+        self.kinds.insert(Symbol::new(name));
+    }
+
+    pub fn has_kind(&self, name: &Symbol) -> bool {
+        self.kinds.contains(name)
+    }
+
+    pub fn kinds(&self) -> impl Iterator<Item = &Symbol> {
+        self.kinds.iter()
+    }
+
+    /// Declare that types built with `constructor` also belong to `kind`
+    /// (beyond the constructor's defining kind).
+    pub fn add_kind_member(&mut self, kind: &str, constructor: &str) {
+        self.kind_members
+            .entry(Symbol::new(kind))
+            .or_default()
+            .insert(Symbol::new(constructor));
+    }
+
+    /// Does `ty` belong to `kind` — either by its constructor's defining
+    /// kind or by an extra membership declaration?
+    pub fn type_in_kind(&self, ty: &DataType, kind: &Symbol) -> bool {
+        if self.kind_of(ty) == Some(kind) {
+            return true;
+        }
+        match ty {
+            DataType::Cons(name, _) => self
+                .kind_members
+                .get(kind)
+                .map(|m| m.contains(name))
+                .unwrap_or(false),
+            DataType::Fun(..) => false,
+        }
+    }
+
+    // ---- type constructors ----
+
+    pub fn add_constructor(&mut self, def: TypeConstructorDef) {
+        self.constructors.insert(def.name.clone(), def);
+    }
+
+    pub fn constructor(&self, name: &Symbol) -> Option<&TypeConstructorDef> {
+        self.constructors.get(name)
+    }
+
+    /// The kind of a type, per its outermost constructor. Function types
+    /// have no kind (they live in the extended signature only).
+    pub fn kind_of(&self, ty: &DataType) -> Option<&Symbol> {
+        match ty {
+            DataType::Cons(name, _) => self.constructors.get(name).map(|d| &d.kind),
+            DataType::Fun(..) => None,
+        }
+    }
+
+    // ---- operators ----
+
+    /// Register an operator spec, returning its index.
+    pub fn add_spec(&mut self, spec: OperatorSpec) -> usize {
+        let idx = self.specs.len();
+        match &spec.name {
+            OpName::Fixed(n) => self.by_name.entry(n.clone()).or_default().push(idx),
+            OpName::Var(_) => self.var_named.push(idx),
+        }
+        self.specs.push(spec);
+        idx
+    }
+
+    pub fn spec(&self, idx: usize) -> &OperatorSpec {
+        &self.specs[idx]
+    }
+
+    pub fn specs(&self) -> &[OperatorSpec] {
+        &self.specs
+    }
+
+    /// Candidate spec indices for an operator name: the fixed-name specs,
+    /// then every variable-named spec (which might define this name as an
+    /// attribute operator).
+    pub fn candidates(&self, name: &Symbol) -> Vec<usize> {
+        let mut out = self.by_name.get(name).cloned().unwrap_or_default();
+        out.extend(self.var_named.iter().copied());
+        out
+    }
+
+    /// Is this name registered as a fixed operator?
+    pub fn is_fixed_op(&self, name: &Symbol) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// The syntax pattern the parser should use for this operator name
+    /// (first registered fixed spec wins; attribute operators default to
+    /// postfix `_ #`).
+    pub fn syntax_of(&self, name: &Symbol) -> Option<&SyntaxPattern> {
+        self.by_name
+            .get(name)
+            .and_then(|idxs| idxs.first())
+            .map(|&i| &self.specs[i].syntax)
+    }
+
+    /// Human-readable description of every specification registered for
+    /// an operator name — the signature is data, and this is how a shell
+    /// shows it (the paper's "concise specification as data" story).
+    pub fn describe_op(&self, name: &Symbol) -> Vec<String> {
+        self.candidates(name)
+            .into_iter()
+            .map(|i| {
+                let spec = &self.specs[i];
+                let quants = spec
+                    .quantifiers
+                    .iter()
+                    .map(|q| format!("{q:?}"))
+                    .collect::<Vec<_>>()
+                    .join(" . ");
+                let args = spec
+                    .args
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" x ");
+                let result = match &spec.result {
+                    crate::spec::ResultSpec::Pattern(p) => p.to_string(),
+                    crate::spec::ResultSpec::TypeOperator { var, kind } => {
+                        format!("{var}: {kind}")
+                    }
+                };
+                let shown_name = match &spec.name {
+                    OpName::Fixed(n) => n.to_string(),
+                    OpName::Var(v) => format!("${v}"),
+                };
+                let update = if spec.is_update { " update" } else { "" };
+                if quants.is_empty() {
+                    format!("op {shown_name} : {args} -> {result}{update}")
+                } else {
+                    format!("op {shown_name} : {quants} . {args} -> {result}{update}")
+                }
+            })
+            .collect()
+    }
+
+    /// Names of all fixed operators, sorted (shell completion and docs).
+    pub fn op_names(&self) -> Vec<Symbol> {
+        let mut names: Vec<Symbol> = self.by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    // ---- type operators ----
+
+    pub fn add_type_op<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&TypeOpCtx) -> Result<DataType, String> + Send + Sync + 'static,
+    {
+        self.type_ops.insert(Symbol::new(name), Arc::new(f));
+    }
+
+    pub fn type_op(&self, name: &Symbol) -> Option<&TypeOpFn> {
+        self.type_ops.get(name)
+    }
+
+    // ---- subtypes ----
+
+    pub fn add_subtype(&mut self, rule: SubtypeRule) {
+        self.subtypes.push(rule);
+    }
+
+    pub fn subtypes(&self) -> &[SubtypeRule] {
+        &self.subtypes
+    }
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Signature")
+            .field("kinds", &self.kinds.len())
+            .field("constructors", &self.constructors.len())
+            .field("specs", &self.specs.len())
+            .field("type_ops", &self.type_ops.len())
+            .field("subtypes", &self.subtypes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn kind_of_uses_constructor_result_kind() {
+        let mut sig = Signature::new();
+        sig.add_kind("DATA");
+        sig.add_constructor(TypeConstructorDef::atom("int", "DATA", Level::Hybrid));
+        assert_eq!(
+            sig.kind_of(&DataType::atom("int")),
+            Some(&Symbol::new("DATA"))
+        );
+        assert_eq!(sig.kind_of(&DataType::atom("unknown")), None);
+        let f = DataType::Fun(vec![], Box::new(DataType::atom("int")));
+        assert_eq!(sig.kind_of(&f), None);
+    }
+
+    #[test]
+    fn candidates_include_var_named_specs() {
+        use crate::pattern::SortPattern;
+        use crate::spec::{OpName, Quantifier, ResultSpec, SyntaxPattern};
+        let mut sig = Signature::new();
+        let fixed = OperatorSpec {
+            name: OpName::Fixed(Symbol::new("select")),
+            quantifiers: vec![],
+            args: vec![],
+            result: ResultSpec::Pattern(SortPattern::var("rel")),
+            syntax: SyntaxPattern::prefix(),
+            is_update: false,
+            level: Level::Model,
+        };
+        let attr = OperatorSpec {
+            name: OpName::Var(Symbol::new("attrname")),
+            quantifiers: vec![Quantifier::in_list(&["attrname", "dtype"], "list")],
+            args: vec![],
+            result: ResultSpec::Pattern(SortPattern::var("dtype")),
+            syntax: SyntaxPattern::postfix(1),
+            is_update: false,
+            level: Level::Hybrid,
+        };
+        let i_fixed = sig.add_spec(fixed);
+        let i_attr = sig.add_spec(attr);
+        assert_eq!(
+            sig.candidates(&Symbol::new("select")),
+            vec![i_fixed, i_attr]
+        );
+        assert_eq!(sig.candidates(&Symbol::new("pop")), vec![i_attr]);
+        assert!(sig.is_fixed_op(&Symbol::new("select")));
+        assert!(!sig.is_fixed_op(&Symbol::new("pop")));
+    }
+}

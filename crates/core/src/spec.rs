@@ -1,0 +1,272 @@
+//! Specification structures: quantifiers, operator specs, constructor
+//! definitions, subtype rules and syntax patterns.
+//!
+//! These are the in-memory form of the paper's specification language —
+//! what a written block like
+//!
+//! ```text
+//! operators
+//!   forall rel: rel(tuple) in REL.
+//!   rel x (tuple -> bool) -> rel    select    _ #[ _ ]
+//! ```
+//!
+//! parses into (see `sos-parser`), and what the checker interprets.
+
+use crate::pattern::{SortPattern, TypePattern};
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// Whether a constructor or operator belongs to the data-model level, the
+/// representation level, or both (Section 6). The optimizer must rewrite
+/// every model-level operation away before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Level {
+    Model,
+    Representation,
+    Hybrid,
+}
+
+/// A quantifier in a specification.
+#[derive(Clone, PartialEq)]
+pub enum Quantifier {
+    /// `forall v: pattern in KIND` — `pattern` is optional (`forall v in
+    /// KIND`). When `elementwise` is set (written `v_i` in the paper, e.g.
+    /// `data_i in DATA`), the variable may be bound independently for each
+    /// element of a list argument.
+    Kind {
+        var: Symbol,
+        pattern: Option<TypePattern>,
+        kind: Symbol,
+        elementwise: bool,
+    },
+    /// `forall (v1, ..., vn) in list` — ranges over the elements of a
+    /// list bound to `list` (e.g. `(attrname, dtype) in list`).
+    InList { vars: Vec<Symbol>, list: Symbol },
+}
+
+impl Quantifier {
+    pub fn kind(var: &str, kind: &str) -> Quantifier {
+        Quantifier::Kind {
+            var: Symbol::new(var),
+            pattern: None,
+            kind: Symbol::new(kind),
+            elementwise: false,
+        }
+    }
+
+    pub fn kind_pat(var: &str, pattern: TypePattern, kind: &str) -> Quantifier {
+        Quantifier::Kind {
+            var: Symbol::new(var),
+            pattern: Some(pattern),
+            kind: Symbol::new(kind),
+            elementwise: false,
+        }
+    }
+
+    pub fn in_list(vars: &[&str], list: &str) -> Quantifier {
+        Quantifier::InList {
+            vars: vars.iter().map(|v| Symbol::new(v)).collect(),
+            list: Symbol::new(list),
+        }
+    }
+}
+
+impl fmt::Debug for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Kind {
+                var,
+                pattern,
+                kind,
+                elementwise,
+            } => {
+                write!(f, "forall {var}")?;
+                if let Some(p) = pattern {
+                    write!(f, ": {p}")?;
+                }
+                write!(f, " in {kind}")?;
+                if *elementwise {
+                    write!(f, " (elementwise)")?;
+                }
+                Ok(())
+            }
+            Quantifier::InList { vars, list } => {
+                write!(f, "forall (")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ") in {list}")
+            }
+        }
+    }
+}
+
+/// The name under which an operator spec is registered: either fixed
+/// (`select`) or a quantified variable (the tuple attribute access
+/// operators, whose *name* is the attribute: `tuple -> dtype  attrname`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpName {
+    Fixed(Symbol),
+    Var(Symbol),
+}
+
+/// How an operator's result type is determined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultSpec {
+    /// Instantiate a pattern from the bindings (`-> rel`,
+    /// `-> stream(tuple)`).
+    Pattern(SortPattern),
+    /// The paper's *type operator* notation `-> s: KIND`: the result type
+    /// is computed by a registered Δ function (e.g. `join` concatenating
+    /// tuple types), constrained to the given kind.
+    TypeOperator { var: Symbol, kind: Symbol },
+}
+
+/// Argument multiplicity for a syntax-pattern argument group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgCount {
+    Exact(usize),
+    /// `#[ _ , ... ]` accepting any number of arguments, folded into one
+    /// list operand (used by `project`).
+    Variadic,
+}
+
+/// A concrete-syntax pattern for an operator (Section 2.3): how many
+/// operands precede the operator symbol and what argument groups follow.
+///
+/// Examples from the paper, as `(before, brackets, infix)`:
+/// `_ # _` (comparisons) → infix; `_ #[ _ ]` (select) → (1, \[1\]);
+/// `_ #` (attribute access, feed) → (1, none); `_ _ #[ _ ]` (join) →
+/// (2, \[1\]); plain prefix `# (...)` is the default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntaxPattern {
+    /// Operands consumed from before the operator symbol.
+    pub before: usize,
+    /// Arguments supplied in `[...]` after the operator.
+    pub brackets: Option<ArgCount>,
+    /// `true` for binary infix operators (`_ # _`).
+    pub infix: bool,
+    /// Precedence for infix operators (higher binds tighter).
+    pub precedence: u8,
+}
+
+impl SyntaxPattern {
+    /// The default: prefix notation `op(a1, ..., an)`.
+    pub fn prefix() -> SyntaxPattern {
+        SyntaxPattern {
+            before: 0,
+            brackets: None,
+            infix: false,
+            precedence: 0,
+        }
+    }
+
+    /// Postfix with `n` preceding operands and no bracket arguments
+    /// (`_ #`, `_ _ #`).
+    pub fn postfix(n: usize) -> SyntaxPattern {
+        SyntaxPattern {
+            before: n,
+            brackets: None,
+            infix: false,
+            precedence: 0,
+        }
+    }
+
+    /// Postfix with `n` preceding operands and `k` bracket arguments
+    /// (`_ #[ _ ]`, `_ _ #[ _ ]`, `_ #[ _ , _ ]`).
+    pub fn postfix_brackets(n: usize, k: ArgCount) -> SyntaxPattern {
+        SyntaxPattern {
+            before: n,
+            brackets: Some(k),
+            infix: false,
+            precedence: 0,
+        }
+    }
+
+    /// Binary infix (`_ # _`) with a precedence level.
+    pub fn infix(precedence: u8) -> SyntaxPattern {
+        SyntaxPattern {
+            before: 1,
+            brackets: None,
+            infix: true,
+            precedence,
+        }
+    }
+}
+
+/// A polymorphic operator specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSpec {
+    pub name: OpName,
+    pub quantifiers: Vec<Quantifier>,
+    pub args: Vec<SortPattern>,
+    pub result: ResultSpec,
+    pub syntax: SyntaxPattern,
+    /// Update functions (Section 6): same type for first argument and
+    /// result; applying one assigns the result to the first argument.
+    pub is_update: bool,
+    pub level: Level,
+}
+
+/// A type constructor definition, optionally constrained by a
+/// "constructor spec" (extra quantifiers relating the arguments, as for
+/// `btree(tuple, attrname, dtype)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeConstructorDef {
+    pub name: Symbol,
+    pub quantifiers: Vec<Quantifier>,
+    pub args: Vec<SortPattern>,
+    pub kind: Symbol,
+    pub level: Level,
+}
+
+impl TypeConstructorDef {
+    /// An atomic (0-ary) constructor of the given kind.
+    pub fn atom(name: &str, kind: &str, level: Level) -> TypeConstructorDef {
+        TypeConstructorDef {
+            name: Symbol::new(name),
+            quantifiers: Vec::new(),
+            args: Vec::new(),
+            kind: Symbol::new(kind),
+            level,
+        }
+    }
+}
+
+/// A subtype rule `sub < sup`, e.g.
+/// `btree(tuple, attrname, dtype) < relrep(tuple)`. Variables on the
+/// right side must appear on the left (generalization left to right).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtypeRule {
+    pub sub: TypePattern,
+    pub sup: SortPattern,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantifier_debug_renders_like_the_paper() {
+        let q = Quantifier::kind_pat(
+            "rel",
+            TypePattern::bound_cons("rel", "rel", vec![TypePattern::var("tuple")]),
+            "REL",
+        );
+        assert_eq!(format!("{q:?}"), "forall rel: rel: rel(tuple) in REL");
+        let q2 = Quantifier::in_list(&["attrname", "dtype"], "list");
+        assert_eq!(format!("{q2:?}"), "forall (attrname, dtype) in list");
+    }
+
+    #[test]
+    fn syntax_pattern_constructors() {
+        assert_eq!(SyntaxPattern::prefix().before, 0);
+        assert_eq!(SyntaxPattern::postfix(2).before, 2);
+        let s = SyntaxPattern::postfix_brackets(1, ArgCount::Exact(2));
+        assert_eq!(s.brackets, Some(ArgCount::Exact(2)));
+        assert!(SyntaxPattern::infix(5).infix);
+    }
+}

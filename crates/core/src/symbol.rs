@@ -1,0 +1,88 @@
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// An interned-style identifier used for kinds, type constructors,
+/// operator names, attribute names and variables.
+///
+/// Cheap to clone (a reference-counted string); comparison is by content.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    pub fn new(s: &str) -> Self {
+        Symbol(Arc::from(s))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.0)
+    }
+}
+
+impl Serialize for Symbol {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Symbol {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Symbol, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Symbol::from(s))
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and builders.
+pub fn sym(s: &str) -> Symbol {
+    Symbol::new(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_by_content() {
+        assert_eq!(Symbol::new("rel"), Symbol::new("rel"));
+        assert_ne!(Symbol::new("rel"), Symbol::new("tuple"));
+        assert_eq!(Symbol::new("x"), "x");
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(Symbol::new("a"), 1);
+        assert_eq!(m.get(&Symbol::new("a")), Some(&1));
+    }
+}

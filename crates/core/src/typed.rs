@@ -1,0 +1,177 @@
+//! Typed terms: the checker's output and the optimizer/executor's input.
+
+use crate::symbol::Symbol;
+use crate::types::{Const, DataType};
+use std::fmt;
+
+/// A fully type-annotated term of the bottom-level signature.
+#[derive(Clone, PartialEq)]
+pub struct TypedExpr {
+    pub node: TypedNode,
+    pub ty: DataType,
+}
+
+/// The node forms of a typed term.
+#[derive(Clone, PartialEq)]
+pub enum TypedNode {
+    Const(Const),
+    /// A named database object.
+    Object(Symbol),
+    /// A lambda-bound variable occurrence.
+    Var(Symbol),
+    /// Application of a signature operator; `spec` indexes the matched
+    /// specification within the signature (for diagnostics and dispatch).
+    Apply {
+        op: Symbol,
+        spec: usize,
+        args: Vec<TypedExpr>,
+    },
+    /// Application of a function *value* (a view object or lambda) —
+    /// `cities_in("Germany")` in Section 2.4.
+    ApplyFun {
+        fun: Box<TypedExpr>,
+        args: Vec<TypedExpr>,
+    },
+    Lambda {
+        params: Vec<(Symbol, DataType)>,
+        body: Box<TypedExpr>,
+    },
+    /// A list term (operator argument).
+    List(Vec<TypedExpr>),
+    /// A product term (operator argument).
+    Tuple(Vec<TypedExpr>),
+}
+
+impl TypedExpr {
+    pub fn new(node: TypedNode, ty: DataType) -> TypedExpr {
+        TypedExpr { node, ty }
+    }
+
+    /// The operator name, if this is an operator application.
+    pub fn op_name(&self) -> Option<&Symbol> {
+        match &self.node {
+            TypedNode::Apply { op, .. } => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Walk the term top-down, visiting every subterm.
+    pub fn visit(&self, f: &mut dyn FnMut(&TypedExpr)) {
+        f(self);
+        match &self.node {
+            TypedNode::Apply { args, .. } | TypedNode::List(args) | TypedNode::Tuple(args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            TypedNode::ApplyFun { fun, args } => {
+                fun.visit(f);
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            TypedNode::Lambda { body, .. } => body.visit(f),
+            TypedNode::Const(_) | TypedNode::Object(_) | TypedNode::Var(_) => {}
+        }
+    }
+
+    /// Number of nodes in the term (a size metric used by benchmarks).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Convert back to an untyped (abstract-syntax) term. The optimizer
+    /// rewrites terms by converting the matched region to abstract syntax,
+    /// substituting, and re-checking the whole program term.
+    pub fn to_expr(&self) -> crate::types::Expr {
+        use crate::types::Expr;
+        match &self.node {
+            TypedNode::Const(c) => Expr::Const(c.clone()),
+            TypedNode::Object(n) | TypedNode::Var(n) => Expr::Name(n.clone()),
+            TypedNode::Apply { op, args, .. } => Expr::Apply {
+                op: op.clone(),
+                args: args.iter().map(|a| a.to_expr()).collect(),
+            },
+            TypedNode::ApplyFun { fun, args } => Expr::Apply {
+                op: Symbol::new("%call"),
+                args: std::iter::once(fun.to_expr())
+                    .chain(args.iter().map(|a| a.to_expr()))
+                    .collect(),
+            },
+            TypedNode::Lambda { params, body } => Expr::Lambda {
+                params: params.clone(),
+                body: Box::new(body.to_expr()),
+            },
+            TypedNode::List(items) => Expr::List(items.iter().map(|i| i.to_expr()).collect()),
+            TypedNode::Tuple(items) => Expr::Tuple(items.iter().map(|i| i.to_expr()).collect()),
+        }
+    }
+}
+
+impl fmt::Display for TypedExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.node {
+            TypedNode::Const(c) => write!(f, "{c}"),
+            TypedNode::Object(n) => write!(f, "{n}"),
+            TypedNode::Var(v) => write!(f, "{v}"),
+            TypedNode::Apply { op, args, .. } => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            TypedNode::ApplyFun { fun, args } => {
+                write!(f, "({fun})(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            TypedNode::Lambda { params, body } => {
+                write!(f, "fun (")?;
+                for (i, (x, t)) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}: {t}")?;
+                }
+                write!(f, ") {body}")
+            }
+            TypedNode::List(items) => {
+                write!(f, "<")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ">")
+            }
+            TypedNode::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TypedExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self} : {}", self.ty)
+    }
+}

@@ -1,0 +1,481 @@
+//! Types as terms, and the expression language whose terms they classify.
+//!
+//! A [`DataType`] is a term of the paper's top-level signature: a type
+//! constructor applied to type arguments (`rel(tuple(<(name, string)>))`),
+//! or a function type `(s1 x .. x sn -> s)` from the extended signature
+//! (used e.g. for view objects, Section 2.4).
+//!
+//! A [`TypeArg`] is what may appear under a constructor: another type, a
+//! list term `<a1, ..., an>`, a product term `(a1, ..., an)`, or an
+//! embedded *value expression* — the paper explicitly allows constructors
+//! "not only on types, but also on values" (`string(4)`, the attribute
+//! name in `btree(city, pop, int)`, the key function of an `lsdtree`).
+//!
+//! An [`Expr`] is an *untyped* term of the bottom-level signature as the
+//! parser produces it; `check` elaborates it into a `typed::TypedExpr`.
+
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Implements `Debug` by delegating to `Display` — type and expression
+/// terms read far better in the paper's own notation than as derive output.
+macro_rules! fmt_via_display {
+    () => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{self}")
+        }
+    };
+}
+
+/// A type: a term over the type constructors, or a function type.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataType {
+    /// `cons(arg1, ..., argn)`; atomic types are 0-ary (`int` = `Cons("int", [])`).
+    Cons(Symbol, Vec<TypeArg>),
+    /// `(s1 x ... x sn -> s)` — function types, e.g. parameterized views.
+    Fun(Vec<DataType>, Box<DataType>),
+}
+
+impl DataType {
+    /// An atomic (0-ary constructor) type.
+    pub fn atom(name: &str) -> DataType {
+        DataType::Cons(Symbol::new(name), Vec::new())
+    }
+
+    /// The constructor name, if this is a constructor application.
+    pub fn cons_name(&self) -> Option<&Symbol> {
+        match self {
+            DataType::Cons(n, _) => Some(n),
+            DataType::Fun(..) => None,
+        }
+    }
+
+    /// Convenience: `rel(t)`.
+    pub fn rel(tuple: DataType) -> DataType {
+        DataType::Cons(Symbol::new("rel"), vec![TypeArg::Type(tuple)])
+    }
+
+    /// Convenience: `stream(t)`.
+    pub fn stream(tuple: DataType) -> DataType {
+        DataType::Cons(Symbol::new("stream"), vec![TypeArg::Type(tuple)])
+    }
+
+    /// Convenience: a tuple type from `(attribute, type)` pairs — the term
+    /// `tuple(<(a1, t1), ..., (an, tn)>)`.
+    pub fn tuple(attrs: Vec<(Symbol, DataType)>) -> DataType {
+        DataType::Cons(
+            Symbol::new("tuple"),
+            vec![TypeArg::List(
+                attrs
+                    .into_iter()
+                    .map(|(a, t)| {
+                        TypeArg::Pair(vec![
+                            TypeArg::Expr(Expr::Const(Const::Ident(a))),
+                            TypeArg::Type(t),
+                        ])
+                    })
+                    .collect(),
+            )],
+        )
+    }
+
+    /// If this is a tuple type, its `(attribute, type)` pairs.
+    pub fn tuple_attrs(&self) -> Option<Vec<(Symbol, DataType)>> {
+        let DataType::Cons(name, args) = self else {
+            return None;
+        };
+        if name.as_str() != "tuple" || args.len() != 1 {
+            return None;
+        }
+        let TypeArg::List(items) = &args[0] else {
+            return None;
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let TypeArg::Pair(pair) = item else {
+                return None;
+            };
+            let [TypeArg::Expr(Expr::Const(Const::Ident(a))), TypeArg::Type(t)] = pair.as_slice()
+            else {
+                return None;
+            };
+            out.push((a.clone(), t.clone()));
+        }
+        Some(out)
+    }
+
+    /// If this is `cons(t)` for a single type argument, that argument
+    /// (e.g. the tuple type of a `rel`, `stream` or `srel`).
+    pub fn single_type_arg(&self) -> Option<&DataType> {
+        match self {
+            DataType::Cons(_, args) if args.len() == 1 => match &args[0] {
+                TypeArg::Type(t) => Some(t),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Cons(name, args) if args.is_empty() => write!(f, "{name}"),
+            DataType::Cons(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            DataType::Fun(params, res) => {
+                write!(f, "(")?;
+                for p in params {
+                    write!(f, "{p} ")?;
+                }
+                write!(f, "-> {res})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// An argument of a type constructor.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub enum TypeArg {
+    /// Another type.
+    Type(DataType),
+    /// A list term `<a1, ..., an>` (sort `s+`).
+    List(Vec<TypeArg>),
+    /// A product term `(a1, ..., an)` (sort `(s1 x ... x sn)`).
+    Pair(Vec<TypeArg>),
+    /// An embedded value expression (identifier, number, lambda, ...).
+    Expr(Expr),
+}
+
+impl fmt::Display for TypeArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeArg::Type(t) => write!(f, "{t}"),
+            TypeArg::List(items) => {
+                write!(f, "<")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ">")
+            }
+            TypeArg::Pair(items) => {
+                write!(f, "(")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            TypeArg::Expr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl fmt::Debug for TypeArg {
+    fmt_via_display!();
+}
+
+/// Constant values that can appear literally in terms (and inside types).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub enum Const {
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Bool(bool),
+    /// An identifier value — the paper's `ident` type (attribute names).
+    Ident(Symbol),
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(v) => write!(f, "{v}"),
+            Const::Real(v) => write!(f, "{v}"),
+            Const::Str(s) => write!(f, "{s:?}"),
+            Const::Bool(b) => write!(f, "{b}"),
+            Const::Ident(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Const {
+    fmt_via_display!();
+}
+
+/// One atom of a concrete-syntax operand/operator sequence.
+///
+/// The paper's concrete syntax (Section 2.3) writes applications like
+/// `persons select[age > 30]` or `cities states join[...]`: operands and
+/// operators mixed in sequence, with each operator's syntax pattern
+/// saying how many preceding operands it consumes. The parser cannot
+/// always know whether a bare name is an operand (object, variable) or an
+/// operator (e.g. a tuple-attribute operator like `center`), so it emits
+/// a [`SeqAtom`] sequence and the checker resolves it with the signature
+/// and environment in hand.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub enum SeqAtom {
+    /// A definitely-operand expression (literal, lambda, parenthesized
+    /// expression, list, ...).
+    Operand(Expr),
+    /// A bare name, possibly with bracket `[...]` or paren `(...)`
+    /// arguments; operand-or-operator status is decided during checking.
+    Word {
+        name: Symbol,
+        /// Arguments written as `name[a, b]`.
+        brackets: Option<Vec<Expr>>,
+        /// Arguments written as `name(a, b)`.
+        parens: Option<Vec<Expr>>,
+    },
+}
+
+impl fmt::Display for SeqAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqAtom::Operand(e) => write!(f, "{e}"),
+            SeqAtom::Word {
+                name,
+                brackets,
+                parens,
+            } => {
+                write!(f, "{name}")?;
+                if let Some(args) = brackets {
+                    write!(f, "[")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                if let Some(args) = parens {
+                    write!(f, "(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SeqAtom {
+    fmt_via_display!();
+}
+
+/// An untyped term of the bottom-level signature (parser output).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    Const(Const),
+    /// A resolved name reference (abstract syntax). The parser emits
+    /// [`Expr::Seq`] for bare names; `Name` appears in programmatically
+    /// built terms and in optimizer rule templates.
+    Name(Symbol),
+    /// Abstract-syntax application `op(arg1, ..., argn)`.
+    Apply {
+        op: Symbol,
+        args: Vec<Expr>,
+    },
+    /// `fun (x1: t1, ..., xn: tn) body` — typed lambda (Section 2.3).
+    Lambda {
+        params: Vec<(Symbol, DataType)>,
+        body: Box<Expr>,
+    },
+    /// A list term `<e1, ..., en>`.
+    List(Vec<Expr>),
+    /// A product term `(e1, ..., en)`.
+    Tuple(Vec<Expr>),
+    /// A concrete-syntax operand/operator sequence (see [`SeqAtom`]).
+    Seq(Vec<SeqAtom>),
+}
+
+impl Expr {
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Const::Int(v))
+    }
+
+    pub fn real(v: f64) -> Expr {
+        Expr::Const(Const::Real(v))
+    }
+
+    pub fn str(s: &str) -> Expr {
+        Expr::Const(Const::Str(s.to_string()))
+    }
+
+    pub fn bool(b: bool) -> Expr {
+        Expr::Const(Const::Bool(b))
+    }
+
+    pub fn ident(s: &str) -> Expr {
+        Expr::Const(Const::Ident(Symbol::new(s)))
+    }
+
+    pub fn name(s: &str) -> Expr {
+        Expr::Name(Symbol::new(s))
+    }
+
+    pub fn apply(op: &str, args: Vec<Expr>) -> Expr {
+        Expr::Apply {
+            op: Symbol::new(op),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Name(n) => write!(f, "{n}"),
+            Expr::Apply { op, args } => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Lambda { params, body } => {
+                write!(f, "fun (")?;
+                for (i, (x, t)) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}: {t}")?;
+                }
+                write!(f, ") {body}")
+            }
+            Expr::List(items) => {
+                write!(f, "<")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ">")
+            }
+            Expr::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Seq(atoms) => {
+                for (i, a) in atoms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Expr {
+    fmt_via_display!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn city() -> DataType {
+        DataType::tuple(vec![
+            (sym("name"), DataType::atom("string")),
+            (sym("pop"), DataType::atom("int")),
+        ])
+    }
+
+    #[test]
+    fn tuple_roundtrip_attrs() {
+        let t = city();
+        let attrs = t.tuple_attrs().unwrap();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].0, sym("name"));
+        assert_eq!(attrs[1].1, DataType::atom("int"));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = DataType::rel(city());
+        assert_eq!(t.to_string(), "rel(tuple(<(name, string), (pop, int)>))");
+    }
+
+    #[test]
+    fn function_type_display() {
+        let t = DataType::Fun(
+            vec![DataType::atom("string")],
+            Box::new(DataType::rel(city())),
+        );
+        assert!(t.to_string().starts_with("(string -> rel("));
+    }
+
+    #[test]
+    fn non_tuple_has_no_attrs() {
+        assert!(DataType::atom("int").tuple_attrs().is_none());
+        assert!(DataType::rel(city()).tuple_attrs().is_none());
+    }
+
+    #[test]
+    fn single_type_arg_extraction() {
+        let r = DataType::rel(city());
+        assert_eq!(r.single_type_arg(), Some(&city()));
+        assert_eq!(DataType::atom("int").single_type_arg(), None);
+    }
+
+    #[test]
+    fn expr_display() {
+        let e = Expr::apply(
+            "select",
+            vec![
+                Expr::name("persons"),
+                Expr::Lambda {
+                    params: vec![(sym("p"), city())],
+                    body: Box::new(Expr::apply(
+                        ">",
+                        vec![Expr::apply("pop", vec![Expr::name("p")]), Expr::int(30)],
+                    )),
+                },
+            ],
+        );
+        assert_eq!(
+            e.to_string(),
+            "select(persons, fun (p: tuple(<(name, string), (pop, int)>)) >(pop(p), 30))"
+        );
+    }
+}

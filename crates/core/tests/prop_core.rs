@@ -1,0 +1,257 @@
+//! Property-based tests for the core: generated tuple/relation types
+//! kind-check, their printed form is stable, and polymorphic resolution
+//! of `select`-style operators holds for arbitrary schemas.
+
+use proptest::prelude::*;
+use sos_core::check::Checker;
+use sos_core::pattern::{SortPattern, TypePattern};
+use sos_core::spec::{
+    ArgCount, Level, OpName, OperatorSpec, Quantifier, ResultSpec, SyntaxPattern,
+    TypeConstructorDef,
+};
+use sos_core::{sym, DataType, Expr, Signature, Symbol};
+use std::collections::HashMap;
+
+/// A minimal relational signature (kinds DATA/TUPLE/REL, tuple/rel
+/// constructors, comparisons, select, attribute access).
+fn sig() -> Signature {
+    let mut sig = Signature::new();
+    for k in ["IDENT", "DATA", "TUPLE", "REL"] {
+        sig.add_kind(k);
+    }
+    sig.add_constructor(TypeConstructorDef::atom("ident", "IDENT", Level::Hybrid));
+    for a in ["int", "real", "string", "bool"] {
+        sig.add_constructor(TypeConstructorDef::atom(a, "DATA", Level::Hybrid));
+    }
+    sig.add_constructor(TypeConstructorDef {
+        name: sym("tuple"),
+        quantifiers: vec![],
+        args: vec![SortPattern::List(Box::new(SortPattern::Product(vec![
+            SortPattern::atom("ident"),
+            SortPattern::kind("DATA"),
+        ])))],
+        kind: sym("TUPLE"),
+        level: Level::Hybrid,
+    });
+    sig.add_constructor(TypeConstructorDef {
+        name: sym("rel"),
+        quantifiers: vec![],
+        args: vec![SortPattern::kind("TUPLE")],
+        kind: sym("REL"),
+        level: Level::Model,
+    });
+    for op in ["=", "<", ">"] {
+        sig.add_spec(OperatorSpec {
+            name: OpName::Fixed(sym(op)),
+            quantifiers: vec![Quantifier::kind("data", "DATA")],
+            args: vec![SortPattern::var("data"), SortPattern::var("data")],
+            result: ResultSpec::Pattern(SortPattern::atom("bool")),
+            syntax: SyntaxPattern::infix(3),
+            is_update: false,
+            level: Level::Hybrid,
+        });
+    }
+    sig.add_spec(OperatorSpec {
+        name: OpName::Fixed(sym("select")),
+        quantifiers: vec![Quantifier::kind_pat(
+            "rel",
+            TypePattern::cons("rel", vec![TypePattern::var("tuple")]),
+            "REL",
+        )],
+        args: vec![
+            SortPattern::var("rel"),
+            SortPattern::Fun(
+                vec![SortPattern::var("tuple")],
+                Box::new(SortPattern::atom("bool")),
+            ),
+        ],
+        result: ResultSpec::Pattern(SortPattern::var("rel")),
+        syntax: SyntaxPattern::postfix_brackets(1, ArgCount::Exact(1)),
+        is_update: false,
+        level: Level::Model,
+    });
+    sig.add_spec(OperatorSpec {
+        name: OpName::Var(sym("attrname")),
+        quantifiers: vec![
+            Quantifier::kind_pat(
+                "tuple",
+                TypePattern::cons("tuple", vec![TypePattern::var("list")]),
+                "TUPLE",
+            ),
+            Quantifier::in_list(&["attrname", "dtype"], "list"),
+        ],
+        args: vec![SortPattern::var("tuple")],
+        result: ResultSpec::Pattern(SortPattern::var("dtype")),
+        syntax: SyntaxPattern::postfix(1),
+        is_update: false,
+        level: Level::Hybrid,
+    });
+    sig
+}
+
+/// Arbitrary attribute name: a short lowercase identifier.
+fn arb_attr() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn arb_atom() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::atom("int")),
+        Just(DataType::atom("real")),
+        Just(DataType::atom("string")),
+        Just(DataType::atom("bool")),
+    ]
+}
+
+/// An arbitrary tuple type with distinct attribute names.
+fn arb_tuple_type() -> impl Strategy<Value = DataType> {
+    prop::collection::btree_map(arb_attr(), arb_atom(), 1..8).prop_map(|attrs| {
+        DataType::tuple(
+            attrs
+                .into_iter()
+                .map(|(a, t)| (Symbol::new(&a), t))
+                .collect(),
+        )
+    })
+}
+
+/// Replicate the system layer's ident resolution: a bare name that is
+/// not a constructor denotes an identifier value.
+fn resolve_idents(sig: &Signature, ty: &DataType) -> DataType {
+    use sos_core::TypeArg;
+    fn arg(sig: &Signature, a: &TypeArg) -> TypeArg {
+        match a {
+            TypeArg::Type(DataType::Cons(n, args))
+                if args.is_empty() && sig.constructor(n).is_none() =>
+            {
+                TypeArg::Expr(Expr::Const(sos_core::Const::Ident(n.clone())))
+            }
+            TypeArg::Type(t) => TypeArg::Type(resolve_idents(sig, t)),
+            TypeArg::List(items) => TypeArg::List(items.iter().map(|x| arg(sig, x)).collect()),
+            TypeArg::Pair(items) => TypeArg::Pair(items.iter().map(|x| arg(sig, x)).collect()),
+            TypeArg::Expr(e) => TypeArg::Expr(e.clone()),
+        }
+    }
+    match ty {
+        DataType::Cons(n, args) => {
+            DataType::Cons(n.clone(), args.iter().map(|a| arg(sig, a)).collect())
+        }
+        DataType::Fun(ps, r) => DataType::Fun(
+            ps.iter().map(|p| resolve_idents(sig, p)).collect(),
+            Box::new(resolve_idents(sig, r)),
+        ),
+    }
+}
+
+proptest! {
+    /// Generated tuple and relation types kind-check.
+    #[test]
+    fn generated_types_kind_check(t in arb_tuple_type()) {
+        let sig = sig();
+        let env: HashMap<Symbol, DataType> = HashMap::new();
+        let checker = Checker::new(&sig, &env);
+        checker.check_type(&t).unwrap();
+        checker.check_type(&DataType::rel(t.clone())).unwrap();
+        prop_assert_eq!(sig.kind_of(&t).unwrap().as_str(), "TUPLE");
+    }
+
+    /// The printed form of a generated type re-parses to the same type
+    /// (Display is the concrete type syntax). The parser leaves bare
+    /// names as nullary type references; identifier resolution (the
+    /// system layer's job) is replicated here against the signature.
+    #[test]
+    fn type_display_roundtrips_through_the_parser(t in arb_tuple_type()) {
+        let sig = sig();
+        let shown = DataType::rel(t.clone()).to_string();
+        let reparsed = resolve_idents(&sig, &sos_parser::parse_type_str(&shown).unwrap());
+        prop_assert_eq!(reparsed, DataType::rel(t));
+    }
+
+    /// select with a comparison on any attribute of any generated schema
+    /// resolves, and the result type equals the operand type.
+    #[test]
+    fn select_resolves_on_any_schema(
+        t in arb_tuple_type(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let sig = sig();
+        let attrs = t.tuple_attrs().unwrap();
+        let (attr, aty) = attrs[pick.index(attrs.len())].clone();
+        let mut env: HashMap<Symbol, DataType> = HashMap::new();
+        env.insert(sym("r"), DataType::rel(t.clone()));
+        let checker = Checker::new(&sig, &env);
+        // fun (p: t) attr(p) = attr(p) — always well-typed whatever the
+        // attribute's type.
+        let e = Expr::apply(
+            "select",
+            vec![
+                Expr::name("r"),
+                Expr::Lambda {
+                    params: vec![(sym("p"), t.clone())],
+                    body: Box::new(Expr::apply(
+                        "=",
+                        vec![
+                            Expr::apply(attr.as_str(), vec![Expr::name("p")]),
+                            Expr::apply(attr.as_str(), vec![Expr::name("p")]),
+                        ],
+                    )),
+                },
+            ],
+        );
+        let checked = checker.check_expr(&e).unwrap();
+        prop_assert_eq!(checked.ty, DataType::rel(t.clone()));
+        // And the attribute operator's result is the attribute type.
+        let attr_e = Expr::Lambda {
+            params: vec![(sym("p"), t.clone())],
+            body: Box::new(Expr::apply(attr.as_str(), vec![Expr::name("p")])),
+        };
+        let attr_t = checker.check_expr(&attr_e).unwrap();
+        prop_assert_eq!(attr_t.ty, DataType::Fun(vec![t], Box::new(aty)));
+    }
+
+    /// A select on an attribute that is NOT in the schema never checks.
+    #[test]
+    fn select_on_missing_attribute_fails(t in arb_tuple_type()) {
+        let sig = sig();
+        let mut env: HashMap<Symbol, DataType> = HashMap::new();
+        env.insert(sym("r"), DataType::rel(t.clone()));
+        let checker = Checker::new(&sig, &env);
+        let e = Expr::Lambda {
+            params: vec![(sym("p"), t)],
+            body: Box::new(Expr::apply("zzz_not_an_attr", vec![Expr::name("p")])),
+        };
+        prop_assert!(checker.check_expr(&e).is_err());
+    }
+
+    /// to_expr/check round-trip: re-checking the abstract syntax of a
+    /// checked term reproduces the same typed term (the invariant the
+    /// optimizer's rewriting relies on).
+    #[test]
+    fn to_expr_recheck_is_identity(t in arb_tuple_type(), pick in any::<prop::sample::Index>()) {
+        let sig = sig();
+        let attrs = t.tuple_attrs().unwrap();
+        let (attr, _) = attrs[pick.index(attrs.len())].clone();
+        let mut env: HashMap<Symbol, DataType> = HashMap::new();
+        env.insert(sym("r"), DataType::rel(t.clone()));
+        let checker = Checker::new(&sig, &env);
+        let e = Expr::apply(
+            "select",
+            vec![
+                Expr::name("r"),
+                Expr::Lambda {
+                    params: vec![(sym("p"), t.clone())],
+                    body: Box::new(Expr::apply(
+                        "=",
+                        vec![
+                            Expr::apply(attr.as_str(), vec![Expr::name("p")]),
+                            Expr::apply(attr.as_str(), vec![Expr::name("p")]),
+                        ],
+                    )),
+                },
+            ],
+        );
+        let checked = checker.check_expr(&e).unwrap();
+        let rechecked = checker.check_expr(&checked.to_expr()).unwrap();
+        prop_assert_eq!(checked, rechecked);
+    }
+}

@@ -1,0 +1,332 @@
+//! The evaluator: a second-order algebra for the typed terms produced by
+//! the checker.
+//!
+//! The engine maps operator names to Rust implementations (the Ω_A
+//! functions of Section 3.3); the buffer pool beneath provides the
+//! representation structures. Evaluation is a straightforward
+//! environment-passing interpreter: lambdas close over the current
+//! variable bindings, operator applications evaluate their arguments and
+//! dispatch by name, and tuple-attribute operators (whose names are data)
+//! fall back to positional field access.
+
+use crate::error::{ExecError, ExecResult};
+use crate::handles::{attr_index, BTreeHandle, KeyExtractor, LsdHandle};
+use crate::value::{Closure, Value};
+use sos_catalog::Catalog;
+use sos_core::check::Checker;
+use sos_core::typed::{TypedExpr, TypedNode};
+use sos_core::{DataType, Signature, Symbol, TypeArg};
+use sos_storage::btree::BTree;
+use sos_storage::heap::HeapFile;
+use sos_storage::lsdtree::LsdTree;
+use sos_storage::BufferPool;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An operator implementation: receives the (typed) application node for
+/// schema information and the already-evaluated argument values.
+pub type OpImpl =
+    Arc<dyn Fn(&mut EvalCtx, &TypedExpr, Vec<Value>) -> ExecResult<Value> + Send + Sync>;
+
+/// The execution engine: operator implementations over a buffer pool.
+pub struct ExecEngine {
+    pub pool: Arc<BufferPool>,
+    ops: HashMap<Symbol, OpImpl>,
+}
+
+impl ExecEngine {
+    /// An engine with every built-in operator registered.
+    pub fn new(pool: Arc<BufferPool>) -> ExecEngine {
+        let mut e = ExecEngine {
+            pool,
+            ops: HashMap::new(),
+        };
+        crate::ops::register_builtins(&mut e);
+        e
+    }
+
+    /// Register (or override) an operator implementation — the paper's
+    /// extensibility story: new algebra operators plug in here.
+    pub fn add_op<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut EvalCtx, &TypedExpr, Vec<Value>) -> ExecResult<Value> + Send + Sync + 'static,
+    {
+        self.ops.insert(Symbol::new(name), Arc::new(f));
+    }
+
+    pub fn has_op(&self, name: &Symbol) -> bool {
+        self.ops.contains_key(name)
+    }
+
+    /// Create the initial value for a freshly created object of `ty`
+    /// (the `create` statement): representation structures are
+    /// materialized immediately; model relations start empty; everything
+    /// else starts `Undefined` until the first update.
+    pub fn init_value(
+        &self,
+        sig: &Signature,
+        env: &dyn sos_core::check::ObjectEnv,
+        ty: &DataType,
+    ) -> ExecResult<Value> {
+        let DataType::Cons(name, args) = ty else {
+            return Ok(Value::Undefined);
+        };
+        match name.as_str() {
+            "rel" => Ok(Value::Rel(Vec::new())),
+            "srel" => Ok(Value::SRel(Arc::new(HeapFile::create(self.pool.clone())?))),
+            "tidrel" => Ok(Value::TidRel(Arc::new(HeapFile::create(
+                self.pool.clone(),
+            )?))),
+            "btree" => {
+                let (tuple_type, attr) = match args.as_slice() {
+                    [TypeArg::Type(t), TypeArg::Expr(sos_core::Expr::Const(sos_core::Const::Ident(a))), _] => {
+                        (t.clone(), a.clone())
+                    }
+                    _ => return Err(ExecError::Other(format!("malformed btree type {ty}"))),
+                };
+                let idx = attr_index(&tuple_type, &attr).ok_or_else(|| {
+                    ExecError::Other(format!("attribute `{attr}` not in {tuple_type}"))
+                })?;
+                Ok(Value::BTree(Arc::new(BTreeHandle {
+                    tree: BTree::create(self.pool.clone())?,
+                    tuple_type,
+                    key: KeyExtractor::Attr(idx),
+                })))
+            }
+            "mbtree" => {
+                let (tuple_type, attr_args) = match args.as_slice() {
+                    [TypeArg::Type(t), TypeArg::List(items)] => (t.clone(), items.clone()),
+                    _ => return Err(ExecError::Other(format!("malformed mbtree type {ty}"))),
+                };
+                let mut idxs = Vec::with_capacity(attr_args.len());
+                for a in &attr_args {
+                    let TypeArg::Expr(sos_core::Expr::Const(sos_core::Const::Ident(name))) = a
+                    else {
+                        return Err(ExecError::Other(format!(
+                            "mbtree attribute list must hold attribute names, got {a}"
+                        )));
+                    };
+                    let idx = attr_index(&tuple_type, name).ok_or_else(|| {
+                        ExecError::Other(format!("attribute `{name}` not in {tuple_type}"))
+                    })?;
+                    idxs.push(idx);
+                }
+                Ok(Value::BTree(Arc::new(BTreeHandle {
+                    tree: BTree::create(self.pool.clone())?,
+                    tuple_type,
+                    key: KeyExtractor::Attrs(idxs),
+                })))
+            }
+            "kbtree" => {
+                let (tuple_type, keyfun) = match args.as_slice() {
+                    [TypeArg::Type(t), TypeArg::Expr(e)] => (t.clone(), e.clone()),
+                    _ => return Err(ExecError::Other(format!("malformed kbtree type {ty}"))),
+                };
+                let checked = check_keyfun(sig, env, &keyfun, &tuple_type)?;
+                Ok(Value::BTree(Arc::new(BTreeHandle {
+                    tree: BTree::create(self.pool.clone())?,
+                    tuple_type,
+                    key: KeyExtractor::Fun(checked),
+                })))
+            }
+            "lsdtree" => {
+                let (tuple_type, keyfun) = match args.as_slice() {
+                    [TypeArg::Type(t), TypeArg::Expr(e)] => (t.clone(), e.clone()),
+                    _ => return Err(ExecError::Other(format!("malformed lsdtree type {ty}"))),
+                };
+                let checked = check_keyfun(sig, env, &keyfun, &tuple_type)?;
+                Ok(Value::LsdTree(Arc::new(LsdHandle {
+                    tree: LsdTree::create(self.pool.clone())?,
+                    tuple_type,
+                    keyfun: checked,
+                })))
+            }
+            _ => Ok(Value::Undefined),
+        }
+    }
+}
+
+/// Type-check a key function expression embedded in a type (`kbtree` /
+/// `lsdtree` key expressions). An attribute name is accepted as a unary
+/// function per the paper's shorthand.
+fn check_keyfun(
+    sig: &Signature,
+    env: &dyn sos_core::check::ObjectEnv,
+    e: &sos_core::Expr,
+    tuple_type: &DataType,
+) -> ExecResult<TypedExpr> {
+    let checker = Checker::new(sig, env);
+    // Wrap a bare attribute name as a lambda.
+    let expr = match e {
+        sos_core::Expr::Lambda { .. } => e.clone(),
+        sos_core::Expr::Name(n) | sos_core::Expr::Const(sos_core::Const::Ident(n)) => {
+            sos_core::Expr::Lambda {
+                params: vec![(Symbol::new("%k"), tuple_type.clone())],
+                body: Box::new(sos_core::Expr::Apply {
+                    op: n.clone(),
+                    args: vec![sos_core::Expr::Name(Symbol::new("%k"))],
+                }),
+            }
+        }
+        other => other.clone(),
+    };
+    Ok(checker.check_expr(&expr)?)
+}
+
+/// Per-evaluation context: the mutable object store, the catalog, and
+/// the lambda-variable environment.
+pub struct EvalCtx<'a> {
+    pub engine: &'a ExecEngine,
+    pub store: &'a mut HashMap<Symbol, Value>,
+    pub catalog: &'a mut Catalog,
+    vars: Vec<(Symbol, Value)>,
+}
+
+impl<'a> EvalCtx<'a> {
+    pub fn new(
+        engine: &'a ExecEngine,
+        store: &'a mut HashMap<Symbol, Value>,
+        catalog: &'a mut Catalog,
+    ) -> EvalCtx<'a> {
+        EvalCtx {
+            engine,
+            store,
+            catalog,
+            vars: Vec::new(),
+        }
+    }
+
+    /// Evaluate a typed term to a value.
+    pub fn eval(&mut self, te: &TypedExpr) -> ExecResult<Value> {
+        match &te.node {
+            TypedNode::Const(c) => Ok(Value::from_const(c)),
+            TypedNode::Object(name) => match self.store.get(name) {
+                Some(Value::Undefined) | None => {
+                    // "create" gives an object an undefined value
+                    // (Section 2.4). A freshly created relation reads as
+                    // empty; other objects read as Undefined and the
+                    // operator that receives one reports the error.
+                    if matches!(&te.ty, DataType::Cons(n, _) if n.as_str() == "rel") {
+                        Ok(Value::Rel(Vec::new()))
+                    } else {
+                        Ok(Value::Undefined)
+                    }
+                }
+                Some(v) => Ok(v.clone()),
+            },
+            TypedNode::Var(name) => self
+                .vars
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| ExecError::Other(format!("unbound variable `{name}`"))),
+            TypedNode::Lambda { params, body } => Ok(Value::Closure(Arc::new(Closure {
+                params: params.clone(),
+                body: (**body).clone(),
+                captured: self.vars.clone(),
+            }))),
+            TypedNode::List(items) => Ok(Value::List(
+                items
+                    .iter()
+                    .map(|i| self.eval(i))
+                    .collect::<ExecResult<_>>()?,
+            )),
+            TypedNode::Tuple(items) => Ok(Value::Pair(
+                items
+                    .iter()
+                    .map(|i| self.eval(i))
+                    .collect::<ExecResult<_>>()?,
+            )),
+            TypedNode::ApplyFun { fun, args } => {
+                let f = self.eval(fun)?;
+                let argv = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<ExecResult<Vec<_>>>()?;
+                let closure = f.as_closure("function application")?.clone();
+                self.call(&closure, argv)
+            }
+            TypedNode::Apply { op, args, .. } => {
+                let argv = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<ExecResult<Vec<_>>>()?;
+                if let Some(imp) = self.engine.ops.get(op).cloned() {
+                    return imp(self, te, argv);
+                }
+                // Attribute access: `pop(t)` selects the field at the
+                // attribute's position in the operand tuple type.
+                if let [arg_node] = &args[..] {
+                    if let Some(idx) = attr_index(&arg_node.ty, op) {
+                        let tuple = argv[0].as_tuple(op.as_str())?;
+                        return tuple.get(idx).cloned().ok_or_else(|| {
+                            ExecError::Other(format!("tuple too short for attribute `{op}`"))
+                        });
+                    }
+                }
+                Err(ExecError::NoImpl(op.clone()))
+            }
+        }
+    }
+
+    /// Apply a closure to argument values.
+    pub fn call(&mut self, closure: &Closure, args: Vec<Value>) -> ExecResult<Value> {
+        if closure.params.len() != args.len() {
+            return Err(ExecError::Other(format!(
+                "function expects {} argument(s), got {}",
+                closure.params.len(),
+                args.len()
+            )));
+        }
+        let saved = std::mem::take(&mut self.vars);
+        self.vars = closure.captured.clone();
+        for ((name, _), v) in closure.params.iter().zip(args) {
+            self.vars.push((name.clone(), v));
+        }
+        let out = self.eval(&closure.body);
+        self.vars = saved;
+        out
+    }
+
+    /// Derive the B-tree key value for a tuple.
+    pub fn key_value(&mut self, handle: &BTreeHandle, tuple: &Value) -> ExecResult<Value> {
+        match &handle.key {
+            KeyExtractor::Attr(idx) => {
+                let fields = tuple.as_tuple("btree key")?;
+                fields.get(*idx).cloned().ok_or_else(|| {
+                    ExecError::Other("tuple too short for btree key attribute".into())
+                })
+            }
+            KeyExtractor::Attrs(idxs) => {
+                let fields = tuple.as_tuple("mbtree key")?;
+                let mut comps = Vec::with_capacity(idxs.len());
+                for idx in idxs {
+                    comps.push(fields.get(*idx).cloned().ok_or_else(|| {
+                        ExecError::Other("tuple too short for mbtree key attribute".into())
+                    })?);
+                }
+                Ok(Value::Pair(comps))
+            }
+            KeyExtractor::Fun(f) => {
+                let v = self.eval(f)?;
+                let closure = v.as_closure("btree key function")?.clone();
+                self.call(&closure, vec![tuple.clone()])
+            }
+        }
+    }
+
+    /// Derive the indexed rectangle for an LSD-tree entry.
+    pub fn rect_value(&mut self, handle: &LsdHandle, tuple: &Value) -> ExecResult<sos_geom::Rect> {
+        let v = self.eval(&handle.keyfun.clone())?;
+        let closure = v.as_closure("lsdtree key function")?.clone();
+        match self.call(&closure, vec![tuple.clone()])? {
+            Value::Rect(r) => Ok(r),
+            other => Err(crate::error::mismatch(
+                "lsdtree key",
+                "rect",
+                &other.kind_name(),
+            )),
+        }
+    }
+}

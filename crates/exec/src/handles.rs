@@ -1,0 +1,64 @@
+//! Handles tying storage structures to their SOS types: what the paper's
+//! `btree(...)`, `kbtree(...)` and `lsdtree(...)` types denote at run time.
+
+use crate::error::{mismatch, ExecResult};
+use sos_core::typed::TypedExpr;
+use sos_core::{DataType, Symbol};
+use sos_storage::btree::BTree;
+use sos_storage::keys::{self, KeyBytes};
+use sos_storage::lsdtree::LsdTree;
+
+/// How a B-tree derives its key from a tuple: a plain attribute
+/// (`btree(city, pop, int)`) or a key expression
+/// (`kbtree(city, fun (c: city) c pop div 1000)`).
+pub enum KeyExtractor {
+    /// Attribute index within the tuple.
+    Attr(usize),
+    /// Several attribute indices forming a composite key (the
+    /// multi-attribute B-tree mentioned at the end of Section 4).
+    Attrs(Vec<usize>),
+    /// A checked key function, evaluated per tuple by the engine.
+    Fun(TypedExpr),
+}
+
+/// A clustered B-tree plus its key derivation.
+pub struct BTreeHandle {
+    pub tree: BTree,
+    pub tuple_type: DataType,
+    pub key: KeyExtractor,
+}
+
+/// An LSD-tree plus its rectangle derivation function.
+pub struct LsdHandle {
+    pub tree: LsdTree,
+    pub tuple_type: DataType,
+    /// The checked key function producing the indexed `rect`.
+    pub keyfun: TypedExpr,
+}
+
+/// Encode an ORD value (`int`, `real`, `string`, `bool`) as a
+/// memcomparable key. A `Pair` of ORD values encodes as the
+/// concatenation of its components (composite keys order
+/// lexicographically; see `sos_storage::keys`).
+pub fn encode_key(op: &str, v: &crate::value::Value) -> ExecResult<KeyBytes> {
+    use crate::value::Value;
+    match v {
+        Value::Int(x) => Ok(keys::int_key(*x)),
+        Value::Real(x) => Ok(keys::real_key(*x)),
+        Value::Str(s) => Ok(keys::str_key(s)),
+        Value::Bool(b) => Ok(keys::bool_key(*b)),
+        Value::Pair(components) => {
+            let mut out = KeyBytes::new();
+            for c in components {
+                out.extend_from_slice(&encode_key(op, c)?);
+            }
+            Ok(out)
+        }
+        other => Err(mismatch(op, "ORD key value", &other.kind_name())),
+    }
+}
+
+/// The attribute index of `attr` in a tuple type.
+pub fn attr_index(tuple_ty: &DataType, attr: &Symbol) -> Option<usize> {
+    tuple_ty.tuple_attrs()?.iter().position(|(a, _)| a == attr)
+}

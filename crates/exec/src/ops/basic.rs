@@ -1,0 +1,177 @@
+//! Atomic data operators: comparisons, arithmetic, logic, geometry.
+
+use crate::engine::ExecEngine;
+use crate::error::{mismatch, ExecError, ExecResult};
+use crate::value::{compare, Value};
+use sos_geom::{Point, Rect};
+use std::cmp::Ordering;
+
+pub fn register(e: &mut ExecEngine) {
+    // ---- equality / comparison (polymorphic over DATA) ----
+    e.add_op("=", |_, _, args| Ok(Value::Bool(args[0] == args[1])));
+    e.add_op("!=", |_, _, args| Ok(Value::Bool(args[0] != args[1])));
+    for (name, wanted) in [
+        ("<", vec![Ordering::Less]),
+        ("<=", vec![Ordering::Less, Ordering::Equal]),
+        (">", vec![Ordering::Greater]),
+        (">=", vec![Ordering::Greater, Ordering::Equal]),
+    ] {
+        let w = wanted.clone();
+        let n = name.to_string();
+        e.add_op(name, move |_, _, args| {
+            let ord = compare(&n, &args[0], &args[1])?;
+            Ok(Value::Bool(w.contains(&ord)))
+        });
+    }
+
+    // ---- arithmetic with int/real promotion ----
+    e.add_op("+", |_, _, args| numeric(&args[0], &args[1], "+"));
+    e.add_op("-", |_, _, args| numeric(&args[0], &args[1], "-"));
+    e.add_op("*", |_, _, args| numeric(&args[0], &args[1], "*"));
+    e.add_op("/", |_, _, args| numeric(&args[0], &args[1], "/"));
+    e.add_op("div", |_, _, args| {
+        let (a, b) = (args[0].as_int("div")?, args[1].as_int("div")?);
+        if b == 0 {
+            return Err(ExecError::Arithmetic("division by zero".into()));
+        }
+        Ok(Value::Int(a.div_euclid(b)))
+    });
+    e.add_op("mod", |_, _, args| {
+        let (a, b) = (args[0].as_int("mod")?, args[1].as_int("mod")?);
+        if b == 0 {
+            return Err(ExecError::Arithmetic("modulo by zero".into()));
+        }
+        Ok(Value::Int(a.rem_euclid(b)))
+    });
+
+    // ---- logic ----
+    e.add_op("and", |_, _, args| {
+        Ok(Value::Bool(
+            args[0].as_bool("and")? && args[1].as_bool("and")?,
+        ))
+    });
+    e.add_op("or", |_, _, args| {
+        Ok(Value::Bool(
+            args[0].as_bool("or")? || args[1].as_bool("or")?,
+        ))
+    });
+    e.add_op("not", |_, _, args| {
+        Ok(Value::Bool(!args[0].as_bool("not")?))
+    });
+
+    // ---- geometry (Section 4's point/rect/pgon algebra) ----
+    e.add_op("bbox", |_, _, args| match &args[0] {
+        Value::Pgon(p) => Ok(Value::Rect(p.bbox())),
+        Value::Rect(r) => Ok(Value::Rect(*r)),
+        other => Err(mismatch("bbox", "pgon", &other.kind_name())),
+    });
+    e.add_op("inside", |_, _, args| match (&args[0], &args[1]) {
+        (Value::Point(p), Value::Pgon(g)) => Ok(Value::Bool(g.contains_point(p))),
+        (Value::Point(p), Value::Rect(r)) => Ok(Value::Bool(r.contains_point(p))),
+        (Value::Rect(a), Value::Rect(b)) => Ok(Value::Bool(b.contains_rect(a))),
+        (a, b) => Err(mismatch(
+            "inside",
+            "point x pgon / point x rect / rect x rect",
+            &format!("{} x {}", a.kind_name(), b.kind_name()),
+        )),
+    });
+    e.add_op("intersects", |_, _, args| match (&args[0], &args[1]) {
+        (Value::Rect(a), Value::Rect(b)) => Ok(Value::Bool(a.intersects(b))),
+        (a, b) => Err(mismatch(
+            "intersects",
+            "rect x rect",
+            &format!("{} x {}", a.kind_name(), b.kind_name()),
+        )),
+    });
+    e.add_op("makepoint", |_, _, args| {
+        let x = as_real(&args[0], "makepoint")?;
+        let y = as_real(&args[1], "makepoint")?;
+        Ok(Value::Point(Point::new(x, y)))
+    });
+    e.add_op("makerect", |_, _, args| {
+        let vals: Vec<f64> = args
+            .iter()
+            .map(|a| as_real(a, "makerect"))
+            .collect::<ExecResult<_>>()?;
+        Ok(Value::Rect(Rect::new(vals[0], vals[1], vals[2], vals[3])))
+    });
+    e.add_op("makepgon", |_, _, args| {
+        let Value::List(pairs) = &args[0] else {
+            return Err(mismatch("makepgon", "list of pairs", &args[0].kind_name()));
+        };
+        let mut vs = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            let Value::Pair(comps) = p else {
+                return Err(mismatch("makepgon", "(x, y) pair", &p.kind_name()));
+            };
+            if comps.len() != 2 {
+                return Err(ExecError::Other("makepgon pairs must be binary".into()));
+            }
+            vs.push(Point::new(
+                as_real(&comps[0], "makepgon")?,
+                as_real(&comps[1], "makepgon")?,
+            ));
+        }
+        if vs.len() < 3 {
+            return Err(ExecError::Other(
+                "makepgon needs at least 3 vertices".into(),
+            ));
+        }
+        Ok(Value::Pgon(sos_geom::Polygon::new(vs)))
+    });
+    e.add_op("area", |_, _, args| match &args[0] {
+        Value::Pgon(p) => Ok(Value::Real(p.area())),
+        Value::Rect(r) => Ok(Value::Real(r.area())),
+        other => Err(mismatch("area", "pgon or rect", &other.kind_name())),
+    });
+    e.add_op("distance", |_, _, args| match (&args[0], &args[1]) {
+        (Value::Point(a), Value::Point(b)) => Ok(Value::Real(a.distance(b))),
+        (a, b) => Err(mismatch(
+            "distance",
+            "point x point",
+            &format!("{} x {}", a.kind_name(), b.kind_name()),
+        )),
+    });
+}
+
+fn as_real(v: &Value, op: &str) -> ExecResult<f64> {
+    match v {
+        Value::Int(x) => Ok(*x as f64),
+        Value::Real(x) => Ok(*x),
+        other => Err(mismatch(op, "number", &other.kind_name())),
+    }
+}
+
+fn numeric(a: &Value, b: &Value, op: &str) -> ExecResult<Value> {
+    use Value::*;
+    match (a, b) {
+        // `/` is real division regardless of operand types (the integer
+        // quotient is `div`), matching its specification `-> real`.
+        (Int(x), Int(y)) if op != "/" => {
+            let r = match op {
+                "+" => x.checked_add(*y),
+                "-" => x.checked_sub(*y),
+                "*" => x.checked_mul(*y),
+                _ => unreachable!(),
+            };
+            r.map(Int)
+                .ok_or_else(|| ExecError::Arithmetic(format!("integer overflow in `{op}`")))
+        }
+        _ => {
+            let (x, y) = (as_real(a, op)?, as_real(b, op)?);
+            let r = match op {
+                "+" => x + y,
+                "-" => x - y,
+                "*" => x * y,
+                "/" => {
+                    if y == 0.0 {
+                        return Err(ExecError::Arithmetic("division by zero".into()));
+                    }
+                    x / y
+                }
+                _ => unreachable!(),
+            };
+            Ok(Real(r))
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Index search operators (Section 4): B-tree range queries (with
+//! halfrange variants standing in for the paper's `bottom`/`top`
+//! constants) and LSD-tree point/overlap searches.
+
+use crate::engine::ExecEngine;
+use crate::error::mismatch;
+use crate::handles::encode_key;
+use crate::stream::Cursor;
+use crate::value::Value;
+use sos_storage::keys;
+
+/// A pipelined range cursor over a clustered B-tree.
+fn range_cursor(
+    h: &std::sync::Arc<crate::handles::BTreeHandle>,
+    lo: Vec<u8>,
+    hi: Vec<u8>,
+) -> Value {
+    Value::Cursor(std::sync::Arc::new(parking_lot::Mutex::new(
+        Cursor::btree_range(h.clone(), lo, hi),
+    )))
+}
+
+pub fn register(e: &mut ExecEngine) {
+    // range[lo, hi] — inclusive range query on a clustering B-tree.
+    e.add_op("range", |_, _, args| {
+        let Value::BTree(h) = &args[0] else {
+            return Err(mismatch("range", "btree", &args[0].kind_name()));
+        };
+        let lo = encode_key("range", &args[1])?;
+        let hi = encode_key("range", &args[2])?;
+        Ok(range_cursor(h, lo, hi))
+    });
+
+    // range_from[lo] — halfrange `lo..top` (the paper's `top` constant).
+    e.add_op("range_from", |_, _, args| {
+        let Value::BTree(h) = &args[0] else {
+            return Err(mismatch("range_from", "btree", &args[0].kind_name()));
+        };
+        let lo = encode_key("range_from", &args[1])?;
+        Ok(range_cursor(h, lo, keys::top()))
+    });
+
+    // range_to[hi] — halfrange `bottom..hi` (the paper's `bottom`).
+    e.add_op("range_to", |_, _, args| {
+        let Value::BTree(h) = &args[0] else {
+            return Err(mismatch("range_to", "btree", &args[0].kind_name()));
+        };
+        let hi = encode_key("range_to", &args[1])?;
+        Ok(range_cursor(h, keys::bottom(), hi))
+    });
+
+    // exactmatch[k] — all tuples with key exactly k.
+    e.add_op("exactmatch", |_, _, args| {
+        let Value::BTree(h) = &args[0] else {
+            return Err(mismatch("exactmatch", "btree", &args[0].kind_name()));
+        };
+        let k = encode_key("exactmatch", &args[1])?;
+        Ok(range_cursor(h, k.clone(), k))
+    });
+
+    // prefixmatch[v] — multi-attribute B-tree: all tuples whose first
+    // key attribute equals v (Section 4's "query operator specifying
+    // values for a prefix of the attributes used for indexing").
+    e.add_op("prefixmatch", |_, _, args| {
+        let Value::BTree(h) = &args[0] else {
+            return Err(mismatch("prefixmatch", "mbtree", &args[0].kind_name()));
+        };
+        let prefix = encode_key("prefixmatch", &args[1])?;
+        let mut hi = prefix.clone();
+        hi.extend_from_slice(&keys::top());
+        Ok(range_cursor(h, prefix, hi))
+    });
+
+    // prefixrange[v, lo, hi] — first attribute fixed, second attribute
+    // in an inclusive range.
+    e.add_op("prefixrange", |_, _, args| {
+        let Value::BTree(h) = &args[0] else {
+            return Err(mismatch("prefixrange", "mbtree", &args[0].kind_name()));
+        };
+        let prefix = encode_key("prefixrange", &args[1])?;
+        let mut lo = prefix.clone();
+        lo.extend_from_slice(&encode_key("prefixrange", &args[2])?);
+        let mut hi = prefix;
+        hi.extend_from_slice(&encode_key("prefixrange", &args[3])?);
+        hi.extend_from_slice(&keys::top());
+        Ok(range_cursor(h, lo, hi))
+    });
+
+    // point_search — all tuples whose indexed rectangle contains the point.
+    e.add_op("point_search", |_, _, args| {
+        let Value::LsdTree(h) = &args[0] else {
+            return Err(mismatch("point_search", "lsdtree", &args[0].kind_name()));
+        };
+        let Value::Point(p) = &args[1] else {
+            return Err(mismatch("point_search", "point", &args[1].kind_name()));
+        };
+        let mut out = Vec::new();
+        for entry in h.tree.point_search(*p)? {
+            out.push(Value::decode_tuple(&entry.payload)?);
+        }
+        Ok(Value::Stream(out))
+    });
+
+    // overlap_search — all tuples whose rectangle overlaps the query rect.
+    e.add_op("overlap_search", |_, _, args| {
+        let Value::LsdTree(h) = &args[0] else {
+            return Err(mismatch("overlap_search", "lsdtree", &args[0].kind_name()));
+        };
+        let Value::Rect(r) = &args[1] else {
+            return Err(mismatch("overlap_search", "rect", &args[1].kind_name()));
+        };
+        let mut out = Vec::new();
+        for entry in h.tree.overlap_search(*r)? {
+            out.push(Value::decode_tuple(&entry.payload)?);
+        }
+        Ok(Value::Stream(out))
+    });
+}

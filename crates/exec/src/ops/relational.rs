@@ -1,0 +1,145 @@
+//! Model-level relational operators (Section 2.2): `select`, `join`,
+//! `union`, `mktuple`, `count` — pure functions over in-memory relations.
+
+use crate::engine::{EvalCtx, ExecEngine};
+use crate::error::{mismatch, ExecError, ExecResult};
+use crate::value::Value;
+use sos_core::typed::TypedExpr;
+
+/// Interpret a value as a bag of tuples (relations and streams are both
+/// accepted where the specs allow).
+pub fn tuples_of(v: &Value, op: &str) -> ExecResult<Vec<Value>> {
+    match v {
+        Value::Rel(ts) | Value::Stream(ts) => Ok(ts.clone()),
+        Value::Undefined => Ok(Vec::new()),
+        other => Err(mismatch(op, "relation", &other.kind_name())),
+    }
+}
+
+/// Evaluate a predicate closure on tuples, keeping those where it holds.
+pub fn filter_tuples(
+    ctx: &mut EvalCtx,
+    tuples: Vec<Value>,
+    pred: &Value,
+    op: &str,
+) -> ExecResult<Vec<Value>> {
+    let closure = pred.as_closure(op)?.clone();
+    let mut out = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        if ctx.call(&closure, vec![t.clone()])?.as_bool(op)? {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Concatenate the fields of two tuples (the semantics of `join` and
+/// `search_join` result construction).
+pub fn concat_tuples(a: &Value, b: &Value, op: &str) -> ExecResult<Value> {
+    let mut fields = a.as_tuple(op)?.to_vec();
+    fields.extend(b.as_tuple(op)?.iter().cloned());
+    Ok(Value::Tuple(fields))
+}
+
+pub fn register(e: &mut ExecEngine) {
+    e.add_op("select", |ctx, _, args| {
+        let tuples = tuples_of(&args[0], "select")?;
+        Ok(Value::Rel(filter_tuples(ctx, tuples, &args[1], "select")?))
+    });
+
+    e.add_op("join", |ctx, _, args| {
+        let left = tuples_of(&args[0], "join")?;
+        let right = tuples_of(&args[1], "join")?;
+        let pred = args[2].as_closure("join")?.clone();
+        let mut out = Vec::new();
+        for l in &left {
+            for r in &right {
+                if ctx
+                    .call(&pred, vec![l.clone(), r.clone()])?
+                    .as_bool("join")?
+                {
+                    out.push(concat_tuples(l, r, "join")?);
+                }
+            }
+        }
+        Ok(Value::Rel(out))
+    });
+
+    e.add_op("union", |_, _, args| {
+        let Value::List(rels) = &args[0] else {
+            return Err(mismatch("union", "list of relations", &args[0].kind_name()));
+        };
+        let mut out = Vec::new();
+        for r in rels {
+            out.extend(tuples_of(r, "union")?);
+        }
+        Ok(Value::Rel(out))
+    });
+
+    // mktuple[(a, v), (b, w)] — construct a tuple value with named
+    // attributes; the result type is computed by a type operator.
+    e.add_op("mktuple", |_, _, args| {
+        let Value::List(pairs) = &args[0] else {
+            return Err(mismatch("mktuple", "list of pairs", &args[0].kind_name()));
+        };
+        let mut fields = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            let Value::Pair(comps) = p else {
+                return Err(mismatch("mktuple", "(ident, value) pair", &p.kind_name()));
+            };
+            if comps.len() != 2 {
+                return Err(ExecError::Other("mktuple pairs must be binary".into()));
+            }
+            fields.push(comps[1].clone());
+        }
+        Ok(Value::Tuple(fields))
+    });
+
+    e.add_op("count", |ctx, _, args| match &args[0] {
+        Value::Rel(ts) | Value::Stream(ts) => Ok(Value::Int(ts.len() as i64)),
+        Value::Cursor(_) => {
+            // Drain the pipeline one tuple at a time (no buffering).
+            let mut cursor = crate::stream::into_cursor(args[0].clone())?;
+            let mut n = 0i64;
+            while cursor.next(ctx)?.is_some() {
+                n += 1;
+            }
+            Ok(Value::Int(n))
+        }
+        Value::SRel(h) | Value::TidRel(h) => Ok(Value::Int(h.count()? as i64)),
+        Value::BTree(h) => Ok(Value::Int(h.tree.len() as i64)),
+        Value::LsdTree(h) => Ok(Value::Int(h.tree.len() as i64)),
+        Value::Undefined => Ok(Value::Int(0)),
+        other => Err(mismatch("count", "collection", &other.kind_name())),
+    });
+}
+
+/// The attribute index of `attr` in the tuple type of a collection-typed
+/// node argument (rel(t), stream(t), ...).
+pub fn attr_index_of_node(node: &TypedExpr, attr: &sos_core::Symbol) -> ExecResult<usize> {
+    let coll_ty = &node.ty;
+    attr_index_in_collection(coll_ty, attr)
+}
+
+/// Same, but against the node's *first argument* type (for operators
+/// whose result type is a scalar, e.g. aggregates).
+pub fn attr_index_of_first_arg(node: &TypedExpr, attr: &sos_core::Symbol) -> ExecResult<usize> {
+    let arg = match &node.node {
+        sos_core::typed::TypedNode::Apply { args, .. } => args
+            .first()
+            .ok_or_else(|| ExecError::Other("operator has no arguments".into()))?,
+        _ => return Err(ExecError::Other("not an operator application".into())),
+    };
+    attr_index_in_collection(&arg.ty, attr)
+}
+
+fn attr_index_in_collection(
+    coll_ty: &sos_core::DataType,
+    attr: &sos_core::Symbol,
+) -> ExecResult<usize> {
+    let tuple_ty = coll_ty
+        .single_type_arg()
+        .ok_or_else(|| ExecError::Other(format!("no tuple type in {coll_ty}")))?;
+    crate::handles::attr_index(tuple_ty, attr)
+        .ok_or_else(|| ExecError::Other(format!("attribute `{attr}` not in {tuple_ty}")))
+}

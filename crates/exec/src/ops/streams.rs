@@ -1,0 +1,313 @@
+//! Representation-level stream operators (Section 4): `feed`, `filter`,
+//! `project`, `replace`, `collect`, `search_join`, `head`, `sortby`.
+//!
+//! The scan/range/filter/head/project/replace/search_join spine is
+//! pipelined through [`crate::stream::Cursor`]; blocking operators
+//! (`sortby`, `hashjoin`, aggregates, `collect`) drain their input.
+
+use crate::engine::ExecEngine;
+use crate::error::{mismatch, ExecResult};
+use crate::ops::relational::concat_tuples;
+use crate::stream::{into_cursor, materialize, Cursor};
+use crate::value::Value;
+use sos_storage::heap::HeapFile;
+use std::sync::Arc;
+
+/// Fold one attribute of a stream (`sum`, `min`, `max`, `avg`).
+fn aggregate(op: &str, tuples: &[Value], idx: usize) -> ExecResult<Value> {
+    use crate::value::compare;
+    if tuples.is_empty() {
+        return match op {
+            "sum" => Ok(Value::Int(0)),
+            _ => Err(crate::error::ExecError::Other(format!(
+                "`{op}` over an empty stream"
+            ))),
+        };
+    }
+    let field = |t: &Value| -> ExecResult<Value> { Ok(t.as_tuple(op)?[idx].clone()) };
+    match op {
+        "min" | "max" => {
+            let mut best = field(&tuples[0])?;
+            for t in &tuples[1..] {
+                let v = field(t)?;
+                let ord = compare(op, &v, &best)?;
+                let better = if op == "min" {
+                    ord == std::cmp::Ordering::Less
+                } else {
+                    ord == std::cmp::Ordering::Greater
+                };
+                if better {
+                    best = v;
+                }
+            }
+            Ok(best)
+        }
+        "sum" | "avg" => {
+            let mut acc_i: i64 = 0;
+            let mut acc_r: f64 = 0.0;
+            let mut real = false;
+            for t in tuples {
+                match field(t)? {
+                    Value::Int(v) => {
+                        acc_i = acc_i.checked_add(v).ok_or_else(|| {
+                            crate::error::ExecError::Arithmetic("sum overflow".into())
+                        })?;
+                    }
+                    Value::Real(v) => {
+                        real = true;
+                        acc_r += v;
+                    }
+                    other => return Err(mismatch(op, "numeric attribute", &other.kind_name())),
+                }
+            }
+            let total = acc_r + acc_i as f64;
+            if op == "avg" {
+                Ok(Value::Real(total / tuples.len() as f64))
+            } else if real {
+                Ok(Value::Real(total))
+            } else {
+                Ok(Value::Int(acc_i))
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Scan any relation representation into a stream of tuple values
+/// (the `feed` of the `relrep` subtype hierarchy).
+pub fn feed_value(v: &Value) -> ExecResult<Vec<Value>> {
+    match v {
+        Value::SRel(h) | Value::TidRel(h) => {
+            let mut out = Vec::new();
+            for item in h.scan() {
+                let (_, bytes) = item?;
+                out.push(Value::decode_tuple(&bytes)?);
+            }
+            Ok(out)
+        }
+        Value::BTree(h) => {
+            let mut out = Vec::new();
+            for item in h.tree.scan()? {
+                let (_, bytes) = item?;
+                out.push(Value::decode_tuple(&bytes)?);
+            }
+            Ok(out)
+        }
+        Value::LsdTree(h) => {
+            let mut out = Vec::new();
+            for e in h.tree.scan()? {
+                out.push(Value::decode_tuple(&e.payload)?);
+            }
+            Ok(out)
+        }
+        // Hybrid convenience: an in-memory relation also feeds.
+        Value::Rel(ts) | Value::Stream(ts) => Ok(ts.clone()),
+        Value::Undefined => Ok(Vec::new()),
+        other => Err(mismatch(
+            "feed",
+            "relation representation",
+            &other.kind_name(),
+        )),
+    }
+}
+
+fn cursor_value(c: Cursor) -> Value {
+    Value::Cursor(std::sync::Arc::new(parking_lot::Mutex::new(c)))
+}
+
+pub fn register(e: &mut ExecEngine) {
+    // feed produces a *pipelined* cursor for page-backed structures
+    // (Section 4's pipelined processing); in-memory relations and
+    // LSD-trees come back materialized.
+    e.add_op("feed", |_, _, args| match &args[0] {
+        Value::SRel(h) | Value::TidRel(h) => Ok(cursor_value(Cursor::heap_scan(h.clone()))),
+        Value::BTree(h) => Ok(cursor_value(Cursor::btree_range(
+            h.clone(),
+            sos_storage::keys::bottom(),
+            sos_storage::keys::top(),
+        ))),
+        other => Ok(Value::Stream(feed_value(other)?)),
+    });
+
+    e.add_op("filter", |_, _, args| {
+        let pred = args[1].as_closure("filter")?.clone();
+        let input = into_cursor(args[0].clone())?;
+        Ok(cursor_value(Cursor::Filter {
+            input: Box::new(input),
+            pred,
+        }))
+    });
+
+    // project[(name, fun-or-attr), ...] — generalized projection; the
+    // result schema comes from the type operator at check time.
+    e.add_op("project", |_, _, args| {
+        let Value::List(pairs) = &args[1] else {
+            return Err(mismatch("project", "list of pairs", &args[1].kind_name()));
+        };
+        let mut funs = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            let Value::Pair(comps) = p else {
+                return Err(mismatch("project", "(ident, fun) pair", &p.kind_name()));
+            };
+            funs.push(comps[1].as_closure("project")?.clone());
+        }
+        Ok(cursor_value(Cursor::Project {
+            input: Box::new(into_cursor(args[0].clone())?),
+            funs,
+        }))
+    });
+
+    // replace[attr, fun] — replace one attribute value per tuple.
+    e.add_op("replace", |_, node, args| {
+        let Value::Ident(attr) = &args[1] else {
+            return Err(mismatch("replace", "attribute name", &args[1].kind_name()));
+        };
+        let idx = crate::ops::relational::attr_index_of_node(node, attr)?;
+        let fun = args[2].as_closure("replace")?.clone();
+        Ok(cursor_value(Cursor::Replace {
+            input: Box::new(into_cursor(args[0].clone())?),
+            idx,
+            fun,
+        }))
+    });
+
+    // collect — materialize a stream into a temporary relation (srel).
+    e.add_op("collect", |ctx, _, args| {
+        let mut input = into_cursor(args[0].clone())?;
+        let heap = HeapFile::create(ctx.engine.pool.clone())?;
+        while let Some(t) = input.next(ctx)? {
+            heap.insert(&t.encode_tuple("collect")?)?;
+        }
+        Ok(Value::SRel(Arc::new(heap)))
+    });
+
+    // hashjoin[a1, a2] — a classic equi-join: build a hash table on the
+    // inner stream's join attribute, probe with the outer stream. One of
+    // the paper's motivating "special join algorithms" an extensible
+    // system must be able to add.
+    e.add_op("hashjoin", |ctx, node, args| {
+        let outer = &materialize(ctx, args[0].clone())?;
+        let inner = &materialize(ctx, args[1].clone())?;
+        let (Value::Ident(a1), Value::Ident(a2)) = (&args[2], &args[3]) else {
+            return Err(mismatch(
+                "hashjoin",
+                "two attribute names",
+                &format!("{:?}, {:?}", args[2].kind_name(), args[3].kind_name()),
+            ));
+        };
+        let node_args = match &node.node {
+            sos_core::typed::TypedNode::Apply { args, .. } => args,
+            _ => unreachable!("hashjoin is an operator application"),
+        };
+        let i1 = crate::handles::attr_index(
+            node_args[0]
+                .ty
+                .single_type_arg()
+                .ok_or_else(|| crate::error::ExecError::Other("no tuple type".into()))?,
+            a1,
+        )
+        .ok_or_else(|| crate::error::ExecError::Other(format!("attribute `{a1}` missing")))?;
+        let i2 = crate::handles::attr_index(
+            node_args[1]
+                .ty
+                .single_type_arg()
+                .ok_or_else(|| crate::error::ExecError::Other("no tuple type".into()))?,
+            a2,
+        )
+        .ok_or_else(|| crate::error::ExecError::Other(format!("attribute `{a2}` missing")))?;
+        // Build on the inner side, keyed by the memcomparable encoding.
+        let mut table: std::collections::HashMap<Vec<u8>, Vec<&Value>> =
+            std::collections::HashMap::new();
+        for t in inner.iter() {
+            let key = crate::handles::encode_key("hashjoin", &t.as_tuple("hashjoin")?[i2])?;
+            table.entry(key).or_default().push(t);
+        }
+        let mut out = Vec::new();
+        for o in outer.iter() {
+            let key = crate::handles::encode_key("hashjoin", &o.as_tuple("hashjoin")?[i1])?;
+            if let Some(matches) = table.get(&key) {
+                for m in matches {
+                    out.push(concat_tuples(o, m, "hashjoin")?);
+                }
+            }
+        }
+        Ok(Value::Stream(out))
+    });
+
+    // search_join — the paper's generalized nested-loop join: the second
+    // argument maps each outer tuple to a stream of matching inner tuples
+    // (a scan, an index search, whatever the plan chose).
+    e.add_op("search_join", |_, _, args| {
+        let fun = args[1].as_closure("search_join")?.clone();
+        Ok(cursor_value(Cursor::SearchJoin {
+            outer: Box::new(into_cursor(args[0].clone())?),
+            fun,
+            current_outer: None,
+            inner: std::collections::VecDeque::new(),
+        }))
+    });
+
+    // head[n] — first n tuples (a practical extension).
+    e.add_op("head", |_, _, args| {
+        let n = args[1].as_int("head")?.max(0) as usize;
+        let input = into_cursor(args[0].clone())?;
+        Ok(cursor_value(Cursor::Head {
+            input: Box::new(input),
+            remaining: n,
+        }))
+    });
+
+    // sortby[attr] — sort a stream by one attribute (a practical
+    // extension; stable).
+    e.add_op("sortby", |ctx, node, args| {
+        let mut tuples = materialize(ctx, args[0].clone())?;
+        let Value::Ident(attr) = &args[1] else {
+            return Err(mismatch("sortby", "attribute name", &args[1].kind_name()));
+        };
+        let idx = crate::ops::relational::attr_index_of_node(node, attr)?;
+        let mut err = None;
+        tuples.sort_by(|a, b| {
+            let (fa, fb) = match (a.as_tuple("sortby"), b.as_tuple("sortby")) {
+                (Ok(x), Ok(y)) => (x, y),
+                _ => return std::cmp::Ordering::Equal,
+            };
+            crate::value::compare("sortby", &fa[idx], &fb[idx]).unwrap_or_else(|e| {
+                err.get_or_insert(e);
+                std::cmp::Ordering::Equal
+            })
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(Value::Stream(tuples)),
+        }
+    });
+
+    // rdup — remove adjacent duplicates (use after sortby).
+    e.add_op("rdup", |ctx, _, args| {
+        let tuples = &materialize(ctx, args[0].clone())?;
+        let mut out: Vec<Value> = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            if out.last() != Some(t) {
+                out.push(t.clone());
+            }
+        }
+        Ok(Value::Stream(out))
+    });
+
+    // sum/min/max/avg[attr] — aggregates over one attribute.
+    for agg in ["sum", "min", "max", "avg"] {
+        e.add_op(agg, move |ctx, node, args| {
+            let tuples = &materialize(ctx, args[0].clone())?;
+            let Value::Ident(attr) = &args[1] else {
+                return Err(mismatch(agg, "attribute name", &args[1].kind_name()));
+            };
+            let idx = crate::ops::relational::attr_index_of_first_arg(node, attr)?;
+            aggregate(agg, tuples, idx)
+        });
+    }
+
+    // consume — a stream used as a model relation result.
+    e.add_op("consume", |ctx, _, args| {
+        Ok(Value::Rel(materialize(ctx, args[0].clone())?))
+    });
+}

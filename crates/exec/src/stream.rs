@@ -1,0 +1,315 @@
+//! Pipelined stream cursors.
+//!
+//! Section 4 assumes "the underlying execution engine can process
+//! sequences of operations on streams in a pipelined fashion". A
+//! [`Cursor`] is a small pull-based plan: scans and index searches
+//! produce tuples on demand (touching pages lazily), `filter` and `head`
+//! compose without materializing, and consumers (`count`, `collect`,
+//! blocking operators like `sortby`) drain incrementally. `head[n]` over
+//! a million-tuple B-tree therefore touches a handful of pages — see
+//! `tests/pipelining.rs`.
+//!
+//! A cursor travels inside a [`Value::Cursor`] behind `Arc<Mutex<..>>`:
+//! cloning a stream value shares the cursor (streams are linear; a
+//! drained stream stays drained). Crossing the statement boundary, the
+//! system materializes cursors into plain [`Value::Stream`] results.
+
+use crate::engine::EvalCtx;
+use crate::error::{ExecError, ExecResult};
+use crate::handles::BTreeHandle;
+use crate::value::{Closure, Value};
+use sos_storage::heap::HeapFile;
+use sos_storage::keys::KeyBytes;
+use sos_storage::PageId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A pull-based tuple stream.
+pub enum Cursor {
+    /// Materialized tuples (the degenerate cursor).
+    Mat(VecDeque<Value>),
+    /// Page-at-a-time scan of a heap file.
+    Heap {
+        heap: Arc<HeapFile>,
+        pages: Vec<PageId>,
+        page_idx: usize,
+        buf: VecDeque<Value>,
+    },
+    /// Leaf-chain walk of a clustered B-tree over `[lo, hi]`.
+    BTreeRange {
+        handle: Arc<BTreeHandle>,
+        lo: KeyBytes,
+        hi: KeyBytes,
+        next_page: Option<PageId>,
+        primed: bool,
+        done: bool,
+        buf: VecDeque<Value>,
+    },
+    /// Pipelined selection.
+    Filter {
+        input: Box<Cursor>,
+        pred: Arc<Closure>,
+    },
+    /// Pipelined prefix (stops pulling once exhausted).
+    Head {
+        input: Box<Cursor>,
+        remaining: usize,
+    },
+    /// Pipelined generalized projection: each output tuple is built by
+    /// applying the attribute functions to the input tuple.
+    Project {
+        input: Box<Cursor>,
+        funs: Vec<Arc<Closure>>,
+    },
+    /// Pipelined attribute replacement.
+    Replace {
+        input: Box<Cursor>,
+        idx: usize,
+        fun: Arc<Closure>,
+    },
+    /// Pipelined search join: for each outer tuple, the parameter
+    /// function produces the matching inner stream (Section 4).
+    SearchJoin {
+        outer: Box<Cursor>,
+        fun: Arc<Closure>,
+        current_outer: Option<Value>,
+        inner: VecDeque<Value>,
+    },
+    /// A cursor shared through a cloned stream value.
+    Shared(Arc<parking_lot::Mutex<Cursor>>),
+}
+
+impl Cursor {
+    pub fn materialized(tuples: Vec<Value>) -> Cursor {
+        Cursor::Mat(tuples.into())
+    }
+
+    pub fn heap_scan(heap: Arc<HeapFile>) -> Cursor {
+        let pages = heap.pages();
+        Cursor::Heap {
+            heap,
+            pages,
+            page_idx: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    pub fn btree_range(handle: Arc<BTreeHandle>, lo: KeyBytes, hi: KeyBytes) -> Cursor {
+        Cursor::BTreeRange {
+            handle,
+            lo,
+            hi,
+            next_page: None,
+            primed: false,
+            done: false,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Pull the next tuple, touching pages only as needed.
+    pub fn next(&mut self, ctx: &mut EvalCtx) -> ExecResult<Option<Value>> {
+        match self {
+            Cursor::Mat(buf) => Ok(buf.pop_front()),
+            Cursor::Heap {
+                heap,
+                pages,
+                page_idx,
+                buf,
+            } => loop {
+                if let Some(v) = buf.pop_front() {
+                    return Ok(Some(v));
+                }
+                if *page_idx >= pages.len() {
+                    return Ok(None);
+                }
+                let page = pages[*page_idx];
+                *page_idx += 1;
+                for item in heap.scan_pages(vec![page]) {
+                    let (_, bytes) = item?;
+                    buf.push_back(Value::decode_tuple(&bytes)?);
+                }
+            },
+            Cursor::BTreeRange {
+                handle,
+                lo,
+                hi,
+                next_page,
+                primed,
+                done,
+                buf,
+            } => loop {
+                if let Some(v) = buf.pop_front() {
+                    return Ok(Some(v));
+                }
+                if *done {
+                    return Ok(None);
+                }
+                let pid = if !*primed {
+                    *primed = true;
+                    handle.tree.find_leaf(lo)?
+                } else {
+                    match *next_page {
+                        Some(p) => p,
+                        None => {
+                            *done = true;
+                            return Ok(None);
+                        }
+                    }
+                };
+                let (entries, next) = handle.tree.read_leaf(pid)?;
+                *next_page = next;
+                let mut past_hi = false;
+                for (k, v) in entries {
+                    if k.as_slice() < lo.as_slice() {
+                        continue;
+                    }
+                    if k.as_slice() > hi.as_slice() {
+                        past_hi = true;
+                        break;
+                    }
+                    buf.push_back(Value::decode_tuple(&v)?);
+                }
+                // `done` stops further page reads; buffered tuples still
+                // drain through the loop head above.
+                if past_hi || next.is_none() {
+                    *done = true;
+                }
+            },
+            Cursor::Filter { input, pred } => loop {
+                let Some(t) = input.next(ctx)? else {
+                    return Ok(None);
+                };
+                let pred = pred.clone();
+                if ctx.call(&pred, vec![t.clone()])?.as_bool("filter")? {
+                    return Ok(Some(t));
+                }
+            },
+            Cursor::Project { input, funs } => {
+                let Some(t) = input.next(ctx)? else {
+                    return Ok(None);
+                };
+                let funs = funs.clone();
+                let mut fields = Vec::with_capacity(funs.len());
+                for f in &funs {
+                    fields.push(ctx.call(f, vec![t.clone()])?);
+                }
+                Ok(Some(Value::Tuple(fields)))
+            }
+            Cursor::Replace { input, idx, fun } => {
+                let Some(t) = input.next(ctx)? else {
+                    return Ok(None);
+                };
+                let (idx, fun) = (*idx, fun.clone());
+                let mut fields = t.as_tuple("replace")?.to_vec();
+                fields[idx] = ctx.call(&fun, vec![t.clone()])?;
+                Ok(Some(Value::Tuple(fields)))
+            }
+            Cursor::SearchJoin {
+                outer,
+                fun,
+                current_outer,
+                inner,
+            } => loop {
+                if let Some(i) = inner.pop_front() {
+                    let o = current_outer.as_ref().expect("outer set with inner");
+                    return Ok(Some(crate::ops::relational::concat_tuples(
+                        o,
+                        &i,
+                        "search_join",
+                    )?));
+                }
+                let fun = fun.clone();
+                let Some(o) = outer.next(ctx)? else {
+                    return Ok(None);
+                };
+                let produced = ctx.call(&fun, vec![o.clone()])?;
+                *inner = materialize(ctx, produced)?.into();
+                *current_outer = Some(o);
+            },
+            Cursor::Shared(c) => {
+                let mut guard = c.lock();
+                guard.next(ctx)
+            }
+            Cursor::Head { input, remaining } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                match input.next(ctx)? {
+                    Some(t) => {
+                        *remaining -= 1;
+                        Ok(Some(t))
+                    }
+                    None => {
+                        *remaining = 0;
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain the remaining tuples.
+    pub fn drain(&mut self, ctx: &mut EvalCtx) -> ExecResult<Vec<Value>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next(ctx)? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for Cursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            Cursor::Mat(b) => return write!(f, "cursor[mat, {} buffered]", b.len()),
+            Cursor::Heap { .. } => "heap-scan",
+            Cursor::BTreeRange { .. } => "btree-range",
+            Cursor::Filter { .. } => "filter",
+            Cursor::Head { .. } => "head",
+            Cursor::Project { .. } => "project",
+            Cursor::Replace { .. } => "replace",
+            Cursor::SearchJoin { .. } => "search-join",
+            Cursor::Shared(_) => "shared",
+        };
+        write!(f, "cursor[{kind}]")
+    }
+}
+
+/// Turn any stream-like value into its tuples, draining cursors.
+pub fn materialize(ctx: &mut EvalCtx, v: Value) -> ExecResult<Vec<Value>> {
+    match v {
+        Value::Stream(ts) | Value::Rel(ts) => Ok(ts),
+        Value::Cursor(c) => {
+            let mut guard = c.lock();
+            guard.drain(ctx)
+        }
+        Value::Undefined => Ok(Vec::new()),
+        other => Err(ExecError::TypeMismatch {
+            op: "stream".into(),
+            expected: "stream".into(),
+            found: other.kind_name().into(),
+        }),
+    }
+}
+
+/// Extract a cursor from a stream-like value (wrapping materialized
+/// streams), for operators that stay pipelined.
+pub fn into_cursor(v: Value) -> ExecResult<Cursor> {
+    match v {
+        Value::Cursor(c) => {
+            // Take the cursor out if uniquely held; otherwise drain lazily
+            // through the shared handle by wrapping.
+            match Arc::try_unwrap(c) {
+                Ok(m) => Ok(m.into_inner()),
+                Err(shared) => Ok(Cursor::Shared(shared)),
+            }
+        }
+        Value::Stream(ts) | Value::Rel(ts) => Ok(Cursor::materialized(ts)),
+        Value::Undefined => Ok(Cursor::materialized(Vec::new())),
+        other => Err(ExecError::TypeMismatch {
+            op: "stream".into(),
+            expected: "stream".into(),
+            found: other.kind_name().into(),
+        }),
+    }
+}

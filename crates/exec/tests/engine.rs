@@ -1,0 +1,181 @@
+//! Engine-level tests: evaluation of closures, captured environments,
+//! attribute access fallback, key extraction, and operator registration —
+//! exercised without the system façade.
+
+use sos_catalog::Catalog;
+use sos_core::typed::{TypedExpr, TypedNode};
+use sos_core::{sym, Const, DataType, Symbol};
+use sos_exec::{EvalCtx, ExecEngine, Value};
+use std::collections::HashMap;
+
+fn engine() -> ExecEngine {
+    ExecEngine::new(sos_storage::mem_pool(64))
+}
+
+fn city_ty() -> DataType {
+    DataType::tuple(vec![
+        (sym("name"), DataType::atom("string")),
+        (sym("pop"), DataType::atom("int")),
+    ])
+}
+
+fn int_const(v: i64) -> TypedExpr {
+    TypedExpr::new(TypedNode::Const(Const::Int(v)), DataType::atom("int"))
+}
+
+fn apply(op: &str, args: Vec<TypedExpr>, ty: DataType) -> TypedExpr {
+    TypedExpr::new(
+        TypedNode::Apply {
+            op: Symbol::new(op),
+            spec: 0,
+            args,
+        },
+        ty,
+    )
+}
+
+#[test]
+fn arithmetic_and_comparison_dispatch() {
+    let e = engine();
+    let mut store = HashMap::new();
+    let mut cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&e, &mut store, &mut cat);
+    let sum = apply("+", vec![int_const(2), int_const(3)], DataType::atom("int"));
+    assert_eq!(ctx.eval(&sum).unwrap(), Value::Int(5));
+    let cmp = apply(
+        "<",
+        vec![int_const(2), int_const(3)],
+        DataType::atom("bool"),
+    );
+    assert_eq!(ctx.eval(&cmp).unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn closures_capture_outer_parameters() {
+    // fun (x: int) fun (y: int) x + y — the inner closure must capture x.
+    let e = engine();
+    let mut store = HashMap::new();
+    let mut cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&e, &mut store, &mut cat);
+    let int = DataType::atom("int");
+    let var = |n: &str| TypedExpr::new(TypedNode::Var(Symbol::new(n)), int.clone());
+    let inner = TypedExpr::new(
+        TypedNode::Lambda {
+            params: vec![(sym("y"), int.clone())],
+            body: Box::new(apply("+", vec![var("x"), var("y")], int.clone())),
+        },
+        DataType::Fun(vec![int.clone()], Box::new(int.clone())),
+    );
+    let outer = TypedExpr::new(
+        TypedNode::Lambda {
+            params: vec![(sym("x"), int.clone())],
+            body: Box::new(inner),
+        },
+        DataType::Fun(
+            vec![int.clone()],
+            Box::new(DataType::Fun(vec![int.clone()], Box::new(int.clone()))),
+        ),
+    );
+    let f = ctx.eval(&outer).unwrap();
+    let Value::Closure(fc) = f else { panic!() };
+    let g = ctx.call(&fc, vec![Value::Int(10)]).unwrap();
+    let Value::Closure(gc) = g else { panic!() };
+    assert_eq!(ctx.call(&gc, vec![Value::Int(32)]).unwrap(), Value::Int(42));
+}
+
+#[test]
+fn attribute_access_falls_back_to_positional_fields() {
+    let e = engine();
+    let mut store = HashMap::new();
+    store.insert(
+        sym("c"),
+        Value::Tuple(vec![Value::Str("Hagen".into()), Value::Int(190_000)]),
+    );
+    let mut cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&e, &mut store, &mut cat);
+    let obj = TypedExpr::new(TypedNode::Object(sym("c")), city_ty());
+    let access = apply("pop", vec![obj], DataType::atom("int"));
+    assert_eq!(ctx.eval(&access).unwrap(), Value::Int(190_000));
+}
+
+#[test]
+fn unknown_operator_reports_no_impl() {
+    let e = engine();
+    let mut store = HashMap::new();
+    let mut cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&e, &mut store, &mut cat);
+    let bad = apply("mystery", vec![int_const(1)], DataType::atom("int"));
+    let err = ctx.eval(&bad).unwrap_err();
+    assert!(err.to_string().contains("mystery"));
+}
+
+#[test]
+fn registered_overrides_take_effect() {
+    let mut e = engine();
+    e.add_op("+", |_, _, _| Ok(Value::Int(-1))); // override!
+    let mut store = HashMap::new();
+    let mut cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&e, &mut store, &mut cat);
+    let sum = apply("+", vec![int_const(2), int_const(3)], DataType::atom("int"));
+    assert_eq!(ctx.eval(&sum).unwrap(), Value::Int(-1));
+}
+
+#[test]
+fn init_value_builds_representation_structures() {
+    let e = engine();
+    let sig = sos_system::builtin::builtin_signature();
+    let env: HashMap<Symbol, DataType> = HashMap::new();
+    let city = city_ty();
+    // rel -> empty model relation
+    let v = e
+        .init_value(&sig, &env, &DataType::rel(city.clone()))
+        .unwrap();
+    assert_eq!(v, Value::Rel(vec![]));
+    // tidrel -> heap handle
+    let tid_ty = DataType::Cons(sym("tidrel"), vec![sos_core::TypeArg::Type(city.clone())]);
+    assert!(matches!(
+        e.init_value(&sig, &env, &tid_ty).unwrap(),
+        Value::TidRel(_)
+    ));
+    // btree -> handle with the right key attribute
+    let btree_ty = DataType::Cons(
+        sym("btree"),
+        vec![
+            sos_core::TypeArg::Type(city.clone()),
+            sos_core::TypeArg::Expr(sos_core::Expr::ident("pop")),
+            sos_core::TypeArg::Type(DataType::atom("int")),
+        ],
+    );
+    let v = e.init_value(&sig, &env, &btree_ty).unwrap();
+    let Value::BTree(h) = v else { panic!() };
+    assert!(matches!(h.key, sos_exec::KeyExtractor::Attr(1)));
+    // btree over a bogus attribute errors
+    let bad = DataType::Cons(
+        sym("btree"),
+        vec![
+            sos_core::TypeArg::Type(city),
+            sos_core::TypeArg::Expr(sos_core::Expr::ident("nope")),
+            sos_core::TypeArg::Type(DataType::atom("int")),
+        ],
+    );
+    assert!(e.init_value(&sig, &env, &bad).is_err());
+}
+
+#[test]
+fn division_by_zero_is_an_error_not_a_panic() {
+    let e = engine();
+    let mut store = HashMap::new();
+    let mut cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&e, &mut store, &mut cat);
+    for op in ["div", "mod", "/"] {
+        let d = apply(op, vec![int_const(1), int_const(0)], DataType::atom("int"));
+        assert!(ctx.eval(&d).is_err(), "`{op}` by zero must error");
+    }
+    // Overflow too.
+    let o = apply(
+        "+",
+        vec![int_const(i64::MAX), int_const(1)],
+        DataType::atom("int"),
+    );
+    assert!(ctx.eval(&o).is_err());
+}

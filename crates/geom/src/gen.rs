@@ -1,0 +1,140 @@
+//! Synthetic spatial workload generators.
+//!
+//! The paper's running example joins a `cities` relation (points) with a
+//! `states` relation (polygons) by the `inside` predicate. We do not have
+//! the geographic data, so the benchmark harness generates an equivalent
+//! synthetic world: a grid of non-overlapping polygonal "states" covering
+//! the unit square scaled to `world`, and cities drawn uniformly (every
+//! city therefore lies in exactly one state, the property the paper's
+//! `search_join` example relies on).
+
+use crate::{Point, Polygon, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The world rectangle used by all generators.
+pub const WORLD: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 1000.0,
+    max_y: 1000.0,
+};
+
+/// Deterministic RNG so experiments are reproducible run to run.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generate `n` uniformly distributed city points inside `WORLD`.
+pub fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                r.gen_range(WORLD.min_x..WORLD.max_x),
+                r.gen_range(WORLD.min_y..WORLD.max_y),
+            )
+        })
+        .collect()
+}
+
+/// Generate a `k x k` grid of "state" polygons tiling `WORLD`.
+///
+/// Each cell is perturbed into a convex octagon-ish shape strictly inside
+/// its cell so bounding boxes of neighbouring states do not overlap, which
+/// keeps the LSD-tree filter step selective (the interesting regime for
+/// experiment E5/B2). Returns `(name, polygon)` pairs.
+pub fn state_grid(k: usize, seed: u64) -> Vec<(String, Polygon)> {
+    assert!(k >= 1);
+    let mut r = rng(seed);
+    let cw = WORLD.width() / k as f64;
+    let ch = WORLD.height() / k as f64;
+    let mut out = Vec::with_capacity(k * k);
+    for gy in 0..k {
+        for gx in 0..k {
+            let x0 = WORLD.min_x + gx as f64 * cw;
+            let y0 = WORLD.min_y + gy as f64 * ch;
+            // Inset each cell slightly and jitter the corners so states are
+            // genuine polygons, not axis-aligned boxes.
+            let inset_x = cw * 0.02;
+            let inset_y = ch * 0.02;
+            let jx = |r: &mut StdRng| r.gen_range(0.0..cw * 0.05);
+            let jy = |r: &mut StdRng| r.gen_range(0.0..ch * 0.05);
+            let poly = Polygon::new(vec![
+                Point::new(x0 + inset_x + jx(&mut r), y0 + inset_y + jy(&mut r)),
+                Point::new(x0 + cw / 2.0, y0 + inset_y),
+                Point::new(x0 + cw - inset_x - jx(&mut r), y0 + inset_y + jy(&mut r)),
+                Point::new(x0 + cw - inset_x, y0 + ch / 2.0),
+                Point::new(
+                    x0 + cw - inset_x - jx(&mut r),
+                    y0 + ch - inset_y - jy(&mut r),
+                ),
+                Point::new(x0 + cw / 2.0, y0 + ch - inset_y),
+                Point::new(x0 + inset_x + jx(&mut r), y0 + ch - inset_y - jy(&mut r)),
+                Point::new(x0 + inset_x, y0 + ch / 2.0),
+            ]);
+            out.push((format!("state_{gx}_{gy}"), poly));
+        }
+    }
+    out
+}
+
+/// Generate `n` random query rectangles whose area is `frac` of the world.
+pub fn query_rects(n: usize, frac: f64, seed: u64) -> Vec<Rect> {
+    let mut r = rng(seed);
+    let w = WORLD.width() * frac.sqrt();
+    let h = WORLD.height() * frac.sqrt();
+    (0..n)
+        .map(|_| {
+            let x = r.gen_range(WORLD.min_x..(WORLD.max_x - w).max(WORLD.min_x + 1.0));
+            let y = r.gen_range(WORLD.min_y..(WORLD.max_y - h).max(WORLD.min_y + 1.0));
+            Rect::new(x, y, x + w, y + h)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_inside_world_and_deterministic() {
+        let a = uniform_points(100, 7);
+        let b = uniform_points(100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| WORLD.contains_point(p)));
+    }
+
+    #[test]
+    fn state_grid_tiles_without_bbox_overlap() {
+        let states = state_grid(4, 42);
+        assert_eq!(states.len(), 16);
+        for (i, (_, a)) in states.iter().enumerate() {
+            for (_, b) in states.iter().skip(i + 1) {
+                assert!(
+                    !a.bbox().intersects(&b.bbox()),
+                    "state bboxes must not overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_uniform_point_is_in_at_most_one_state() {
+        let states = state_grid(5, 1);
+        let pts = uniform_points(200, 2);
+        for p in &pts {
+            let n = states.iter().filter(|(_, s)| s.contains_point(p)).count();
+            assert!(n <= 1, "point {p} in {n} states");
+        }
+    }
+
+    #[test]
+    fn query_rects_have_requested_area_fraction() {
+        let rects = query_rects(10, 0.01, 3);
+        for r in rects {
+            let frac = r.area() / WORLD.area();
+            assert!((frac - 0.01).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Geometric data types for the SOS framework.
+//!
+//! The paper's representation-level examples (Section 4) use three geometric
+//! atomic types — `point`, `rect`, and `pgon` — together with the operations
+//! `bbox` (bounding box of a polygon), `inside` (point in polygon), and the
+//! rectangle predicates needed by the LSD-tree (`contains_point`,
+//! `intersects`). This crate provides those types plus synthetic data
+//! generators used by the benchmark harness in place of the paper's
+//! geographic data (see DESIGN.md, substitution table).
+//!
+//! Coordinates are `f64`. All types are plain `Copy`/owned data with total
+//! ordering helpers where the storage layer needs them.
+
+mod point;
+mod polygon;
+mod rect;
+
+pub mod gen;
+
+pub use point::Point;
+pub use polygon::Polygon;
+pub use rect::Rect;
+
+/// Numeric tolerance used by point-on-segment tests.
+pub(crate) const EPSILON: f64 = 1e-12;

@@ -1,0 +1,64 @@
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane.
+///
+/// Used in the paper as the `center` attribute of a city tuple and as the
+/// query argument of the LSD-tree `point_search` operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Lexicographic (x, then y) comparison with a total order over the
+    /// non-NaN doubles. The storage layer relies on this to key points.
+    pub fn total_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .total_cmp(&other.x)
+            .then_with(|| self.y.total_cmp(&other.y))
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn total_cmp_orders_lexicographically() {
+        let a = Point::new(1.0, 9.0);
+        let b = Point::new(2.0, 0.0);
+        let c = Point::new(1.0, 10.0);
+        assert_eq!(a.total_cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(a.total_cmp(&c), std::cmp::Ordering::Less);
+        assert_eq!(a.total_cmp(&a), std::cmp::Ordering::Equal);
+    }
+}

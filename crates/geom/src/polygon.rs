@@ -1,0 +1,181 @@
+use crate::{Point, Rect, EPSILON};
+use serde::{Deserialize, Serialize};
+
+/// A simple polygon given by its vertices in order (closed implicitly:
+/// the last vertex connects back to the first).
+///
+/// This is the `pgon` atomic type of Section 4, used as the `region`
+/// attribute of the states relation. The two operations the paper needs are
+/// `bbox` (the key expression of the LSD-tree) and `inside` (the geometric
+/// join predicate of Sections 4 and 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Build a polygon from at least three vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than three vertices are supplied; a polygon with
+    /// fewer vertices has no interior and cannot appear as a `pgon` value.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(
+            vertices.len() >= 3,
+            "a polygon needs at least 3 vertices, got {}",
+            vertices.len()
+        );
+        Polygon { vertices }
+    }
+
+    /// An axis-aligned rectangle as a polygon (counterclockwise).
+    pub fn from_rect(r: &Rect) -> Self {
+        Polygon::new(vec![
+            Point::new(r.min_x, r.min_y),
+            Point::new(r.max_x, r.min_y),
+            Point::new(r.max_x, r.max_y),
+            Point::new(r.min_x, r.max_y),
+        ])
+    }
+
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// The paper's `bbox` operator: the minimal axis-aligned bounding
+    /// rectangle of the polygon.
+    pub fn bbox(&self) -> Rect {
+        let mut r = Rect::from_point(self.vertices[0]);
+        for v in &self.vertices[1..] {
+            r = r.union(&Rect::from_point(*v));
+        }
+        r
+    }
+
+    /// The paper's `inside` predicate: is `p` inside (or on the boundary
+    /// of) this polygon? Ray-casting with an explicit boundary test so the
+    /// predicate is closed, matching the closed semantics of `Rect`.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        let n = self.vertices.len();
+        // Boundary counts as inside.
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if point_on_segment(p, &a, &b) {
+                return true;
+            }
+        }
+        // Ray casting: count crossings of a ray going in +x direction.
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Signed area (positive for counterclockwise vertex order).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+}
+
+/// Is `p` on the closed segment from `a` to `b`?
+fn point_on_segment(p: &Point, a: &Point, b: &Point) -> bool {
+    let cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if cross.abs() > EPSILON * (1.0 + (b.x - a.x).abs() + (b.y - a.y).abs()) {
+        return false;
+    }
+    let dot = (p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y);
+    let len2 = (b.x - a.x).powi(2) + (b.y - a.y).powi(2);
+    dot >= -EPSILON && dot <= len2 + EPSILON
+}
+
+impl std::fmt::Display for Polygon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pgon(n={}, bbox={})", self.vertices.len(), self.bbox())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::from_rect(&Rect::new(0.0, 0.0, 10.0, 10.0))
+    }
+
+    #[test]
+    fn bbox_of_triangle() {
+        let t = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(2.0, 5.0),
+        ]);
+        assert_eq!(t.bbox(), Rect::new(0.0, 0.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn contains_interior_point() {
+        assert!(square().contains_point(&Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn excludes_exterior_point() {
+        assert!(!square().contains_point(&Point::new(15.0, 5.0)));
+        assert!(!square().contains_point(&Point::new(5.0, -0.01)));
+    }
+
+    #[test]
+    fn boundary_counts_as_inside() {
+        assert!(square().contains_point(&Point::new(0.0, 5.0)));
+        assert!(square().contains_point(&Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // An L-shape: the notch at the top-right is outside.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 4.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]);
+        assert!(l.contains_point(&Point::new(2.0, 8.0)));
+        assert!(l.contains_point(&Point::new(8.0, 2.0)));
+        assert!(!l.contains_point(&Point::new(8.0, 8.0)));
+    }
+
+    #[test]
+    fn area_of_square_and_orientation() {
+        assert_eq!(square().area(), 100.0);
+        assert!(square().signed_area() > 0.0); // from_rect is ccw
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 vertices")]
+    fn rejects_degenerate_polygon() {
+        Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 1.0)]);
+    }
+}

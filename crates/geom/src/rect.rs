@@ -1,0 +1,141 @@
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle, closed on all sides.
+///
+/// Rectangles are the native entries of the LSD-tree (Section 4): polygons
+/// are indexed by their bounding boxes, and the two search operators of the
+/// paper are point containment (`point_search`) and rectangle overlap
+/// (`overlap_search`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Construct from two corner coordinates; the corners may be given in
+    /// any order.
+    pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Self {
+        Rect {
+            min_x: x1.min(x2),
+            min_y: y1.min(y2),
+            max_x: x1.max(x2),
+            max_y: y1.max(y2),
+        }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    pub fn from_point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// The smallest rectangle covering both operands.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Closed containment of a point.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Closed containment of another rectangle.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Closed intersection test (touching rectangles intersect).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}, {}] x [{}, {}]",
+            self.min_x, self.max_x, self.min_y, self.max_y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let r = Rect::new(5.0, 7.0, 1.0, 2.0);
+        assert_eq!(r.min_x, 1.0);
+        assert_eq!(r.max_y, 7.0);
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains_point(&Point::new(0.0, 0.0)));
+        assert!(r.contains_point(&Point::new(10.0, 10.0)));
+        assert!(!r.contains_point(&Point::new(10.0001, 5.0)));
+    }
+
+    #[test]
+    fn touching_rects_intersect() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(1.1, 1.1, 2.0, 2.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(3.0, -2.0, 4.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0.0, -2.0, 4.0, 1.0));
+    }
+
+    #[test]
+    fn area_and_center() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.center(), Point::new(2.0, 1.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the geometric substrate — in particular the
+//! bbox-superset property the Section 5 optimization rule relies on:
+//! a point inside a polygon is always inside the polygon's bounding box.
+
+use proptest::prelude::*;
+use sos_geom::{Point, Polygon, Rect};
+
+fn arb_point(range: f64) -> impl Strategy<Value = Point> {
+    (-range..range, -range..range).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// A random simple polygon: a star-shaped polygon around a center,
+/// sorted by angle (always non-self-intersecting).
+fn arb_polygon() -> impl Strategy<Value = Polygon> {
+    (
+        arb_point(50.0),
+        prop::collection::vec((0.0f64..std::f64::consts::TAU, 1.0f64..30.0), 3..12),
+    )
+        .prop_map(|(c, polar)| {
+            let mut polar = polar;
+            polar.sort_by(|a, b| a.0.total_cmp(&b.0));
+            polar.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+            while polar.len() < 3 {
+                let last = polar.last().copied().unwrap_or((0.0, 1.0));
+                polar.push((last.0 + 0.5, last.1 + 1.0));
+            }
+            Polygon::new(
+                polar
+                    .into_iter()
+                    .map(|(a, r)| Point::new(c.x + r * a.cos(), c.y + r * a.sin()))
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    /// The bbox-superset property (soundness of the LSD-tree plan):
+    /// contains_point(poly, p) implies contains_point(bbox(poly), p).
+    #[test]
+    fn bbox_is_a_superset_filter(poly in arb_polygon(), p in arb_point(100.0)) {
+        if poly.contains_point(&p) {
+            prop_assert!(poly.bbox().contains_point(&p));
+        }
+    }
+
+    /// Every vertex of a polygon is inside the polygon (boundary counts)
+    /// and inside its bbox.
+    #[test]
+    fn vertices_are_inside(poly in arb_polygon()) {
+        for v in poly.vertices() {
+            prop_assert!(poly.contains_point(v), "vertex {v} not inside");
+            prop_assert!(poly.bbox().contains_point(v));
+        }
+    }
+
+    /// The polygon's area never exceeds its bounding box's area.
+    #[test]
+    fn area_bounded_by_bbox(poly in arb_polygon()) {
+        prop_assert!(poly.area() <= poly.bbox().area() + 1e-9);
+    }
+
+    /// Rect intersection is symmetric and consistent with union: two
+    /// rects intersect iff the sum of extents covers the union's extent.
+    #[test]
+    fn rect_intersection_symmetry(
+        a in (any::<i16>(), any::<i16>(), 1u8..100, 1u8..100),
+        b in (any::<i16>(), any::<i16>(), 1u8..100, 1u8..100),
+    ) {
+        let ra = Rect::new(a.0 as f64, a.1 as f64, a.0 as f64 + a.2 as f64, a.1 as f64 + a.3 as f64);
+        let rb = Rect::new(b.0 as f64, b.1 as f64, b.0 as f64 + b.2 as f64, b.1 as f64 + b.3 as f64);
+        prop_assert_eq!(ra.intersects(&rb), rb.intersects(&ra));
+        let u = ra.union(&rb);
+        let covers = ra.width() + rb.width() >= u.width() && ra.height() + rb.height() >= u.height();
+        prop_assert_eq!(ra.intersects(&rb), covers);
+    }
+
+    /// Containment is antisymmetric up to equality and transitively
+    /// consistent with union.
+    #[test]
+    fn rect_containment_laws(
+        a in (any::<i16>(), any::<i16>(), 1u8..100, 1u8..100),
+        b in (any::<i16>(), any::<i16>(), 1u8..100, 1u8..100),
+    ) {
+        let ra = Rect::new(a.0 as f64, a.1 as f64, a.0 as f64 + a.2 as f64, a.1 as f64 + a.3 as f64);
+        let rb = Rect::new(b.0 as f64, b.1 as f64, b.0 as f64 + b.2 as f64, b.1 as f64 + b.3 as f64);
+        let u = ra.union(&rb);
+        prop_assert!(u.contains_rect(&ra) && u.contains_rect(&rb));
+        if ra.contains_rect(&rb) && rb.contains_rect(&ra) {
+            prop_assert_eq!(ra, rb);
+        }
+        if ra.contains_rect(&rb) {
+            prop_assert!(ra.intersects(&rb));
+        }
+    }
+
+    /// Point distance is a metric (symmetry, identity, triangle
+    /// inequality) within floating-point tolerance.
+    #[test]
+    fn distance_is_a_metric(p in arb_point(100.0), q in arb_point(100.0), r in arb_point(100.0)) {
+        prop_assert!((p.distance(&q) - q.distance(&p)).abs() < 1e-9);
+        prop_assert!(p.distance(&p) == 0.0);
+        prop_assert!(p.distance(&r) <= p.distance(&q) + q.distance(&r) + 1e-9);
+    }
+}

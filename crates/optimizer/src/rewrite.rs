@@ -1,0 +1,311 @@
+//! The rewrite engine: rules, steps with control strategies, and the
+//! optimizer driver.
+
+use crate::condition::Condition;
+use crate::pattern::{match_term, RuleBindings, TermPattern};
+use crate::OptError;
+use sos_catalog::Catalog;
+use sos_core::check::Checker;
+use sos_core::typed::{TypedExpr, TypedNode};
+use sos_core::{DataType, Expr, Symbol, TypeArg};
+
+/// One optimization rule: pattern, conditions, template.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    pub name: String,
+    pub lhs: TermPattern,
+    pub conditions: Vec<Condition>,
+    /// Template in abstract syntax. `Name(v)` splices the term bound to
+    /// `v`; `Apply{op: f}` where `f` is a bound function variable becomes
+    /// an application of the bound lambda; a type written `$v` inside a
+    /// lambda parameter splices the type bound to `v`.
+    pub rhs: Expr,
+}
+
+/// How a step scans for redexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Apply at most one rewrite, scanning top-down.
+    OnceTopDown,
+    /// Rewrite until no rule applies, scanning top-down each pass.
+    ExhaustiveTopDown,
+    /// Rewrite until no rule applies, scanning bottom-up each pass.
+    ExhaustiveBottomUp,
+}
+
+/// A step: a rule collection with a control strategy (the architecture
+/// of \[BeG92\]).
+#[derive(Debug, Clone)]
+pub struct RuleStep {
+    pub name: String,
+    pub rules: Vec<Rule>,
+    pub strategy: Strategy,
+    /// Upper bound on rewrites before the step reports divergence.
+    pub budget: usize,
+}
+
+impl RuleStep {
+    pub fn exhaustive(name: &str, rules: Vec<Rule>) -> RuleStep {
+        RuleStep {
+            name: name.to_string(),
+            rules,
+            strategy: Strategy::ExhaustiveTopDown,
+            budget: 200,
+        }
+    }
+}
+
+/// Counters reported after optimization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerStats {
+    pub rewrites: usize,
+    pub rule_attempts: usize,
+}
+
+/// A sequence of rule steps.
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    pub steps: Vec<RuleStep>,
+}
+
+impl Optimizer {
+    pub fn new(steps: Vec<RuleStep>) -> Optimizer {
+        Optimizer { steps }
+    }
+
+    /// Optimize a closed, checked term. Every rewrite is re-checked.
+    pub fn optimize(
+        &self,
+        term: &TypedExpr,
+        checker: &Checker,
+        catalog: &Catalog,
+    ) -> Result<(TypedExpr, OptimizerStats), OptError> {
+        let mut stats = OptimizerStats::default();
+        let mut current = term.clone();
+        for (step_idx, step) in self.steps.iter().enumerate() {
+            let mut rewrites_in_step = 0;
+            loop {
+                let top_down = step.strategy != Strategy::ExhaustiveBottomUp;
+                let Some((rule_name, raw)) =
+                    walk(&current, &step.rules, catalog, top_down, &mut stats)
+                else {
+                    break;
+                };
+                current = checker.check_expr(&raw).map_err(|e| OptError::Recheck {
+                    rule: rule_name,
+                    error: e,
+                    term: format!("{raw}"),
+                })?;
+                stats.rewrites += 1;
+                rewrites_in_step += 1;
+                if step.strategy == Strategy::OnceTopDown {
+                    break;
+                }
+                if rewrites_in_step > step.budget {
+                    return Err(OptError::NoFixpoint {
+                        step: step_idx,
+                        budget: step.budget,
+                    });
+                }
+            }
+        }
+        Ok((current, stats))
+    }
+}
+
+/// Find the first redex (by strategy order) and return the whole term in
+/// abstract syntax with the instantiated template spliced in.
+fn walk(
+    node: &TypedExpr,
+    rules: &[Rule],
+    catalog: &Catalog,
+    top_down: bool,
+    stats: &mut OptimizerStats,
+) -> Option<(String, Expr)> {
+    if top_down {
+        if let Some(r) = try_rules(node, rules, catalog, stats) {
+            return Some(r);
+        }
+    }
+    if let Some((name, i, child_raw)) = walk_children(node, rules, catalog, top_down, stats) {
+        return Some((name, rebuild(node, i, child_raw)));
+    }
+    if !top_down {
+        if let Some(r) = try_rules(node, rules, catalog, stats) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+fn walk_children(
+    node: &TypedExpr,
+    rules: &[Rule],
+    catalog: &Catalog,
+    top_down: bool,
+    stats: &mut OptimizerStats,
+) -> Option<(String, usize, Expr)> {
+    let children: Vec<&TypedExpr> = match &node.node {
+        TypedNode::Apply { args, .. } | TypedNode::List(args) | TypedNode::Tuple(args) => {
+            args.iter().collect()
+        }
+        TypedNode::ApplyFun { fun, args } => std::iter::once(&**fun).chain(args.iter()).collect(),
+        TypedNode::Lambda { body, .. } => vec![body],
+        _ => Vec::new(),
+    };
+    for (i, c) in children.into_iter().enumerate() {
+        if let Some((name, raw)) = walk(c, rules, catalog, top_down, stats) {
+            return Some((name, i, raw));
+        }
+    }
+    None
+}
+
+fn try_rules(
+    node: &TypedExpr,
+    rules: &[Rule],
+    catalog: &Catalog,
+    stats: &mut OptimizerStats,
+) -> Option<(String, Expr)> {
+    for rule in rules {
+        stats.rule_attempts += 1;
+        let mut b = RuleBindings::default();
+        if !match_term(&rule.lhs, node, &mut b) {
+            continue;
+        }
+        // Pattern lambda parameters also bind their types, so templates
+        // can type their own lambdas with `$param` placeholders.
+        for (p, (_, ty)) in b.params.clone() {
+            b.types.insert(p, TypeArg::Type(ty));
+        }
+        // Conditions: a frontier of alternative binding sets.
+        let mut frontier = vec![b];
+        for cond in &rule.conditions {
+            let mut next = Vec::new();
+            for fb in &frontier {
+                next.extend(cond.eval(fb, catalog));
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        if let Some(solution) = frontier.first() {
+            let raw = instantiate(&rule.rhs, solution);
+            return Some((rule.name.clone(), raw));
+        }
+    }
+    None
+}
+
+/// Rebuild a node in abstract syntax with child `i` replaced.
+fn rebuild(node: &TypedExpr, i: usize, child: Expr) -> Expr {
+    match &node.node {
+        TypedNode::Apply { op, args, .. } => Expr::Apply {
+            op: op.clone(),
+            args: replace_at(args, i, child),
+        },
+        TypedNode::List(args) => Expr::List(replace_at(args, i, child)),
+        TypedNode::Tuple(args) => Expr::Tuple(replace_at(args, i, child)),
+        TypedNode::ApplyFun { fun, args } => {
+            let mut all: Vec<Expr> = std::iter::once(fun.to_expr())
+                .chain(args.iter().map(|a| a.to_expr()))
+                .collect();
+            all[i] = child;
+            Expr::Apply {
+                op: Symbol::new("%call"),
+                args: all,
+            }
+        }
+        TypedNode::Lambda { params, .. } => Expr::Lambda {
+            params: params.clone(),
+            body: Box::new(child),
+        },
+        _ => node.to_expr(),
+    }
+}
+
+fn replace_at(args: &[TypedExpr], i: usize, child: Expr) -> Vec<Expr> {
+    args.iter()
+        .enumerate()
+        .map(|(j, a)| if j == i { child.clone() } else { a.to_expr() })
+        .collect()
+}
+
+/// Instantiate a template from the rule bindings.
+pub fn instantiate(template: &Expr, b: &RuleBindings) -> Expr {
+    match template {
+        Expr::Name(v) => {
+            if let Some(t) = b.terms.get(v) {
+                t.to_expr()
+            } else if let Some(op) = b.ops.get(v) {
+                // An operator-name variable used as an argument becomes
+                // the identifier value (attribute-name arguments).
+                Expr::Const(sos_core::Const::Ident(op.clone()))
+            } else {
+                template.clone()
+            }
+        }
+        Expr::Const(_) => template.clone(),
+        Expr::Apply { op, args } => {
+            let new_args: Vec<Expr> = args.iter().map(|a| instantiate(a, b)).collect();
+            // A bound function variable in operator position becomes an
+            // application of the bound lambda.
+            if let Some(f) = b.terms.get(op) {
+                if matches!(f.node, TypedNode::Lambda { .. } | TypedNode::Object(_)) {
+                    return Expr::Apply {
+                        op: Symbol::new("%call"),
+                        args: std::iter::once(f.to_expr()).chain(new_args).collect(),
+                    };
+                }
+            }
+            // A bound operator-name variable renames the application.
+            if let Some(n) = b.ops.get(op) {
+                return Expr::Apply {
+                    op: n.clone(),
+                    args: new_args,
+                };
+            }
+            Expr::Apply {
+                op: op.clone(),
+                args: new_args,
+            }
+        }
+        Expr::Lambda { params, body } => Expr::Lambda {
+            params: params
+                .iter()
+                .map(|(n, t)| (n.clone(), instantiate_type(t, b)))
+                .collect(),
+            body: Box::new(instantiate(body, b)),
+        },
+        Expr::List(items) => Expr::List(items.iter().map(|e| instantiate(e, b)).collect()),
+        Expr::Tuple(items) => Expr::Tuple(items.iter().map(|e| instantiate(e, b)).collect()),
+        Expr::Seq(_) => template.clone(),
+    }
+}
+
+/// Replace `$v` type placeholders by bound types.
+fn instantiate_type(t: &DataType, b: &RuleBindings) -> DataType {
+    match t {
+        DataType::Cons(name, args) => {
+            if let Some(stripped) = name.as_str().strip_prefix('$') {
+                if let Some(TypeArg::Type(bound)) = b.types.get(&Symbol::new(stripped)) {
+                    return bound.clone();
+                }
+            }
+            DataType::Cons(
+                name.clone(),
+                args.iter()
+                    .map(|a| match a {
+                        TypeArg::Type(x) => TypeArg::Type(instantiate_type(x, b)),
+                        other => other.clone(),
+                    })
+                    .collect(),
+            )
+        }
+        DataType::Fun(params, res) => DataType::Fun(
+            params.iter().map(|p| instantiate_type(p, b)).collect(),
+            Box::new(instantiate_type(res, b)),
+        ),
+    }
+}

@@ -1,0 +1,105 @@
+//! A token cursor with the small lookahead helpers both parsers need.
+
+use crate::lexer::{Token, TokenKind};
+use crate::ParseError;
+
+pub struct Cursor {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl Cursor {
+    pub fn new(toks: Vec<Token>) -> Cursor {
+        Cursor { toks, i: 0 }
+    }
+
+    pub fn peek(&self) -> &TokenKind {
+        &self.toks[self.i].kind
+    }
+
+    pub fn peek_at(&self, n: usize) -> &TokenKind {
+        let idx = (self.i + n).min(self.toks.len() - 1);
+        &self.toks[idx].kind
+    }
+
+    pub fn pos(&self) -> usize {
+        self.toks[self.i].pos
+    }
+
+    #[allow(clippy::should_implement_trait)] // a cursor, not an iterator
+    pub fn next(&mut self) -> TokenKind {
+        let t = self.toks[self.i].kind.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    pub fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                self.pos(),
+                &format!("expected `{kind}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    /// Consume an identifier token.
+    pub fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => Err(ParseError::at(
+                self.pos(),
+                &format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    /// Is the current token the given keyword identifier?
+    pub fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    /// Consume the given keyword identifier if present.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                self.pos(),
+                &format!("expected `{kw}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    pub fn error(&self, msg: &str) -> ParseError {
+        ParseError::at(self.pos(), msg)
+    }
+}

@@ -1,0 +1,603 @@
+//! Type expressions, value expressions (concrete syntax), and the
+//! five-statement program language of Section 2.4.
+
+use crate::cursor::Cursor;
+use crate::lexer::{tokenize, TokenKind};
+use crate::ParseError;
+use sos_core::{sym, Const, DataType, Expr, SeqAtom, Signature, Symbol, TypeArg};
+
+/// One statement of the generic data definition and manipulation
+/// language (Section 2.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `type <identifier> = <type expression>`
+    TypeDef(Symbol, DataType),
+    /// `create <identifier> : <type expression>`
+    Create(Symbol, DataType),
+    /// `update <identifier> := <value expression>`
+    Update(Symbol, Expr),
+    /// `delete <identifier>`
+    Delete(Symbol),
+    /// `query <value expression>`
+    Query(Expr),
+}
+
+/// Parse a program: a sequence of `;`-terminated statements.
+pub fn parse_program(src: &str, sig: &Signature) -> Result<Vec<Statement>, ParseError> {
+    let mut cur = Cursor::new(tokenize(src)?);
+    let mut out = Vec::new();
+    while !cur.at_eof() {
+        let stmt = if cur.eat_keyword("type") {
+            let name = cur.ident()?;
+            cur.expect(&TokenKind::Eq)?;
+            let ty = parse_type(&mut cur, sig)?;
+            Statement::TypeDef(sym(&name), ty)
+        } else if cur.eat_keyword("create") {
+            let name = cur.ident()?;
+            cur.expect(&TokenKind::Colon)?;
+            let ty = parse_type(&mut cur, sig)?;
+            Statement::Create(sym(&name), ty)
+        } else if cur.eat_keyword("update") {
+            let name = cur.ident()?;
+            cur.expect(&TokenKind::Assign)?;
+            let e = parse_expr(&mut cur, sig, 0, 0)?;
+            Statement::Update(sym(&name), e)
+        } else if cur.eat_keyword("delete") {
+            let name = cur.ident()?;
+            Statement::Delete(sym(&name))
+        } else if cur.eat_keyword("query") {
+            let e = parse_expr(&mut cur, sig, 0, 0)?;
+            Statement::Query(e)
+        } else {
+            return Err(cur.error(&format!(
+                "expected a statement keyword (type/create/update/delete/query), found `{}`",
+                cur.peek()
+            )));
+        };
+        out.push(stmt);
+        cur.eat(&TokenKind::Semicolon);
+    }
+    Ok(out)
+}
+
+/// Parse a single value expression (convenience for tests and the
+/// optimizer's rule templates).
+pub fn parse_expr_str(src: &str, sig: &Signature) -> Result<Expr, ParseError> {
+    let mut cur = Cursor::new(tokenize(src)?);
+    let e = parse_expr(&mut cur, sig, 0, 0)?;
+    if !cur.at_eof() {
+        return Err(cur.error(&format!("trailing input `{}`", cur.peek())));
+    }
+    Ok(e)
+}
+
+/// Parse a single type expression with no signature context (infix
+/// operators inside embedded lambdas will not resolve; use
+/// [`parse_program`] for full programs).
+pub fn parse_type_str(src: &str) -> Result<DataType, ParseError> {
+    let sig = Signature::new();
+    let mut cur = Cursor::new(tokenize(src)?);
+    let t = parse_type(&mut cur, &sig)?;
+    if !cur.at_eof() {
+        return Err(cur.error(&format!("trailing input `{}`", cur.peek())));
+    }
+    Ok(t)
+}
+
+// =========================================================================
+// Types
+// =========================================================================
+
+fn parse_type(cur: &mut Cursor, sig: &Signature) -> Result<DataType, ParseError> {
+    if cur.eat(&TokenKind::LParen) {
+        // `( -> t )` or `(t1 x t2 -> t)` or a grouped type.
+        if cur.eat(&TokenKind::Arrow) {
+            let res = parse_type(cur, sig)?;
+            cur.expect(&TokenKind::RParen)?;
+            return Ok(DataType::Fun(Vec::new(), Box::new(res)));
+        }
+        let first = parse_type(cur, sig)?;
+        if cur.at_keyword("x") || *cur.peek() == TokenKind::Arrow {
+            let mut params = vec![first];
+            while cur.eat_keyword("x") {
+                params.push(parse_type(cur, sig)?);
+            }
+            cur.expect(&TokenKind::Arrow)?;
+            let res = parse_type(cur, sig)?;
+            cur.expect(&TokenKind::RParen)?;
+            return Ok(DataType::Fun(params, Box::new(res)));
+        }
+        cur.expect(&TokenKind::RParen)?;
+        return Ok(first);
+    }
+    let name = cur.ident()?;
+    if cur.eat(&TokenKind::LParen) {
+        let mut args = vec![parse_type_arg(cur, sig)?];
+        while cur.eat(&TokenKind::Comma) {
+            args.push(parse_type_arg(cur, sig)?);
+        }
+        cur.expect(&TokenKind::RParen)?;
+        return Ok(DataType::Cons(sym(&name), args));
+    }
+    Ok(DataType::Cons(sym(&name), Vec::new()))
+}
+
+fn parse_type_arg(cur: &mut Cursor, sig: &Signature) -> Result<TypeArg, ParseError> {
+    match cur.peek().clone() {
+        TokenKind::Lt => {
+            cur.next();
+            let mut items = vec![parse_type_arg(cur, sig)?];
+            while cur.eat(&TokenKind::Comma) {
+                items.push(parse_type_arg(cur, sig)?);
+            }
+            cur.expect(&TokenKind::Gt)?;
+            Ok(TypeArg::List(items))
+        }
+        TokenKind::LParen => {
+            cur.next();
+            if cur.eat(&TokenKind::Arrow) {
+                let res = parse_type(cur, sig)?;
+                cur.expect(&TokenKind::RParen)?;
+                return Ok(TypeArg::Type(DataType::Fun(Vec::new(), Box::new(res))));
+            }
+            let first = parse_type_arg(cur, sig)?;
+            if cur.at_keyword("x") || *cur.peek() == TokenKind::Arrow {
+                // A function type: the components must be types.
+                let TypeArg::Type(t0) = first else {
+                    return Err(cur.error("function parameter must be a type"));
+                };
+                let mut params = vec![t0];
+                while cur.eat_keyword("x") {
+                    params.push(parse_type(cur, sig)?);
+                }
+                cur.expect(&TokenKind::Arrow)?;
+                let res = parse_type(cur, sig)?;
+                cur.expect(&TokenKind::RParen)?;
+                return Ok(TypeArg::Type(DataType::Fun(params, Box::new(res))));
+            }
+            if cur.eat(&TokenKind::Comma) {
+                let mut items = vec![first, parse_type_arg(cur, sig)?];
+                while cur.eat(&TokenKind::Comma) {
+                    items.push(parse_type_arg(cur, sig)?);
+                }
+                cur.expect(&TokenKind::RParen)?;
+                return Ok(TypeArg::Pair(items));
+            }
+            cur.expect(&TokenKind::RParen)?;
+            Ok(first)
+        }
+        TokenKind::Int(v) => {
+            cur.next();
+            Ok(TypeArg::Expr(Expr::Const(Const::Int(v))))
+        }
+        TokenKind::Real(v) => {
+            cur.next();
+            Ok(TypeArg::Expr(Expr::Const(Const::Real(v))))
+        }
+        TokenKind::Str(s) => {
+            cur.next();
+            Ok(TypeArg::Expr(Expr::Const(Const::Str(s))))
+        }
+        TokenKind::Ident(ref s) if s == "fun" => {
+            cur.next();
+            Ok(TypeArg::Expr(parse_lambda(cur, sig)?))
+        }
+        TokenKind::Ident(_) => {
+            let t = parse_type(cur, sig)?;
+            Ok(TypeArg::Type(t))
+        }
+        other => Err(cur.error(&format!("expected a type argument, found `{other}`"))),
+    }
+}
+
+// =========================================================================
+// Expressions (concrete syntax)
+// =========================================================================
+
+/// Precedence-climbing over infix operators (those whose syntax pattern
+/// is `_ # _`), with operand/operator sequences beneath.
+/// `angle_depth` > 0 means we are inside a `<...>` list literal and `>`
+/// terminates rather than comparing.
+fn parse_expr(
+    cur: &mut Cursor,
+    sig: &Signature,
+    min_prec: u8,
+    angle_depth: usize,
+) -> Result<Expr, ParseError> {
+    let mut left = parse_seq(cur, sig, angle_depth)?;
+    loop {
+        let tok = cur.peek().clone();
+        if angle_depth > 0 && tok == TokenKind::Gt {
+            break;
+        }
+        let Some(name) = tok.infix_name() else { break };
+        let Some(prec) = infix_prec(sig, name) else {
+            break;
+        };
+        if prec < min_prec {
+            break;
+        }
+        let name = name.to_string();
+        cur.next();
+        let right = parse_expr(cur, sig, prec + 1, angle_depth)?;
+        left = Expr::Apply {
+            op: sym(&name),
+            args: vec![left, right],
+        };
+    }
+    Ok(left)
+}
+
+fn infix_prec(sig: &Signature, name: &str) -> Option<u8> {
+    let s = sig.syntax_of(&sym(name))?;
+    s.infix.then_some(s.precedence)
+}
+
+/// Tokens that end an operand/operator sequence.
+fn ends_seq(tok: &TokenKind, angle_depth: usize) -> bool {
+    matches!(
+        tok,
+        TokenKind::RParen
+            | TokenKind::RBracket
+            | TokenKind::Comma
+            | TokenKind::Semicolon
+            | TokenKind::Assign
+            | TokenKind::Eof
+    ) || (angle_depth > 0 && *tok == TokenKind::Gt)
+}
+
+fn parse_seq(cur: &mut Cursor, sig: &Signature, angle_depth: usize) -> Result<Expr, ParseError> {
+    let mut atoms: Vec<SeqAtom> = Vec::new();
+    loop {
+        let tok = cur.peek().clone();
+        if ends_seq(&tok, angle_depth) {
+            break;
+        }
+        // An infix operator ends the sequence (handled by the caller) —
+        // but only once at least one operand exists; at the start of a
+        // sequence `<` opens a list literal and `-` negates a literal.
+        if !atoms.is_empty() {
+            if let Some(name) = tok.infix_name() {
+                if infix_prec(sig, name).is_some() {
+                    break;
+                }
+            }
+        }
+        match tok {
+            TokenKind::Int(v) => {
+                cur.next();
+                atoms.push(SeqAtom::Operand(Expr::Const(Const::Int(v))));
+            }
+            TokenKind::Real(v) => {
+                cur.next();
+                atoms.push(SeqAtom::Operand(Expr::Const(Const::Real(v))));
+            }
+            TokenKind::Str(s) => {
+                cur.next();
+                atoms.push(SeqAtom::Operand(Expr::Const(Const::Str(s))));
+            }
+            TokenKind::Minus => {
+                // Unary minus on a numeric literal at operand position.
+                cur.next();
+                match cur.next() {
+                    TokenKind::Int(v) => atoms.push(SeqAtom::Operand(Expr::Const(Const::Int(-v)))),
+                    TokenKind::Real(v) => {
+                        atoms.push(SeqAtom::Operand(Expr::Const(Const::Real(-v))))
+                    }
+                    _ => return Err(cur.error("expected a number after unary `-`")),
+                }
+            }
+            TokenKind::Lt => {
+                cur.next();
+                let mut items = vec![parse_expr(cur, sig, 0, angle_depth + 1)?];
+                while cur.eat(&TokenKind::Comma) {
+                    items.push(parse_expr(cur, sig, 0, angle_depth + 1)?);
+                }
+                cur.expect(&TokenKind::Gt)?;
+                atoms.push(SeqAtom::Operand(Expr::List(items)));
+            }
+            TokenKind::LParen => {
+                cur.next();
+                let mut items = vec![parse_expr(cur, sig, 0, 0)?];
+                while cur.eat(&TokenKind::Comma) {
+                    items.push(parse_expr(cur, sig, 0, 0)?);
+                }
+                cur.expect(&TokenKind::RParen)?;
+                if items.len() == 1 {
+                    atoms.push(SeqAtom::Operand(items.into_iter().next().expect("one")));
+                } else {
+                    atoms.push(SeqAtom::Operand(Expr::Tuple(items)));
+                }
+            }
+            TokenKind::Ident(ref s) if s == "fun" => {
+                cur.next();
+                atoms.push(SeqAtom::Operand(parse_lambda(cur, sig)?));
+            }
+            TokenKind::Ident(ref s) if s == "true" || s == "false" => {
+                cur.next();
+                atoms.push(SeqAtom::Operand(Expr::Const(Const::Bool(s == "true"))));
+            }
+            TokenKind::Ident(name) => {
+                cur.next();
+                let brackets = if cur.eat(&TokenKind::LBracket) {
+                    let mut args = vec![parse_expr(cur, sig, 0, 0)?];
+                    while cur.eat(&TokenKind::Comma) {
+                        args.push(parse_expr(cur, sig, 0, 0)?);
+                    }
+                    cur.expect(&TokenKind::RBracket)?;
+                    Some(args)
+                } else {
+                    None
+                };
+                let parens = if cur.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if *cur.peek() != TokenKind::RParen {
+                        args.push(parse_expr(cur, sig, 0, 0)?);
+                        while cur.eat(&TokenKind::Comma) {
+                            args.push(parse_expr(cur, sig, 0, 0)?);
+                        }
+                    }
+                    cur.expect(&TokenKind::RParen)?;
+                    Some(args)
+                } else {
+                    None
+                };
+                atoms.push(SeqAtom::Word {
+                    name: sym(&name),
+                    brackets,
+                    parens,
+                });
+            }
+            other => {
+                return Err(cur.error(&format!("unexpected token `{other}` in expression")));
+            }
+        }
+    }
+    match atoms.len() {
+        0 => Err(cur.error("expected an expression")),
+        1 => Ok(match atoms.into_iter().next().expect("one atom") {
+            SeqAtom::Operand(e) => e,
+            SeqAtom::Word {
+                name,
+                brackets: None,
+                parens: None,
+            } => Expr::Name(name),
+            w => Expr::Seq(vec![w]),
+        }),
+        _ => Ok(Expr::Seq(atoms)),
+    }
+}
+
+/// `fun ( x1: t1, ..., xn: tn ) body` — the `fun` keyword is consumed.
+fn parse_lambda(cur: &mut Cursor, sig: &Signature) -> Result<Expr, ParseError> {
+    cur.expect(&TokenKind::LParen)?;
+    let mut params = Vec::new();
+    if *cur.peek() != TokenKind::RParen {
+        loop {
+            let name = cur.ident()?;
+            cur.expect(&TokenKind::Colon)?;
+            let ty = parse_type(cur, sig)?;
+            params.push((sym(&name), ty));
+            if !cur.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+    }
+    cur.expect(&TokenKind::RParen)?;
+    let body = parse_expr(cur, sig, 0, 0)?;
+    Ok(Expr::Lambda {
+        params,
+        body: Box::new(body),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_spec;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        parse_spec(
+            r#"kinds DATA, TUPLE, REL, STREAM
+            cons int, real, string, bool, ident : -> DATA
+            cons tuple : -> TUPLE
+            model cons rel : TUPLE -> REL
+            op =, !=, <, <=, >, >= : forall d in DATA . d x d -> bool syntax infix 3
+            op +, - : forall d in DATA . d x d -> d syntax infix 5
+            op *, /, div, mod : forall d in DATA . d x d -> d syntax infix 6
+            op inside : forall d in DATA . d x d -> bool syntax infix 3
+            op select : forall r in REL . r x (tuple -> bool) -> r syntax "_ #[ _ ]"
+            op join : forall r1 in REL . forall r2 in REL . r1 x r2 -> r : REL syntax "_ _ #[ _ ]"
+            op feed : forall r in REL . r -> r syntax "_ #"
+            "#,
+            &mut s,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn parses_city_type_like_the_paper() {
+        let t = parse_type_str("tuple(<(name, string), (pop, int), (country, string)>)").unwrap();
+        assert_eq!(
+            t.to_string(),
+            "tuple(<(name, string), (pop, int), (country, string)>)"
+        );
+    }
+
+    #[test]
+    fn parses_function_types() {
+        assert_eq!(
+            parse_type_str("( -> city_rel)").unwrap(),
+            DataType::Fun(vec![], Box::new(DataType::atom("city_rel")))
+        );
+        assert_eq!(
+            parse_type_str("(string -> city_rel)").unwrap(),
+            DataType::Fun(
+                vec![DataType::atom("string")],
+                Box::new(DataType::atom("city_rel"))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_btree_type_with_value_and_lambda_args() {
+        let t = parse_type_str("btree(city, pop, int)").unwrap();
+        let DataType::Cons(n, args) = &t else {
+            panic!()
+        };
+        assert_eq!(n.as_str(), "btree");
+        assert_eq!(args.len(), 3);
+        // `pop` parses as a bare type name; the system layer resolves it
+        // to an ident value (it is not a named type).
+        assert!(
+            matches!(&args[1], TypeArg::Type(DataType::Cons(p, a)) if p.as_str() == "pop" && a.is_empty())
+        );
+
+        let t2 = parse_type_str("lsdtree(state, fun (s: state) bbox(s region))");
+        assert!(t2.is_ok());
+    }
+
+    #[test]
+    fn infix_precedence_builds_correct_tree() {
+        let s = sig();
+        let e = parse_expr_str("1 + 2 * 3 = 7", &s).unwrap();
+        assert_eq!(e.to_string(), "=(+(1, *(2, 3)), 7)");
+    }
+
+    #[test]
+    fn select_bracket_syntax() {
+        let s = sig();
+        let e = parse_expr_str("cities select[pop > 100000]", &s).unwrap();
+        let Expr::Seq(atoms) = &e else {
+            panic!("expected seq, got {e}")
+        };
+        assert_eq!(atoms.len(), 2);
+        let SeqAtom::Word { name, brackets, .. } = &atoms[1] else {
+            panic!()
+        };
+        assert_eq!(name.as_str(), "select");
+        assert_eq!(brackets.as_ref().unwrap().len(), 1);
+        assert_eq!(brackets.as_ref().unwrap()[0].to_string(), ">(pop, 100000)");
+    }
+
+    #[test]
+    fn join_consumes_two_operands_textually() {
+        let s = sig();
+        let e = parse_expr_str("cities states join[center inside region]", &s).unwrap();
+        let Expr::Seq(atoms) = &e else { panic!() };
+        assert_eq!(atoms.len(), 3);
+    }
+
+    #[test]
+    fn lambda_with_attribute_access_sequence() {
+        let s = sig();
+        let e = parse_expr_str("fun (p: person) p age > 30", &s).unwrap();
+        let Expr::Lambda { params, body } = &e else {
+            panic!()
+        };
+        assert_eq!(params[0].0.as_str(), "p");
+        assert_eq!(body.to_string(), ">(p age, 30)");
+    }
+
+    #[test]
+    fn parenthesized_lambda_in_sequence() {
+        let s = sig();
+        let e = parse_expr_str(
+            "cities_rep feed (fun (c: city) states_rep feed) search_join",
+            &s,
+        )
+        .unwrap();
+        // The parenthesized lambda attaches to `feed` as a paren group;
+        // the checker's sequence resolver re-associates it as a following
+        // operand (postfix operator + juxtaposed operand).
+        let Expr::Seq(atoms) = &e else { panic!() };
+        assert_eq!(atoms.len(), 3);
+        let SeqAtom::Word { name, parens, .. } = &atoms[1] else {
+            panic!()
+        };
+        assert_eq!(name.as_str(), "feed");
+        assert!(matches!(parens.as_deref(), Some([Expr::Lambda { .. }])));
+    }
+
+    #[test]
+    fn list_literal_and_comparison_disambiguation() {
+        let s = sig();
+        let e = parse_expr_str("<cities1, cities2> union", &s).unwrap();
+        let Expr::Seq(atoms) = &e else { panic!() };
+        assert!(matches!(&atoms[0], SeqAtom::Operand(Expr::List(items)) if items.len() == 2));
+        // `>` as comparison still works outside angles.
+        let e2 = parse_expr_str("pop > 30", &s).unwrap();
+        assert_eq!(e2.to_string(), ">(pop, 30)");
+    }
+
+    #[test]
+    fn prefix_and_juxtaposed_parens() {
+        let s = sig();
+        // Prefix call with several args.
+        let e = parse_expr_str("insert (cities, c)", &s).unwrap();
+        let Expr::Seq(atoms) = &e else {
+            panic!("got {e}")
+        };
+        let SeqAtom::Word { name, parens, .. } = &atoms[0] else {
+            panic!()
+        };
+        assert_eq!(name.as_str(), "insert");
+        assert_eq!(parens.as_ref().unwrap().len(), 2);
+        // Juxtaposed operand: word then parenthesized expression.
+        let e2 = parse_expr_str("states_rep (c center) point_search", &s).unwrap();
+        let Expr::Seq(atoms2) = &e2 else { panic!() };
+        assert_eq!(atoms2.len(), 2);
+    }
+
+    #[test]
+    fn unary_minus_literals() {
+        let s = sig();
+        assert_eq!(parse_expr_str("-5", &s).unwrap(), Expr::int(-5));
+        assert_eq!(parse_expr_str("1 - 2", &s).unwrap().to_string(), "-(1, 2)");
+    }
+
+    #[test]
+    fn full_program_parses() {
+        let s = sig();
+        let prog = r#"
+            type city = tuple(<(name, string), (pop, int), (country, string)>);
+            type city_rel = rel(city);
+            create cities : city_rel;
+            update cities := cities select[pop > 0];
+            query cities select[pop > 100000];
+            delete cities;
+        "#;
+        let stmts = parse_program(prog, &s).unwrap();
+        assert_eq!(stmts.len(), 6);
+        assert!(matches!(&stmts[0], Statement::TypeDef(n, _) if n.as_str() == "city"));
+        assert!(matches!(&stmts[2], Statement::Create(n, _) if n.as_str() == "cities"));
+        assert!(matches!(&stmts[3], Statement::Update(..)));
+        assert!(matches!(&stmts[4], Statement::Query(_)));
+        assert!(matches!(&stmts[5], Statement::Delete(_)));
+    }
+
+    #[test]
+    fn view_definition_with_nullary_lambda() {
+        let s = sig();
+        let stmts = parse_program(
+            r#"update french_cities := fun () cities select[country = "France"];"#,
+            &s,
+        )
+        .unwrap();
+        let Statement::Update(_, Expr::Lambda { params, .. }) = &stmts[0] else {
+            panic!()
+        };
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported_with_position() {
+        let s = sig();
+        let err = parse_program("query cities select[", &s).unwrap_err();
+        assert!(err.pos > 0);
+        assert!(parse_program("banana split", &s).is_err());
+        assert!(parse_expr_str("", &s).is_err());
+    }
+}

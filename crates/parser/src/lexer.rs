@@ -1,0 +1,367 @@
+//! The lexer shared by the specification language and the program
+//! language.
+//!
+//! Comment syntax follows the paper: `{ ... }` braces enclose comments
+//! (as in the example programs of Section 2.4); `--` starts a line
+//! comment.
+
+use crate::ParseError;
+
+/// A lexical token with its source position (byte offset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    /// `$name` — a specification variable reference (variable-named
+    /// operators such as `$attrname`).
+    DollarIdent(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Neq,
+    Comma,
+    Colon,
+    Assign, // :=
+    Dot,
+    Semicolon,
+    Arrow, // ->
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Bar, // | (union sorts)
+    Eof,
+}
+
+impl TokenKind {
+    /// The operator name this token denotes when used as an infix
+    /// operator in expressions.
+    pub fn infix_name(&self) -> Option<&str> {
+        match self {
+            TokenKind::Lt => Some("<"),
+            TokenKind::Gt => Some(">"),
+            TokenKind::Le => Some("<="),
+            TokenKind::Ge => Some(">="),
+            TokenKind::Eq => Some("="),
+            TokenKind::Neq => Some("!="),
+            TokenKind::Plus => Some("+"),
+            TokenKind::Minus => Some("-"),
+            TokenKind::Star => Some("*"),
+            TokenKind::Slash => Some("/"),
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::DollarIdent(s) => write!(f, "${s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Real(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Neq => write!(f, "!="),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Assign => write!(f, ":="),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Bar => write!(f, "|"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize a complete source string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '{' => {
+                // Brace comment, nestable.
+                let mut depth = 1;
+                i += 1;
+                while i < bytes.len() && depth > 0 {
+                    match bytes[i] as char {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                if depth > 0 {
+                    return Err(ParseError::at(pos, "unterminated comment"));
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                toks.push(Token {
+                    kind: TokenKind::Arrow,
+                    pos,
+                });
+                i += 2;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::at(pos, "unterminated string"));
+                    }
+                    match bytes[i] as char {
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\\' if i + 1 < bytes.len() => {
+                            let esc = bytes[i + 1] as char;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        ch => {
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos,
+                });
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(ParseError::at(pos, "expected identifier after `$`"));
+                }
+                toks.push(Token {
+                    kind: TokenKind::DollarIdent(src[start..i].to_string()),
+                    pos,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_real =
+                    i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit();
+                if is_real {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: f64 = src[start..i]
+                        .parse()
+                        .map_err(|_| ParseError::at(pos, "bad real literal"))?;
+                    toks.push(Token {
+                        kind: TokenKind::Real(v),
+                        pos,
+                    });
+                } else {
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| ParseError::at(pos, "bad integer literal"))?;
+                    toks.push(Token {
+                        kind: TokenKind::Int(v),
+                        pos,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    pos,
+                });
+            }
+            _ => {
+                let (kind, len) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                    (':', Some('=')) => (TokenKind::Assign, 2),
+                    ('<', Some('=')) => (TokenKind::Le, 2),
+                    ('>', Some('=')) => (TokenKind::Ge, 2),
+                    ('!', Some('=')) => (TokenKind::Neq, 2),
+                    ('#', _) => (TokenKind::Neq, 1), // `#` also means ≠ in some texts; unused
+                    ('(', _) => (TokenKind::LParen, 1),
+                    (')', _) => (TokenKind::RParen, 1),
+                    ('[', _) => (TokenKind::LBracket, 1),
+                    (']', _) => (TokenKind::RBracket, 1),
+                    ('<', _) => (TokenKind::Lt, 1),
+                    ('>', _) => (TokenKind::Gt, 1),
+                    ('=', _) => (TokenKind::Eq, 1),
+                    (',', _) => (TokenKind::Comma, 1),
+                    (':', _) => (TokenKind::Colon, 1),
+                    ('.', _) => (TokenKind::Dot, 1),
+                    (';', _) => (TokenKind::Semicolon, 1),
+                    ('+', _) => (TokenKind::Plus, 1),
+                    ('-', _) => (TokenKind::Minus, 1),
+                    ('*', _) => (TokenKind::Star, 1),
+                    ('/', _) => (TokenKind::Slash, 1),
+                    ('|', _) => (TokenKind::Bar, 1),
+                    _ => return Err(ParseError::at(pos, &format!("unexpected character `{c}`"))),
+                };
+                toks.push(Token { kind, pos });
+                i += len;
+            }
+        }
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| *k != TokenKind::Eof)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_program_statement() {
+        let ks = kinds("query cities select[pop > 100000]");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("query".into()),
+                TokenKind::Ident("cities".into()),
+                TokenKind::Ident("select".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("pop".into()),
+                TokenKind::Gt,
+                TokenKind::Int(100000),
+                TokenKind::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_type_with_list() {
+        let ks = kinds("tuple(<(name, string), (pop, int)>)");
+        assert!(ks.contains(&TokenKind::Lt));
+        assert!(ks.contains(&TokenKind::Gt));
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Comma).count(), 3);
+    }
+
+    #[test]
+    fn lexes_operators_and_arrow() {
+        let ks = kinds("a := b -> c <= d >= e != f");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("c".into()),
+                TokenKind::Le,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("e".into()),
+                TokenKind::Neq,
+                TokenKind::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a { fill the { nested } relation } b -- rest\nc");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        let ks = kinds(r#""France" 3.5 42 "esc\"aped""#);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Str("France".into()),
+                TokenKind::Real(3.5),
+                TokenKind::Int(42),
+                TokenKind::Str("esc\"aped".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dollar_idents() {
+        assert_eq!(
+            kinds("$attrname"),
+            vec![TokenKind::DollarIdent("attrname".into())]
+        );
+        assert!(tokenize("$ ").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(tokenize("{ never closed").is_err());
+    }
+}

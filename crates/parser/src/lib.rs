@@ -1,0 +1,71 @@
+//! Parsers for the SOS framework.
+//!
+//! Two languages are parsed here:
+//!
+//! 1. The **specification language** ([`parse_spec`]) — the textual form
+//!    of Sections 2 and 4: `kinds`, `constructors` (with constructor
+//!    specs), `subtypes` and `operators` sections, with quantifiers,
+//!    extended sorts and syntax patterns. Parsing a specification
+//!    populates a [`Signature`].
+//! 2. The **program language** ([`parse_program`]) — the five statement
+//!    forms of Section 2.4 (`type`, `create`, `update`, `delete`,
+//!    `query`) whose expressions use the *concrete syntax* driven by the
+//!    operators' syntax patterns (`cities select[pop > 100000]`).
+//!
+//! Concrete-syntax notes (deviations from the paper's prose, documented
+//! in DESIGN.md):
+//! * statements are terminated with `;` (the paper implicitly relies on
+//!   line layout),
+//! * product sorts are written `(a x b)`, union sorts `(a | b)` — the
+//!   paper uses juxtaposition and `∪`,
+//! * a lambda embedded in a larger operand sequence must be
+//!   parenthesized (`... feed (fun (c: city) ...) search_join`), since
+//!   without full type information a bare `fun` body would swallow the
+//!   trailing operator.
+
+pub mod cursor;
+mod expr;
+mod lexer;
+mod spec;
+
+pub use expr::{parse_expr_str, parse_program, parse_type_str, Statement};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use spec::parse_spec;
+
+use sos_core::Signature;
+
+/// A parse error with a byte position into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn at(pos: usize, message: &str) -> ParseError {
+        ParseError {
+            pos,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a specification and a program in one call (convenience for
+/// tests and examples).
+pub fn parse_spec_and_program(
+    spec_src: &str,
+    program_src: &str,
+) -> Result<(Signature, Vec<Statement>), ParseError> {
+    let mut sig = Signature::new();
+    parse_spec(spec_src, &mut sig)?;
+    let stmts = parse_program(program_src, &sig)?;
+    Ok((sig, stmts))
+}

@@ -1,0 +1,721 @@
+//! The specification-language parser.
+//!
+//! A specification populates a [`Signature`] and has the structure of the
+//! paper's examples (Sections 2 and 4):
+//!
+//! ```text
+//! kinds IDENT, DATA, TUPLE, REL
+//!
+//! constructors
+//!   hybrid cons ident : -> IDENT
+//!   hybrid cons int, real, string, bool : -> DATA
+//!   hybrid cons tuple : (ident x DATA)+ -> TUPLE
+//!   model  cons rel   : TUPLE -> REL
+//!   rep    cons btree : forall tuple: tuple(list) in TUPLE .
+//!                       forall (attrname, dtype) in list .
+//!                       tuple x attrname x dtype -> BTREE
+//!
+//! subtypes
+//!   subtype btree(tuple, attrname, dtype) < relrep(tuple)
+//!
+//! operators
+//!   op =, <, > : forall data in DATA . data x data -> bool  syntax infix 3
+//!   op select  : forall rel: rel(tuple) in REL .
+//!                rel x (tuple -> bool) -> rel  syntax "_ #[ _ ]"
+//!   op join    : ... -> rel : REL  syntax "_ _ #[ _ ]"
+//!   op $attrname : forall tuple: tuple(list) in TUPLE .
+//!                  forall (attrname, dtype) in list .
+//!                  tuple -> dtype  syntax "_ #"
+//! ```
+//!
+//! Notes: `x` separates product/argument sorts and is reserved inside
+//! sort expressions; `|` builds union sorts; `+` is the list-sort suffix;
+//! a variable ending in `_i` is elementwise (the paper's subscript i);
+//! `-> v : KIND` declares a type-operator result; `$name` declares a
+//! variable-named operator (attribute access); `update` marks update
+//! functions; `model` / `rep` / `hybrid` set the level (default hybrid).
+
+use crate::cursor::Cursor;
+use crate::lexer::{tokenize, TokenKind};
+use crate::ParseError;
+use sos_core::pattern::{PatternNode, SortPattern, TypePattern};
+use sos_core::spec::{
+    ArgCount, Level, OpName, OperatorSpec, Quantifier, ResultSpec, SubtypeRule, SyntaxPattern,
+    TypeConstructorDef,
+};
+use sos_core::{sym, Signature, Symbol};
+use std::collections::HashSet;
+
+/// Parse a specification, adding its declarations to `sig`.
+pub fn parse_spec(src: &str, sig: &mut Signature) -> Result<(), ParseError> {
+    let mut cur = Cursor::new(tokenize(src)?);
+    while !cur.at_eof() {
+        if cur.eat_keyword("kinds") {
+            loop {
+                let k = cur.ident()?;
+                sig.add_kind(&k);
+                if !cur.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            cur.eat(&TokenKind::Semicolon);
+        } else if cur.at_keyword("kind") {
+            cur.next();
+            let kind = cur.ident()?;
+            if !sig.has_kind(&sym(&kind)) {
+                return Err(cur.error(&format!("unknown kind `{kind}`")));
+            }
+            cur.expect_keyword("contains")?;
+            loop {
+                let c = cur.ident()?;
+                sig.add_kind_member(&kind, &c);
+                if !cur.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            cur.eat(&TokenKind::Semicolon);
+        } else if cur.eat_keyword("constructors")
+            || cur.eat_keyword("subtypes")
+            || cur.eat_keyword("operators")
+        {
+            // Section headers are optional grouping; declarations are
+            // self-describing (`cons`, `subtype`, `op`).
+        } else if cur.at_keyword("cons") || at_level_before(&cur, "cons") {
+            parse_cons(&mut cur, sig)?;
+        } else if cur.at_keyword("subtype") {
+            parse_subtype(&mut cur, sig)?;
+        } else if cur.at_keyword("op") || at_level_before(&cur, "op") {
+            parse_op(&mut cur, sig)?;
+        } else {
+            return Err(cur.error(&format!(
+                "expected a declaration (`kinds`, `cons`, `subtype`, `op`), found `{}`",
+                cur.peek()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn at_level_before(cur: &Cursor, kw: &str) -> bool {
+    let lvl =
+        matches!(cur.peek(), TokenKind::Ident(s) if s == "model" || s == "rep" || s == "hybrid");
+    lvl && matches!(cur.peek_at(1), TokenKind::Ident(s) if s == kw)
+}
+
+fn parse_level(cur: &mut Cursor) -> Level {
+    if cur.eat_keyword("model") {
+        Level::Model
+    } else if cur.eat_keyword("rep") {
+        Level::Representation
+    } else {
+        cur.eat_keyword("hybrid");
+        Level::Hybrid
+    }
+}
+
+struct Env {
+    vars: HashSet<Symbol>,
+}
+
+impl Env {
+    fn from_quantifiers(quants: &[Quantifier]) -> Env {
+        let mut vars = HashSet::new();
+        for q in quants {
+            match q {
+                Quantifier::Kind { var, pattern, .. } => {
+                    vars.insert(var.clone());
+                    if let Some(p) = pattern {
+                        let mut vs = Vec::new();
+                        p.vars(&mut vs);
+                        vars.extend(vs);
+                    }
+                }
+                Quantifier::InList { vars: vs, list } => {
+                    vars.extend(vs.iter().cloned());
+                    vars.insert(list.clone());
+                }
+            }
+        }
+        Env { vars }
+    }
+}
+
+fn parse_cons(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
+    let level = parse_level(cur);
+    cur.expect_keyword("cons")?;
+    let mut names = vec![cur.ident()?];
+    while cur.eat(&TokenKind::Comma) {
+        names.push(cur.ident()?);
+    }
+    cur.expect(&TokenKind::Colon)?;
+    let quants = parse_quantifiers(cur, sig)?;
+    let env = Env::from_quantifiers(&quants);
+    let args = if cur.eat(&TokenKind::Arrow) {
+        Vec::new()
+    } else {
+        let args = parse_sort_list(cur, sig, &env)?;
+        cur.expect(&TokenKind::Arrow)?;
+        args
+    };
+    let kind = cur.ident()?;
+    if !sig.has_kind(&sym(&kind)) {
+        return Err(cur.error(&format!("unknown kind `{kind}`")));
+    }
+    cur.eat(&TokenKind::Semicolon);
+    for name in names {
+        sig.add_constructor(TypeConstructorDef {
+            name: sym(&name),
+            quantifiers: quants.clone(),
+            args: args.clone(),
+            kind: sym(&kind),
+            level,
+        });
+    }
+    Ok(())
+}
+
+fn parse_subtype(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
+    cur.expect_keyword("subtype")?;
+    let sub = parse_type_pattern(cur)?;
+    cur.expect(&TokenKind::Lt)?;
+    // The supertype side mentions only variables from the left side.
+    let mut vars = Vec::new();
+    sub.vars(&mut vars);
+    let env = Env {
+        vars: vars.into_iter().collect(),
+    };
+    let sup = parse_sort(cur, sig, &env)?;
+    cur.eat(&TokenKind::Semicolon);
+    sig.add_subtype(SubtypeRule { sub, sup });
+    Ok(())
+}
+
+fn parse_op(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
+    let level = parse_level(cur);
+    cur.expect_keyword("op")?;
+    let mut names = vec![parse_op_name(cur)?];
+    while cur.eat(&TokenKind::Comma) {
+        names.push(parse_op_name(cur)?);
+    }
+    cur.expect(&TokenKind::Colon)?;
+    let quants = parse_quantifiers(cur, sig)?;
+    let env = Env::from_quantifiers(&quants);
+    let args = if cur.eat(&TokenKind::Arrow) {
+        Vec::new()
+    } else {
+        let args = parse_sort_list(cur, sig, &env)?;
+        cur.expect(&TokenKind::Arrow)?;
+        args
+    };
+    // Result: `var : KIND` (type operator) or a sort pattern.
+    let result = if matches!(cur.peek(), TokenKind::Ident(_))
+        && *cur.peek_at(1) == TokenKind::Colon
+        && matches!(cur.peek_at(2), TokenKind::Ident(_))
+    {
+        let var = cur.ident()?;
+        cur.expect(&TokenKind::Colon)?;
+        let kind = cur.ident()?;
+        if !sig.has_kind(&sym(&kind)) {
+            return Err(cur.error(&format!("unknown kind `{kind}` in type-operator result")));
+        }
+        ResultSpec::TypeOperator {
+            var: sym(&var),
+            kind: sym(&kind),
+        }
+    } else {
+        ResultSpec::Pattern(parse_sort(cur, sig, &env)?)
+    };
+    // Extras: syntax, update.
+    let mut syntax = SyntaxPattern::prefix();
+    let mut is_update = false;
+    loop {
+        if cur.eat_keyword("syntax") {
+            if cur.eat_keyword("infix") {
+                let prec = match cur.next() {
+                    TokenKind::Int(v) if (0..=9).contains(&v) => v as u8,
+                    _ => return Err(cur.error("expected precedence 0..9 after `infix`")),
+                };
+                syntax = SyntaxPattern::infix(prec);
+            } else {
+                match cur.next() {
+                    TokenKind::Str(s) => {
+                        syntax = parse_syntax_string(&s).map_err(|m| cur.error(&m))?;
+                    }
+                    _ => return Err(cur.error("expected a syntax pattern string or `infix N`")),
+                }
+            }
+        } else if cur.eat_keyword("update") {
+            is_update = true;
+        } else {
+            break;
+        }
+    }
+    cur.eat(&TokenKind::Semicolon);
+    for name in names {
+        sig.add_spec(OperatorSpec {
+            name: name.clone(),
+            quantifiers: quants.clone(),
+            args: args.clone(),
+            result: result.clone(),
+            syntax: syntax.clone(),
+            is_update,
+            level,
+        });
+    }
+    Ok(())
+}
+
+fn parse_op_name(cur: &mut Cursor) -> Result<OpName, ParseError> {
+    let name = match cur.peek().clone() {
+        TokenKind::Ident(s) => {
+            cur.next();
+            OpName::Fixed(sym(&s))
+        }
+        TokenKind::DollarIdent(s) => {
+            cur.next();
+            OpName::Var(sym(&s))
+        }
+        other => {
+            let s = other
+                .infix_name()
+                .ok_or_else(|| cur.error("expected an operator name"))?
+                .to_string();
+            cur.next();
+            OpName::Fixed(sym(&s))
+        }
+    };
+    Ok(name)
+}
+
+fn parse_quantifiers(cur: &mut Cursor, sig: &Signature) -> Result<Vec<Quantifier>, ParseError> {
+    let mut out = Vec::new();
+    while cur.eat_keyword("forall") {
+        if cur.eat(&TokenKind::LParen) {
+            let mut vars = vec![sym(&cur.ident()?)];
+            while cur.eat(&TokenKind::Comma) {
+                vars.push(sym(&cur.ident()?));
+            }
+            cur.expect(&TokenKind::RParen)?;
+            cur.expect_keyword("in")?;
+            let list = cur.ident()?;
+            cur.expect(&TokenKind::Dot)?;
+            out.push(Quantifier::InList {
+                vars,
+                list: sym(&list),
+            });
+        } else {
+            let var = cur.ident()?;
+            let pattern = if cur.eat(&TokenKind::Colon) {
+                let p = parse_type_pattern(cur)?;
+                if matches!(p.node, PatternNode::Any) {
+                    return Err(cur.error("quantifier pattern must be a constructor pattern"));
+                }
+                Some(p)
+            } else {
+                None
+            };
+            cur.expect_keyword("in")?;
+            let kind = cur.ident()?;
+            if !sig.has_kind(&sym(&kind)) {
+                return Err(cur.error(&format!("unknown kind `{kind}` in quantifier")));
+            }
+            cur.expect(&TokenKind::Dot)?;
+            let elementwise = var.ends_with("_i");
+            out.push(Quantifier::Kind {
+                var: sym(&var),
+                pattern,
+                kind: sym(&kind),
+                elementwise,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// `tpat := IDENT | IDENT "(" tpat, ... ")" | IDENT ":" IDENT "(" ... ")"`
+fn parse_type_pattern(cur: &mut Cursor) -> Result<TypePattern, ParseError> {
+    let first = cur.ident()?;
+    if cur.eat(&TokenKind::Colon) {
+        let cons = cur.ident()?;
+        let args = parse_type_pattern_args(cur)?;
+        Ok(TypePattern {
+            binder: Some(sym(&first)),
+            node: PatternNode::Cons(sym(&cons), args),
+        })
+    } else if *cur.peek() == TokenKind::LParen {
+        let args = parse_type_pattern_args(cur)?;
+        Ok(TypePattern {
+            binder: None,
+            node: PatternNode::Cons(sym(&first), args),
+        })
+    } else {
+        Ok(TypePattern {
+            binder: Some(sym(&first)),
+            node: PatternNode::Any,
+        })
+    }
+}
+
+fn parse_type_pattern_args(cur: &mut Cursor) -> Result<Vec<TypePattern>, ParseError> {
+    cur.expect(&TokenKind::LParen)?;
+    let mut args = vec![parse_type_pattern(cur)?];
+    while cur.eat(&TokenKind::Comma) {
+        args.push(parse_type_pattern(cur)?);
+    }
+    cur.expect(&TokenKind::RParen)?;
+    Ok(args)
+}
+
+/// `sorts := sort ("x" sort)*` — `x` is the reserved product separator.
+fn parse_sort_list(
+    cur: &mut Cursor,
+    sig: &Signature,
+    env: &Env,
+) -> Result<Vec<SortPattern>, ParseError> {
+    let mut out = vec![parse_sort(cur, sig, env)?];
+    while cur.eat_keyword("x") {
+        out.push(parse_sort(cur, sig, env)?);
+    }
+    Ok(out)
+}
+
+fn parse_sort(cur: &mut Cursor, sig: &Signature, env: &Env) -> Result<SortPattern, ParseError> {
+    let mut s = parse_prim_sort(cur, sig, env)?;
+    while cur.eat(&TokenKind::Plus) {
+        s = SortPattern::List(Box::new(s));
+    }
+    Ok(s)
+}
+
+fn parse_prim_sort(
+    cur: &mut Cursor,
+    sig: &Signature,
+    env: &Env,
+) -> Result<SortPattern, ParseError> {
+    if cur.eat(&TokenKind::LParen) {
+        // 0-ary function sort `( -> s )`.
+        if cur.eat(&TokenKind::Arrow) {
+            let res = parse_sort(cur, sig, env)?;
+            cur.expect(&TokenKind::RParen)?;
+            return Ok(SortPattern::Fun(Vec::new(), Box::new(res)));
+        }
+        let mut items = vec![parse_sort(cur, sig, env)?];
+        let mut sep: Option<&str> = None;
+        loop {
+            if cur.eat_keyword("x") {
+                if sep == Some("|") {
+                    return Err(cur.error("cannot mix `x` and `|` in one sort group"));
+                }
+                sep = Some("x");
+                items.push(parse_sort(cur, sig, env)?);
+            } else if cur.eat(&TokenKind::Bar) {
+                if sep == Some("x") {
+                    return Err(cur.error("cannot mix `x` and `|` in one sort group"));
+                }
+                sep = Some("|");
+                items.push(parse_sort(cur, sig, env)?);
+            } else {
+                break;
+            }
+        }
+        if cur.eat(&TokenKind::Arrow) {
+            if sep == Some("|") {
+                return Err(cur.error("union sorts cannot be function parameters directly"));
+            }
+            let res = parse_sort(cur, sig, env)?;
+            cur.expect(&TokenKind::RParen)?;
+            return Ok(SortPattern::Fun(items, Box::new(res)));
+        }
+        cur.expect(&TokenKind::RParen)?;
+        return Ok(match (items.len(), sep) {
+            (1, _) => items.into_iter().next().expect("one item"),
+            (_, Some("|")) => SortPattern::Union(items),
+            _ => SortPattern::Product(items),
+        });
+    }
+    let name = cur.ident()?;
+    let name_sym = sym(&name);
+    if *cur.peek() == TokenKind::LParen {
+        if env.vars.contains(&name_sym) {
+            return Err(cur.error(&format!(
+                "quantified variable `{name}` cannot take sort arguments"
+            )));
+        }
+        cur.expect(&TokenKind::LParen)?;
+        let mut args = vec![parse_sort(cur, sig, env)?];
+        while cur.eat(&TokenKind::Comma) {
+            args.push(parse_sort(cur, sig, env)?);
+        }
+        cur.expect(&TokenKind::RParen)?;
+        return Ok(SortPattern::Cons(name_sym, args));
+    }
+    if env.vars.contains(&name_sym) {
+        Ok(SortPattern::Var(name_sym))
+    } else if sig.has_kind(&name_sym) {
+        Ok(SortPattern::Kind(name_sym))
+    } else {
+        Ok(SortPattern::Cons(name_sym, Vec::new()))
+    }
+}
+
+/// Parse a syntax pattern string: `_ #`, `_ #[ _ ]`, `_ _ #[ _ ]`,
+/// `_ #[ _ , _ ]`, `_ #[ ... ]`, `_ # _` (infix), `#` (prefix).
+fn parse_syntax_string(s: &str) -> Result<SyntaxPattern, String> {
+    let mut before = 0usize;
+    let mut seen_hash = false;
+    let mut brackets: Option<ArgCount> = None;
+    let mut after_plain = 0usize;
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' => {}
+            '_' if !seen_hash => before += 1,
+            '_' if seen_hash => after_plain += 1,
+            '#' => {
+                if seen_hash {
+                    return Err("multiple `#` in syntax pattern".into());
+                }
+                seen_hash = true;
+            }
+            '[' => {
+                if !seen_hash {
+                    return Err("`[` before `#` in syntax pattern".into());
+                }
+                let mut count = 0usize;
+                let mut variadic = false;
+                for c2 in chars.by_ref() {
+                    match c2 {
+                        '_' => count += 1,
+                        '.' => variadic = true,
+                        ']' => break,
+                        ' ' | ',' | '\t' => {}
+                        other => return Err(format!("bad character `{other}` in brackets")),
+                    }
+                }
+                brackets = Some(if variadic {
+                    ArgCount::Variadic
+                } else {
+                    ArgCount::Exact(count)
+                });
+            }
+            other => return Err(format!("bad character `{other}` in syntax pattern")),
+        }
+    }
+    if !seen_hash {
+        return Err("syntax pattern must contain `#`".into());
+    }
+    if after_plain > 0 {
+        if before != 1 || after_plain != 1 || brackets.is_some() {
+            return Err("only binary `_ # _` infix patterns are supported".into());
+        }
+        return Ok(SyntaxPattern::infix(3));
+    }
+    Ok(match brackets {
+        Some(b) => SyntaxPattern::postfix_brackets(before, b),
+        None => {
+            if before == 0 {
+                SyntaxPattern::prefix()
+            } else {
+                SyntaxPattern::postfix(before)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syntax_string_forms() {
+        assert_eq!(
+            parse_syntax_string("_ #").unwrap(),
+            SyntaxPattern::postfix(1)
+        );
+        assert_eq!(
+            parse_syntax_string("_ #[ _ ]").unwrap(),
+            SyntaxPattern::postfix_brackets(1, ArgCount::Exact(1))
+        );
+        assert_eq!(
+            parse_syntax_string("_ _ #[ _ ]").unwrap(),
+            SyntaxPattern::postfix_brackets(2, ArgCount::Exact(1))
+        );
+        assert_eq!(
+            parse_syntax_string("_ #[ _ , _ ]").unwrap(),
+            SyntaxPattern::postfix_brackets(1, ArgCount::Exact(2))
+        );
+        assert_eq!(
+            parse_syntax_string("_ #[ ... ]").unwrap(),
+            SyntaxPattern::postfix_brackets(1, ArgCount::Variadic)
+        );
+        assert!(parse_syntax_string("_ # _").unwrap().infix);
+        assert_eq!(parse_syntax_string("#").unwrap(), SyntaxPattern::prefix());
+        assert!(parse_syntax_string("no hash").is_err());
+        assert!(parse_syntax_string("_ # _ _").is_err());
+    }
+
+    #[test]
+    fn parses_kinds_and_atomic_constructors() {
+        let mut sig = Signature::new();
+        parse_spec(
+            "kinds IDENT, DATA\nconstructors\n cons ident : -> IDENT\n cons int, real : -> DATA",
+            &mut sig,
+        )
+        .unwrap();
+        assert!(sig.has_kind(&sym("DATA")));
+        assert!(sig.constructor(&sym("int")).is_some());
+        assert!(sig.constructor(&sym("real")).is_some());
+        assert_eq!(sig.constructor(&sym("ident")).unwrap().kind, sym("IDENT"));
+    }
+
+    #[test]
+    fn parses_tuple_constructor_with_product_list_sort() {
+        let mut sig = Signature::new();
+        parse_spec(
+            "kinds IDENT, DATA, TUPLE
+             cons ident : -> IDENT
+             cons int : -> DATA
+             cons tuple : (ident x DATA)+ -> TUPLE",
+            &mut sig,
+        )
+        .unwrap();
+        let def = sig.constructor(&sym("tuple")).unwrap();
+        assert_eq!(def.args.len(), 1);
+        match &def.args[0] {
+            SortPattern::List(el) => match el.as_ref() {
+                SortPattern::Product(items) => {
+                    assert_eq!(items.len(), 2);
+                    assert_eq!(items[0], SortPattern::atom("ident"));
+                    assert_eq!(items[1], SortPattern::kind("DATA"));
+                }
+                other => panic!("expected product, got {other}"),
+            },
+            other => panic!("expected list, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_operator_with_quantifier_and_syntax() {
+        let mut sig = Signature::new();
+        parse_spec(
+            "kinds TUPLE, REL
+             cons tuple : -> TUPLE
+             model cons rel : TUPLE -> REL
+             model op select : forall rel: rel(tuple) in REL .
+               rel x (tuple -> bool) -> rel  syntax \"_ #[ _ ]\"",
+            &mut sig,
+        )
+        .unwrap();
+        let specs = sig.candidates(&sym("select"));
+        assert_eq!(specs.len(), 1);
+        let spec = sig.spec(specs[0]);
+        assert_eq!(spec.args.len(), 2);
+        assert_eq!(spec.quantifiers.len(), 1);
+        assert_eq!(
+            spec.syntax,
+            SyntaxPattern::postfix_brackets(1, ArgCount::Exact(1))
+        );
+        assert_eq!(spec.level, Level::Model);
+    }
+
+    #[test]
+    fn parses_type_operator_result_and_update_flag() {
+        let mut sig = Signature::new();
+        parse_spec(
+            "kinds REL
+             model cons rel : -> REL
+             op join : forall r1 in REL . forall r2 in REL .
+               r1 x r2 -> r : REL  syntax \"_ _ #[ _ ]\"
+             op insert : forall r1 in REL . r1 x r1 -> r1 update",
+            &mut sig,
+        )
+        .unwrap();
+        let j = sig.spec(sig.candidates(&sym("join"))[0]).clone();
+        assert!(matches!(j.result, ResultSpec::TypeOperator { .. }));
+        let i = sig.spec(sig.candidates(&sym("insert"))[0]).clone();
+        assert!(i.is_update);
+    }
+
+    #[test]
+    fn parses_var_named_operator() {
+        let mut sig = Signature::new();
+        parse_spec(
+            "kinds TUPLE, DATA
+             cons tuple : -> TUPLE
+             op $attrname : forall tuple: tuple(list) in TUPLE .
+               forall (attrname, dtype) in list .
+               tuple -> dtype  syntax \"_ #\"",
+            &mut sig,
+        )
+        .unwrap();
+        // Any unknown name resolves to the variable-named spec.
+        assert_eq!(sig.candidates(&sym("anything")).len(), 1);
+    }
+
+    #[test]
+    fn parses_subtype_rule() {
+        let mut sig = Signature::new();
+        parse_spec(
+            "kinds TUPLE, BTREE, RELREP
+             cons tuple : -> TUPLE
+             rep cons relrep : TUPLE -> RELREP
+             rep cons btree : TUPLE -> BTREE
+             subtype btree(tuple) < relrep(tuple)",
+            &mut sig,
+        )
+        .unwrap();
+        assert_eq!(sig.subtypes().len(), 1);
+        assert_eq!(
+            sig.subtypes()[0].sup,
+            SortPattern::cons("relrep", vec![SortPattern::var("tuple")])
+        );
+    }
+
+    #[test]
+    fn elementwise_variables_marked_by_suffix() {
+        let mut sig = Signature::new();
+        parse_spec(
+            "kinds DATA, STREAM
+             cons int : -> DATA
+             cons stream : -> STREAM
+             op project : forall s in STREAM . forall data_i in DATA .
+               s x (ident x (s -> data_i))+ -> r : STREAM  syntax \"_ #[ ... ]\"",
+            &mut sig,
+        )
+        .unwrap();
+        let spec = sig.spec(sig.candidates(&sym("project"))[0]).clone();
+        let ew = spec.quantifiers.iter().any(|q| {
+            matches!(q, Quantifier::Kind { elementwise: true, var, .. } if var.as_str() == "data_i")
+        });
+        assert!(ew);
+    }
+
+    #[test]
+    fn union_sorts_parse() {
+        let mut sig = Signature::new();
+        parse_spec(
+            "kinds DATA, REL
+             cons int : -> DATA
+             cons nrel : (ident x (DATA | REL))+ -> REL",
+            &mut sig,
+        )
+        .unwrap();
+        let def = sig.constructor(&sym("nrel")).unwrap();
+        let SortPattern::List(el) = &def.args[0] else {
+            panic!()
+        };
+        let SortPattern::Product(items) = el.as_ref() else {
+            panic!()
+        };
+        assert!(matches!(&items[1], SortPattern::Union(alts) if alts.len() == 2));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let mut sig = Signature::new();
+        assert!(parse_spec("cons x :", &mut sig).is_err());
+        assert!(parse_spec("kinds A\ncons c : -> B", &mut sig).is_err()); // unknown kind
+        assert!(parse_spec("op f : forall v in NOKIND . v -> v", &mut sig).is_err());
+        assert!(parse_spec("banana", &mut sig).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Parser robustness: arbitrary input never panics (errors are returned,
+//! not thrown), and structured generators round-trip through parse.
+
+use proptest::prelude::*;
+use sos_parser::{parse_program, parse_spec, parse_type_str, tokenize, Statement};
+
+fn demo_sig() -> sos_core::Signature {
+    let mut sig = sos_core::Signature::new();
+    parse_spec(
+        r##"kinds DATA, TUPLE, REL
+        cons int, real, string, bool, ident : -> DATA
+        cons tuple : (ident x DATA)+ -> TUPLE
+        model cons rel : TUPLE -> REL
+        op =, <, > : forall d in DATA . d x d -> bool syntax infix 3
+        op select : forall r: rel(t) in REL . r x (t -> bool) -> r syntax "_ #[ _ ]"
+        "##,
+        &mut sig,
+    )
+    .unwrap();
+    sig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer handles any byte soup: returns Ok or Err, never panics.
+    #[test]
+    fn lexer_never_panics(src in ".*") {
+        let _ = tokenize(&src);
+    }
+
+    /// The program parser handles any token soup without panicking.
+    #[test]
+    fn program_parser_never_panics(src in ".{0,200}") {
+        let sig = demo_sig();
+        let _ = parse_program(&src, &sig);
+    }
+
+    /// The spec parser handles any input without panicking.
+    #[test]
+    fn spec_parser_never_panics(src in ".{0,200}") {
+        let mut sig = sos_core::Signature::new();
+        let _ = parse_spec(&src, &mut sig);
+    }
+
+    /// The type parser handles any input without panicking.
+    #[test]
+    fn type_parser_never_panics(src in ".{0,120}") {
+        let _ = parse_type_str(&src);
+    }
+
+    /// Structured near-valid programs (random identifiers in a fixed
+    /// statement frame) parse or fail cleanly, and valid ones parse to
+    /// the right statement kind.
+    #[test]
+    fn statement_frames_parse(name in "[a-z][a-z0-9_]{0,10}", n in 0i64..1000) {
+        let sig = demo_sig();
+        let src = format!(
+            "type {name} = tuple(<(a, int)>);\ncreate {name}2 : rel({name});\nquery {name}2 select[a > {n}];"
+        );
+        let stmts = parse_program(&src, &sig).unwrap();
+        prop_assert_eq!(stmts.len(), 3);
+        prop_assert!(matches!(&stmts[0], Statement::TypeDef(..)));
+        prop_assert!(matches!(&stmts[2], Statement::Query(_)));
+    }
+
+    /// Integer and string literals round-trip through expressions.
+    #[test]
+    fn literals_roundtrip(n in any::<i32>(), s in "[a-zA-Z0-9 ]{0,20}") {
+        let sig = demo_sig();
+        let e = sos_parser::parse_expr_str(&format!("{n} = {n}"), &sig).unwrap();
+        prop_assert_eq!(e.to_string(), format!("=({n}, {n})"));
+        let e2 = sos_parser::parse_expr_str(&format!("\"{s}\" = \"{s}\""), &sig).unwrap();
+        prop_assert_eq!(e2.to_string(), format!("=({s:?}, {s:?})"));
+    }
+}
+
+#[test]
+fn error_positions_point_into_the_source() {
+    let sig = demo_sig();
+    let cases = [
+        "query r select[",
+        "type = tuple(<(a, int)>);",
+        "create x : ;",
+        "update := 1;",
+        "query <a, b;",
+    ];
+    for src in cases {
+        let err = parse_program(src, &sig).unwrap_err();
+        assert!(
+            err.pos <= src.len(),
+            "error position {} beyond source length {} for {src:?}",
+            err.pos,
+            src.len()
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    let sig = demo_sig();
+    // 64 nested parens around a literal.
+    let src = format!("{}1{}", "(".repeat(64), ")".repeat(64));
+    let e = sos_parser::parse_expr_str(&src, &sig).unwrap();
+    assert_eq!(e.to_string(), "1");
+}

@@ -1,0 +1,307 @@
+//! The buffer pool: a fixed set of frames caching disk pages, with LRU
+//! replacement, pin counting, and I/O statistics.
+//!
+//! All storage structures go through the pool, so its counters give an
+//! engine-wide measure of logical page touches and physical I/O — the cost
+//! numbers reported by the experiment harness.
+
+use crate::{DiskManager, PageId, StorageError, StorageResult, PAGE_SIZE};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Counters accumulated over the lifetime of a pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served (hits + misses).
+    pub logical_reads: u64,
+    /// Pages read from the disk manager (misses).
+    pub physical_reads: u64,
+    /// Pages written back to the disk manager.
+    pub physical_writes: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+struct Frame {
+    pid: PageId,
+    data: RwLock<Box<[u8; PAGE_SIZE]>>,
+    dirty: AtomicBool,
+    pins: AtomicUsize,
+    last_used: AtomicU64,
+}
+
+struct Counters {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A buffer pool over a [`DiskManager`].
+pub struct BufferPool {
+    disk: Arc<dyn DiskManager>,
+    capacity: usize,
+    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
+    clock: AtomicU64,
+    stats: Counters,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames (at least 1).
+    pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Self {
+        BufferPool {
+            disk,
+            capacity: capacity.max(1),
+            frames: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            stats: Counters {
+                logical_reads: AtomicU64::new(0),
+                physical_reads: AtomicU64::new(0),
+                physical_writes: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// Fetch a page, pinning it for the lifetime of the returned guard.
+    pub fn fetch(&self, pid: PageId) -> StorageResult<PageGuard> {
+        self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut frames = self.frames.lock();
+        if let Some(frame) = frames.get(&pid) {
+            frame.last_used.store(tick, Ordering::Relaxed);
+            frame.pins.fetch_add(1, Ordering::SeqCst);
+            return Ok(PageGuard {
+                frame: Arc::clone(frame),
+            });
+        }
+        // Miss: make room, then read from disk.
+        if frames.len() >= self.capacity {
+            self.evict_one(&mut frames)?;
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.disk.read_page(pid, &mut data[..])?;
+        self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+        let frame = Arc::new(Frame {
+            pid,
+            data: RwLock::new(data),
+            dirty: AtomicBool::new(false),
+            pins: AtomicUsize::new(1),
+            last_used: AtomicU64::new(tick),
+        });
+        frames.insert(pid, Arc::clone(&frame));
+        Ok(PageGuard { frame })
+    }
+
+    /// Allocate a fresh zeroed page and return it pinned. The page is born
+    /// in the pool dirty (it must reach disk on eviction or flush).
+    pub fn allocate(&self) -> StorageResult<(PageId, PageGuard)> {
+        let pid = self.disk.allocate_page()?;
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut frames = self.frames.lock();
+        if frames.len() >= self.capacity {
+            self.evict_one(&mut frames)?;
+        }
+        let frame = Arc::new(Frame {
+            pid,
+            data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
+            dirty: AtomicBool::new(true),
+            pins: AtomicUsize::new(1),
+            last_used: AtomicU64::new(tick),
+        });
+        frames.insert(pid, Arc::clone(&frame));
+        Ok((pid, PageGuard { frame }))
+    }
+
+    fn evict_one(&self, frames: &mut HashMap<PageId, Arc<Frame>>) -> StorageResult<()> {
+        let victim = frames
+            .values()
+            .filter(|f| f.pins.load(Ordering::SeqCst) == 0)
+            .min_by_key(|f| f.last_used.load(Ordering::Relaxed))
+            .map(|f| f.pid)
+            .ok_or(StorageError::PoolExhausted)?;
+        let frame = frames.remove(&victim).expect("victim present");
+        if frame.dirty.load(Ordering::SeqCst) {
+            let data = frame.data.read();
+            self.disk.write_page(frame.pid, &data[..])?;
+            self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Write every dirty frame back to disk (frames stay cached).
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let frames = self.frames.lock();
+        for frame in frames.values() {
+            if frame.dirty.swap(false, Ordering::SeqCst) {
+                let data = frame.data.read();
+                self.disk.write_page(frame.pid, &data[..])?;
+                self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            logical_reads: self.stats.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.stats.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.stats.physical_writes.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the counters (e.g. between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.stats.logical_reads.store(0, Ordering::Relaxed);
+        self.stats.physical_reads.store(0, Ordering::Relaxed);
+        self.stats.physical_writes.store(0, Ordering::Relaxed);
+        self.stats.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// The disk manager beneath this pool.
+    pub fn disk(&self) -> &Arc<dyn DiskManager> {
+        &self.disk
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached_frames(&self) -> usize {
+        self.frames.lock().len()
+    }
+}
+
+/// A pinned page. Dropping the guard unpins the frame; taking a write lock
+/// marks it dirty.
+pub struct PageGuard {
+    frame: Arc<Frame>,
+}
+
+impl PageGuard {
+    pub fn page_id(&self) -> PageId {
+        self.frame.pid
+    }
+
+    /// Shared read access to the page bytes.
+    pub fn read(&self) -> RwLockReadGuard<'_, Box<[u8; PAGE_SIZE]>> {
+        self.frame.data.read()
+    }
+
+    /// Exclusive write access; marks the page dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Box<[u8; PAGE_SIZE]>> {
+        self.frame.dirty.store(true, Ordering::SeqCst);
+        self.frame.data.write()
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(Arc::new(MemDisk::new()), frames)
+    }
+
+    #[test]
+    fn fetch_hit_does_not_touch_disk() {
+        let p = pool(4);
+        let (pid, g) = p.allocate().unwrap();
+        drop(g);
+        p.fetch(pid).unwrap();
+        p.fetch(pid).unwrap();
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.physical_reads, 0, "allocation primes the cache");
+    }
+
+    #[test]
+    fn writes_survive_eviction() {
+        let p = pool(2);
+        let (pid, g) = p.allocate().unwrap();
+        g.write()[0] = 99;
+        drop(g);
+        // Force eviction by allocating past capacity.
+        for _ in 0..4 {
+            let (_, g) = p.allocate().unwrap();
+            drop(g);
+        }
+        let g = p.fetch(pid).unwrap();
+        assert_eq!(g.read()[0], 99);
+        assert!(p.stats().evictions >= 3);
+        assert!(p.stats().physical_writes >= 1);
+    }
+
+    #[test]
+    fn pinned_pages_cannot_be_evicted() {
+        let p = pool(2);
+        let (_, g0) = p.allocate().unwrap();
+        let (_, g1) = p.allocate().unwrap();
+        assert!(matches!(p.allocate(), Err(StorageError::PoolExhausted)));
+        drop(g0);
+        drop(g1);
+        assert!(p.allocate().is_ok());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let p = pool(2);
+        let (a, ga) = p.allocate().unwrap();
+        drop(ga);
+        let (b, gb) = p.allocate().unwrap();
+        drop(gb);
+        // Touch `a` so `b` is the LRU victim.
+        drop(p.fetch(a).unwrap());
+        let (_, gc) = p.allocate().unwrap();
+        drop(gc);
+        p.reset_stats();
+        drop(p.fetch(a).unwrap());
+        assert_eq!(p.stats().physical_reads, 0, "a should still be cached");
+        drop(p.fetch(b).unwrap());
+        assert_eq!(p.stats().physical_reads, 1, "b was evicted");
+    }
+
+    #[test]
+    fn flush_all_persists_dirty_pages() {
+        let disk = Arc::new(MemDisk::new());
+        let p = BufferPool::new(disk.clone(), 4);
+        let (pid, g) = p.allocate().unwrap();
+        g.write()[10] = 5;
+        drop(g);
+        p.flush_all().unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read_page(pid, &mut buf).unwrap();
+        assert_eq!(buf[10], 5);
+    }
+
+    #[test]
+    fn concurrent_fetches_from_threads() {
+        let p = Arc::new(pool(8));
+        let (pid, g) = p.allocate().unwrap();
+        g.write()[0] = 1;
+        drop(g);
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let g = p.fetch(pid).unwrap();
+                    assert_eq!(g.read()[0], 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.stats().logical_reads, 800);
+    }
+}

@@ -1,0 +1,234 @@
+//! Self-describing binary encoding of tuple fields.
+//!
+//! The storage engine stores opaque byte records; the execution layer
+//! encodes each tuple as a sequence of [`Field`]s. The format is
+//! tag-prefixed and length-delimited so records can be decoded without the
+//! schema (the schema is still what gives fields their names and order).
+
+use crate::{StorageError, StorageResult};
+use bytes::{Buf, BufMut};
+use sos_geom::{Point, Polygon, Rect};
+
+/// A single atomic field value as stored on a page. Mirrors the paper's
+/// `DATA` kind (int, real, string, bool) extended with the geometric types
+/// of Section 4 (point, rect, pgon).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Bool(bool),
+    Point(Point),
+    Rect(Rect),
+    Pgon(Polygon),
+}
+
+const TAG_INT: u8 = 1;
+const TAG_REAL: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_POINT: u8 = 5;
+const TAG_RECT: u8 = 6;
+const TAG_PGON: u8 = 7;
+
+impl Field {
+    /// Append the encoding of this field to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Field::Int(v) => {
+                out.put_u8(TAG_INT);
+                out.put_i64_le(*v);
+            }
+            Field::Real(v) => {
+                out.put_u8(TAG_REAL);
+                out.put_f64_le(*v);
+            }
+            Field::Str(s) => {
+                out.put_u8(TAG_STR);
+                out.put_u32_le(s.len() as u32);
+                out.put_slice(s.as_bytes());
+            }
+            Field::Bool(b) => {
+                out.put_u8(TAG_BOOL);
+                out.put_u8(*b as u8);
+            }
+            Field::Point(p) => {
+                out.put_u8(TAG_POINT);
+                out.put_f64_le(p.x);
+                out.put_f64_le(p.y);
+            }
+            Field::Rect(r) => {
+                out.put_u8(TAG_RECT);
+                out.put_f64_le(r.min_x);
+                out.put_f64_le(r.min_y);
+                out.put_f64_le(r.max_x);
+                out.put_f64_le(r.max_y);
+            }
+            Field::Pgon(p) => {
+                out.put_u8(TAG_PGON);
+                out.put_u32_le(p.vertices().len() as u32);
+                for v in p.vertices() {
+                    out.put_f64_le(v.x);
+                    out.put_f64_le(v.y);
+                }
+            }
+        }
+    }
+
+    /// Decode one field from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> StorageResult<Field> {
+        let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+        if buf.is_empty() {
+            return Err(corrupt("empty buffer decoding field"));
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &&[u8], n: usize| -> StorageResult<()> {
+            if buf.len() < n {
+                Err(StorageError::Corrupt(format!(
+                    "field needs {n} bytes, {} left",
+                    buf.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            TAG_INT => {
+                need(buf, 8)?;
+                Ok(Field::Int(buf.get_i64_le()))
+            }
+            TAG_REAL => {
+                need(buf, 8)?;
+                Ok(Field::Real(buf.get_f64_le()))
+            }
+            TAG_STR => {
+                need(buf, 4)?;
+                let len = buf.get_u32_le() as usize;
+                need(buf, len)?;
+                let s = std::str::from_utf8(&buf[..len])
+                    .map_err(|_| corrupt("invalid utf8 in string field"))?
+                    .to_string();
+                buf.advance(len);
+                Ok(Field::Str(s))
+            }
+            TAG_BOOL => {
+                need(buf, 1)?;
+                Ok(Field::Bool(buf.get_u8() != 0))
+            }
+            TAG_POINT => {
+                need(buf, 16)?;
+                let x = buf.get_f64_le();
+                let y = buf.get_f64_le();
+                Ok(Field::Point(Point::new(x, y)))
+            }
+            TAG_RECT => {
+                need(buf, 32)?;
+                let a = buf.get_f64_le();
+                let b = buf.get_f64_le();
+                let c = buf.get_f64_le();
+                let d = buf.get_f64_le();
+                Ok(Field::Rect(Rect::new(a, b, c, d)))
+            }
+            TAG_PGON => {
+                need(buf, 4)?;
+                let n = buf.get_u32_le() as usize;
+                if n < 3 {
+                    return Err(corrupt("polygon with < 3 vertices"));
+                }
+                need(buf, n * 16)?;
+                let mut vs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let x = buf.get_f64_le();
+                    let y = buf.get_f64_le();
+                    vs.push(Point::new(x, y));
+                }
+                Ok(Field::Pgon(Polygon::new(vs)))
+            }
+            t => Err(StorageError::Corrupt(format!("unknown field tag {t}"))),
+        }
+    }
+}
+
+/// Encode a whole record (field count, then fields).
+pub fn encode_record(fields: &[Field]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * fields.len() + 2);
+    out.put_u16_le(fields.len() as u16);
+    for f in fields {
+        f.encode(&mut out);
+    }
+    out
+}
+
+/// Decode a whole record produced by [`encode_record`].
+pub fn decode_record(mut buf: &[u8]) -> StorageResult<Vec<Field>> {
+    if buf.len() < 2 {
+        return Err(StorageError::Corrupt("record shorter than header".into()));
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        fields.push(Field::decode(&mut buf)?);
+    }
+    if !buf.is_empty() {
+        return Err(StorageError::Corrupt("trailing bytes after record".into()));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(fields: Vec<Field>) {
+        let enc = encode_record(&fields);
+        let dec = decode_record(&enc).unwrap();
+        assert_eq!(fields, dec);
+    }
+
+    #[test]
+    fn roundtrips_every_field_kind() {
+        roundtrip(vec![
+            Field::Int(-42),
+            Field::Real(3.5),
+            Field::Str("München".into()),
+            Field::Bool(true),
+            Field::Point(Point::new(1.0, 2.0)),
+            Field::Rect(Rect::new(0.0, 0.0, 5.0, 5.0)),
+            Field::Pgon(Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+            ])),
+        ]);
+    }
+
+    #[test]
+    fn roundtrips_empty_record_and_empty_string() {
+        roundtrip(vec![]);
+        roundtrip(vec![Field::Str(String::new())]);
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let enc = encode_record(&[Field::Int(7), Field::Str("abc".into())]);
+        for cut in 1..enc.len() {
+            assert!(
+                decode_record(&enc[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut enc = encode_record(&[Field::Bool(false)]);
+        enc.push(0xAB);
+        assert!(decode_record(&enc).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let buf = [1u8, 0u8, 200u8];
+        assert!(decode_record(&buf).is_err());
+    }
+}

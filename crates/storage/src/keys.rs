@@ -1,0 +1,190 @@
+//! Order-preserving key encoding.
+//!
+//! The paper's `btree` constructor indexes tuples by a value of some type
+//! in kind `ORD` (`int` or `string` in the Section 4 specification; we also
+//! support `real` and `bool` so key expressions like `pop div 1000` or
+//! derived reals work). The B-tree compares keys as raw bytes, so the
+//! encoding here must be *memcomparable*: `encode(a) < encode(b)` (bytewise)
+//! iff `a < b`.
+//!
+//! * `int`: two's complement with the sign bit flipped, big endian.
+//! * `real`: IEEE 754 bits; positive values get the sign bit flipped,
+//!   negative values are fully complemented (standard trick).
+//! * `string`: UTF-8 bytes with `0x00` escaped as `0x00 0xFF`, terminated
+//!   by `0x00 0x01` — so prefixes sort first and embedded NULs survive.
+//! * `bool`: one byte, `false < true`.
+//!
+//! Composite keys (the multi-attribute B-tree mentioned at the end of
+//! Section 4) are just concatenations; the string terminator keeps
+//! component boundaries unambiguous.
+//!
+//! Each key carries a one-byte type tag so that keys of different `ORD`
+//! types never compare as equal by accident; within one index all tags are
+//! equal and the tag does not disturb ordering.
+
+/// A fully encoded key.
+pub type KeyBytes = Vec<u8>;
+
+const TAG_INT: u8 = 0x10;
+const TAG_REAL: u8 = 0x20;
+const TAG_STR: u8 = 0x30;
+const TAG_BOOL: u8 = 0x40;
+
+/// Append the encoding of an `int` key.
+pub fn push_int(out: &mut KeyBytes, v: i64) {
+    out.push(TAG_INT);
+    out.extend_from_slice(&((v as u64) ^ (1u64 << 63)).to_be_bytes());
+}
+
+/// Append the encoding of a `real` key. NaN sorts above every number
+/// (all-ones pattern after the transform), which gives a total order.
+pub fn push_real(out: &mut KeyBytes, v: f64) {
+    out.push(TAG_REAL);
+    let bits = v.to_bits();
+    let transformed = if bits & (1u64 << 63) == 0 {
+        bits | (1u64 << 63)
+    } else {
+        !bits
+    };
+    out.extend_from_slice(&transformed.to_be_bytes());
+}
+
+/// Append the encoding of a `string` key.
+pub fn push_str(out: &mut KeyBytes, s: &str) {
+    out.push(TAG_STR);
+    for &b in s.as_bytes() {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x01);
+}
+
+/// Append the encoding of a `bool` key.
+pub fn push_bool(out: &mut KeyBytes, b: bool) {
+    out.push(TAG_BOOL);
+    out.push(b as u8);
+}
+
+/// Encode a single `int` key.
+pub fn int_key(v: i64) -> KeyBytes {
+    let mut k = Vec::with_capacity(9);
+    push_int(&mut k, v);
+    k
+}
+
+/// Encode a single `real` key.
+pub fn real_key(v: f64) -> KeyBytes {
+    let mut k = Vec::with_capacity(9);
+    push_real(&mut k, v);
+    k
+}
+
+/// Encode a single `string` key.
+pub fn str_key(s: &str) -> KeyBytes {
+    let mut k = Vec::with_capacity(s.len() + 3);
+    push_str(&mut k, s);
+    k
+}
+
+/// Encode a single `bool` key.
+pub fn bool_key(b: bool) -> KeyBytes {
+    vec![TAG_BOOL, b as u8]
+}
+
+/// The smallest possible key — the paper's `bottom` constant of Section 4
+/// ("queries with halfranges if values like -inf and +inf are available").
+pub fn bottom() -> KeyBytes {
+    vec![0x00]
+}
+
+/// The largest possible key — the paper's `top` constant.
+pub fn top() -> KeyBytes {
+    vec![0xFF; 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_keys_order_like_ints() {
+        let vals = [i64::MIN, -100, -1, 0, 1, 7, 100, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(int_key(w[0]) < int_key(w[1]), "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn real_keys_order_like_reals() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            f64::INFINITY,
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for b in &vals[i..] {
+                if a < b {
+                    assert!(real_key(*a) < real_key(*b), "{a} < {b}");
+                }
+            }
+        }
+        // -0.0 and 0.0 compare equal as floats; their keys may differ but
+        // must sit between negatives and positives.
+        assert!(real_key(-0.0) <= real_key(0.0));
+    }
+
+    #[test]
+    fn string_keys_order_like_strings() {
+        let vals = ["", "a", "a\0", "a\0b", "aa", "ab", "b", "ba"];
+        for w in vals.windows(2) {
+            assert!(str_key(w[0]) < str_key(w[1]), "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn bool_keys_order() {
+        assert!(bool_key(false) < bool_key(true));
+    }
+
+    #[test]
+    fn bottom_and_top_bracket_everything() {
+        for k in [
+            int_key(i64::MIN),
+            int_key(i64::MAX),
+            str_key(""),
+            str_key("zzzz"),
+            real_key(f64::NEG_INFINITY),
+            bool_key(true),
+        ] {
+            assert!(bottom() < k, "bottom below {k:?}");
+            assert!(k < top(), "top above {k:?}");
+        }
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        // (name, age) composite: "ann",30 < "ann",31 < "bob",1
+        let mk = |s: &str, n: i64| {
+            let mut k = Vec::new();
+            push_str(&mut k, s);
+            push_int(&mut k, n);
+            k
+        };
+        assert!(mk("ann", 30) < mk("ann", 31));
+        assert!(mk("ann", 31) < mk("bob", 1));
+        // Prefix property: "an" sorts before any "ann" composite.
+        let mut short = Vec::new();
+        push_str(&mut short, "an");
+        assert!(short < mk("ann", 0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests for the storage engine: the B-tree against a
+//! `BTreeMap`-based model, the heap file against a vector model, the
+//! slotted page against a map model, and the memcomparable key encoding
+//! against direct value comparison.
+
+use proptest::prelude::*;
+use sos_storage::btree::BTree;
+use sos_storage::field::{decode_record, encode_record, Field};
+use sos_storage::heap::HeapFile;
+use sos_storage::keys;
+use sos_storage::mem_pool;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Key encoding
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// int keys compare exactly like the integers they encode.
+    #[test]
+    fn int_key_order_matches(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(keys::int_key(a).cmp(&keys::int_key(b)), a.cmp(&b));
+    }
+
+    /// string keys compare exactly like the strings (bytewise), including
+    /// embedded NULs and prefixes.
+    #[test]
+    fn str_key_order_matches(a in ".{0,24}", b in ".{0,24}") {
+        prop_assert_eq!(
+            keys::str_key(&a).cmp(&keys::str_key(&b)),
+            a.as_bytes().cmp(b.as_bytes())
+        );
+    }
+
+    /// real keys compare like the (non-NaN) doubles.
+    #[test]
+    fn real_key_order_matches(a in -1.0e12f64..1.0e12, b in -1.0e12f64..1.0e12) {
+        prop_assert_eq!(keys::real_key(a).cmp(&keys::real_key(b)), a.total_cmp(&b));
+    }
+
+    /// every encoded key sits strictly between bottom and top.
+    #[test]
+    fn bottom_top_bracket(v in any::<i64>(), s in ".{0,16}") {
+        prop_assert!(keys::bottom() < keys::int_key(v));
+        prop_assert!(keys::int_key(v) < keys::top());
+        prop_assert!(keys::bottom() < keys::str_key(&s));
+        prop_assert!(keys::str_key(&s) < keys::top());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<i64>().prop_map(Field::Int),
+        (-1.0e9f64..1.0e9).prop_map(Field::Real),
+        ".{0,32}".prop_map(Field::Str),
+        any::<bool>().prop_map(Field::Bool),
+    ]
+}
+
+proptest! {
+    /// Arbitrary records of atomic fields round-trip bytewise.
+    #[test]
+    fn record_roundtrip(fields in prop::collection::vec(arb_field(), 0..8)) {
+        let enc = encode_record(&fields);
+        prop_assert_eq!(decode_record(&enc).unwrap(), fields);
+    }
+}
+
+// ---------------------------------------------------------------------
+// B-tree vs BTreeMap model
+// ---------------------------------------------------------------------
+
+/// Operations the model check replays.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i16, u8),
+    DeleteExact(i16, u8),
+    Lookup(i16),
+    Range(i16, i16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<i16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<i16>(), any::<u8>()).prop_map(|(k, v)| Op::DeleteExact(k, v)),
+        any::<i16>().prop_map(Op::Lookup),
+        (any::<i16>(), any::<i16>()).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The page-based B-tree behaves like a multimap model under a random
+    /// interleaving of inserts, exact deletes, lookups and range scans.
+    #[test]
+    fn btree_matches_multimap_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let tree = BTree::create(mem_pool(256)).unwrap();
+        let mut model: BTreeMap<i16, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(&keys::int_key(k as i64), &[v]).unwrap();
+                    model.entry(k).or_default().push(v);
+                }
+                Op::DeleteExact(k, v) => {
+                    let deleted = tree.delete_exact(&keys::int_key(k as i64), &[v]).unwrap();
+                    let model_deleted = match model.get_mut(&k) {
+                        Some(vs) => match vs.iter().position(|x| *x == v) {
+                            Some(i) => {
+                                vs.remove(i);
+                                if vs.is_empty() {
+                                    model.remove(&k);
+                                }
+                                true
+                            }
+                            None => false,
+                        },
+                        None => false,
+                    };
+                    prop_assert_eq!(deleted, model_deleted);
+                }
+                Op::Lookup(k) => {
+                    let mut got: Vec<u8> = tree
+                        .lookup(&keys::int_key(k as i64))
+                        .unwrap()
+                        .into_iter()
+                        .map(|r| r[0])
+                        .collect();
+                    got.sort_unstable();
+                    let mut want = model.get(&k).cloned().unwrap_or_default();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(lo, hi) => {
+                    let got = tree
+                        .range(&keys::int_key(lo as i64), &keys::int_key(hi as i64))
+                        .unwrap()
+                        .count();
+                    let want: usize = model.range(lo..=hi).map(|(_, vs)| vs.len()).sum();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.values().map(Vec::len).sum::<usize>());
+        }
+        // Final full scan is sorted and complete.
+        let keys_scanned: Vec<Vec<u8>> = tree.scan().unwrap().map(|r| r.unwrap().0).collect();
+        prop_assert!(keys_scanned.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(keys_scanned.len(), tree.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heap file vs vector model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Insert/delete/update on the heap file match a vector model; tuple
+    /// ids stay stable across unrelated operations.
+    #[test]
+    fn heap_matches_vector_model(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..600), 1..60),
+        deletions in prop::collection::vec(any::<prop::sample::Index>(), 0..20),
+    ) {
+        let heap = HeapFile::create(mem_pool(64)).unwrap();
+        let mut live: Vec<(sos_storage::TupleId, Vec<u8>)> = Vec::new();
+        for r in &records {
+            let tid = heap.insert(r).unwrap();
+            live.push((tid, r.clone()));
+        }
+        for idx in deletions {
+            if live.is_empty() {
+                break;
+            }
+            let i = idx.index(live.len());
+            let (tid, _) = live.remove(i);
+            heap.delete(tid).unwrap();
+        }
+        // Every surviving record is retrievable at its original tid.
+        for (tid, r) in &live {
+            prop_assert_eq!(&heap.get(*tid).unwrap(), r);
+        }
+        // The scan sees exactly the survivors.
+        let mut scanned: Vec<Vec<u8>> = heap.scan().map(|x| x.unwrap().1).collect();
+        let mut expected: Vec<Vec<u8>> = live.iter().map(|(_, r)| r.clone()).collect();
+        scanned.sort();
+        expected.sort();
+        prop_assert_eq!(scanned, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// LSD-tree vs linear scan
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Point and overlap searches over random rectangles agree with a
+    /// linear filter.
+    #[test]
+    fn lsdtree_matches_linear_scan(
+        rects in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.1f64..20.0, 0.1f64..20.0), 1..120),
+        probes in prop::collection::vec((0.0f64..120.0, 0.0f64..120.0), 1..12),
+    ) {
+        use sos_geom::{Point, Rect};
+        let tree = sos_storage::lsdtree::LsdTree::create(mem_pool(256)).unwrap();
+        let rs: Vec<Rect> = rects
+            .iter()
+            .map(|(x, y, w, h)| Rect::new(*x, *y, x + w, y + h))
+            .collect();
+        for (i, r) in rs.iter().enumerate() {
+            tree.insert(*r, &(i as u32).to_le_bytes()).unwrap();
+        }
+        for (px, py) in probes {
+            let p = Point::new(px, py);
+            let got = tree.point_search(p).unwrap().len();
+            let want = rs.iter().filter(|r| r.contains_point(&p)).count();
+            prop_assert_eq!(got, want);
+            let q = Rect::new(px, py, px + 5.0, py + 5.0);
+            let got = tree.overlap_search(q).unwrap().len();
+            let want = rs.iter().filter(|r| r.intersects(&q)).count();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

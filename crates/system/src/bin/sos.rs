@@ -1,0 +1,176 @@
+//! `sos` — an interactive shell for the SOS database system.
+//!
+//! Reads statements of the five-statement language (Section 2.4) from
+//! stdin, one per line (or multi-line until `;`), executes them, and
+//! prints results. Meta commands:
+//!
+//! * `.spec <file>`  — load an additional specification
+//! * `.rules <file>` — load a textual rule file as an optimizer step
+//! * `.explain <q>`  — show the optimized plan for a query expression
+//! * `.run <file>`   — run a program file
+//! * `.save <dir>`   — persist the database (see `Database::save`)
+//! * `.stats`        — buffer-pool counters
+//! * `.objects`      — list catalog objects
+//! * `.quit`
+//!
+//! ```sh
+//! echo 'create r : rel(tuple(<(a, int)>)); query r count;' | cargo run --bin sos
+//! ```
+
+use sos_exec::render;
+use sos_system::{Database, Output};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut db = Database::new();
+    let stdin = std::io::stdin();
+    let interactive = atty_like();
+    let mut buffer = String::new();
+
+    if interactive {
+        println!(
+            "sos — Second-Order Signature shell (statements end with `;`, `.help` for commands)"
+        );
+    }
+    prompt(interactive, &buffer);
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !meta_command(&mut db, trimmed) {
+                break;
+            }
+            prompt(interactive, &buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute once the buffer holds at least one full statement.
+        if trimmed.ends_with(';') {
+            match db.run(&buffer) {
+                Ok(outputs) => {
+                    for out in outputs {
+                        print_output(&out);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            buffer.clear();
+        }
+        prompt(interactive, &buffer);
+    }
+}
+
+fn prompt(interactive: bool, buffer: &str) {
+    if interactive {
+        print!("{}", if buffer.is_empty() { "sos> " } else { "...> " });
+        std::io::stdout().flush().ok();
+    }
+}
+
+/// Heuristic: only show prompts when stdin looks like a terminal (no
+/// libc dependency; if piped, the first read usually has data queued —
+/// keep it simple and check the TERM variable plus absence of a pipe
+/// hint).
+fn atty_like() -> bool {
+    std::env::var("SOS_INTERACTIVE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn print_output(out: &Output) {
+    match out {
+        Output::TypeDefined(n) => println!("type {n} defined"),
+        Output::Created(n) => println!("created {n}"),
+        Output::Updated(n) => println!("updated {n}"),
+        Output::Deleted(n) => println!("deleted {n}"),
+        Output::Query(v) => println!("{}", render(v)),
+    }
+}
+
+fn meta_command(db: &mut Database, cmd: &str) -> bool {
+    let (head, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
+    match head {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(".run <file> | .spec <file> | .rules <file> | .explain <query> | .ops [name] | .save <dir> | .stats | .objects | .quit");
+        }
+        ".stats" => {
+            let s = db.pool_stats();
+            println!(
+                "logical reads {}, physical reads {}, physical writes {}, evictions {}",
+                s.logical_reads, s.physical_reads, s.physical_writes, s.evictions
+            );
+        }
+        ".objects" => {
+            let mut entries: Vec<String> = db
+                .catalog()
+                .objects()
+                .map(|o| format!("{} : {}   [{:?}]", o.name, o.ty, o.level))
+                .collect();
+            entries.sort();
+            for e in entries {
+                println!("{e}");
+            }
+        }
+        ".run" => match std::fs::read_to_string(rest.trim()) {
+            Ok(src) => match db.run(&src) {
+                Ok(outputs) => {
+                    for out in &outputs {
+                        print_output(out);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => println!("error reading {rest}: {e}"),
+        },
+        ".save" => match db.save(std::path::Path::new(rest.trim())) {
+            Ok(skipped) if skipped.is_empty() => println!("saved"),
+            Ok(skipped) => println!(
+                "saved; views not persisted (re-create them after open): {}",
+                skipped
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Err(e) => println!("error: {e}"),
+        },
+        ".ops" => {
+            let arg = rest.trim();
+            if arg.is_empty() {
+                let names: Vec<String> = db
+                    .signature()
+                    .op_names()
+                    .into_iter()
+                    .map(|n| n.to_string())
+                    .collect();
+                println!("{}", names.join(" "));
+            } else {
+                for line in db.signature().describe_op(&sos_core::Symbol::new(arg)) {
+                    println!("{line}");
+                }
+            }
+        }
+        ".explain" => match db.explain(rest.trim().trim_end_matches(';')) {
+            Ok(plan) => println!("{plan}"),
+            Err(e) => println!("error: {e}"),
+        },
+        ".spec" => match std::fs::read_to_string(rest.trim()) {
+            Ok(src) => match db.load_spec(&src) {
+                Ok(()) => println!("specification loaded"),
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => println!("error reading {rest}: {e}"),
+        },
+        ".rules" => match std::fs::read_to_string(rest.trim()) {
+            Ok(src) => match db.load_rules(rest.trim(), &src) {
+                Ok(()) => println!("rules loaded"),
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => println!("error reading {rest}: {e}"),
+        },
+        other => println!("unknown command `{other}` (try .help)"),
+    }
+    true
+}

@@ -1,0 +1,336 @@
+//! The built-in specification: the paper's relational data model
+//! (Section 2) and representation model (Section 4), written in the
+//! specification language and parsed at startup, plus the type operators
+//! (Δ functions) the specs reference.
+
+use sos_core::{sym, DataType, Signature, Symbol, TypeArg};
+use sos_parser::parse_spec;
+
+/// The built-in specification text. Every kind, constructor, subtype and
+/// operator of the paper's examples appears here; see the module docs of
+/// `sos_parser::spec` for the notation.
+pub const BUILTIN_SPEC: &str = r##"
+kinds IDENT, DATA, ORD, NUM, TUPLE, REL, STREAM, SREL, TIDREL, BTREE, KBTREE, MBTREE, LSDTREE, RELREP, CATALOG
+
+constructors
+  hybrid cons ident : -> IDENT
+  hybrid cons int, real, string, bool : -> DATA
+  hybrid cons point, rect, pgon : -> DATA
+  hybrid cons tuple : (ident x DATA)+ -> TUPLE
+  model  cons rel : TUPLE -> REL
+  rep    cons stream : TUPLE -> STREAM
+  rep    cons srel : TUPLE -> SREL
+  rep    cons tidrel : TUPLE -> TIDREL
+  rep    cons btree : forall tuple: tuple(list) in TUPLE .
+                      forall dtype in ORD .
+                      forall (attrname, dtype) in list .
+                      tuple x attrname x dtype -> BTREE
+  rep    cons mbtree : forall tuple: tuple(list) in TUPLE .
+                       tuple x ident+ -> MBTREE
+  rep    cons kbtree : forall tuple in TUPLE . forall ord in ORD .
+                       tuple x (tuple -> ord) -> KBTREE
+  rep    cons lsdtree : forall tuple in TUPLE .
+                        tuple x (tuple -> rect) -> LSDTREE
+  rep    cons relrep : TUPLE -> RELREP
+  hybrid cons catalog : (IDENT | DATA)+ -> CATALOG
+
+kind ORD contains int, real, string, bool
+kind NUM contains int, real
+
+subtypes
+  subtype srel(tuple) < relrep(tuple)
+  subtype tidrel(tuple) < relrep(tuple)
+  subtype btree(tuple, attrname, dtype) < relrep(tuple)
+  subtype kbtree(tuple, f) < relrep(tuple)
+  subtype mbtree(tuple, attrs) < relrep(tuple)
+  subtype lsdtree(tuple, f) < relrep(tuple)
+
+operators
+
+-- comparisons: equality over any DATA, order over ORD (Section 2.2)
+  op =, != : forall data in DATA . data x data -> bool syntax infix 3
+  op <, <=, >, >= : forall ord in ORD . ord x ord -> bool syntax infix 3
+
+-- arithmetic with numeric promotion
+  op + : int x int -> int syntax infix 5
+  op + : real x real -> real syntax infix 5
+  op + : int x real -> real syntax infix 5
+  op + : real x int -> real syntax infix 5
+  op - : int x int -> int syntax infix 5
+  op - : real x real -> real syntax infix 5
+  op - : int x real -> real syntax infix 5
+  op - : real x int -> real syntax infix 5
+  op * : int x int -> int syntax infix 6
+  op * : real x real -> real syntax infix 6
+  op * : int x real -> real syntax infix 6
+  op * : real x int -> real syntax infix 6
+  op / : forall a in NUM . forall b in NUM . a x b -> real syntax infix 6
+  op div, mod : int x int -> int syntax infix 6
+
+-- logic
+  op and : bool x bool -> bool syntax infix 2
+  op or : bool x bool -> bool syntax infix 1
+  op not : bool -> bool
+
+-- geometry (Section 4)
+  op bbox : pgon -> rect
+  op inside : point x pgon -> bool syntax infix 3
+  op inside : point x rect -> bool syntax infix 3
+  op inside : rect x rect -> bool syntax infix 3
+  op intersects : rect x rect -> bool syntax infix 3
+  op makepoint : int x int -> point
+  op makepoint : real x real -> point
+  op makerect : real x real x real x real -> rect
+  op makerect : int x int x int x int -> rect
+  op makepgon : forall a_i in NUM . forall b_i in NUM . (a_i x b_i)+ -> pgon syntax "#[ ... ]"
+  op area : pgon -> real
+  op area : rect -> real
+  op distance : point x point -> real
+
+-- tuple attribute access (Section 2.2): one operator per attribute
+  op $attrname : forall tuple: tuple(list) in TUPLE .
+                 forall (attrname, dtype) in list .
+                 tuple -> dtype syntax "_ #"
+
+-- tuple construction (used by example programs to enter values)
+  hybrid op mktuple : forall data_i in DATA . (ident x data_i)+ -> t : TUPLE syntax "#[ ... ]"
+
+-- the relational model algebra (Section 2.2)
+  model op select : forall rel: rel(tuple) in REL .
+                    rel x (tuple -> bool) -> rel syntax "_ #[ _ ]"
+  model op join : forall rel1: rel(tuple1) in REL . forall rel2: rel(tuple2) in REL .
+                  rel1 x rel2 x (tuple1 x tuple2 -> bool) -> rel : REL syntax "_ _ #[ _ ]"
+  model op union : forall rel in REL . rel+ -> rel syntax "_ #"
+  hybrid op count : forall rel in REL . rel -> int syntax "_ #"
+  hybrid op count : forall stream in STREAM . stream -> int syntax "_ #"
+  hybrid op count : forall r: relrep(tuple) in RELREP . r -> int syntax "_ #"
+
+-- relational update functions (Section 6)
+  model op insert : forall rel: rel(tuple) in REL . rel x tuple -> rel update
+  model op rel_insert : forall rel in REL . rel x rel -> rel update
+  model op delete : forall rel: rel(tuple) in REL . rel x (tuple -> bool) -> rel update
+  model op modify : forall rel: rel(tuple: tuple(list)) in REL .
+                    forall (attrname, dtype) in list .
+                    rel x (tuple -> bool) x attrname x (tuple -> dtype) -> rel update
+
+-- streams and query processing (Section 4)
+  rep op feed : forall relrep: relrep(tuple) in RELREP . relrep -> stream(tuple) syntax "_ #"
+  rep op filter : forall stream: stream(tuple) in STREAM .
+                  stream x (tuple -> bool) -> stream syntax "_ #[ _ ]"
+  rep op project : forall stream: stream(tuple) in STREAM . forall data_i in DATA .
+                   stream x (ident x (tuple -> data_i))+ -> s : STREAM syntax "_ #[ ... ]"
+  rep op replace : forall stream: stream(tuple: tuple(list)) in STREAM .
+                   forall (attrname, dtype) in list .
+                   stream x attrname x (tuple -> dtype) -> stream syntax "_ #[ _ , _ ]"
+  rep op collect : forall stream: stream(tuple) in STREAM . stream -> srel(tuple) syntax "_ #"
+  hybrid op consume : forall stream: stream(tuple) in STREAM . stream -> rel(tuple) syntax "_ #"
+  rep op search_join : forall stream1: stream(tuple1) in STREAM . forall stream2 in STREAM .
+                       stream1 x (tuple1 -> stream2) -> s : STREAM syntax "_ _ #"
+  rep op hashjoin : forall stream1: stream(tuple1: tuple(list1)) in STREAM .
+                    forall stream2: stream(tuple2: tuple(list2)) in STREAM .
+                    forall (a1, d1) in list1 . forall (a2, d2) in list2 .
+                    stream1 x stream2 x a1 x a2 -> s : STREAM syntax "_ _ #[ _ , _ ]"
+  rep op head : forall stream in STREAM . stream x int -> stream syntax "_ #[ _ ]"
+  rep op sortby : forall stream: stream(tuple: tuple(list)) in STREAM .
+                  forall (attrname, dtype) in list .
+                  stream x attrname -> stream syntax "_ #[ _ ]"
+  rep op rdup : forall stream in STREAM . stream -> stream syntax "_ #"
+  rep op sum : forall stream: stream(tuple: tuple(list)) in STREAM .
+               forall dtype in NUM .
+               forall (attrname, dtype) in list .
+               stream x attrname -> dtype syntax "_ #[ _ ]"
+  rep op min, max : forall stream: stream(tuple: tuple(list)) in STREAM .
+                    forall dtype in ORD .
+                    forall (attrname, dtype) in list .
+                    stream x attrname -> dtype syntax "_ #[ _ ]"
+  rep op avg : forall stream: stream(tuple: tuple(list)) in STREAM .
+               forall dtype in NUM .
+               forall (attrname, dtype) in list .
+               stream x attrname -> real syntax "_ #[ _ ]"
+
+-- index search (Section 4; halfrange operators realize bottom/top)
+  rep op range : forall btree: btree(tuple, attrname, dtype) in BTREE .
+                 btree x dtype x dtype -> stream(tuple) syntax "_ #[ _ , _ ]"
+  rep op range_from : forall btree: btree(tuple, attrname, dtype) in BTREE .
+                      btree x dtype -> stream(tuple) syntax "_ #[ _ ]"
+  rep op range_to : forall btree: btree(tuple, attrname, dtype) in BTREE .
+                    btree x dtype -> stream(tuple) syntax "_ #[ _ ]"
+  rep op exactmatch : forall btree: btree(tuple, attrname, dtype) in BTREE .
+                      btree x dtype -> stream(tuple) syntax "_ #[ _ ]"
+  rep op range : forall kbtree: kbtree(tuple, f) in KBTREE . forall ord in ORD .
+                 kbtree x ord x ord -> stream(tuple) syntax "_ #[ _ , _ ]"
+  rep op prefixmatch : forall mbtree: mbtree(tuple, attrs) in MBTREE . forall ord in ORD .
+                       mbtree x ord -> stream(tuple) syntax "_ #[ _ ]"
+  rep op prefixrange : forall mbtree: mbtree(tuple, attrs) in MBTREE .
+                       forall o1 in ORD . forall o2 in ORD .
+                       mbtree x o1 x o2 x o2 -> stream(tuple) syntax "_ #[ _ , _ , _ ]"
+  rep op point_search : forall lsdtree: lsdtree(tuple, f) in LSDTREE .
+                        lsdtree x point -> stream(tuple) syntax "_ _ #"
+  rep op overlap_search : forall lsdtree: lsdtree(tuple, f) in LSDTREE .
+                          lsdtree x rect -> stream(tuple) syntax "_ _ #"
+
+-- representation update functions (Section 6)
+  rep op insert : forall btree: btree(tuple, attrname, dtype) in BTREE . btree x tuple -> btree update
+  rep op insert : forall kbtree: kbtree(tuple, f) in KBTREE . kbtree x tuple -> kbtree update
+  rep op insert : forall mbtree: mbtree(tuple, attrs) in MBTREE . mbtree x tuple -> mbtree update
+  rep op stream_insert : forall mbtree: mbtree(tuple, attrs) in MBTREE .
+                         mbtree x stream(tuple) -> mbtree update
+  rep op delete : forall mbtree: mbtree(tuple, attrs) in MBTREE .
+                  mbtree x stream(tuple) -> mbtree update
+  rep op insert : forall lsdtree: lsdtree(tuple, f) in LSDTREE . lsdtree x tuple -> lsdtree update
+  rep op insert : forall srel: srel(tuple) in SREL . srel x tuple -> srel update
+  rep op insert : forall tidrel: tidrel(tuple) in TIDREL . tidrel x tuple -> tidrel update
+  rep op stream_insert : forall btree: btree(tuple, attrname, dtype) in BTREE .
+                         btree x stream(tuple) -> btree update
+  rep op stream_insert : forall kbtree: kbtree(tuple, f) in KBTREE .
+                         kbtree x stream(tuple) -> kbtree update
+  rep op stream_insert : forall lsdtree: lsdtree(tuple, f) in LSDTREE .
+                         lsdtree x stream(tuple) -> lsdtree update
+  rep op stream_insert : forall tidrel: tidrel(tuple) in TIDREL .
+                         tidrel x stream(tuple) -> tidrel update
+  rep op stream_insert : forall srel: srel(tuple) in SREL .
+                         srel x stream(tuple) -> srel update
+  rep op delete : forall btree: btree(tuple, attrname, dtype) in BTREE .
+                  btree x stream(tuple) -> btree update
+  rep op delete : forall kbtree: kbtree(tuple, f) in KBTREE .
+                  kbtree x stream(tuple) -> kbtree update
+  rep op delete : forall lsdtree: lsdtree(tuple, f) in LSDTREE .
+                  lsdtree x stream(tuple) -> lsdtree update
+  rep op delete : forall tidrel: tidrel(tuple) in TIDREL .
+                  tidrel x stream(tuple) -> tidrel update
+  rep op delete : forall srel: srel(tuple) in SREL .
+                  srel x stream(tuple) -> srel update
+  rep op modify : forall btree: btree(tuple, attrname, dtype) in BTREE .
+                  btree x stream(tuple) x (stream(tuple) -> stream(tuple)) -> btree update
+  rep op re_insert : forall btree: btree(tuple, attrname, dtype) in BTREE .
+                     btree x stream(tuple) x (stream(tuple) -> stream(tuple)) -> btree update
+
+-- maintenance: rebuild a clustering B-tree (reclaims lazily deleted
+-- pages; an engineering extension, see DESIGN.md)
+  rep op vacuum : forall btree: btree(tuple, attrname, dtype) in BTREE . btree -> btree update
+  rep op vacuum : forall kbtree: kbtree(tuple, f) in KBTREE . kbtree -> kbtree update
+  rep op vacuum : forall mbtree: mbtree(tuple, attrs) in MBTREE . mbtree -> mbtree update
+
+-- the catalog (Section 6): membership usable as a predicate in rules
+  hybrid op insert : forall cat in CATALOG . cat x ident x ident -> cat update
+"##;
+
+/// Build the built-in signature: parse the specification and register
+/// the type operators its `-> v : KIND` results reference.
+pub fn builtin_signature() -> Signature {
+    let mut sig = Signature::new();
+    parse_spec(BUILTIN_SPEC, &mut sig).expect("built-in specification must parse");
+    register_type_ops(&mut sig);
+    sig
+}
+
+fn bound_tuple(bindings: &sos_core::pattern::Bindings, var: &str) -> Result<DataType, String> {
+    match bindings.get(&sym(var)) {
+        Some(TypeArg::Type(t)) => Ok(t.clone()),
+        other => Err(format!(
+            "type variable `{var}` not bound to a type: {other:?}"
+        )),
+    }
+}
+
+/// Register the Δ functions: `join`, `search_join`, `project`, `mktuple`.
+pub fn register_type_ops(sig: &mut Signature) {
+    // join: concatenation of the two operand tuple types (Section 2.2:
+    // "it is part of the semantics of the join operator").
+    sig.add_type_op("join", |ctx| {
+        let t1 = bound_tuple(ctx.bindings, "tuple1")?;
+        let t2 = bound_tuple(ctx.bindings, "tuple2")?;
+        let mut attrs = t1.tuple_attrs().ok_or("tuple1 is not a tuple type")?;
+        let attrs2 = t2.tuple_attrs().ok_or("tuple2 is not a tuple type")?;
+        for (a, _) in &attrs2 {
+            if attrs.iter().any(|(b, _)| b == a) {
+                return Err(format!("join would duplicate attribute `{a}`"));
+            }
+        }
+        attrs.extend(attrs2);
+        Ok(DataType::rel(DataType::tuple(attrs)))
+    });
+
+    // search_join: outer tuple type concatenated with the inner stream's
+    // tuple type.
+    sig.add_type_op("search_join", |ctx| {
+        let t1 = bound_tuple(ctx.bindings, "tuple1")?;
+        let s2 = bound_tuple(ctx.bindings, "stream2")?;
+        let t2 = s2
+            .single_type_arg()
+            .ok_or("inner stream type has no tuple")?;
+        let mut attrs = t1.tuple_attrs().ok_or("tuple1 is not a tuple type")?;
+        let attrs2 = t2.tuple_attrs().ok_or("inner tuple is not a tuple type")?;
+        for (a, _) in &attrs2 {
+            if attrs.iter().any(|(b, _)| b == a) {
+                return Err(format!("search_join would duplicate attribute `{a}`"));
+            }
+        }
+        attrs.extend(attrs2);
+        Ok(DataType::stream(DataType::tuple(attrs)))
+    });
+
+    // hashjoin: concatenation of both stream tuple types.
+    sig.add_type_op("hashjoin", |ctx| {
+        let t1 = bound_tuple(ctx.bindings, "tuple1")?;
+        let t2 = bound_tuple(ctx.bindings, "tuple2")?;
+        let mut attrs = t1.tuple_attrs().ok_or("tuple1 is not a tuple type")?;
+        let attrs2 = t2.tuple_attrs().ok_or("tuple2 is not a tuple type")?;
+        for (a, _) in &attrs2 {
+            if attrs.iter().any(|(b, _)| b == a) {
+                return Err(format!("hashjoin would duplicate attribute `{a}`"));
+            }
+        }
+        attrs.extend(attrs2);
+        Ok(DataType::stream(DataType::tuple(attrs)))
+    });
+
+    // project: the result tuple is built from the (name, function) pairs
+    // of the second argument.
+    sig.add_type_op("project", |ctx| {
+        let attrs = pairs_to_attrs(ctx.args.get(1), "project")?;
+        Ok(DataType::stream(DataType::tuple(attrs)))
+    });
+
+    // mktuple: the tuple type of the given (name, value) pairs.
+    sig.add_type_op("mktuple", |ctx| {
+        let attrs = pairs_to_attrs(ctx.args.first(), "mktuple")?;
+        Ok(DataType::tuple(attrs))
+    });
+}
+
+/// Extract `(attribute, type)` pairs from a typed list-of-pairs argument
+/// (each pair is an ident constant and a value or function term).
+fn pairs_to_attrs(
+    arg: Option<&sos_core::typed::TypedExpr>,
+    op: &str,
+) -> Result<Vec<(Symbol, DataType)>, String> {
+    use sos_core::typed::TypedNode;
+    let arg = arg.ok_or_else(|| format!("`{op}` needs a list argument"))?;
+    let TypedNode::List(items) = &arg.node else {
+        return Err(format!("`{op}` needs a list of pairs"));
+    };
+    let mut attrs = Vec::with_capacity(items.len());
+    for item in items {
+        let TypedNode::Tuple(comps) = &item.node else {
+            return Err(format!("`{op}` list elements must be pairs"));
+        };
+        let [name_node, value_node] = comps.as_slice() else {
+            return Err(format!("`{op}` pairs must be binary"));
+        };
+        let TypedNode::Const(sos_core::Const::Ident(name)) = &name_node.node else {
+            return Err(format!("`{op}` pair must start with an attribute name"));
+        };
+        // A function component contributes its result type; a plain value
+        // its own type.
+        let ty = match &value_node.ty {
+            DataType::Fun(_, res) => (**res).clone(),
+            other => other.clone(),
+        };
+        if attrs.iter().any(|(a, _)| a == name) {
+            return Err(format!("duplicate attribute `{name}` in `{op}`"));
+        }
+        attrs.push((name.clone(), ty));
+    }
+    Ok(attrs)
+}

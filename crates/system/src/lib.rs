@@ -1,0 +1,574 @@
+//! The SOS database system: the "parser/optimizer component driven by a
+//! specification" the paper proposes, assembled over the other crates.
+//!
+//! A [`Database`] owns
+//!
+//! * the built-in [`Signature`] (the paper's relational model plus the
+//!   representation model of Section 4, parsed from the specification
+//!   language at startup — see [`builtin::BUILTIN_SPEC`]),
+//! * a [`Catalog`] of named types and objects with the `rep` catalog
+//!   linking model objects to their representations (Section 6),
+//! * an [`ExecEngine`] over a buffer pool, and
+//! * the built-in rule-based [`Optimizer`] (Sections 5 and 6).
+//!
+//! It processes programs in the five-statement language of Section 2.4:
+//! model-level queries and updates are type-checked, translated by the
+//! optimizer into representation-level plans when representations exist,
+//! and executed.
+//!
+//! ```
+//! use sos_system::Database;
+//!
+//! let mut db = Database::new();
+//! db.run(r#"
+//!     type city = tuple(<(name, string), (pop, int), (country, string)>);
+//!     type city_rel = rel(city);
+//!     create cities : city_rel;
+//!     update cities := insert(cities, mktuple[(name, "Hagen"), (pop, 190000), (country, "Germany")]);
+//!     query cities select[pop > 100000];
+//! "#).unwrap();
+//! ```
+
+pub mod builtin;
+pub mod persist;
+pub mod rules;
+
+use sos_catalog::{Catalog, CatalogError};
+use sos_core::check::Checker;
+use sos_core::spec::Level;
+use sos_core::typed::{TypedExpr, TypedNode};
+use sos_core::{CheckError, DataType, Expr, Signature, Symbol, TypeArg};
+use sos_exec::{EvalCtx, ExecEngine, ExecError, Value};
+use sos_optimizer::{OptError, Optimizer, OptimizerStats};
+use sos_parser::{parse_program, ParseError, Statement};
+use sos_storage::{BufferPool, PoolStats};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything that can go wrong processing a program.
+#[derive(Debug)]
+pub enum SystemError {
+    Parse(ParseError),
+    Check(CheckError),
+    Catalog(CatalogError),
+    Exec(ExecError),
+    Opt(OptError),
+    /// An update whose value type does not match its target object.
+    UpdateTypeMismatch {
+        object: Symbol,
+        object_type: String,
+        value_type: String,
+    },
+    UnknownObject(Symbol),
+    /// Saving or opening a database directory failed.
+    Persist(String),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Parse(e) => write!(f, "{e}"),
+            SystemError::Check(e) => write!(f, "{e}"),
+            SystemError::Catalog(e) => write!(f, "{e}"),
+            SystemError::Exec(e) => write!(f, "{e}"),
+            SystemError::Opt(e) => write!(f, "{e}"),
+            SystemError::UpdateTypeMismatch {
+                object,
+                object_type,
+                value_type,
+            } => write!(
+                f,
+                "update of `{object}`: value of type {value_type} does not match object type {object_type}"
+            ),
+            SystemError::UnknownObject(n) => write!(f, "no object named `{n}`"),
+            SystemError::Persist(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<sos_storage::StorageError> for SystemError {
+    fn from(e: sos_storage::StorageError) -> Self {
+        SystemError::Exec(ExecError::Storage(e))
+    }
+}
+
+impl From<ParseError> for SystemError {
+    fn from(e: ParseError) -> Self {
+        SystemError::Parse(e)
+    }
+}
+impl From<CheckError> for SystemError {
+    fn from(e: CheckError) -> Self {
+        SystemError::Check(e)
+    }
+}
+impl From<CatalogError> for SystemError {
+    fn from(e: CatalogError) -> Self {
+        SystemError::Catalog(e)
+    }
+}
+impl From<ExecError> for SystemError {
+    fn from(e: ExecError) -> Self {
+        SystemError::Exec(e)
+    }
+}
+impl From<OptError> for SystemError {
+    fn from(e: OptError) -> Self {
+        SystemError::Opt(e)
+    }
+}
+
+/// The result of one statement.
+#[derive(Debug)]
+pub enum Output {
+    TypeDefined(Symbol),
+    Created(Symbol),
+    /// The object actually updated — for a translated model update this
+    /// is the representation object (Section 6).
+    Updated(Symbol),
+    Deleted(Symbol),
+    Query(Value),
+}
+
+impl Output {
+    /// The query result value, if this output carries one.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Output::Query(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The SOS database system.
+pub struct Database {
+    sig: Signature,
+    catalog: Catalog,
+    engine: ExecEngine,
+    store: HashMap<Symbol, Value>,
+    optimizer: Optimizer,
+    optimize_enabled: bool,
+    last_opt_stats: OptimizerStats,
+}
+
+impl Database {
+    /// A database over a fresh in-memory buffer pool.
+    pub fn new() -> Database {
+        Database::with_pool(sos_storage::mem_pool(4096))
+    }
+
+    /// A database over the given buffer pool.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Database {
+        Database {
+            sig: builtin::builtin_signature(),
+            catalog: Catalog::new(),
+            engine: ExecEngine::new(pool),
+            store: HashMap::new(),
+            optimizer: rules::builtin_optimizer(),
+            optimize_enabled: true,
+            last_opt_stats: OptimizerStats::default(),
+        }
+    }
+
+    // ---- accessors ----
+
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn pool_stats(&self) -> PoolStats {
+        self.engine.pool.stats()
+    }
+
+    pub fn reset_pool_stats(&self) {
+        self.engine.pool.reset_stats()
+    }
+
+    pub fn last_optimizer_stats(&self) -> OptimizerStats {
+        self.last_opt_stats
+    }
+
+    /// Turn the optimizer off/on (used by benchmarks to compare plans).
+    pub fn set_optimize(&mut self, enabled: bool) {
+        self.optimize_enabled = enabled;
+    }
+
+    // ---- extensibility ----
+
+    /// Load an additional specification (new kinds, constructors,
+    /// operators, subtypes) — the paper's extensibility story.
+    ///
+    /// ```
+    /// # use sos_system::Database;
+    /// # use sos_exec::Value;
+    /// let mut db = Database::new();
+    /// db.load_spec(r##"op triple : int -> int syntax "_ #""##).unwrap();
+    /// db.add_op_impl("triple", |_, _, args| {
+    ///     Ok(Value::Int(args[0].as_int("triple")? * 3))
+    /// });
+    /// assert_eq!(db.query("14 triple").unwrap(), Value::Int(42));
+    /// ```
+    pub fn load_spec(&mut self, src: &str) -> Result<(), SystemError> {
+        sos_parser::parse_spec(src, &mut self.sig)?;
+        Ok(())
+    }
+
+    /// Register an operator implementation for a loaded specification.
+    pub fn add_op_impl<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut EvalCtx, &TypedExpr, Vec<Value>) -> sos_exec::ExecResult<Value>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.engine.add_op(name, f);
+    }
+
+    /// Append an optimizer rule step.
+    pub fn add_rule_step(&mut self, step: sos_optimizer::RuleStep) {
+        self.optimizer.steps.push(step);
+    }
+
+    /// Load optimization rules from the textual rule language (Section 5)
+    /// as a new exhaustive step with the given name.
+    pub fn load_rules(&mut self, step_name: &str, src: &str) -> Result<(), SystemError> {
+        let rules = sos_optimizer::parse_rules(src)?;
+        self.optimizer
+            .steps
+            .push(sos_optimizer::RuleStep::exhaustive(step_name, rules));
+        Ok(())
+    }
+
+    /// Read an object's current value (tests and benchmarks).
+    pub fn object_value(&self, name: &str) -> Option<&Value> {
+        self.store.get(&Symbol::new(name))
+    }
+
+    /// Bulk-load tuple values into a named object, bypassing the
+    /// statement layer (workload generators use this; each tuple still
+    /// goes through the normal representation insert path).
+    pub fn bulk_insert(&mut self, name: &str, tuples: Vec<Value>) -> Result<(), SystemError> {
+        let key = Symbol::new(name);
+        if self.catalog.object(&key).is_none() {
+            return Err(SystemError::UnknownObject(key));
+        }
+        let mut target = self.store.get(&key).cloned().unwrap_or(Value::Undefined);
+        {
+            let mut ctx = EvalCtx::new(&self.engine, &mut self.store, &mut self.catalog);
+            for t in tuples {
+                target = sos_exec::ops::updates::insert_into(&mut ctx, &target, &t)?;
+            }
+        }
+        self.store.insert(key, target);
+        Ok(())
+    }
+
+    // ---- program processing ----
+
+    /// Run a complete program, returning one output per statement.
+    pub fn run(&mut self, src: &str) -> Result<Vec<Output>, SystemError> {
+        let stmts = parse_program(src, &self.sig)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Run a single query expression (concrete syntax) and return its
+    /// value.
+    ///
+    /// ```
+    /// # use sos_system::Database;
+    /// # use sos_exec::Value;
+    /// let mut db = Database::new();
+    /// assert_eq!(db.query("2 + 3 * 4").unwrap(), Value::Int(14));
+    /// ```
+    pub fn query(&mut self, expr_src: &str) -> Result<Value, SystemError> {
+        let outputs = self.run(&format!("query {expr_src};"))?;
+        match outputs.into_iter().next() {
+            Some(Output::Query(v)) => Ok(v),
+            _ => unreachable!("query statement produces a query output"),
+        }
+    }
+
+    /// Type-check and optimize a query without executing it, returning
+    /// the plan in abstract syntax (used by tests and EXPERIMENTS.md).
+    ///
+    /// ```
+    /// # use sos_system::Database;
+    /// let mut db = Database::new();
+    /// db.run("type t = tuple(<(k, int)>); create r : rel(t);").unwrap();
+    /// let plan = db.explain("r select[k > 0]").unwrap();
+    /// assert!(plan.starts_with("select(r, fun ("));
+    /// ```
+    pub fn explain(&mut self, expr_src: &str) -> Result<String, SystemError> {
+        let stmts = parse_program(&format!("query {expr_src};"), &self.sig)?;
+        let Statement::Query(e) = &stmts[0] else {
+            unreachable!()
+        };
+        let checked = self.check(&self.resolve_expr(e))?;
+        let optimized = self.optimize(&checked)?;
+        Ok(optimized.to_string())
+    }
+
+    /// Type-check and optimize an update statement without executing it,
+    /// returning the translated statement text — the paper's Section 6
+    /// trace: `update cities := insert(cities, c)` explains to
+    /// `update cities_rep := insert(cities_rep, c)`.
+    pub fn explain_update(&mut self, stmt_src: &str) -> Result<String, SystemError> {
+        let stmts = parse_program(stmt_src, &self.sig)?;
+        let Some(Statement::Update(name, expr)) = stmts.first() else {
+            return Err(SystemError::Persist(
+                "explain_update expects a single update statement".into(),
+            ));
+        };
+        let resolved = self.resolve_expr(expr);
+        let checked = self.check(&resolved)?;
+        let optimized = self.optimize(&checked)?;
+        let target = self
+            .update_target(&optimized)
+            .unwrap_or_else(|| name.clone());
+        Ok(format!("update {target} := {optimized}"))
+    }
+
+    /// Execute one parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<Output, SystemError> {
+        match stmt {
+            Statement::TypeDef(name, ty) => {
+                let resolved = self.resolve_type(ty)?;
+                self.checker().check_type(&resolved)?;
+                self.catalog.define_type(name.clone(), resolved)?;
+                Ok(Output::TypeDefined(name.clone()))
+            }
+            Statement::Create(name, ty) => {
+                let resolved = self.resolve_type(ty)?;
+                self.checker().check_type(&resolved)?;
+                self.catalog
+                    .create_object(&self.sig, name.clone(), resolved.clone())?;
+                // Catalog objects are addressed by name (their state
+                // lives in the catalog itself); their store value is a
+                // name token so update expressions over them evaluate.
+                let value = if matches!(&resolved, DataType::Cons(c, _) if c.as_str() == "catalog")
+                {
+                    Value::Ident(name.clone())
+                } else {
+                    self.engine
+                        .init_value(&self.sig, &self.catalog, &resolved)?
+                };
+                self.store.insert(name.clone(), value);
+                Ok(Output::Created(name.clone()))
+            }
+            Statement::Update(name, expr) => {
+                if self.catalog.object(name).is_none() {
+                    return Err(SystemError::UnknownObject(name.clone()));
+                }
+                let resolved = self.resolve_expr(expr);
+                let checked = self.check(&resolved)?;
+                let optimized = self.optimize(&checked)?;
+                // A translated model update targets the representation
+                // object named by the rewritten update operator.
+                let target = self
+                    .update_target(&optimized)
+                    .unwrap_or_else(|| name.clone());
+                let expected = self
+                    .catalog
+                    .object(&target)
+                    .ok_or_else(|| SystemError::UnknownObject(target.clone()))?
+                    .ty
+                    .clone();
+                if optimized.ty != expected {
+                    return Err(SystemError::UpdateTypeMismatch {
+                        object: target.clone(),
+                        object_type: expected.to_string(),
+                        value_type: optimized.ty.to_string(),
+                    });
+                }
+                let value = self.eval(&optimized)?;
+                self.store.insert(target.clone(), value);
+                Ok(Output::Updated(target))
+            }
+            Statement::Delete(name) => {
+                self.catalog.delete_object(name)?;
+                self.store.remove(name);
+                Ok(Output::Deleted(name.clone()))
+            }
+            Statement::Query(expr) => {
+                let resolved = self.resolve_expr(expr);
+                let checked = self.check(&resolved)?;
+                let optimized = self.optimize(&checked)?;
+                let value = self.eval(&optimized)?;
+                Ok(Output::Query(value))
+            }
+        }
+    }
+
+    /// The level of a checked term: `Model` if it contains any
+    /// model-level operator, otherwise the most specific of its parts
+    /// (the classification of Section 6).
+    pub fn term_level(&self, t: &TypedExpr) -> Level {
+        let mut has_model = false;
+        let mut has_rep = false;
+        t.visit(&mut |n| {
+            if let TypedNode::Apply { spec, .. } = &n.node {
+                match self.sig.spec(*spec).level {
+                    Level::Model => has_model = true,
+                    Level::Representation => has_rep = true,
+                    Level::Hybrid => {}
+                }
+            }
+        });
+        match (has_model, has_rep) {
+            (true, _) => Level::Model,
+            (false, true) => Level::Representation,
+            (false, false) => Level::Hybrid,
+        }
+    }
+
+    // ---- internals ----
+
+    fn checker(&self) -> Checker<'_> {
+        Checker::new(&self.sig, &self.catalog)
+    }
+
+    fn check(&self, e: &Expr) -> Result<TypedExpr, SystemError> {
+        Ok(self.checker().check_expr(e)?)
+    }
+
+    fn optimize(&mut self, t: &TypedExpr) -> Result<TypedExpr, SystemError> {
+        if !self.optimize_enabled {
+            return Ok(t.clone());
+        }
+        let checker = Checker::new(&self.sig, &self.catalog);
+        let (optimized, stats) = self.optimizer.optimize(t, &checker, &self.catalog)?;
+        self.last_opt_stats = stats;
+        Ok(optimized)
+    }
+
+    fn eval(&mut self, t: &TypedExpr) -> Result<Value, SystemError> {
+        let mut ctx = EvalCtx::new(&self.engine, &mut self.store, &mut self.catalog);
+        let v = ctx.eval(t)?;
+        // Pipelined cursors are drained at the statement boundary; within
+        // a plan they stay lazy.
+        match v {
+            Value::Cursor(_) => Ok(Value::Stream(sos_exec::stream::materialize(&mut ctx, v)?)),
+            other => Ok(other),
+        }
+    }
+
+    /// The representation object a rewritten update targets, if any.
+    fn update_target(&self, t: &TypedExpr) -> Option<Symbol> {
+        let TypedNode::Apply { spec, args, .. } = &t.node else {
+            return None;
+        };
+        if !self.sig.spec(*spec).is_update {
+            return None;
+        }
+        match &args.first()?.node {
+            TypedNode::Object(n) => Some(n.clone()),
+            _ => None,
+        }
+    }
+
+    /// Expand named types and resolve bare names that denote identifier
+    /// values (`btree(city, pop, int)`: `city` is a named type, `pop` an
+    /// attribute name).
+    fn resolve_type(&self, ty: &DataType) -> Result<DataType, SystemError> {
+        let expanded = self.catalog.expand_type(ty);
+        Ok(self.resolve_idents(&expanded))
+    }
+
+    fn resolve_idents(&self, ty: &DataType) -> DataType {
+        match ty {
+            DataType::Cons(name, args) => DataType::Cons(
+                name.clone(),
+                args.iter().map(|a| self.resolve_ident_arg(a)).collect(),
+            ),
+            DataType::Fun(params, res) => DataType::Fun(
+                params.iter().map(|p| self.resolve_idents(p)).collect(),
+                Box::new(self.resolve_idents(res)),
+            ),
+        }
+    }
+
+    fn resolve_ident_arg(&self, arg: &TypeArg) -> TypeArg {
+        match arg {
+            TypeArg::Type(DataType::Cons(name, args))
+                if args.is_empty()
+                    && self.sig.constructor(name).is_none()
+                    && self.catalog.named_type(name).is_none() =>
+            {
+                TypeArg::Expr(Expr::Const(sos_core::Const::Ident(name.clone())))
+            }
+            TypeArg::Type(t) => TypeArg::Type(self.resolve_idents(t)),
+            TypeArg::List(items) => {
+                TypeArg::List(items.iter().map(|a| self.resolve_ident_arg(a)).collect())
+            }
+            TypeArg::Pair(items) => {
+                TypeArg::Pair(items.iter().map(|a| self.resolve_ident_arg(a)).collect())
+            }
+            TypeArg::Expr(e) => TypeArg::Expr(self.resolve_expr(e)),
+        }
+    }
+
+    /// Expand named types in lambda parameter annotations throughout an
+    /// expression.
+    fn resolve_expr(&self, e: &Expr) -> Expr {
+        match e {
+            Expr::Lambda { params, body } => Expr::Lambda {
+                params: params
+                    .iter()
+                    .map(|(n, t)| {
+                        (
+                            n.clone(),
+                            self.resolve_type(t).unwrap_or_else(|_| t.clone()),
+                        )
+                    })
+                    .collect(),
+                body: Box::new(self.resolve_expr(body)),
+            },
+            Expr::Apply { op, args } => Expr::Apply {
+                op: op.clone(),
+                args: args.iter().map(|a| self.resolve_expr(a)).collect(),
+            },
+            Expr::List(items) => Expr::List(items.iter().map(|a| self.resolve_expr(a)).collect()),
+            Expr::Tuple(items) => Expr::Tuple(items.iter().map(|a| self.resolve_expr(a)).collect()),
+            Expr::Seq(atoms) => Expr::Seq(
+                atoms
+                    .iter()
+                    .map(|a| match a {
+                        sos_core::SeqAtom::Operand(e) => {
+                            sos_core::SeqAtom::Operand(self.resolve_expr(e))
+                        }
+                        sos_core::SeqAtom::Word {
+                            name,
+                            brackets,
+                            parens,
+                        } => sos_core::SeqAtom::Word {
+                            name: name.clone(),
+                            brackets: brackets
+                                .as_ref()
+                                .map(|bs| bs.iter().map(|b| self.resolve_expr(b)).collect()),
+                            parens: parens
+                                .as_ref()
+                                .map(|ps| ps.iter().map(|p| self.resolve_expr(p)).collect()),
+                        },
+                    })
+                    .collect(),
+            ),
+            Expr::Const(_) | Expr::Name(_) => e.clone(),
+        }
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}

@@ -1,0 +1,88 @@
+//! Saving and opening databases (an engineering extension; see
+//! DESIGN.md).
+//!
+//! A database directory holds two artifacts: `pages.db` — the page file
+//! all representation structures live in — and `snapshot.json` — the
+//! catalog (named types, objects, catalog relations) plus the persistent
+//! image of every object value ([`sos_exec::stored::StoredValue`]).
+//! Function values (views) have no persistent image; `save` reports
+//! their names so callers can re-create them from their defining
+//! statements.
+
+use crate::{Database, SystemError};
+use sos_catalog::Catalog;
+use sos_core::Symbol;
+use sos_exec::stored::{from_stored, to_stored, StoredValue};
+use sos_storage::{BufferPool, FileDisk};
+use std::path::Path;
+use std::sync::Arc;
+
+/// The serialized sidecar next to the page file.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Snapshot {
+    catalog: Catalog,
+    store: Vec<(Symbol, StoredValue)>,
+}
+
+const PAGES: &str = "pages.db";
+const SNAPSHOT: &str = "snapshot.json";
+
+impl Database {
+    /// Create a database whose pages live in `dir` (created if absent).
+    /// If the directory holds a previous [`Database::save`], its catalog
+    /// and objects are restored.
+    pub fn open_dir(dir: &Path) -> Result<Database, SystemError> {
+        std::fs::create_dir_all(dir).map_err(persist_err)?;
+        let disk = FileDisk::open(&dir.join(PAGES)).map_err(SystemError::from)?;
+        let pool = Arc::new(BufferPool::new(Arc::new(disk), 4096));
+        let mut db = Database::with_pool(pool);
+        let snap_path = dir.join(SNAPSHOT);
+        if snap_path.exists() {
+            let json = std::fs::read_to_string(&snap_path).map_err(persist_err)?;
+            let snap: Snapshot = serde_json::from_str(&json).map_err(persist_err)?;
+            db.catalog = snap.catalog;
+            for (name, stored) in snap.store {
+                let ty = db
+                    .catalog
+                    .object(&name)
+                    .ok_or_else(|| SystemError::UnknownObject(name.clone()))?
+                    .ty
+                    .clone();
+                let value = from_stored(&db.engine, &db.sig, &db.catalog, &ty, stored)?;
+                db.store.insert(name, value);
+            }
+        }
+        Ok(db)
+    }
+
+    /// Persist the database into `dir`: flush all pages and write the
+    /// catalog + value snapshot. Returns the names of objects whose
+    /// values could not be persisted (function-valued views) — their
+    /// types survive, their defining `update` must be re-run after
+    /// [`Database::open_dir`].
+    pub fn save(&self, dir: &Path) -> Result<Vec<Symbol>, SystemError> {
+        std::fs::create_dir_all(dir).map_err(persist_err)?;
+        self.engine.pool.flush_all().map_err(SystemError::from)?;
+        let mut store = Vec::new();
+        let mut skipped = Vec::new();
+        for (name, value) in &self.store {
+            match to_stored(value)? {
+                Some(sv) => store.push((name.clone(), sv)),
+                None => skipped.push(name.clone()),
+            }
+        }
+        store.sort_by(|a, b| a.0.cmp(&b.0));
+        skipped.sort();
+        let snap = Snapshot {
+            catalog: self.catalog.clone(),
+            store,
+        };
+        let json = serde_json::to_string(&snap).map_err(persist_err)?;
+        std::fs::write(dir.join(SNAPSHOT), json).map_err(persist_err)?;
+        Ok(skipped)
+    }
+}
+
+fn persist_err(e: impl std::fmt::Display) -> SystemError {
+    SystemError::Persist(e.to_string())
+}

@@ -1,0 +1,163 @@
+//! E1 — Section 2.1: the framework can define the relational model,
+//! nested relations, and complex objects as type systems, and the
+//! paper's example types kind-check.
+
+use sos_system::Database;
+
+/// The built-in relational type system accepts the paper's city types.
+#[test]
+fn relational_types_from_the_paper() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type city = tuple(<(name, string), (pop, int), (country, string)>);
+        type city_rel = rel(city);
+        create cities : city_rel;
+    "#,
+    )
+    .unwrap();
+    let entry = db
+        .catalog()
+        .object(&sos_core::Symbol::new("cities"))
+        .unwrap();
+    assert_eq!(
+        entry.ty.to_string(),
+        "rel(tuple(<(name, string), (pop, int), (country, string)>))"
+    );
+}
+
+#[test]
+fn ill_formed_types_are_rejected() {
+    let mut db = Database::new();
+    // rel of a non-tuple type
+    assert!(db.run("create bad : rel(int);").is_err());
+    // unknown constructor
+    assert!(db.run("create bad2 : blorb(int);").is_err());
+    // btree on a non-existent attribute
+    db.run("type city = tuple(<(name, string), (pop, int)>);")
+        .unwrap();
+    assert!(db.run("create i : btree(city, height, int);").is_err());
+    // btree with the wrong attribute type
+    assert!(db.run("create i2 : btree(city, pop, string);").is_err());
+    // btree key type must be in ORD (pgon is not)
+    db.run("type st = tuple(<(region, pgon)>);").unwrap();
+    assert!(db.run("create i3 : btree(st, region, pgon);").is_err());
+}
+
+/// Nested relations (Section 2.1, second type system): loaded as an
+/// *additional* specification — the framework is not fixed to one model.
+#[test]
+fn nested_relational_model_as_new_specification() {
+    let mut db = Database::new();
+    db.load_spec(
+        "kinds NREL
+         model cons nrel : (ident x (DATA | NREL))+ -> NREL",
+    )
+    .unwrap();
+    // The paper's books example: authors is itself a relation.
+    db.run(r#"
+        type author_rel = nrel(<(name, string), (country, string)>);
+        type book_rel = nrel(<(title, string), (authors, author_rel), (publisher, string), (year, int)>);
+        create books : book_rel;
+    "#)
+    .unwrap();
+    let t = db
+        .catalog()
+        .object(&sos_core::Symbol::new("books"))
+        .unwrap();
+    assert!(t.ty.to_string().contains("authors, nrel("));
+    // Something of a completely different kind in the value position is
+    // rejected (REL is neither DATA nor NREL).
+    assert!(db
+        .run("create bad : nrel(<(x, rel(tuple(<(a, int)>)))>);")
+        .is_err());
+}
+
+/// Complex objects in the spirit of [BaK86] (Section 2.1, third system).
+#[test]
+fn complex_object_model_as_new_specification() {
+    let mut db = Database::new();
+    db.load_spec(
+        "kinds OBJ
+         cons obottom, otop, oint, ostring : -> OBJ
+         cons otuple : (ident x OBJ)+ -> OBJ
+         cons oset : OBJ -> OBJ",
+    )
+    .unwrap();
+    // The paper's person type:
+    // tuple(<(name, string), (children, set(string)), (address, tuple(...))>)
+    db.run(
+        r#"
+        type person = otuple(<(name, ostring), (children, oset(ostring)),
+                              (address, otuple(<(city, ostring), (street, ostring)>))>);
+        create p : person;
+    "#,
+    )
+    .unwrap();
+    let t = db.catalog().object(&sos_core::Symbol::new("p")).unwrap();
+    assert!(t.ty.to_string().contains("oset(ostring)"));
+}
+
+/// Named types are aliases: expansion is structural, and re-definition
+/// is rejected.
+#[test]
+fn named_types_are_structural_aliases() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type city = tuple(<(name, string), (pop, int)>);
+        type c2 = city;
+        create a : rel(city);
+        create b : rel(c2);
+    "#,
+    )
+    .unwrap();
+    let a = db
+        .catalog()
+        .object(&sos_core::Symbol::new("a"))
+        .unwrap()
+        .ty
+        .clone();
+    let b = db
+        .catalog()
+        .object(&sos_core::Symbol::new("b"))
+        .unwrap()
+        .ty
+        .clone();
+    assert_eq!(a, b);
+    assert!(db.run("type city = tuple(<(x, int)>);").is_err());
+}
+
+/// The string(n) example of Section 3: constructors taking values.
+#[test]
+fn constructors_on_values_string_n() {
+    let mut db = Database::new();
+    db.load_spec(
+        "kinds FIXSTR
+         cons fixstring : int -> FIXSTR",
+    )
+    .unwrap();
+    db.run("create s4 : fixstring(4); create s20 : fixstring(20);")
+        .unwrap();
+    let t = db.catalog().object(&sos_core::Symbol::new("s20")).unwrap();
+    assert_eq!(t.ty.to_string(), "fixstring(20)");
+    // A non-int argument is rejected.
+    assert!(db.run(r#"create bad : fixstring("x");"#).is_err());
+}
+
+/// Function types classify view objects (Section 2.4).
+#[test]
+fn function_types_for_views_check() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type city = tuple(<(name, string), (pop, int)>);
+        type city_rel = rel(city);
+        create v0 : ( -> city_rel);
+        create v1 : (string -> city_rel);
+    "#,
+    )
+    .unwrap();
+    let v1 = db.catalog().object(&sos_core::Symbol::new("v1")).unwrap();
+    assert!(v1.ty.to_string().starts_with("(string -> rel("));
+}

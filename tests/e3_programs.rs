@@ -1,0 +1,165 @@
+//! E3 — Sections 2.3/2.4: concrete syntax and the five-statement
+//! program language, including the paper's little example program,
+//! views as function-valued objects, and parameterized views.
+
+use sos_exec::Value;
+use sos_system::{Database, Output};
+
+fn tuples(v: &Value) -> &[Value] {
+    match v {
+        Value::Rel(ts) | Value::Stream(ts) => ts,
+        other => panic!("expected relation, got {other:?}"),
+    }
+}
+
+/// The example program of Section 2.4, verbatim modulo statement
+/// terminators and explicit value entry.
+#[test]
+fn the_cities_program() {
+    let mut db = Database::new();
+    let outputs = db
+        .run(
+            r#"
+        type city = tuple(<(name, string), (pop, int), (country, string)>);
+        type city_rel = rel(city);
+        create cities : city_rel;
+        update cities := insert(cities, mktuple[(name, "Hagen"), (pop, 190000), (country, "Germany")]);
+        update cities := insert(cities, mktuple[(name, "Paris"), (pop, 2100000), (country, "France")]);
+        update cities := insert(cities, mktuple[(name, "Nice"), (pop, 340000), (country, "France")]);
+        query cities select[pop > 1000000];
+    "#,
+        )
+        .unwrap();
+    let Output::Query(v) = outputs.last().unwrap() else {
+        panic!("last statement is a query")
+    };
+    let ts = tuples(v);
+    assert_eq!(ts.len(), 1);
+    let Value::Tuple(fields) = &ts[0] else {
+        panic!()
+    };
+    assert_eq!(fields[0], Value::Str("Paris".into()));
+}
+
+/// Views without any special construct (Section 2.4): an object of type
+/// `( -> city_rel)` holding a function value.
+#[test]
+fn views_are_function_valued_objects() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type city = tuple(<(name, string), (pop, int), (country, string)>);
+        type city_rel = rel(city);
+        create cities : city_rel;
+        update cities := insert(cities, mktuple[(name, "Paris"), (pop, 2100000), (country, "France")]);
+        update cities := insert(cities, mktuple[(name, "Nice"), (pop, 340000), (country, "France")]);
+        update cities := insert(cities, mktuple[(name, "Hagen"), (pop, 190000), (country, "Germany")]);
+        create french_cities : ( -> city_rel);
+        update french_cities := fun () cities select[country = "France"];
+    "#,
+    )
+    .unwrap();
+    // The view is applied implicitly when used as a relation operand.
+    let v = db.query("french_cities select[pop > 1000000]").unwrap();
+    assert_eq!(tuples(&v).len(), 1);
+    // Views are non-materialized: a new city shows up immediately.
+    db.run(r#"update cities := insert(cities, mktuple[(name, "Lyon"), (pop, 1510000), (country, "France")]);"#)
+        .unwrap();
+    let v2 = db.query("french_cities select[pop > 1000000]").unwrap();
+    assert_eq!(tuples(&v2).len(), 2);
+}
+
+/// Parameterized views (Section 2.4): `cities_in ("Germany")`.
+#[test]
+fn parameterized_views() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type city = tuple(<(name, string), (pop, int), (country, string)>);
+        type city_rel = rel(city);
+        create cities : city_rel;
+        update cities := insert(cities, mktuple[(name, "Hagen"), (pop, 190000), (country, "Germany")]);
+        update cities := insert(cities, mktuple[(name, "Paris"), (pop, 2100000), (country, "France")]);
+        create cities_in : (string -> city_rel);
+        update cities_in := fun (c: string) cities select[country = c];
+    "#,
+    )
+    .unwrap();
+    let v = db.query(r#"cities_in ("Germany")"#).unwrap();
+    assert_eq!(tuples(&v).len(), 1);
+    let v2 = db.query(r#"cities_in ("France") select[pop > 1]"#).unwrap();
+    assert_eq!(tuples(&v2).len(), 1);
+    // Wrong argument type is a check error.
+    assert!(db.query("cities_in (42)").is_err());
+}
+
+#[test]
+fn delete_statement_removes_object() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type t = tuple(<(a, int)>);
+        create r : rel(t);
+        delete r;
+    "#,
+    )
+    .unwrap();
+    assert!(db.query("r count").is_err());
+    assert!(db.run("delete r;").is_err());
+}
+
+#[test]
+fn update_statement_type_safety() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type t = tuple(<(a, int)>);
+        create r : rel(t);
+    "#,
+    )
+    .unwrap();
+    // Assigning a value of the wrong type is rejected.
+    assert!(db.run("update r := 42;").is_err());
+    // Updating a non-existent object is rejected.
+    assert!(db.run("update nope := 42;").is_err());
+}
+
+#[test]
+fn comments_in_programs_are_ignored() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type t = tuple(<(a, int)>); { this is the paper's comment style }
+        create r : rel(t);          -- and a line comment
+        update r := insert(r, mktuple[(a, 1)]);
+    "#,
+    )
+    .unwrap();
+    assert_eq!(db.query("r count").unwrap(), Value::Int(1));
+}
+
+/// Update functions modify their first argument: the statement target is
+/// the updated object, and chained updates accumulate.
+#[test]
+fn chained_updates_accumulate() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type t = tuple(<(a, int)>);
+        create r : rel(t);
+    "#,
+    )
+    .unwrap();
+    for i in 0..10 {
+        db.run(&format!("update r := insert(r, mktuple[(a, {i})]);"))
+            .unwrap();
+    }
+    assert_eq!(db.query("r count").unwrap(), Value::Int(10));
+    db.run("update r := delete(r, fun (x: t) x a mod 2 = 0);")
+        .unwrap();
+    assert_eq!(db.query("r count").unwrap(), Value::Int(5));
+    db.run("update r := modify(r, fun (x: t) x a > 3, a, fun (x: t) x a * 10);")
+        .unwrap();
+    let v = db.query("r select[a >= 50]").unwrap();
+    assert_eq!(tuples(&v).len(), 3); // 5, 7, 9 -> 50, 70, 90
+}

@@ -1,0 +1,152 @@
+//! F1 — Figure 1 of the paper: a term tree for the type
+//! `stream(tuple(<(name, string), (age, int)>))` and the pattern
+//! `stream: stream(tuple: tuple(list))` matching it, binding variables
+//! at inner nodes.
+//!
+//! The figure is reproduced twice: directly against the pattern matcher
+//! (via a one-quantifier operator resolution) and through the `replace`
+//! operator of Section 4, whose specification is exactly the pattern of
+//! Figure 1(b).
+
+use sos_core::check::Checker;
+use sos_core::pattern::{SortPattern, TypePattern};
+use sos_core::spec::{Level, OpName, OperatorSpec, Quantifier, ResultSpec, SyntaxPattern};
+use sos_core::typed::TypedNode;
+use sos_core::{sym, DataType, Expr, Signature, TypeArg};
+use sos_system::builtin::builtin_signature;
+use sos_system::Database;
+use std::collections::HashMap;
+
+/// The term tree of Figure 1(a): stream(tuple(<(name, string), (age, int)>)).
+fn figure1_type() -> DataType {
+    DataType::stream(DataType::tuple(vec![
+        (sym("name"), DataType::atom("string")),
+        (sym("age"), DataType::atom("int")),
+    ]))
+}
+
+/// Match the Figure 1(b) pattern against the Figure 1(a) term by
+/// resolving an operator whose single argument carries that pattern.
+#[test]
+fn figure1_pattern_binds_stream_tuple_and_list() {
+    let mut sig: Signature = builtin_signature();
+    // op probe : forall stream: stream(tuple: tuple(list)) in STREAM .
+    //            stream -> stream
+    sig.add_spec(OperatorSpec {
+        name: OpName::Fixed(sym("probe")),
+        quantifiers: vec![Quantifier::Kind {
+            var: sym("stream"),
+            pattern: Some(TypePattern::cons(
+                "stream",
+                vec![TypePattern {
+                    binder: Some(sym("tuple")),
+                    node: sos_core::pattern::PatternNode::Cons(
+                        sym("tuple"),
+                        vec![TypePattern::var("list")],
+                    ),
+                }],
+            )),
+            kind: sym("STREAM"),
+            elementwise: false,
+        }],
+        args: vec![SortPattern::var("stream")],
+        // The result type uses the bound `tuple` variable: only possible
+        // if the pattern bound it correctly.
+        result: ResultSpec::Pattern(SortPattern::cons("srel", vec![SortPattern::var("tuple")])),
+        syntax: SyntaxPattern::prefix(),
+        is_update: false,
+        level: Level::Hybrid,
+    });
+
+    let mut env: HashMap<sos_core::Symbol, DataType> = HashMap::new();
+    env.insert(sym("persons_stream"), figure1_type());
+    let checker = Checker::new(&sig, &env);
+    let t = checker
+        .check_expr(&Expr::apply("probe", vec![Expr::name("persons_stream")]))
+        .unwrap();
+    // The binding of `tuple` flowed into the result type.
+    assert_eq!(
+        t.ty.to_string(),
+        "srel(tuple(<(name, string), (age, int)>))"
+    );
+}
+
+/// A pattern with the wrong constructor at an inner node does not match.
+#[test]
+fn figure1_pattern_rejects_wrong_structure() {
+    let sig = builtin_signature();
+    let mut env: HashMap<sos_core::Symbol, DataType> = HashMap::new();
+    // A rel, not a stream: the stream(...) pattern of `filter` (same
+    // shape as Figure 1) must reject it.
+    env.insert(
+        sym("persons"),
+        DataType::rel(DataType::tuple(vec![(sym("age"), DataType::atom("int"))])),
+    );
+    let checker = Checker::new(&sig, &env);
+    let e = Expr::apply(
+        "filter",
+        vec![
+            Expr::name("persons"),
+            Expr::Lambda {
+                params: vec![(
+                    sym("p"),
+                    DataType::tuple(vec![(sym("age"), DataType::atom("int"))]),
+                )],
+                body: Box::new(Expr::bool(true)),
+            },
+        ],
+    );
+    assert!(checker.check_expr(&e).is_err());
+}
+
+/// `replace` (Section 4) carries exactly the Figure 1(b) pattern:
+/// `stream: stream(tuple: tuple(list))` plus `(attrname, dtype) in list`.
+/// Resolving it on the Figure 1(a) type binds all of stream, tuple,
+/// list, attrname, dtype.
+#[test]
+fn replace_specification_is_figure1() {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type person = tuple(<(name, string), (age, int)>);
+        create people : srel(person);
+    "#,
+    )
+    .unwrap();
+    // age is an int attribute: ok. Binding dtype via the in-list
+    // quantifier makes the replacement function's type precise.
+    let plan = db
+        .explain("people feed replace[age, fun (p: person) p age + 1] count")
+        .unwrap();
+    assert!(plan.contains("replace"), "plan: {plan}");
+    // A wrongly typed replacement function is rejected: dtype is bound
+    // to int by (attrname, dtype) in list.
+    assert!(db
+        .explain(r#"people feed replace[age, fun (p: person) "x"] count"#)
+        .is_err());
+    // A non-attribute name is rejected: no element of `list` matches.
+    assert!(db
+        .explain("people feed replace[height, fun (p: person) 1] count")
+        .is_err());
+}
+
+/// The typed term records the instantiated operator (spec index), i.e.
+/// the checker selected the right specification among all overloads.
+#[test]
+fn resolution_records_matched_specification() {
+    let sig = builtin_signature();
+    let mut env: HashMap<sos_core::Symbol, DataType> = HashMap::new();
+    env.insert(sym("s"), figure1_type());
+    let checker = Checker::new(&sig, &env);
+    let t = checker
+        .check_expr(&Expr::apply("count", vec![Expr::name("s")]))
+        .unwrap();
+    let TypedNode::Apply { spec, .. } = &t.node else {
+        panic!()
+    };
+    // The matched spec must be the STREAM overload of count.
+    let matched = sig.spec(*spec);
+    let shown = format!("{:?}", matched.args[0]);
+    assert!(shown.contains("stream"), "matched arg sort: {shown}");
+    let _ = TypeArg::List(vec![]); // keep TypeArg import exercised
+}

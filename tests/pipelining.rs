@@ -1,0 +1,205 @@
+//! Pipelined stream execution (Section 4: streams are processed "in a
+//! pipelined fashion"): early-terminating consumers touch only the
+//! pages they need, and pipelined plans never materialize intermediate
+//! streams.
+
+use sos_exec::Value;
+use sos_system::Database;
+
+fn as_count(v: &Value) -> i64 {
+    match v {
+        Value::Int(n) => *n,
+        Value::Rel(ts) | Value::Stream(ts) => ts.len() as i64,
+        other => panic!("expected count, got {other:?}"),
+    }
+}
+
+fn big_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type item = tuple(<(k, int), (pad, string)>);
+        create items_rep : btree(item, k, int);
+        create heap_rep : tidrel(item);
+    "#,
+    )
+    .unwrap();
+    let tuples: Vec<Value> = (0..n)
+        .map(|i| {
+            Value::Tuple(vec![
+                Value::Int(i as i64),
+                Value::Str(format!("{:0200}", i)), // ~35 tuples per page
+            ])
+        })
+        .collect();
+    db.bulk_insert("items_rep", tuples.clone()).unwrap();
+    db.bulk_insert("heap_rep", tuples).unwrap();
+    db
+}
+
+#[test]
+fn head_terminates_the_scan_early() {
+    let mut db = big_db(20_000);
+    // Full scan cost, for reference.
+    db.reset_pool_stats();
+    db.query("items_rep feed count").unwrap();
+    let full = db.pool_stats().logical_reads;
+
+    db.reset_pool_stats();
+    let v = db.query("items_rep feed head[5] count").unwrap();
+    let early = db.pool_stats().logical_reads;
+    assert_eq!(as_count(&v), 5);
+    assert!(
+        early * 20 < full,
+        "head[5] must stop the scan: {early} vs full {full} page touches"
+    );
+}
+
+#[test]
+fn filter_head_pipelines_through_the_heap() {
+    let mut db = big_db(20_000);
+    db.reset_pool_stats();
+    let v = db
+        .query("heap_rep feed filter[k mod 2 = 0] head[10] count")
+        .unwrap();
+    let early = db.pool_stats().logical_reads;
+    assert_eq!(as_count(&v), 10);
+    db.reset_pool_stats();
+    db.query("heap_rep feed count").unwrap();
+    let full = db.pool_stats().logical_reads;
+    assert!(
+        early * 20 < full,
+        "filter|head must stop the scan: {early} vs {full}"
+    );
+}
+
+#[test]
+fn range_head_reads_only_the_needed_leaves() {
+    let mut db = big_db(20_000);
+    db.reset_pool_stats();
+    let v = db
+        .query("items_rep range_from[10000] head[3] count")
+        .unwrap();
+    let reads = db.pool_stats().logical_reads;
+    assert_eq!(as_count(&v), 3);
+    // Descent (height ~3) + one leaf.
+    assert!(reads <= 10, "range_from + head[3] touched {reads} pages");
+}
+
+#[test]
+fn pipelined_results_match_materialized_semantics() {
+    let mut db = big_db(2_000);
+    // Every pipelined chain agrees with its drained form.
+    let a = as_count(&db.query("items_rep feed filter[k < 100] count").unwrap());
+    assert_eq!(a, 100);
+    let b = as_count(
+        &db.query("items_rep feed filter[k < 100] collect feed count")
+            .unwrap(),
+    );
+    assert_eq!(b, 100);
+    // head beyond the stream length drains everything exactly once.
+    let c = as_count(&db.query("items_rep feed head[99999] count").unwrap());
+    assert_eq!(c, 2000);
+    // Query results at the statement boundary are materialized streams.
+    let v = db.query("items_rep feed head[3]").unwrap();
+    assert!(matches!(v, Value::Stream(ref ts) if ts.len() == 3), "{v:?}");
+}
+
+#[test]
+fn search_join_inner_pipelines_per_probe() {
+    // The inner function of a search_join produces a fresh pipelined
+    // range per outer tuple; correctness must be unaffected.
+    let mut db = big_db(1_000);
+    db.run(
+        r#"
+        type probe = tuple(<(pk, int), (plabel, string)>);
+        create probes : btree(probe, pk, int);
+    "#,
+    )
+    .unwrap();
+    let probes: Vec<Value> = (0..1000)
+        .map(|i| Value::Tuple(vec![Value::Int(i), Value::Str(format!("p{i}"))]))
+        .collect();
+    db.bulk_insert("probes", probes).unwrap();
+    let v = db
+        .query(
+            "items_rep range[0, 9] \
+             (fun (o: item) probes exactmatch[5] filter[fun (p: probe) p pk = o k]) \
+             search_join count",
+        )
+        .unwrap();
+    assert_eq!(as_count(&v), 1); // only outer k = 5 matches probe 5
+}
+
+#[test]
+fn search_join_head_early_terminates() {
+    // join ... head[k]: the pipelined search join stops probing after k
+    // result tuples.
+    let mut db = big_db(10_000);
+    db.run(
+        r#"
+        type probe = tuple(<(pk, int), (plabel, string)>);
+        create probes : btree(probe, pk, int);
+    "#,
+    )
+    .unwrap();
+    let probes: Vec<Value> = (0..10_000)
+        .map(|i| Value::Tuple(vec![Value::Int(i), Value::Str(format!("p{i}"))]))
+        .collect();
+    db.bulk_insert("probes", probes).unwrap();
+
+    db.reset_pool_stats();
+    let v = db
+        .query(
+            "items_rep feed \
+             (fun (o: item) probes range[0, 0]) \
+             search_join head[4] count",
+        )
+        .unwrap();
+    let early = db.pool_stats().logical_reads;
+    assert_eq!(as_count(&v), 4);
+    db.reset_pool_stats();
+    db.query("items_rep feed count").unwrap();
+    let full_outer_scan = db.pool_stats().logical_reads;
+    assert!(
+        early < full_outer_scan / 5,
+        "pipelined join+head should stop early: {early} vs outer scan {full_outer_scan}"
+    );
+}
+
+#[test]
+fn project_replace_pipelines() {
+    let mut db = big_db(20_000);
+    db.reset_pool_stats();
+    let v = db
+        .query("items_rep feed project[(k2, fun (t: item) t k * 2)] head[5] count")
+        .unwrap();
+    let early = db.pool_stats().logical_reads;
+    assert_eq!(as_count(&v), 5);
+    assert!(early < 40, "project|head touched {early} pages");
+
+    db.reset_pool_stats();
+    let v2 = db
+        .query("items_rep feed replace[k, fun (t: item) t k + 1] head[5] count")
+        .unwrap();
+    assert_eq!(as_count(&v2), 5);
+    assert!(db.pool_stats().logical_reads < 40);
+}
+
+/// Self-referential updates see a snapshot, not their own effects:
+/// `stream_insert(x, x feed)` exactly doubles the relation.
+#[test]
+fn self_referential_stream_insert_uses_a_snapshot() {
+    let mut db = big_db(500);
+    db.run("update heap_rep := stream_insert(heap_rep, heap_rep feed);")
+        .unwrap();
+    assert_eq!(as_count(&db.query("heap_rep feed count").unwrap()), 1000);
+    // And on the B-tree (splits during insertion must not disturb the
+    // already-drained snapshot).
+    db.run("update items_rep := stream_insert(items_rep, items_rep range[0, 99]);")
+        .unwrap();
+    assert_eq!(
+        as_count(&db.query("items_rep range[0, 99] count").unwrap()),
+        200
+    );
+}
