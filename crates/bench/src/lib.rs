@@ -84,6 +84,30 @@ pub fn item_tuples(n: usize) -> Vec<Value> {
         .collect()
 }
 
+/// A heap-backed (tidrel) relation for parallel-scan benchmarks: `feed`
+/// over it produces a page-partitionable cursor, and the padded payload
+/// keeps it at ~35 tuples per page so worker counts matter.
+pub fn heap_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.run(
+        r#"
+        type hitem = tuple(<(k, int), (pad, string)>);
+        create hitems : tidrel(hitem);
+    "#,
+    )
+    .expect("heap schema");
+    let tuples: Vec<Value> = (0..n)
+        .map(|i| {
+            Value::Tuple(vec![
+                Value::Int(i as i64),
+                Value::Str(format!("{:0180}", i)),
+            ])
+        })
+        .collect();
+    db.bulk_insert("hitems", tuples).expect("load heap");
+    db
+}
+
 /// Extract an integer count from a query result.
 pub fn as_count(v: &Value) -> i64 {
     match v {

@@ -32,14 +32,29 @@ pub type OpImpl =
 pub struct ExecEngine {
     pub pool: Arc<BufferPool>,
     ops: HashMap<Symbol, OpImpl>,
+    /// Operators known to be context-free (evaluable on worker threads
+    /// by [`crate::parallel`]). An override via [`ExecEngine::add_op`]
+    /// clears the mark — a replaced implementation may do anything.
+    atomic: std::collections::HashSet<Symbol>,
+    /// Worker threads for intra-operator parallelism; `1` disables it.
+    workers: usize,
+    /// Per-operator execution counters.
+    pub stats: Arc<crate::stats::ExecStats>,
 }
 
 impl ExecEngine {
-    /// An engine with every built-in operator registered.
+    /// An engine with every built-in operator registered. Starts with
+    /// one worker per available core (`1` on single-core machines, i.e.
+    /// exact serial behavior).
     pub fn new(pool: Arc<BufferPool>) -> ExecEngine {
         let mut e = ExecEngine {
             pool,
             ops: HashMap::new(),
+            atomic: std::collections::HashSet::new(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            stats: Arc::new(crate::stats::ExecStats::default()),
         };
         crate::ops::register_builtins(&mut e);
         e
@@ -51,11 +66,34 @@ impl ExecEngine {
     where
         F: Fn(&mut EvalCtx, &TypedExpr, Vec<Value>) -> ExecResult<Value> + Send + Sync + 'static,
     {
-        self.ops.insert(Symbol::new(name), Arc::new(f));
+        let name = Symbol::new(name);
+        self.atomic.remove(&name);
+        self.ops.insert(name, Arc::new(f));
     }
 
     pub fn has_op(&self, name: &Symbol) -> bool {
         self.ops.contains_key(name)
+    }
+
+    /// Mark a registered operator as context-free. Only the built-in
+    /// atomic operators qualify (see [`crate::ops::basic`]).
+    pub(crate) fn mark_atomic(&mut self, name: &str) {
+        self.atomic.insert(Symbol::new(name));
+    }
+
+    /// Whether `name` currently resolves to a context-free built-in.
+    pub fn is_atomic_op(&self, name: &Symbol) -> bool {
+        self.atomic.contains(name)
+    }
+
+    /// Set the worker count for intra-operator parallelism (min 1).
+    pub fn set_workers(&mut self, n: usize) {
+        self.workers = n.max(1);
+    }
+
+    /// The current worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Create the initial value for a freshly created object of `ty`

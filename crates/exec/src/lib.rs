@@ -14,10 +14,13 @@ mod value;
 
 pub mod engine;
 pub mod ops;
+pub mod parallel;
+pub mod stats;
 pub mod stored;
 pub mod stream;
 
 pub use engine::{EvalCtx, ExecEngine};
 pub use error::{ExecError, ExecResult};
 pub use handles::{BTreeHandle, KeyExtractor, LsdHandle};
+pub use stats::{ExecStats, OpStats};
 pub use value::{compare, render, Closure, Value};

@@ -1,4 +1,12 @@
 //! Atomic data operators: comparisons, arithmetic, logic, geometry.
+//!
+//! Every operator here is *context-free*: a pure function from argument
+//! values to a result, touching neither the object store nor the
+//! catalog. [`eval_atomic`] is the single implementation, used both by
+//! the registered engine operators and by the parallel executor's pure
+//! evaluator ([`crate::parallel`]) — sharing one code path is what makes
+//! a parallel plan extensionally equal to its serial counterpart by
+//! construction.
 
 use crate::engine::ExecEngine;
 use crate::error::{mismatch, ExecError, ExecResult};
@@ -6,132 +14,171 @@ use crate::value::{compare, Value};
 use sos_geom::{Point, Rect};
 use std::cmp::Ordering;
 
-pub fn register(e: &mut ExecEngine) {
-    // ---- equality / comparison (polymorphic over DATA) ----
-    e.add_op("=", |_, _, args| Ok(Value::Bool(args[0] == args[1])));
-    e.add_op("!=", |_, _, args| Ok(Value::Bool(args[0] != args[1])));
-    for (name, wanted) in [
-        ("<", vec![Ordering::Less]),
-        ("<=", vec![Ordering::Less, Ordering::Equal]),
-        (">", vec![Ordering::Greater]),
-        (">=", vec![Ordering::Greater, Ordering::Equal]),
-    ] {
-        let w = wanted.clone();
-        let n = name.to_string();
-        e.add_op(name, move |_, _, args| {
-            let ord = compare(&n, &args[0], &args[1])?;
-            Ok(Value::Bool(w.contains(&ord)))
-        });
+/// The names of all atomic (context-free) operators.
+pub const ATOMIC_OPS: &[&str] = &[
+    "=",
+    "!=",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "div",
+    "mod",
+    "and",
+    "or",
+    "not",
+    "bbox",
+    "inside",
+    "intersects",
+    "makepoint",
+    "makerect",
+    "makepgon",
+    "area",
+    "distance",
+];
+
+/// Whether `op` is an atomic operator evaluable without an engine context.
+pub fn is_atomic(op: &str) -> bool {
+    ATOMIC_OPS.contains(&op)
+}
+
+/// Evaluate an atomic operator on already-evaluated arguments. Returns
+/// `None` when `op` is not an atomic operator.
+pub fn eval_atomic(op: &str, args: &[Value]) -> Option<ExecResult<Value>> {
+    if !is_atomic(op) {
+        return None;
     }
+    Some(eval_known_atomic(op, args))
+}
 
-    // ---- arithmetic with int/real promotion ----
-    e.add_op("+", |_, _, args| numeric(&args[0], &args[1], "+"));
-    e.add_op("-", |_, _, args| numeric(&args[0], &args[1], "-"));
-    e.add_op("*", |_, _, args| numeric(&args[0], &args[1], "*"));
-    e.add_op("/", |_, _, args| numeric(&args[0], &args[1], "/"));
-    e.add_op("div", |_, _, args| {
-        let (a, b) = (args[0].as_int("div")?, args[1].as_int("div")?);
-        if b == 0 {
-            return Err(ExecError::Arithmetic("division by zero".into()));
-        }
-        Ok(Value::Int(a.div_euclid(b)))
-    });
-    e.add_op("mod", |_, _, args| {
-        let (a, b) = (args[0].as_int("mod")?, args[1].as_int("mod")?);
-        if b == 0 {
-            return Err(ExecError::Arithmetic("modulo by zero".into()));
-        }
-        Ok(Value::Int(a.rem_euclid(b)))
-    });
-
-    // ---- logic ----
-    e.add_op("and", |_, _, args| {
-        Ok(Value::Bool(
-            args[0].as_bool("and")? && args[1].as_bool("and")?,
-        ))
-    });
-    e.add_op("or", |_, _, args| {
-        Ok(Value::Bool(
-            args[0].as_bool("or")? || args[1].as_bool("or")?,
-        ))
-    });
-    e.add_op("not", |_, _, args| {
-        Ok(Value::Bool(!args[0].as_bool("not")?))
-    });
-
-    // ---- geometry (Section 4's point/rect/pgon algebra) ----
-    e.add_op("bbox", |_, _, args| match &args[0] {
-        Value::Pgon(p) => Ok(Value::Rect(p.bbox())),
-        Value::Rect(r) => Ok(Value::Rect(*r)),
-        other => Err(mismatch("bbox", "pgon", &other.kind_name())),
-    });
-    e.add_op("inside", |_, _, args| match (&args[0], &args[1]) {
-        (Value::Point(p), Value::Pgon(g)) => Ok(Value::Bool(g.contains_point(p))),
-        (Value::Point(p), Value::Rect(r)) => Ok(Value::Bool(r.contains_point(p))),
-        (Value::Rect(a), Value::Rect(b)) => Ok(Value::Bool(b.contains_rect(a))),
-        (a, b) => Err(mismatch(
-            "inside",
-            "point x pgon / point x rect / rect x rect",
-            &format!("{} x {}", a.kind_name(), b.kind_name()),
-        )),
-    });
-    e.add_op("intersects", |_, _, args| match (&args[0], &args[1]) {
-        (Value::Rect(a), Value::Rect(b)) => Ok(Value::Bool(a.intersects(b))),
-        (a, b) => Err(mismatch(
-            "intersects",
-            "rect x rect",
-            &format!("{} x {}", a.kind_name(), b.kind_name()),
-        )),
-    });
-    e.add_op("makepoint", |_, _, args| {
-        let x = as_real(&args[0], "makepoint")?;
-        let y = as_real(&args[1], "makepoint")?;
-        Ok(Value::Point(Point::new(x, y)))
-    });
-    e.add_op("makerect", |_, _, args| {
-        let vals: Vec<f64> = args
-            .iter()
-            .map(|a| as_real(a, "makerect"))
-            .collect::<ExecResult<_>>()?;
-        Ok(Value::Rect(Rect::new(vals[0], vals[1], vals[2], vals[3])))
-    });
-    e.add_op("makepgon", |_, _, args| {
-        let Value::List(pairs) = &args[0] else {
-            return Err(mismatch("makepgon", "list of pairs", &args[0].kind_name()));
-        };
-        let mut vs = Vec::with_capacity(pairs.len());
-        for p in pairs {
-            let Value::Pair(comps) = p else {
-                return Err(mismatch("makepgon", "(x, y) pair", &p.kind_name()));
+fn eval_known_atomic(op: &str, args: &[Value]) -> ExecResult<Value> {
+    match op {
+        // ---- equality / comparison (polymorphic over DATA) ----
+        "=" => Ok(Value::Bool(args[0] == args[1])),
+        "!=" => Ok(Value::Bool(args[0] != args[1])),
+        "<" | "<=" | ">" | ">=" => {
+            let ord = compare(op, &args[0], &args[1])?;
+            let holds = match op {
+                "<" => ord == Ordering::Less,
+                "<=" => ord != Ordering::Greater,
+                ">" => ord == Ordering::Greater,
+                _ => ord != Ordering::Less,
             };
-            if comps.len() != 2 {
-                return Err(ExecError::Other("makepgon pairs must be binary".into()));
+            Ok(Value::Bool(holds))
+        }
+
+        // ---- arithmetic with int/real promotion ----
+        "+" | "-" | "*" | "/" => numeric(&args[0], &args[1], op),
+        "div" => {
+            let (a, b) = (args[0].as_int("div")?, args[1].as_int("div")?);
+            if b == 0 {
+                return Err(ExecError::Arithmetic("division by zero".into()));
             }
-            vs.push(Point::new(
-                as_real(&comps[0], "makepgon")?,
-                as_real(&comps[1], "makepgon")?,
-            ));
+            Ok(Value::Int(a.div_euclid(b)))
         }
-        if vs.len() < 3 {
-            return Err(ExecError::Other(
-                "makepgon needs at least 3 vertices".into(),
-            ));
+        "mod" => {
+            let (a, b) = (args[0].as_int("mod")?, args[1].as_int("mod")?);
+            if b == 0 {
+                return Err(ExecError::Arithmetic("modulo by zero".into()));
+            }
+            Ok(Value::Int(a.rem_euclid(b)))
         }
-        Ok(Value::Pgon(sos_geom::Polygon::new(vs)))
-    });
-    e.add_op("area", |_, _, args| match &args[0] {
-        Value::Pgon(p) => Ok(Value::Real(p.area())),
-        Value::Rect(r) => Ok(Value::Real(r.area())),
-        other => Err(mismatch("area", "pgon or rect", &other.kind_name())),
-    });
-    e.add_op("distance", |_, _, args| match (&args[0], &args[1]) {
-        (Value::Point(a), Value::Point(b)) => Ok(Value::Real(a.distance(b))),
-        (a, b) => Err(mismatch(
-            "distance",
-            "point x point",
-            &format!("{} x {}", a.kind_name(), b.kind_name()),
+
+        // ---- logic ----
+        "and" => Ok(Value::Bool(
+            args[0].as_bool("and")? && args[1].as_bool("and")?,
         )),
-    });
+        "or" => Ok(Value::Bool(
+            args[0].as_bool("or")? || args[1].as_bool("or")?,
+        )),
+        "not" => Ok(Value::Bool(!args[0].as_bool("not")?)),
+
+        // ---- geometry (Section 4's point/rect/pgon algebra) ----
+        "bbox" => match &args[0] {
+            Value::Pgon(p) => Ok(Value::Rect(p.bbox())),
+            Value::Rect(r) => Ok(Value::Rect(*r)),
+            other => Err(mismatch("bbox", "pgon", &other.kind_name())),
+        },
+        "inside" => match (&args[0], &args[1]) {
+            (Value::Point(p), Value::Pgon(g)) => Ok(Value::Bool(g.contains_point(p))),
+            (Value::Point(p), Value::Rect(r)) => Ok(Value::Bool(r.contains_point(p))),
+            (Value::Rect(a), Value::Rect(b)) => Ok(Value::Bool(b.contains_rect(a))),
+            (a, b) => Err(mismatch(
+                "inside",
+                "point x pgon / point x rect / rect x rect",
+                &format!("{} x {}", a.kind_name(), b.kind_name()),
+            )),
+        },
+        "intersects" => match (&args[0], &args[1]) {
+            (Value::Rect(a), Value::Rect(b)) => Ok(Value::Bool(a.intersects(b))),
+            (a, b) => Err(mismatch(
+                "intersects",
+                "rect x rect",
+                &format!("{} x {}", a.kind_name(), b.kind_name()),
+            )),
+        },
+        "makepoint" => {
+            let x = as_real(&args[0], "makepoint")?;
+            let y = as_real(&args[1], "makepoint")?;
+            Ok(Value::Point(Point::new(x, y)))
+        }
+        "makerect" => {
+            let vals: Vec<f64> = args
+                .iter()
+                .map(|a| as_real(a, "makerect"))
+                .collect::<ExecResult<_>>()?;
+            Ok(Value::Rect(Rect::new(vals[0], vals[1], vals[2], vals[3])))
+        }
+        "makepgon" => {
+            let Value::List(pairs) = &args[0] else {
+                return Err(mismatch("makepgon", "list of pairs", &args[0].kind_name()));
+            };
+            let mut vs = Vec::with_capacity(pairs.len());
+            for p in pairs {
+                let Value::Pair(comps) = p else {
+                    return Err(mismatch("makepgon", "(x, y) pair", &p.kind_name()));
+                };
+                if comps.len() != 2 {
+                    return Err(ExecError::Other("makepgon pairs must be binary".into()));
+                }
+                vs.push(Point::new(
+                    as_real(&comps[0], "makepgon")?,
+                    as_real(&comps[1], "makepgon")?,
+                ));
+            }
+            if vs.len() < 3 {
+                return Err(ExecError::Other(
+                    "makepgon needs at least 3 vertices".into(),
+                ));
+            }
+            Ok(Value::Pgon(sos_geom::Polygon::new(vs)))
+        }
+        "area" => match &args[0] {
+            Value::Pgon(p) => Ok(Value::Real(p.area())),
+            Value::Rect(r) => Ok(Value::Real(r.area())),
+            other => Err(mismatch("area", "pgon or rect", &other.kind_name())),
+        },
+        "distance" => match (&args[0], &args[1]) {
+            (Value::Point(a), Value::Point(b)) => Ok(Value::Real(a.distance(b))),
+            (a, b) => Err(mismatch(
+                "distance",
+                "point x point",
+                &format!("{} x {}", a.kind_name(), b.kind_name()),
+            )),
+        },
+        other => unreachable!("`{other}` listed in ATOMIC_OPS but not implemented"),
+    }
+}
+
+pub fn register(e: &mut ExecEngine) {
+    for op in ATOMIC_OPS {
+        e.add_op(op, move |_, _, args| eval_known_atomic(op, &args));
+        e.mark_atomic(op);
+    }
 }
 
 fn as_real(v: &Value, op: &str) -> ExecResult<f64> {

@@ -1,7 +1,7 @@
 //! Built-in operator implementations: the Ω_A functions of the built-in
 //! model and representation algebras.
 
-mod basic;
+pub mod basic;
 mod indexes;
 pub mod relational;
 pub mod streams;

@@ -44,12 +44,22 @@ pub fn concat_tuples(a: &Value, b: &Value, op: &str) -> ExecResult<Value> {
 pub fn register(e: &mut ExecEngine) {
     e.add_op("select", |ctx, _, args| {
         let tuples = tuples_of(&args[0], "select")?;
-        Ok(Value::Rel(filter_tuples(ctx, tuples, &args[1], "select")?))
+        if let Some(res) = crate::parallel::try_par_filter(ctx.engine, &tuples, &args[1], "select")
+        {
+            return Ok(Value::Rel(res?));
+        }
+        let n_in = tuples.len();
+        let out = filter_tuples(ctx, tuples, &args[1], "select")?;
+        ctx.engine.stats.record("select", 1, n_in, out.len(), 0);
+        Ok(Value::Rel(out))
     });
 
     e.add_op("join", |ctx, _, args| {
         let left = tuples_of(&args[0], "join")?;
         let right = tuples_of(&args[1], "join")?;
+        if let Some(res) = crate::parallel::try_par_join(ctx.engine, &left, &right, &args[2]) {
+            return Ok(Value::Rel(res?));
+        }
         let pred = args[2].as_closure("join")?.clone();
         let mut out = Vec::new();
         for l in &left {
@@ -62,6 +72,9 @@ pub fn register(e: &mut ExecEngine) {
                 }
             }
         }
+        ctx.engine
+            .stats
+            .record("join", 1, left.len() + right.len(), out.len(), 0);
         Ok(Value::Rel(out))
     });
 
@@ -98,15 +111,31 @@ pub fn register(e: &mut ExecEngine) {
     e.add_op("count", |ctx, _, args| match &args[0] {
         Value::Rel(ts) | Value::Stream(ts) => Ok(Value::Int(ts.len() as i64)),
         Value::Cursor(_) => {
-            // Drain the pipeline one tuple at a time (no buffering).
             let mut cursor = crate::stream::into_cursor(args[0].clone())?;
+            // Count page-partitioned when the pipeline allows it...
+            if let Some(res) = crate::parallel::try_par_count(ctx.engine, &mut cursor) {
+                return Ok(Value::Int(res?));
+            }
+            // ...else drain the pipeline one tuple at a time (no
+            // buffering).
             let mut n = 0i64;
             while cursor.next(ctx)?.is_some() {
                 n += 1;
             }
+            ctx.engine.stats.record("count", 1, n as usize, 1, 0);
             Ok(Value::Int(n))
         }
-        Value::SRel(h) | Value::TidRel(h) => Ok(Value::Int(h.count()? as i64)),
+        Value::SRel(h) | Value::TidRel(h) => {
+            let workers = ctx.engine.workers();
+            if workers > 1 && h.pages().len() >= crate::parallel::PAR_MIN_PAGES {
+                let n = sos_storage::parallel::par_count(h, workers, |_| true)?;
+                ctx.engine
+                    .stats
+                    .record("count", workers, n, 1, h.pages().len());
+                return Ok(Value::Int(n as i64));
+            }
+            Ok(Value::Int(h.count()? as i64))
+        }
         Value::BTree(h) => Ok(Value::Int(h.tree.len() as i64)),
         Value::LsdTree(h) => Ok(Value::Int(h.tree.len() as i64)),
         Value::Undefined => Ok(Value::Int(0)),

@@ -216,21 +216,61 @@ pub fn register(e: &mut ExecEngine) {
         )
         .ok_or_else(|| crate::error::ExecError::Other(format!("attribute `{a2}` missing")))?;
         // Build on the inner side, keyed by the memcomparable encoding.
-        let mut table: std::collections::HashMap<Vec<u8>, Vec<&Value>> =
-            std::collections::HashMap::new();
-        for t in inner.iter() {
-            let key = crate::handles::encode_key("hashjoin", &t.as_tuple("hashjoin")?[i2])?;
-            table.entry(key).or_default().push(t);
-        }
-        let mut out = Vec::new();
-        for o in outer.iter() {
-            let key = crate::handles::encode_key("hashjoin", &o.as_tuple("hashjoin")?[i1])?;
-            if let Some(matches) = table.get(&key) {
-                for m in matches {
-                    out.push(concat_tuples(o, m, "hashjoin")?);
-                }
+        // With several workers, each builds a table over a contiguous
+        // inner chunk; merging in chunk order keeps every key's match
+        // list in serial insertion order, so probe output is identical
+        // to the single-threaded build.
+        let workers = ctx.engine.workers();
+        let par = workers > 1 && inner.len() + outer.len() >= crate::parallel::PAR_MIN_TUPLES;
+        type Table = std::collections::HashMap<Vec<u8>, Vec<usize>>;
+        let build = |base: usize, part: &[Value]| -> ExecResult<Table> {
+            let mut t: Table = Table::new();
+            for (j, tup) in part.iter().enumerate() {
+                let key = crate::handles::encode_key("hashjoin", &tup.as_tuple("hashjoin")?[i2])?;
+                t.entry(key).or_default().push(base + j);
+            }
+            Ok(t)
+        };
+        let mut table: Table = Table::new();
+        let parts = if par {
+            crate::parallel::par_chunks(inner, workers, build)
+        } else {
+            vec![build(0, inner)]
+        };
+        for p in parts {
+            for (k, mut v) in p? {
+                table.entry(k).or_default().append(&mut v);
             }
         }
+        // Probe with the outer side, partitioned the same way.
+        let probe = |_: usize, part: &[Value]| -> ExecResult<Vec<Value>> {
+            let mut out = Vec::new();
+            for o in part {
+                let key = crate::handles::encode_key("hashjoin", &o.as_tuple("hashjoin")?[i1])?;
+                if let Some(matches) = table.get(&key) {
+                    for &m in matches {
+                        out.push(concat_tuples(o, &inner[m], "hashjoin")?);
+                    }
+                }
+            }
+            Ok(out)
+        };
+        let parts = if par {
+            crate::parallel::par_chunks(outer, workers, probe)
+        } else {
+            vec![probe(0, outer)]
+        };
+        let mut out = Vec::new();
+        for p in parts {
+            out.append(&mut p?);
+        }
+        ctx.engine.stats.record(
+            "hashjoin",
+            if par { workers } else { 1 },
+            inner.len() + outer.len(),
+            out.len(),
+            0,
+        );
         Ok(Value::Stream(out))
     });
 
@@ -302,6 +342,11 @@ pub fn register(e: &mut ExecEngine) {
                 return Err(mismatch(agg, "attribute name", &args[1].kind_name()));
             };
             let idx = crate::ops::relational::attr_index_of_first_arg(node, attr)?;
+            // The scan beneath already ran parallel where possible (see
+            // `materialize`); the fold itself stays serial so that
+            // floating-point accumulation order — and thus the result —
+            // is bit-identical to the legacy path.
+            ctx.engine.stats.record(agg, 1, tuples.len(), 1, 0);
             aggregate(agg, tuples, idx)
         });
     }

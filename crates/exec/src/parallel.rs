@@ -1,0 +1,583 @@
+//! Intra-operator parallelism: data-parallel drains of heap-backed
+//! cursor pipelines and chunked evaluation over in-memory relations.
+//!
+//! The serial engine stays the source of truth: a pipeline is only
+//! parallelized when every function it applies is *pure* (built from the
+//! context-free operators of [`crate::ops::basic`] plus attribute
+//! access), and the parallel path then evaluates the exact same operator
+//! implementations over page partitions, reducing per-worker results in
+//! page order. The outcome is extensionally equal to the serial drain by
+//! construction — `tests/par_vs_serial.rs` checks this differentially.
+//!
+//! `workers == 1` (the default on single-core machines) never spawns and
+//! never takes any code path here, preserving exact legacy behavior.
+
+use crate::engine::ExecEngine;
+use crate::error::{ExecError, ExecResult};
+use crate::ops::basic;
+use crate::stream::Cursor;
+use crate::value::{Closure, Value};
+use sos_core::typed::{TypedExpr, TypedNode};
+use sos_storage::heap::HeapFile;
+use sos_storage::parallel::par_scan_pages;
+use sos_storage::PageId;
+use std::sync::Arc;
+
+/// Minimum heap pages before a scan is worth partitioning.
+pub const PAR_MIN_PAGES: usize = 2;
+/// Minimum in-memory tuples before chunked evaluation is worth spawning.
+pub const PAR_MIN_TUPLES: usize = 64;
+
+// ---------------------------------------------------------------------
+// Pure functions: closures safe to evaluate on worker threads.
+// ---------------------------------------------------------------------
+
+/// A closure verified to be context-free: its body touches no database
+/// object, applies only atomic operators and attribute access, and
+/// contains no nested function values. Such a closure can be evaluated
+/// on any thread without an [`crate::engine::EvalCtx`].
+pub struct PureFun {
+    closure: Arc<Closure>,
+}
+
+impl PureFun {
+    /// Verify purity; `None` means the closure needs the serial engine.
+    pub fn compile(engine: &ExecEngine, closure: &Arc<Closure>) -> Option<PureFun> {
+        if is_pure_expr(engine, &closure.body) {
+            Some(PureFun {
+                closure: closure.clone(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Apply to argument values. Mirrors `EvalCtx::call` exactly
+    /// (environment layout, arity errors) for the pure subset.
+    pub fn call(&self, engine: &ExecEngine, args: &[Value]) -> ExecResult<Value> {
+        if self.closure.params.len() != args.len() {
+            return Err(ExecError::Other(format!(
+                "function expects {} argument(s), got {}",
+                self.closure.params.len(),
+                args.len()
+            )));
+        }
+        let mut env = self.closure.captured.clone();
+        for ((name, _), v) in self.closure.params.iter().zip(args) {
+            env.push((name.clone(), v.clone()));
+        }
+        eval_pure(engine, &self.closure.body, &env)
+    }
+}
+
+fn is_pure_expr(engine: &ExecEngine, te: &TypedExpr) -> bool {
+    match &te.node {
+        TypedNode::Const(_) | TypedNode::Var(_) => true,
+        // Objects read the store; function values re-enter the
+        // interpreter. Both stay on the serial path.
+        TypedNode::Object(_) | TypedNode::Lambda { .. } | TypedNode::ApplyFun { .. } => false,
+        TypedNode::List(items) | TypedNode::Tuple(items) => {
+            items.iter().all(|i| is_pure_expr(engine, i))
+        }
+        TypedNode::Apply { op, args, .. } => {
+            let op_ok = engine.is_atomic_op(op)
+                || (!engine.has_op(op)
+                    && args.len() == 1
+                    && crate::handles::attr_index(&args[0].ty, op).is_some());
+            op_ok && args.iter().all(|a| is_pure_expr(engine, a))
+        }
+    }
+}
+
+/// Evaluate a pure term: the context-free subset of `EvalCtx::eval`,
+/// with identical dispatch order (registered atomic operator first, then
+/// attribute access) and identical errors.
+fn eval_pure(
+    engine: &ExecEngine,
+    te: &TypedExpr,
+    env: &[(sos_core::Symbol, Value)],
+) -> ExecResult<Value> {
+    match &te.node {
+        TypedNode::Const(c) => Ok(Value::from_const(c)),
+        TypedNode::Var(name) => env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| ExecError::Other(format!("unbound variable `{name}`"))),
+        TypedNode::List(items) => Ok(Value::List(
+            items
+                .iter()
+                .map(|i| eval_pure(engine, i, env))
+                .collect::<ExecResult<_>>()?,
+        )),
+        TypedNode::Tuple(items) => Ok(Value::Pair(
+            items
+                .iter()
+                .map(|i| eval_pure(engine, i, env))
+                .collect::<ExecResult<_>>()?,
+        )),
+        TypedNode::Apply { op, args, .. } => {
+            let argv = args
+                .iter()
+                .map(|a| eval_pure(engine, a, env))
+                .collect::<ExecResult<Vec<_>>>()?;
+            if engine.is_atomic_op(op) {
+                return basic::eval_atomic(op.as_str(), &argv)
+                    .unwrap_or_else(|| Err(ExecError::NoImpl(op.clone())));
+            }
+            if let [arg_node] = &args[..] {
+                if let Some(idx) = crate::handles::attr_index(&arg_node.ty, op) {
+                    let tuple = argv[0].as_tuple(op.as_str())?;
+                    return tuple.get(idx).cloned().ok_or_else(|| {
+                        ExecError::Other(format!("tuple too short for attribute `{op}`"))
+                    });
+                }
+            }
+            Err(ExecError::NoImpl(op.clone()))
+        }
+        TypedNode::Object(_) | TypedNode::Lambda { .. } | TypedNode::ApplyFun { .. } => Err(
+            ExecError::Other("impure term reached the pure evaluator".into()),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heap plans: a cursor spine rewritten as scan + pure pipeline steps.
+// ---------------------------------------------------------------------
+
+enum Step {
+    Filter(PureFun),
+    Project(Vec<PureFun>),
+    Replace { idx: usize, fun: PureFun },
+}
+
+/// An undrained heap scan plus the pure pipeline steps stacked on it —
+/// the fragment of a cursor spine that can run data-parallel.
+pub struct HeapPlan {
+    heap: Arc<HeapFile>,
+    pages: Vec<PageId>,
+    /// Applied innermost-first, exactly as the serial cursor would.
+    steps: Vec<Step>,
+}
+
+impl HeapPlan {
+    /// Extract a plan from a cursor spine. `None` whenever any part of
+    /// the spine must stay serial: a partially drained or non-heap
+    /// source, an impure function, a `head` (early termination is the
+    /// point of pipelining), or a shared link another value still holds.
+    fn from_cursor(engine: &ExecEngine, cursor: &Cursor) -> Option<HeapPlan> {
+        match cursor {
+            Cursor::Heap {
+                heap,
+                pages,
+                page_idx,
+                buf,
+            } => {
+                if *page_idx != 0 || !buf.is_empty() {
+                    return None;
+                }
+                Some(HeapPlan {
+                    heap: heap.clone(),
+                    pages: pages.clone(),
+                    steps: Vec::new(),
+                })
+            }
+            Cursor::Filter { input, pred } => {
+                let mut plan = Self::from_cursor(engine, input)?;
+                plan.steps
+                    .push(Step::Filter(PureFun::compile(engine, pred)?));
+                Some(plan)
+            }
+            Cursor::Project { input, funs } => {
+                let mut plan = Self::from_cursor(engine, input)?;
+                let compiled = funs
+                    .iter()
+                    .map(|f| PureFun::compile(engine, f))
+                    .collect::<Option<Vec<_>>>()?;
+                plan.steps.push(Step::Project(compiled));
+                Some(plan)
+            }
+            Cursor::Replace { input, idx, fun } => {
+                let mut plan = Self::from_cursor(engine, input)?;
+                plan.steps.push(Step::Replace {
+                    idx: *idx,
+                    fun: PureFun::compile(engine, fun)?,
+                });
+                Some(plan)
+            }
+            // A shared link inside a spine is parallel-safe only when the
+            // spine is its sole owner (a clone elsewhere could observe a
+            // partial drain).
+            Cursor::Shared(arc) => {
+                if Arc::strong_count(arc) != 1 {
+                    return None;
+                }
+                let guard = arc.lock();
+                Self::from_cursor(engine, &guard)
+            }
+            Cursor::Mat(_)
+            | Cursor::BTreeRange { .. }
+            | Cursor::Head { .. }
+            | Cursor::SearchJoin { .. } => None,
+        }
+    }
+
+    fn collect(&self, engine: &ExecEngine, workers: usize) -> ExecResult<Vec<Value>> {
+        #[derive(Default)]
+        struct Acc {
+            rows: Vec<Value>,
+            read: usize,
+            err: Option<ExecError>,
+        }
+        let acc: Acc = par_scan_pages(
+            &self.heap,
+            self.pages.clone(),
+            workers,
+            |_, rec| {
+                let mut a = Acc {
+                    read: 1,
+                    ..Acc::default()
+                };
+                match Value::decode_tuple(rec).and_then(|t| apply_steps(engine, &self.steps, t)) {
+                    Ok(Some(t)) => a.rows.push(t),
+                    Ok(None) => {}
+                    Err(e) => a.err = Some(e),
+                }
+                a
+            },
+            |mut a, mut b| {
+                a.read += b.read;
+                if a.err.is_none() {
+                    a.rows.append(&mut b.rows);
+                    a.err = b.err;
+                }
+                a
+            },
+        )?;
+        if let Some(e) = acc.err {
+            return Err(e);
+        }
+        engine
+            .stats
+            .record("feed", workers, acc.read, acc.rows.len(), self.pages.len());
+        Ok(acc.rows)
+    }
+
+    fn count(&self, engine: &ExecEngine, workers: usize) -> ExecResult<i64> {
+        #[derive(Default)]
+        struct Acc {
+            n: i64,
+            read: usize,
+            err: Option<ExecError>,
+        }
+        let acc: Acc = par_scan_pages(
+            &self.heap,
+            self.pages.clone(),
+            workers,
+            |_, rec| {
+                let mut a = Acc {
+                    read: 1,
+                    ..Acc::default()
+                };
+                match Value::decode_tuple(rec).and_then(|t| apply_steps(engine, &self.steps, t)) {
+                    Ok(Some(_)) => a.n = 1,
+                    Ok(None) => {}
+                    Err(e) => a.err = Some(e),
+                }
+                a
+            },
+            |mut a, b| {
+                a.read += b.read;
+                if a.err.is_none() {
+                    a.n += b.n;
+                    a.err = b.err;
+                }
+                a
+            },
+        )?;
+        if let Some(e) = acc.err {
+            return Err(e);
+        }
+        // `count` emits one value; tuples_out = 1 matches the serial path.
+        engine
+            .stats
+            .record("count", workers, acc.read, 1, self.pages.len());
+        Ok(acc.n)
+    }
+}
+
+fn apply_steps(engine: &ExecEngine, steps: &[Step], mut t: Value) -> ExecResult<Option<Value>> {
+    for step in steps {
+        match step {
+            Step::Filter(pred) => {
+                if !pred
+                    .call(engine, std::slice::from_ref(&t))?
+                    .as_bool("filter")?
+                {
+                    return Ok(None);
+                }
+            }
+            Step::Project(funs) => {
+                let mut fields = Vec::with_capacity(funs.len());
+                for f in funs {
+                    fields.push(f.call(engine, std::slice::from_ref(&t))?);
+                }
+                t = Value::Tuple(fields);
+            }
+            Step::Replace { idx, fun } => {
+                let mut fields = t.as_tuple("replace")?.to_vec();
+                fields[*idx] = fun.call(engine, std::slice::from_ref(&t))?;
+                t = Value::Tuple(fields);
+            }
+        }
+    }
+    Ok(Some(t))
+}
+
+// ---------------------------------------------------------------------
+// Drain hooks: entry points called by the serial operators.
+// ---------------------------------------------------------------------
+
+/// Try to drain a cursor in parallel. `None` falls back to the serial
+/// drain; `Some` returns the tuples in serial page order and leaves the
+/// cursor consumed (as a serial drain would).
+pub fn try_par_drain(engine: &ExecEngine, cursor: &mut Cursor) -> Option<ExecResult<Vec<Value>>> {
+    if let Cursor::Shared(arc) = cursor {
+        let arc = arc.clone();
+        let mut guard = arc.lock();
+        return try_par_drain(engine, &mut guard);
+    }
+    let workers = engine.workers();
+    if workers <= 1 {
+        return None;
+    }
+    let plan = HeapPlan::from_cursor(engine, cursor)?;
+    if plan.pages.len() < PAR_MIN_PAGES {
+        return None;
+    }
+    let result = plan.collect(engine, workers);
+    if result.is_ok() {
+        *cursor = Cursor::Mat(Default::default());
+    }
+    Some(result)
+}
+
+/// Try to count a cursor's tuples in parallel without materializing them
+/// (the filter + count pushdown). Same contract as [`try_par_drain`].
+pub fn try_par_count(engine: &ExecEngine, cursor: &mut Cursor) -> Option<ExecResult<i64>> {
+    if let Cursor::Shared(arc) = cursor {
+        let arc = arc.clone();
+        let mut guard = arc.lock();
+        return try_par_count(engine, &mut guard);
+    }
+    let workers = engine.workers();
+    if workers <= 1 {
+        return None;
+    }
+    let plan = HeapPlan::from_cursor(engine, cursor)?;
+    if plan.pages.len() < PAR_MIN_PAGES {
+        return None;
+    }
+    let result = plan.count(engine, workers);
+    if result.is_ok() {
+        *cursor = Cursor::Mat(Default::default());
+    }
+    Some(result)
+}
+
+// ---------------------------------------------------------------------
+// Chunked evaluation over in-memory tuple slices.
+// ---------------------------------------------------------------------
+
+/// Run `f` over contiguous chunks of `items` on scoped worker threads,
+/// returning per-chunk results in chunk order (so concatenation
+/// reproduces serial order and the first error in chunk order is the
+/// first error in item order). `f` receives each chunk's base index.
+pub fn par_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return vec![f(0, items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, part)| {
+                let f = &f;
+                scope.spawn(move || f(i * chunk, part))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Flatten chunk results, surfacing the first error in chunk order.
+fn merge_chunks(chunks: Vec<ExecResult<Vec<Value>>>) -> ExecResult<Vec<Value>> {
+    let mut out = Vec::new();
+    for c in chunks {
+        out.append(&mut c?);
+    }
+    Ok(out)
+}
+
+/// Parallel `select`/`filter` over an in-memory relation. `None` when
+/// the predicate is impure or the input is too small to bother.
+pub fn try_par_filter(
+    engine: &ExecEngine,
+    tuples: &[Value],
+    pred: &Value,
+    op: &'static str,
+) -> Option<ExecResult<Vec<Value>>> {
+    let workers = engine.workers();
+    if workers <= 1 || tuples.len() < PAR_MIN_TUPLES {
+        return None;
+    }
+    let fun = PureFun::compile(engine, pred.as_closure(op).ok()?)?;
+    let chunks = par_chunks(tuples, workers, |_, part| -> ExecResult<Vec<Value>> {
+        let mut keep = Vec::new();
+        for t in part {
+            if fun.call(engine, std::slice::from_ref(t))?.as_bool(op)? {
+                keep.push(t.clone());
+            }
+        }
+        Ok(keep)
+    });
+    let out = merge_chunks(chunks);
+    if let Ok(kept) = &out {
+        engine
+            .stats
+            .record(op, workers, tuples.len(), kept.len(), 0);
+    }
+    Some(out)
+}
+
+/// Parallel nested-loop `join`: partitions the left side, each worker
+/// joins its chunk against the whole right side.
+pub fn try_par_join(
+    engine: &ExecEngine,
+    left: &[Value],
+    right: &[Value],
+    pred: &Value,
+) -> Option<ExecResult<Vec<Value>>> {
+    let workers = engine.workers();
+    if workers <= 1 || left.len().saturating_mul(right.len()) < PAR_MIN_TUPLES {
+        return None;
+    }
+    let fun = PureFun::compile(engine, pred.as_closure("join").ok()?)?;
+    let chunks = par_chunks(left, workers, |_, part| -> ExecResult<Vec<Value>> {
+        let mut out = Vec::new();
+        for l in part {
+            for r in right {
+                if fun.call(engine, &[l.clone(), r.clone()])?.as_bool("join")? {
+                    out.push(crate::ops::relational::concat_tuples(l, r, "join")?);
+                }
+            }
+        }
+        Ok(out)
+    });
+    let out = merge_chunks(chunks);
+    if let Ok(joined) = &out {
+        engine
+            .stats
+            .record("join", workers, left.len() + right.len(), joined.len(), 0);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_core::{Const, DataType, Symbol};
+
+    fn int_ty() -> DataType {
+        DataType::Cons(Symbol::new("int"), vec![])
+    }
+
+    fn closure_of(body: TypedExpr) -> Arc<Closure> {
+        Arc::new(Closure {
+            params: vec![(Symbol::new("x"), int_ty())],
+            body,
+            captured: vec![],
+        })
+    }
+
+    fn engine() -> ExecEngine {
+        ExecEngine::new(sos_storage::mem_pool(16))
+    }
+
+    #[test]
+    fn identity_and_arithmetic_closures_are_pure() {
+        let e = engine();
+        let var = TypedExpr::new(TypedNode::Var(Symbol::new("x")), int_ty());
+        let body = TypedExpr::new(
+            TypedNode::Apply {
+                op: Symbol::new("+"),
+                spec: 0,
+                args: vec![
+                    var.clone(),
+                    TypedExpr::new(TypedNode::Const(Const::Int(1)), int_ty()),
+                ],
+            },
+            int_ty(),
+        );
+        let f = PureFun::compile(&e, &closure_of(body)).expect("x + 1 is pure");
+        assert_eq!(f.call(&e, &[Value::Int(41)]).unwrap(), Value::Int(42));
+        assert!(PureFun::compile(&e, &closure_of(var)).is_some());
+    }
+
+    #[test]
+    fn object_references_are_impure() {
+        let e = engine();
+        let body = TypedExpr::new(TypedNode::Object(Symbol::new("cities")), int_ty());
+        assert!(PureFun::compile(&e, &closure_of(body)).is_none());
+    }
+
+    #[test]
+    fn overriding_an_atomic_op_revokes_purity() {
+        let mut e = engine();
+        let body = TypedExpr::new(
+            TypedNode::Apply {
+                op: Symbol::new("+"),
+                spec: 0,
+                args: vec![
+                    TypedExpr::new(TypedNode::Var(Symbol::new("x")), int_ty()),
+                    TypedExpr::new(TypedNode::Const(Const::Int(1)), int_ty()),
+                ],
+            },
+            int_ty(),
+        );
+        assert!(PureFun::compile(&e, &closure_of(body.clone())).is_some());
+        // A user override of `+` may do anything; the pure evaluator must
+        // no longer claim it.
+        e.add_op("+", |_, _, _| Ok(Value::Int(0)));
+        assert!(PureFun::compile(&e, &closure_of(body)).is_none());
+    }
+
+    #[test]
+    fn par_chunks_preserves_order_and_offsets() {
+        let items: Vec<i64> = (0..100).collect();
+        for workers in [1, 3, 8, 200] {
+            let chunks = par_chunks(&items, workers, |base, part| {
+                part.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        assert_eq!((base + i) as i64, *v, "base offsets line up");
+                        v * 2
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let flat: Vec<i64> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+        }
+    }
+}

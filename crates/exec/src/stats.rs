@@ -1,0 +1,111 @@
+//! Per-operator execution accounting.
+//!
+//! The buffer pool's [`sos_storage::PoolStats`] measures page traffic
+//! for the whole engine; `ExecStats` adds an operator-level view: how
+//! many tuples flowed into and out of each operator, how many heap pages
+//! its scans touched, and how many workers the parallel executor
+//! actually used. Tests and the `sos` shell's `.stats` command read this
+//! to observe whether the parallel path ran.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cumulative counters for one operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Times the operator ran (serial or parallel).
+    pub invocations: u64,
+    /// Times the operator took a parallel path (workers > 1).
+    pub parallel_invocations: u64,
+    /// Tuples consumed (for scans: records read before filtering).
+    pub tuples_in: u64,
+    /// Tuples produced.
+    pub tuples_out: u64,
+    /// Heap pages scanned (parallel paths only; serial cursors account
+    /// their page traffic through `PoolStats`).
+    pub pages_scanned: u64,
+    /// The largest worker count any invocation actually used.
+    pub max_workers: u64,
+}
+
+impl OpStats {
+    fn absorb(&mut self, workers: usize, tuples_in: usize, tuples_out: usize, pages: usize) {
+        self.invocations += 1;
+        if workers > 1 {
+            self.parallel_invocations += 1;
+        }
+        self.tuples_in += tuples_in as u64;
+        self.tuples_out += tuples_out as u64;
+        self.pages_scanned += pages as u64;
+        self.max_workers = self.max_workers.max(workers as u64);
+    }
+}
+
+/// Engine-wide per-operator counters, shared behind the engine.
+#[derive(Default)]
+pub struct ExecStats {
+    ops: Mutex<HashMap<&'static str, OpStats>>,
+}
+
+impl ExecStats {
+    /// Record one operator invocation.
+    pub fn record(
+        &self,
+        op: &'static str,
+        workers: usize,
+        tuples_in: usize,
+        tuples_out: usize,
+        pages: usize,
+    ) {
+        self.ops
+            .lock()
+            .entry(op)
+            .or_default()
+            .absorb(workers, tuples_in, tuples_out, pages);
+    }
+
+    /// Counters for one operator (zeros if it never ran).
+    pub fn op(&self, op: &str) -> OpStats {
+        self.ops.lock().get(op).copied().unwrap_or_default()
+    }
+
+    /// All per-operator counters, sorted by operator name.
+    pub fn snapshot(&self) -> Vec<(String, OpStats)> {
+        let mut out: Vec<(String, OpStats)> = self
+            .ops
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Reset every counter (e.g. between benchmark phases).
+    pub fn reset(&self) {
+        self.ops.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_tracks_parallelism() {
+        let s = ExecStats::default();
+        s.record("count", 1, 100, 1, 0);
+        s.record("count", 4, 200, 1, 7);
+        let c = s.op("count");
+        assert_eq!(c.invocations, 2);
+        assert_eq!(c.parallel_invocations, 1);
+        assert_eq!(c.tuples_in, 300);
+        assert_eq!(c.tuples_out, 2);
+        assert_eq!(c.pages_scanned, 7);
+        assert_eq!(c.max_workers, 4);
+        assert_eq!(s.op("feed"), OpStats::default());
+        assert_eq!(s.snapshot().len(), 1);
+        s.reset();
+        assert_eq!(s.op("count"), OpStats::default());
+    }
+}

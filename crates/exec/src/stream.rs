@@ -276,11 +276,19 @@ impl std::fmt::Debug for Cursor {
 }
 
 /// Turn any stream-like value into its tuples, draining cursors.
+///
+/// When the engine has more than one worker and the cursor is an
+/// undrained heap scan under pure pipeline steps, the drain runs
+/// data-parallel (see [`crate::parallel`]); the result is identical to
+/// the serial drain, in the same order.
 pub fn materialize(ctx: &mut EvalCtx, v: Value) -> ExecResult<Vec<Value>> {
     match v {
         Value::Stream(ts) | Value::Rel(ts) => Ok(ts),
         Value::Cursor(c) => {
             let mut guard = c.lock();
+            if let Some(res) = crate::parallel::try_par_drain(ctx.engine, &mut guard) {
+                return res;
+            }
             guard.drain(ctx)
         }
         Value::Undefined => Ok(Vec::new()),

@@ -16,6 +16,11 @@ use std::sync::Arc;
 pub struct PoolStats {
     /// Page requests served (hits + misses).
     pub logical_reads: u64,
+    /// Requests served from a cached frame (hits). Every successfully
+    /// served request is a hit or a miss, so
+    /// `logical_reads == cache_hits + physical_reads` — concurrency tests
+    /// check this identity after parallel scans.
+    pub cache_hits: u64,
     /// Pages read from the disk manager (misses).
     pub physical_reads: u64,
     /// Pages written back to the disk manager.
@@ -34,6 +39,7 @@ struct Frame {
 
 struct Counters {
     logical_reads: AtomicU64,
+    cache_hits: AtomicU64,
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
     evictions: AtomicU64,
@@ -58,6 +64,7 @@ impl BufferPool {
             clock: AtomicU64::new(0),
             stats: Counters {
                 logical_reads: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
                 physical_reads: AtomicU64::new(0),
                 physical_writes: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
@@ -71,6 +78,7 @@ impl BufferPool {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut frames = self.frames.lock();
         if let Some(frame) = frames.get(&pid) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             frame.last_used.store(tick, Ordering::Relaxed);
             frame.pins.fetch_add(1, Ordering::SeqCst);
             return Ok(PageGuard {
@@ -149,6 +157,7 @@ impl BufferPool {
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             logical_reads: self.stats.logical_reads.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             physical_reads: self.stats.physical_reads.load(Ordering::Relaxed),
             physical_writes: self.stats.physical_writes.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
@@ -158,6 +167,7 @@ impl BufferPool {
     /// Reset the counters (e.g. between benchmark phases).
     pub fn reset_stats(&self) {
         self.stats.logical_reads.store(0, Ordering::Relaxed);
+        self.stats.cache_hits.store(0, Ordering::Relaxed);
         self.stats.physical_reads.store(0, Ordering::Relaxed);
         self.stats.physical_writes.store(0, Ordering::Relaxed);
         self.stats.evictions.store(0, Ordering::Relaxed);
@@ -171,6 +181,17 @@ impl BufferPool {
     /// Number of frames currently cached.
     pub fn cached_frames(&self) -> usize {
         self.frames.lock().len()
+    }
+
+    /// Number of frames currently pinned (a guard is outstanding). Zero
+    /// whenever no scan or update is in flight — concurrency tests use
+    /// this to prove parallel scans release every pin.
+    pub fn pinned_frames(&self) -> usize {
+        self.frames
+            .lock()
+            .values()
+            .filter(|f| f.pins.load(Ordering::SeqCst) > 0)
+            .count()
     }
 }
 

@@ -8,41 +8,77 @@ use crate::heap::HeapFile;
 use crate::{StorageResult, TupleId};
 
 /// Scan `heap` with `threads` workers, apply `map` to each record, and
-/// combine the per-worker results with `reduce`. Records are visited
-/// exactly once; the visit order interleaves across workers.
+/// combine the per-worker results with `reduce`.
+///
+/// Records are visited exactly once. Workers take contiguous page
+/// chunks and their results are reduced in chunk order, so a
+/// concatenating `reduce` (e.g. `Vec::append`) yields the same global
+/// page order as a serial scan — differential tests rely on this.
+///
+/// `threads == 1` runs the scan inline on the calling thread (no spawn),
+/// byte-for-byte the legacy serial behavior. If any worker hits an I/O
+/// error the first error in page order is returned; other workers finish
+/// their chunks and their results are dropped. Workers never panic on
+/// `Err` records.
 pub fn par_scan<T, M, R>(heap: &HeapFile, threads: usize, map: M, reduce: R) -> StorageResult<T>
 where
     T: Default + Send,
     M: Fn(TupleId, &[u8]) -> T + Sync,
     R: Fn(T, T) -> T + Sync,
 {
-    let threads = threads.max(1);
     let pages = heap.pages();
+    par_scan_pages(heap, pages, threads, map, reduce)
+}
+
+/// [`par_scan`] over an explicit page snapshot. Scan cursors capture
+/// their page list at creation; parallelizing such a cursor must scan
+/// that snapshot, not whatever `heap.pages()` returns now.
+pub fn par_scan_pages<T, M, R>(
+    heap: &HeapFile,
+    pages: Vec<crate::PageId>,
+    threads: usize,
+    map: M,
+    reduce: R,
+) -> StorageResult<T>
+where
+    T: Default + Send,
+    M: Fn(TupleId, &[u8]) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let threads = threads.max(1);
     if pages.is_empty() {
         return Ok(T::default());
     }
-    let chunk = pages.len().div_ceil(threads);
-    let results: Vec<StorageResult<T>> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in pages.chunks(chunk) {
-            let part = part.to_vec();
-            let map = &map;
-            let reduce = &reduce;
-            handles.push(scope.spawn(move |_| -> StorageResult<T> {
-                let mut acc = T::default();
-                for item in heap.scan_pages(part) {
-                    let (tid, rec) = item?;
-                    acc = reduce(acc, map(tid, &rec));
-                }
-                Ok(acc)
-            }));
+
+    let scan_part = |part: Vec<crate::PageId>| -> StorageResult<T> {
+        let mut acc = T::default();
+        for item in heap.scan_pages(part) {
+            let (tid, rec) = item?;
+            acc = reduce(acc, map(tid, &rec));
         }
+        Ok(acc)
+    };
+
+    if threads == 1 {
+        return scan_part(pages);
+    }
+
+    let chunk = pages.len().div_ceil(threads);
+    let results: Vec<StorageResult<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pages
+            .chunks(chunk)
+            .map(|part| {
+                let part = part.to_vec();
+                let scan_part = &scan_part;
+                scope.spawn(move || scan_part(part))
+            })
+            .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("scan worker panicked"))
             .collect()
-    })
-    .expect("scan scope panicked");
+    });
+
     let mut acc = T::default();
     for r in results {
         acc = reduce(acc, r?);
@@ -58,10 +94,50 @@ where
     par_scan(heap, threads, |_, rec| usize::from(pred(rec)), |a, b| a + b)
 }
 
+/// Collect `map`'s output for every record, in parallel, preserving the
+/// serial (global page) order. The building block for data-parallel
+/// `feed`/`select` in the execution engine.
+pub fn par_collect<T, M>(heap: &HeapFile, threads: usize, map: M) -> StorageResult<Vec<T>>
+where
+    T: Send,
+    M: Fn(TupleId, &[u8]) -> T + Sync,
+{
+    par_scan(
+        heap,
+        threads,
+        |tid, rec| vec![map(tid, rec)],
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    )
+}
+
+/// Like [`par_collect`], but `map` filters: only `Some` outputs are kept
+/// (still in serial order). The building block for parallel
+/// filter/project pushdown.
+pub fn par_filter_collect<T, M>(heap: &HeapFile, threads: usize, map: M) -> StorageResult<Vec<T>>
+where
+    T: Send,
+    M: Fn(TupleId, &[u8]) -> Option<T> + Sync,
+{
+    par_scan(
+        heap,
+        threads,
+        |tid, rec| map(tid, rec).into_iter().collect::<Vec<T>>(),
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mem_pool;
+    use crate::{mem_pool, BufferPool, DiskManager, MemDisk, PageId, StorageError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     fn filled_heap(n: usize) -> HeapFile {
         let heap = HeapFile::create(mem_pool(256)).unwrap();
@@ -115,5 +191,149 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), 500, "each record visited exactly once");
+    }
+
+    #[test]
+    fn more_threads_than_pages() {
+        // Each worker gets at most one page; excess workers get none.
+        let heap = filled_heap(40);
+        let n_pages = heap.pages().len();
+        let serial: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        let threads = n_pages + 13;
+        assert_eq!(par_count(&heap, threads, |_| true).unwrap(), 40);
+        assert_eq!(
+            par_collect(&heap, threads, |_, rec| rec.to_vec()).unwrap(),
+            serial
+        );
+    }
+
+    #[test]
+    fn single_page_heap() {
+        let heap = HeapFile::create(mem_pool(8)).unwrap();
+        for i in 0..5u8 {
+            heap.insert(&[i; 10]).unwrap();
+        }
+        assert_eq!(heap.pages().len(), 1);
+        for threads in [1, 2, 8] {
+            assert_eq!(par_count(&heap, threads, |_| true).unwrap(), 5);
+        }
+        let collected = par_collect(&heap, 8, |_, rec| rec[0]).unwrap();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// A disk that serves a limited number of reads, then fails every
+    /// further one — models a mid-scan I/O fault hitting some workers.
+    struct FuseDisk {
+        inner: MemDisk,
+        reads_left: AtomicUsize,
+    }
+
+    impl DiskManager for FuseDisk {
+        fn read_page(&self, pid: PageId, buf: &mut [u8]) -> StorageResult<()> {
+            let burned = self
+                .reads_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_err();
+            if burned {
+                return Err(StorageError::PageOutOfBounds(pid));
+            }
+            self.inner.read_page(pid, buf)
+        }
+        fn write_page(&self, pid: PageId, buf: &[u8]) -> StorageResult<()> {
+            self.inner.write_page(pid, buf)
+        }
+        fn allocate_page(&self) -> StorageResult<PageId> {
+            self.inner.allocate_page()
+        }
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages()
+        }
+    }
+
+    #[test]
+    fn worker_error_propagates_without_panicking() {
+        // Build the heap on a fuse disk with a tiny pool so that the scan
+        // must re-read evicted pages from disk; burn the fuse before the
+        // parallel scan so every worker's reads fail.
+        let disk = Arc::new(FuseDisk {
+            inner: MemDisk::new(),
+            reads_left: AtomicUsize::new(usize::MAX),
+        });
+        let pool = Arc::new(BufferPool::new(disk.clone(), 2));
+        let heap = HeapFile::create(pool).unwrap();
+        for i in 0..200 {
+            heap.insert(format!("record-{i:06}-{}", "y".repeat(300)).as_bytes())
+                .unwrap();
+        }
+        assert!(heap.pages().len() > 4, "need a multi-page heap");
+        disk.reads_left.store(0, Ordering::SeqCst);
+        for threads in [1, 4] {
+            let res = par_count(&heap, threads, |_| true);
+            assert!(
+                matches!(res, Err(StorageError::PageOutOfBounds(_))),
+                "threads={threads}: expected the injected fault, got {res:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_error_in_page_order_wins() {
+        // Only the first page survives in the pool; later pages fail on
+        // re-read. Whichever worker fails, the reported error must be the
+        // earliest failing page in global page order.
+        let disk = Arc::new(FuseDisk {
+            inner: MemDisk::new(),
+            reads_left: AtomicUsize::new(usize::MAX),
+        });
+        let pool = Arc::new(BufferPool::new(disk.clone(), 2));
+        let heap = HeapFile::create(pool.clone()).unwrap();
+        for i in 0..200 {
+            heap.insert(format!("record-{i:06}-{}", "z".repeat(300)).as_bytes())
+                .unwrap();
+        }
+        let pages = heap.pages();
+        assert!(pages.len() > 4);
+        pool.flush_all().unwrap();
+        for threads in [2, 8] {
+            disk.reads_left.store(0, Ordering::SeqCst);
+            let res = par_count(&heap, threads, |_| true);
+            // Every worker's first uncached fetch fails (the tiny pool only
+            // caches the trailing pages), but the error surfaced must be the
+            // first chunk's — i.e. the heap's first page — regardless of
+            // which worker happened to fail first in wall-clock time.
+            match res {
+                Err(StorageError::PageOutOfBounds(pid)) => {
+                    assert_eq!(pid, pages[0], "threads={threads}");
+                }
+                other => panic!("expected injected fault, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn par_collect_preserves_serial_order() {
+        let heap = filled_heap(2000);
+        let serial: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        for threads in [1, 2, 3, 8] {
+            let parallel = par_collect(&heap, threads, |_, rec| rec.to_vec()).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_filter_collect_preserves_serial_order() {
+        let heap = filled_heap(2000);
+        let keep = |rec: &[u8]| rec.len() % 7 < 3;
+        let serial: Vec<Vec<u8>> = heap
+            .scan()
+            .map(|r| r.unwrap().1)
+            .filter(|r| keep(r))
+            .collect();
+        for threads in [1, 4] {
+            let parallel =
+                par_filter_collect(&heap, threads, |_, rec| keep(rec).then(|| rec.to_vec()))
+                    .unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
     }
 }

@@ -9,9 +9,13 @@
 //! * `.explain <q>`  — show the optimized plan for a query expression
 //! * `.run <file>`   — run a program file
 //! * `.save <dir>`   — persist the database (see `Database::save`)
-//! * `.stats`        — buffer-pool counters
+//! * `.stats`        — buffer-pool and per-operator counters
+//! * `.workers [n]`  — show or set the intra-operator worker count
 //! * `.objects`      — list catalog objects
 //! * `.quit`
+//!
+//! The worker count defaults to the number of available cores and can
+//! be pinned with the `SOS_WORKERS` environment variable (`1` = serial).
 //!
 //! ```sh
 //! echo 'create r : rel(tuple(<(a, int)>)); query r count;' | cargo run --bin sos
@@ -23,6 +27,12 @@ use std::io::{BufRead, Write};
 
 fn main() {
     let mut db = Database::new();
+    if let Some(n) = std::env::var("SOS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        db.set_workers(n);
+    }
     let stdin = std::io::stdin();
     let interactive = atty_like();
     let mut buffer = String::new();
@@ -93,14 +103,43 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
     match head {
         ".quit" | ".exit" => return false,
         ".help" => {
-            println!(".run <file> | .spec <file> | .rules <file> | .explain <query> | .ops [name] | .save <dir> | .stats | .objects | .quit");
+            println!(".run <file> | .spec <file> | .rules <file> | .explain <query> | .ops [name] | .save <dir> | .stats | .workers [n] | .objects | .quit");
         }
         ".stats" => {
             let s = db.pool_stats();
             println!(
-                "logical reads {}, physical reads {}, physical writes {}, evictions {}",
-                s.logical_reads, s.physical_reads, s.physical_writes, s.evictions
+                "pool: logical reads {}, cache hits {}, physical reads {}, physical writes {}, evictions {}",
+                s.logical_reads, s.cache_hits, s.physical_reads, s.physical_writes, s.evictions
             );
+            let ops = db.exec_stats();
+            if ops.is_empty() {
+                println!("operators: (none run yet)");
+            }
+            for (name, o) in ops {
+                println!(
+                    "op {name}: {} run(s) ({} parallel), {} in / {} out, {} page(s), max {} worker(s)",
+                    o.invocations,
+                    o.parallel_invocations,
+                    o.tuples_in,
+                    o.tuples_out,
+                    o.pages_scanned,
+                    o.max_workers
+                );
+            }
+        }
+        ".workers" => {
+            let arg = rest.trim();
+            if arg.is_empty() {
+                println!("{} worker(s)", db.workers());
+            } else {
+                match arg.parse::<usize>() {
+                    Ok(n) => {
+                        db.set_workers(n);
+                        println!("{} worker(s)", db.workers());
+                    }
+                    Err(_) => println!("error: `.workers` takes a positive integer"),
+                }
+            }
         }
         ".objects" => {
             let mut entries: Vec<String> = db

@@ -194,6 +194,34 @@ impl Database {
         self.last_opt_stats
     }
 
+    /// Set the worker count for intra-operator parallelism. `1` (the
+    /// default on single-core machines) is exactly the legacy serial
+    /// engine; `n > 1` lets heap scans, filters, counts and joins run
+    /// page- or chunk-partitioned across `n` threads.
+    pub fn set_workers(&mut self, n: usize) {
+        self.engine.set_workers(n);
+    }
+
+    /// The current intra-operator worker count.
+    pub fn workers(&self) -> usize {
+        self.engine.workers()
+    }
+
+    /// Per-operator execution counters (tuples in/out, pages scanned,
+    /// workers used), sorted by operator name.
+    pub fn exec_stats(&self) -> Vec<(String, sos_exec::OpStats)> {
+        self.engine.stats.snapshot()
+    }
+
+    /// Counters for a single operator (zeros if it never ran).
+    pub fn op_stats(&self, op: &str) -> sos_exec::OpStats {
+        self.engine.stats.op(op)
+    }
+
+    pub fn reset_exec_stats(&self) {
+        self.engine.stats.reset()
+    }
+
     /// Turn the optimizer off/on (used by benchmarks to compare plans).
     pub fn set_optimize(&mut self, enabled: bool) {
         self.optimize_enabled = enabled;

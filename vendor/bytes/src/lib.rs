@@ -1,0 +1,120 @@
+//! Minimal vendored stand-in for the `bytes` crate.
+//!
+//! Provides the [`Buf`]/[`BufMut`] subset the storage crate's record
+//! codec uses: little-endian primitive reads over `&[u8]` and writes
+//! into `Vec<u8>`. Reads panic when the buffer is too short, matching
+//! the real crate's contract (callers bounds-check first).
+
+/// Read access to a contiguous buffer, consuming from the front.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_array())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+
+    /// Copy `N` bytes off the front (helper for the fixed-width getters).
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.chunk()[..N]);
+        self.advance(N);
+        out
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access appending to a growable buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_i64_le(-42);
+        out.put_f64_le(2.5);
+        out.put_slice(b"tail");
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_i64_le(), -42);
+        assert_eq!(buf.get_f64_le(), 2.5);
+        assert_eq!(buf.remaining(), 4);
+        buf.advance(4);
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,739 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, numeric range and regex-literal
+//! string strategies, tuple composition, `prop::collection::{vec,
+//! btree_map}`, `prop::sample::Index`, `Just`, `prop_oneof!`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking
+//! (failures report the case number and seed; cases are deterministic,
+//! so a failure reproduces exactly), and regex strategies support only
+//! the subset of syntax the tests use (literals, `.`, `[...]` classes,
+//! `{n}`/`{m,n}`/`?`/`*`/`+` quantifiers).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+// ---- deterministic RNG ----
+
+/// Per-case RNG: xoshiro256** seeded from the test name and case index,
+/// so every run of a test generates the same inputs.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut sm = h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next() | 1],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn usize_in(&mut self, range: &Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+// ---- failure reporting ----
+
+/// A failed property; produced by `prop_assert!` and friends.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drive one property over `config.cases` deterministic cases.
+/// Called by the `proptest!` macro expansion, not directly.
+pub fn run_property<F>(config: ProptestConfig, name: &str, mut case_fn: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::deterministic(name, case);
+        if let Err(e) = case_fn(&mut rng) {
+            panic!("property `{name}` failed at deterministic case {case}: {e}");
+        }
+    }
+}
+
+// ---- the Strategy trait ----
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values (the workhorse combinator).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erase for heterogeneous composition (`prop_oneof!`).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Always the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        self.arms[pick].generate(rng)
+    }
+}
+
+// ---- numeric strategies ----
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                self.start().wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_strategies!(f32, f64);
+
+// ---- Arbitrary / any ----
+
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range integer strategy, biased toward boundary values the way
+/// real proptest's `any::<iN>()` is (uniform sampling alone essentially
+/// never hits MIN/MAX/0, which is where the bugs are).
+pub struct FullInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullInt<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                const EDGES: [i128; 5] = [0, 1, -1, <$t>::MIN as i128, <$t>::MAX as i128];
+                if rng.below(8) == 0 {
+                    let e = EDGES[rng.below(5) as usize];
+                    // -1 is out of range for unsigned; clamp into range.
+                    e.clamp(<$t>::MIN as i128, <$t>::MAX as i128) as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullInt<$t>;
+
+            fn arbitrary() -> FullInt<$t> {
+                FullInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+// ---- tuple strategies ----
+
+macro_rules! tuple_strategies {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+}
+
+// ---- regex-literal string strategies ----
+
+/// A `&str` is a strategy: the string is read as a (subset) regex and
+/// random matching strings are generated.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        for (atom, min, max) in &atoms {
+            let n = if min == max {
+                *min
+            } else {
+                *min + rng.below((*max - *min + 1) as u64) as usize
+            };
+            for _ in 0..n {
+                out.push(atom.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    Literal(char),
+    /// `.` — printable ASCII.
+    AnyChar,
+    /// `[...]` — the expanded character set.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::AnyChar => (0x20u8 + rng.below(0x5F) as u8) as char,
+            Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+        }
+    }
+}
+
+/// Parse a regex subset into `(atom, min_repeat, max_repeat)` items.
+/// Panics on syntax outside the subset — a test authoring error.
+fn parse_regex(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out: Vec<(Atom, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in regex `{pattern}`");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        if chars[i] == '\\' {
+                            i += 1;
+                        }
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in regex `{pattern}`");
+                i += 1; // ']'
+                assert!(!set.is_empty(), "empty class in regex `{pattern}`");
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in regex `{pattern}`");
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '{' | '}' | '*' | '+' | '?'),
+                    "unsupported regex syntax `{c}` in `{pattern}` (vendored proptest subset)"
+                );
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {} quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} quantifier"),
+                        hi.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 32)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            _ => (1, 1),
+        };
+        out.push((atom, min, max));
+    }
+    out
+}
+
+// ---- collections ----
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(pub Range<usize>);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange(*r.start()..*r.end() + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(&self.size.0);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = rng.usize_in(&self.size.0);
+            let mut map = BTreeMap::new();
+            // Key generation may collide; retry a bounded number of
+            // times so small key spaces still reach the minimum size.
+            let mut attempts = 0;
+            while map.len() < target && attempts < 64 + target * 16 {
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+// ---- samples ----
+
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// An index into a collection whose length is unknown at generation
+    /// time: `index(len)` maps it uniformly into `[0, len)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    pub struct AnyIndex;
+
+    impl Strategy for AnyIndex {
+        type Value = Index;
+
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyIndex;
+
+        fn arbitrary() -> AnyIndex {
+            AnyIndex
+        }
+    }
+}
+
+// ---- macros ----
+
+/// Define property tests. Mirrors real proptest's surface: the caller
+/// writes `#[test]` (and doc comments) on each property themselves.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest!(@impl ($config) $($(#[$meta])* fn $name($($arg in $strat),+) $body)*);
+    };
+
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default())
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*);
+    };
+
+    (@impl ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property($config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let mut __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property; on failure the property fails with the
+/// formatted message instead of panicking the whole runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let s = prop::collection::vec(0i64..100, 1..10);
+        let a: Vec<Vec<i64>> = (0..5)
+            .map(|c| s.generate(&mut TestRng::deterministic("t", c)))
+            .collect();
+        let b: Vec<Vec<i64>> = (0..5)
+            .map(|c| s.generate(&mut TestRng::deterministic("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic("re", 0);
+        for _ in 0..200 {
+            let ident = "[a-z][a-z0-9]{0,6}".generate(&mut rng);
+            assert!((1..=7).contains(&ident.len()));
+            assert!(ident.chars().next().unwrap().is_ascii_lowercase());
+            assert!(ident
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let any = ".{0,16}".generate(&mut rng);
+            assert!(any.len() <= 16);
+            assert!(any.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let s = prop_oneof![Just(1i64), 10i64..20, Just(99)].prop_map(|v| v * 2);
+        let mut rng = TestRng::deterministic("oneof", 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 2 || (20..40).contains(&v) || v == 198);
+        }
+    }
+
+    #[test]
+    fn btree_map_reaches_minimum_size() {
+        let s = prop::collection::btree_map("[a-z]", 0i64..5, 1..8);
+        let mut rng = TestRng::deterministic("btm", 0);
+        for _ in 0..100 {
+            let m = s.generate(&mut rng);
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn index_maps_into_range() {
+        let mut rng = TestRng::deterministic("idx", 0);
+        for _ in 0..100 {
+            let idx = any::<prop::sample::Index>().generate(&mut rng);
+            assert!(idx.index(7) < 7);
+            assert_eq!(idx.index(1), 0);
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the serde subset it uses. The public trait shapes mirror real
+//! serde closely enough that the repo's hand-written impls (e.g.
+//! `Symbol`'s `serialize_str` / `String::deserialize`) compile
+//! unchanged, but the data model is deliberately simple: every value
+//! serializes into a [`Json`] tree, and deserializers hand the tree
+//! back out. The vendored `serde_derive` and `serde_json` crates build
+//! on the same tree, following serde's externally-tagged enum
+//! convention so persisted snapshots look like real-serde JSON.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::BuildHasher;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON value tree. Object fields keep
+/// insertion order so output is deterministic for ordered containers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::I64(_) | Json::U64(_) => "integer",
+            Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+// ---- error plumbing ----
+
+/// The concrete error of the built-in Json backend.
+#[derive(Debug, Clone)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+pub mod ser {
+    /// Error constraint on [`crate::Serializer::Error`].
+    pub trait Error: Sized + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for crate::JsonError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            crate::JsonError(msg.to_string())
+        }
+    }
+}
+
+pub mod de {
+    /// Error constraint on [`crate::Deserializer::Error`].
+    pub trait Error: Sized + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for crate::JsonError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            crate::JsonError(msg.to_string())
+        }
+    }
+}
+
+// ---- core traits ----
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Accept an already-built value tree. Container and derived impls
+    /// funnel through this, which is what lets the data model stay a
+    /// plain tree instead of serde's full visitor protocol.
+    fn serialize_json(self, v: Json) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    /// Hand out the value tree being deserialized (the inverse of
+    /// [`Serializer::serialize_json`]).
+    fn take_json(self) -> Result<Json, Self::Error>;
+}
+
+// ---- the built-in Json backend ----
+
+/// Serializer whose output *is* the value tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Json;
+    type Error = JsonError;
+
+    fn serialize_bool(self, v: bool) -> Result<Json, JsonError> {
+        Ok(Json::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Json, JsonError> {
+        Ok(Json::I64(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Json, JsonError> {
+        Ok(Json::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Json, JsonError> {
+        Ok(Json::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Json, JsonError> {
+        Ok(Json::Str(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Json, JsonError> {
+        Ok(Json::Null)
+    }
+    fn serialize_json(self, v: Json) -> Result<Json, JsonError> {
+        Ok(v)
+    }
+}
+
+impl<'de> Deserializer<'de> for &'de Json {
+    type Error = JsonError;
+
+    fn take_json(self) -> Result<Json, JsonError> {
+        Ok(self.clone())
+    }
+}
+
+/// Serialize to a value tree.
+pub fn to_json<T: Serialize + ?Sized>(value: &T) -> Result<Json, JsonError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize from a value tree.
+pub fn from_json<T: for<'a> Deserialize<'a>>(json: &Json) -> Result<T, JsonError> {
+    T::deserialize(json)
+}
+
+// ---- helpers used by generated and container impls ----
+
+/// [`to_json`] with the error mapped into an arbitrary serializer's
+/// error type (generated code runs under any `S: Serializer`).
+pub fn json_of<T: Serialize + ?Sized, E: ser::Error>(value: &T) -> Result<Json, E> {
+    to_json(value).map_err(|e| E::custom(e))
+}
+
+/// Deserialize a `T` out of a subtree, mapping the error.
+pub fn value_of<T: for<'a> Deserialize<'a>, E: de::Error>(json: &Json) -> Result<T, E> {
+    from_json(json).map_err(|e| E::custom(e))
+}
+
+pub fn expect_obj<'j, E: de::Error>(json: &'j Json, ty: &str) -> Result<&'j [(String, Json)], E> {
+    match json {
+        Json::Obj(fields) => Ok(fields),
+        other => Err(E::custom(format!(
+            "expected object for `{ty}`, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+pub fn expect_arr<'j, E: de::Error>(
+    json: &'j Json,
+    len: usize,
+    what: &str,
+) -> Result<&'j [Json], E> {
+    match json {
+        Json::Arr(items) if items.len() == len => Ok(items),
+        Json::Arr(items) => Err(E::custom(format!(
+            "expected array of length {len} for `{what}`, found length {}",
+            items.len()
+        ))),
+        other => Err(E::custom(format!(
+            "expected array for `{what}`, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+pub fn field_of<T: for<'a> Deserialize<'a>, E: de::Error>(
+    obj: &[(String, Json)],
+    name: &str,
+    ty: &str,
+) -> Result<T, E> {
+    let json = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| E::custom(format!("missing field `{name}` of `{ty}`")))?;
+    value_of(json)
+}
+
+/// Split an externally-tagged enum value into `(variant, content)`:
+/// a bare string is a unit variant, a one-entry object carries content.
+pub fn enum_parts<'j, E: de::Error>(
+    json: &'j Json,
+    ty: &str,
+) -> Result<(&'j str, Option<&'j Json>), E> {
+    match json {
+        Json::Str(tag) => Ok((tag, None)),
+        Json::Obj(fields) if fields.len() == 1 => Ok((&fields[0].0, Some(&fields[0].1))),
+        other => Err(E::custom(format!(
+            "expected enum `{ty}` (string or single-key object), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+pub fn content_of<'j, E: de::Error>(
+    content: Option<&'j Json>,
+    ty: &str,
+    variant: &str,
+) -> Result<&'j Json, E> {
+    content.ok_or_else(|| E::custom(format!("variant `{ty}::{variant}` is missing its content")))
+}
+
+// ---- impls for primitives ----
+
+macro_rules! ser_as_i64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_as_i64!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_as_u64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_as_u64!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+fn int_from<'de, D: Deserializer<'de>>(d: D, what: &str) -> Result<i128, D::Error> {
+    match d.take_json()? {
+        Json::I64(v) => Ok(v as i128),
+        Json::U64(v) => Ok(v as i128),
+        other => Err(de::Error::custom(format!(
+            "expected {what}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide = int_from(deserializer, stringify!($t))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    de::Error::custom(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_json()? {
+            Json::F64(v) => Ok(v),
+            Json::I64(v) => Ok(v as f64),
+            Json::U64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_json()? {
+            Json::Bool(v) => Ok(v),
+            other => Err(de::Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_json()? {
+            Json::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_json()? {
+            Json::Null => Ok(()),
+            other => Err(de::Error::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---- impls for containers ----
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(json_of::<_, S::Error>(item)?);
+        }
+        serializer.serialize_json(Json::Arr(items))
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_json()? {
+            Json::Arr(items) => items.iter().map(|j| value_of(j)).collect(),
+            other => Err(de::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_json(json_of::<_, S::Error>(v)?),
+            None => serializer.serialize_unit(),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_json()? {
+            Json::Null => Ok(None),
+            other => value_of(&other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(json_of::<_, S::Error>(&self.$n)?),+];
+                serializer.serialize_json(Json::Arr(items))
+            }
+        }
+
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                const LEN: usize = [$($n),+].len();
+                let json = deserializer.take_json()?;
+                let items = expect_arr::<D::Error>(&json, LEN, "tuple")?;
+                Ok(($(value_of::<$t, D::Error>(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 E),
+}
+
+impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut fields = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = match json_of::<_, S::Error>(k)? {
+                Json::Str(s) => s,
+                other => {
+                    return Err(ser::Error::custom(format!(
+                        "map key must serialize to a string, found {}",
+                        other.kind()
+                    )))
+                }
+            };
+            fields.push((key, json_of::<_, S::Error>(v)?));
+        }
+        serializer.serialize_json(Json::Obj(fields))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: for<'a> Deserialize<'a> + Eq + std::hash::Hash,
+    V: for<'a> Deserialize<'a>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_json()? {
+            Json::Obj(fields) => {
+                let mut map = HashMap::with_capacity_and_hasher(fields.len(), H::default());
+                for (k, v) in &fields {
+                    let key_json = Json::Str(k.clone());
+                    map.insert(value_of(&key_json)?, value_of(v)?);
+                }
+                Ok(map)
+            }
+            other => Err(de::Error::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_to_tree() {
+        assert_eq!(to_json(&42i64).unwrap(), Json::I64(42));
+        assert_eq!(to_json(&7u32).unwrap(), Json::U64(7));
+        assert_eq!(to_json("hi").unwrap(), Json::Str("hi".into()));
+        assert_eq!(to_json(&true).unwrap(), Json::Bool(true));
+        assert_eq!(to_json(&None::<i64>).unwrap(), Json::Null);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1i64, "a".to_string()), (2, "b".to_string())];
+        let json = to_json(&v).unwrap();
+        let back: Vec<(i64, String)> = from_json(&json).unwrap();
+        assert_eq!(back, v);
+
+        let mut m: HashMap<String, Vec<u8>> = HashMap::new();
+        m.insert("k".into(), vec![1, 2, 3]);
+        let back: HashMap<String, Vec<u8>> = from_json(&to_json(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let json = Json::Str("nope".into());
+        assert!(from_json::<i64>(&json).is_err());
+        assert!(from_json::<Vec<i64>>(&json).is_err());
+        let err = from_json::<bool>(&json).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+    }
+}

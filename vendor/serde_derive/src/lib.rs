@@ -1,0 +1,402 @@
+//! Minimal vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this workspace actually uses: structs with named fields
+//! and enums whose variants are unit, tuple, or struct-like — no
+//! generics, no `#[serde(...)]` attributes. The generated impls target
+//! the vendored `serde` crate's `Json` value tree and follow serde's
+//! externally-tagged enum convention, so persisted snapshots look like
+//! real-serde JSON.
+//!
+//! The macro is written against bare `proc_macro` (no syn/quote): the
+//! input item is walked as a token stream to extract field and variant
+//! names, and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: field count.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    gen_serialize(&input)
+        .parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    gen_deserialize(&input)
+        .parse()
+        .expect("derive(Deserialize): generated code must parse")
+}
+
+// ---- parsing ----
+
+fn parse_input(item: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected item name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive: generic type `{name}` is not supported by the vendored serde_derive");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            // `struct Unit;` — serialize as an empty object.
+            _ => Kind::Struct(Vec::new()),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("derive: `{other}` items are not supported"),
+    };
+    Input { name, kind }
+}
+
+/// Skip any number of `#[...]` attributes (including doc comments) and an
+/// optional `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume a type starting at `i`, leaving `i` on the `,` (or past the
+/// end). Angle brackets are plain punctuation in token streams, so a
+/// depth count is needed to skip the comma in e.g. `HashMap<K, V>`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected field name, found `{other}`"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+        fields.push(fname);
+    }
+    fields
+}
+
+/// Number of top-level comma-separated entries in a tuple body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    variants
+}
+
+// ---- code generation (emitted as source text) ----
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), ::serde::json_of::<_, S::Error>(&self.{f})?));\n"
+                ));
+            }
+            s.push_str("serializer.serialize_json(::serde::Json::Obj(__fields))");
+            s
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = String::from(
+                "let mut __items: ::std::vec::Vec<::serde::Json> = ::std::vec::Vec::new();\n",
+            );
+            for idx in 0..*n {
+                s.push_str(&format!(
+                    "__items.push(::serde::json_of::<_, S::Error>(&self.{idx})?);\n"
+                ));
+            }
+            if *n == 1 {
+                s.push_str("serializer.serialize_json(__items.pop().expect(\"one item\"))");
+            } else {
+                s.push_str("serializer.serialize_json(::serde::Json::Arr(__items))");
+            }
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => s.push_str(&format!(
+                        "{name}::{vn} => serializer.serialize_json(::serde::Json::Str(::std::string::String::from(\"{vn}\"))),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let pat = binds.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::json_of::<_, S::Error>(__f0)?".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::json_of::<_, S::Error>({b})?"))
+                                .collect();
+                            format!("::serde::Json::Arr(::std::vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({pat}) => {{\n\
+                             let __inner = {inner};\n\
+                             serializer.serialize_json(::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), __inner)]))\n\
+                             }}\n"
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __vf: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__vf.push((::std::string::String::from(\"{f}\"), ::serde::json_of::<_, S::Error>({f})?));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{\n\
+                             {inner}\
+                             serializer.serialize_json(::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Json::Obj(__vf))]))\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut s = String::from("let __json = deserializer.take_json()?;\n");
+            s.push_str(&format!(
+                "let __obj = ::serde::expect_obj::<D::Error>(&__json, \"{name}\")?;\n"
+            ));
+            s.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::field_of::<_, D::Error>(__obj, \"{f}\", \"{name}\")?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = String::from("let __json = deserializer.take_json()?;\n");
+            let args: Vec<String> = if *n == 1 {
+                vec!["::serde::value_of::<_, D::Error>(&__json)?".to_string()]
+            } else {
+                s.push_str(&format!(
+                    "let __arr = ::serde::expect_arr::<D::Error>(&__json, {n}usize, \"{name}\")?;\n"
+                ));
+                (0..*n)
+                    .map(|k| format!("::serde::value_of::<_, D::Error>(&__arr[{k}])?"))
+                    .collect()
+            };
+            s.push_str(&format!(
+                "::core::result::Result::Ok({name}({}))",
+                args.join(", ")
+            ));
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("let __json = deserializer.take_json()?;\n");
+            s.push_str(&format!(
+                "let (__tag, __content) = ::serde::enum_parts::<D::Error>(&__json, \"{name}\")?;\n"
+            ));
+            s.push_str("match __tag {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => s.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let mut arm = format!(
+                            "let __c = ::serde::content_of::<D::Error>(__content, \"{name}\", \"{vn}\")?;\n"
+                        );
+                        let args: Vec<String> = if *n == 1 {
+                            vec!["::serde::value_of::<_, D::Error>(__c)?".to_string()]
+                        } else {
+                            arm.push_str(&format!(
+                                "let __arr = ::serde::expect_arr::<D::Error>(__c, {n}usize, \"{name}::{vn}\")?;\n"
+                            ));
+                            (0..*n)
+                                .map(|k| format!("::serde::value_of::<_, D::Error>(&__arr[{k}])?"))
+                                .collect()
+                        };
+                        s.push_str(&format!(
+                            "\"{vn}\" => {{\n{arm}::core::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            args.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let mut arm = format!(
+                            "let __c = ::serde::content_of::<D::Error>(__content, \"{name}\", \"{vn}\")?;\n\
+                             let __obj = ::serde::expect_obj::<D::Error>(__c, \"{name}::{vn}\")?;\n"
+                        );
+                        arm.push_str(&format!("::core::result::Result::Ok({name}::{vn} {{\n"));
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::field_of::<_, D::Error>(__obj, \"{f}\", \"{name}::{vn}\")?,\n"
+                            ));
+                        }
+                        arm.push_str("})");
+                        s.push_str(&format!("\"{vn}\" => {{\n{arm}\n}}\n"));
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "__other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n"
+            ));
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::core::result::Result<Self, D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
