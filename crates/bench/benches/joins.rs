@@ -13,7 +13,7 @@ use sos_exec::Value;
 use sos_system::Database;
 
 fn join_db(n_emps: usize, n_depts: usize) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type emp = tuple(<(ename, string), (dept, int)>);
@@ -82,10 +82,10 @@ fn bench_parallel_hashjoin(c: &mut Criterion) {
     group.sample_size(10);
     let mut db = join_db(20_000, 50);
     let q = "emps_rep feed depts_rep feed hashjoin[dept, dno] count";
-    db.set_workers(1);
+    db.set_parallelism(1);
     let expected = as_count(&db.query(q).unwrap());
     for workers in [1usize, 2, 4, 8] {
-        db.set_workers(workers);
+        db.set_parallelism(workers);
         assert_eq!(as_count(&db.query(q).unwrap()), expected);
         group.bench_with_input(BenchmarkId::new("hashjoin", workers), &(), |b, _| {
             b.iter(|| as_count(&db.query(q).unwrap()))

@@ -9,12 +9,13 @@ fn bench_optimize(c: &mut Criterion) {
     let mut db = spatial_db(50, 4, 9);
     let mut group = c.benchmark_group("optimize");
     group.bench_function("select-to-exactmatch", |b| {
-        b.iter(|| db.explain("cities select[pop = 500]").unwrap().len())
+        b.iter(|| db.explain("cities select[pop = 500]").unwrap().plan.len())
     });
     group.bench_function("select-to-scan", |b| {
         b.iter(|| {
             db.explain(r#"cities select[cname = "city1"]"#)
                 .unwrap()
+                .plan
                 .len()
         })
     });
@@ -22,6 +23,7 @@ fn bench_optimize(c: &mut Criterion) {
         b.iter(|| {
             db.explain("cities states join[center inside region]")
                 .unwrap()
+                .plan
                 .len()
         })
     });
@@ -51,7 +53,7 @@ fn bench_ruleset_scaling(c: &mut Criterion) {
             db.add_rule_step(RuleStep::exhaustive("padding", rules));
         }
         group.bench_function(format!("select-plan-with-{extra}-extra-rules"), |b| {
-            b.iter(|| db.explain("cities select[pop = 500]").unwrap().len())
+            b.iter(|| db.explain("cities select[pop = 500]").unwrap().plan.len())
         });
     }
     group.finish();

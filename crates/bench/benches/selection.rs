@@ -42,12 +42,12 @@ fn bench_parallel_selection(c: &mut Criterion) {
     let n = 100_000usize;
     let mut db = heap_db(n);
     let q = "hitems feed filter[k mod 7 = 0] count";
-    db.set_workers(1);
+    db.set_parallelism(1);
     let expected = as_count(&db.query(q).unwrap());
     let mut group = c.benchmark_group("selection-parallel");
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
-        db.set_workers(workers);
+        db.set_parallelism(workers);
         // Sanity: every worker count produces the serial answer.
         assert_eq!(as_count(&db.query(q).unwrap()), expected);
         group.bench_with_input(

@@ -1,0 +1,78 @@
+//! Tracing overhead gate.
+//!
+//! Phase tracing is off by default and must stay near-free: a disabled
+//! `Tracer` costs one relaxed atomic load per phase and never reads the
+//! clock. This bench times the same query pipeline with tracing off and
+//! on; `TRACE_OVERHEAD_SMOKE=1` switches to a quick gated run (used by
+//! CI) that asserts tracing on stays within 2x of tracing off plus a
+//! fixed noise allowance.
+
+use bench::keyed_db;
+use criterion::{black_box, Criterion};
+use sos_system::Database;
+use std::time::Instant;
+
+const QUERY: &str = "items_rep range[0, 199] count";
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut db = keyed_db(2_000);
+    let mut group = c.benchmark_group("trace-overhead");
+    db.set_tracing(false);
+    group.bench_function("tracing-off", |b| {
+        b.iter(|| db.query(QUERY).unwrap());
+    });
+    db.set_tracing(true);
+    group.bench_function("tracing-on", |b| {
+        b.iter(|| db.query(QUERY).unwrap());
+    });
+    group.finish();
+}
+
+/// Median per-iteration nanoseconds over `samples` batches.
+fn median_nanos(db: &mut Database, samples: usize, iters: usize) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(db.query(QUERY).unwrap());
+            }
+            (start.elapsed().as_nanos() as u64) / iters as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn smoke() {
+    let mut db = keyed_db(2_000);
+    // Warm the pool and the plan path before timing anything.
+    db.query(QUERY).unwrap();
+
+    db.set_tracing(false);
+    let off = median_nanos(&mut db, 9, 20);
+    db.set_tracing(true);
+    let on = median_nanos(&mut db, 9, 20);
+    assert!(
+        db.metrics().phases.total_nanos() > 0,
+        "tracing recorded spans"
+    );
+
+    println!("trace-overhead smoke: off {off}ns/iter, on {on}ns/iter");
+    // Generous gate: the span bookkeeping is four clock reads and a few
+    // atomics per statement, so 2x + 50µs of scheduler noise catches a
+    // real regression without flaking on loaded machines.
+    let limit = off * 2 + 50_000;
+    assert!(
+        on <= limit,
+        "tracing-on per-iter time {on}ns exceeds the gate {limit}ns (off: {off}ns)"
+    );
+}
+
+fn main() {
+    if std::env::var("TRACE_OVERHEAD_SMOKE").is_ok() {
+        smoke();
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_trace_overhead(&mut c);
+}

@@ -7,14 +7,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_typecheck(c: &mut Criterion) {
     let mut db = keyed_db(10); // tiny data: we measure the front-end
-    db.set_optimize(false);
+    db.set_optimizer_enabled(false);
     let mut group = c.benchmark_group("typecheck");
     for depth in [1usize, 4, 16, 64] {
         let q = filter_chain(depth);
         group.bench_with_input(BenchmarkId::new("parse+check", depth), &q, |b, q| {
             // explain parses, checks and optimizes (optimizer disabled)
             // without executing.
-            b.iter(|| db.explain(q).unwrap().len())
+            b.iter(|| db.explain(q).unwrap().plan.len())
         });
     }
     group.finish();

@@ -34,7 +34,7 @@ fn check(name: &str, ok: bool) {
 /// E1–E3: type systems, operators, programs.
 fn e1_e3() {
     println!("E1–E3: type systems, polymorphic operators, programs");
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(name, string), (pop, int), (country, string)>);
@@ -61,7 +61,7 @@ fn e1_e3() {
         "parameterized views",
         as_count(&db.query(r#"cities_in ("Germany") count"#).unwrap()) == 1,
     );
-    let mut db2 = Database::new();
+    let mut db2 = Database::builder().build();
     db2.load_spec("kinds NREL\nmodel cons nrel : (ident x (DATA | NREL))+ -> NREL")
         .unwrap();
     check(
@@ -75,7 +75,7 @@ fn e1_e3() {
 /// F1: Figure 1 pattern matching, via the replace operator.
 fn f1() {
     println!("F1: Figure 1 term-tree pattern matching");
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type person = tuple(<(name, string), (age, int)>);
@@ -110,17 +110,17 @@ fn e4_e5_b1() {
         let range_q = format!("items_rep range[0, {hi}] count");
         let scan_q = format!("items_rep feed filter[k <= {hi}] count");
 
-        db.reset_pool_stats();
+        db.reset_metrics();
         let t = Instant::now();
         let a = as_count(&db.query(&range_q).unwrap());
         let range_ms = t.elapsed().as_secs_f64() * 1000.0;
-        let range_pages = db.pool_stats().logical_reads;
+        let range_pages = db.metrics().pool.logical_reads;
 
-        db.reset_pool_stats();
+        db.reset_metrics();
         let t = Instant::now();
         let b = as_count(&db.query(&scan_q).unwrap());
         let scan_ms = t.elapsed().as_secs_f64() * 1000.0;
-        let scan_pages = db.pool_stats().logical_reads;
+        let scan_pages = db.metrics().pool.logical_reads;
 
         assert_eq!(a, b, "plans must agree at selectivity {selectivity}");
         println!(
@@ -144,17 +144,17 @@ fn b2() {
             (fun (c: city) states_rep feed filter[fun (s: state) c center inside s region]) \
             search_join count";
 
-        db.reset_pool_stats();
+        db.reset_metrics();
         let t = Instant::now();
         let a = as_count(&db.query(index_plan).unwrap());
         let index_ms = t.elapsed().as_secs_f64() * 1000.0;
-        let index_pages = db.pool_stats().logical_reads;
+        let index_pages = db.metrics().pool.logical_reads;
 
-        db.reset_pool_stats();
+        db.reset_metrics();
         let t = Instant::now();
         let b = as_count(&db.query(scan_plan).unwrap());
         let scan_ms = t.elapsed().as_secs_f64() * 1000.0;
-        let scan_pages = db.pool_stats().logical_reads;
+        let scan_pages = db.metrics().pool.logical_reads;
 
         assert_eq!(a, b);
         println!(
@@ -171,19 +171,22 @@ fn e6() {
     let plan = db.explain("cities select[pop = 500]").unwrap();
     check(
         "select on key -> exactmatch",
-        plan.contains("exactmatch(cities_rep"),
+        plan.plan().contains("exactmatch(cities_rep"),
     );
-    let plan = db
+    db.reset_metrics();
+    let report = db
         .explain("cities states join[center inside region]")
         .unwrap();
     check(
         "geometric join -> point_search search_join (the Section 5 rule)",
-        plan.contains("point_search(states_rep") && plan.contains("search_join"),
+        report.plan().contains("point_search(states_rep") && report.plan().contains("search_join"),
     );
-    let stats = db.last_optimizer_stats();
+    let stats = db.metrics().optimizer;
     println!(
-        "  optimizer: {} rewrites, {} rule attempts for the join plan",
-        stats.rewrites, stats.rule_attempts
+        "  optimizer: {} rewrites ({} traced), {} rule attempts for the join plan",
+        stats.rewrites,
+        report.rewrites.len(),
+        stats.rule_attempts
     );
     println!();
 }
@@ -254,7 +257,7 @@ fn b7() {
         "emps", "pairs", "hash ms", "scan ms"
     );
     for n in [500usize, 2000, 8000] {
-        let mut db = Database::new();
+        let mut db = Database::builder().build();
         db.run(
             r#"
             type emp = tuple(<(ename, string), (dept, int)>);
@@ -311,7 +314,7 @@ fn b7() {
 fn e9_extensions() {
     println!("E9: extensions (mbtree prefix search, vacuum)");
     // mbtree: composite-key clustering with prefix queries.
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type order = tuple(<(country, string), (year, int), (amount, int)>);
@@ -332,15 +335,15 @@ fn e9_extensions() {
         }
     }
     db.bulk_insert("orders", tuples).unwrap();
-    db.reset_pool_stats();
+    db.reset_metrics();
     let n = as_count(&db.query(r#"orders prefixmatch["FR"] count"#).unwrap());
-    let prefix_pages = db.pool_stats().logical_reads;
-    db.reset_pool_stats();
+    let prefix_pages = db.metrics().pool.logical_reads;
+    db.reset_metrics();
     let n2 = as_count(
         &db.query(r#"orders feed filter[country = "FR"] count"#)
             .unwrap(),
     );
-    let scan_pages = db.pool_stats().logical_reads;
+    let scan_pages = db.metrics().pool.logical_reads;
     assert_eq!(n, n2);
     println!("  prefixmatch[FR]: {n} tuples, {prefix_pages} pages (scan: {scan_pages} pages)");
 
@@ -348,13 +351,13 @@ fn e9_extensions() {
     let mut db = keyed_db(20_000);
     db.run("update items := delete(items, fun (t: item) t k mod 50 != 0);")
         .unwrap();
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.query("items_rep feed count").unwrap();
-    let before = db.pool_stats().logical_reads;
+    let before = db.metrics().pool.logical_reads;
     db.run("update items_rep := vacuum(items_rep);").unwrap();
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.query("items_rep feed count").unwrap();
-    let after = db.pool_stats().logical_reads;
+    let after = db.metrics().pool.logical_reads;
     println!("  vacuum after deleting 98%: scan pages {before} -> {after}");
     println!();
 }

@@ -9,7 +9,7 @@ use sos_system::Database;
 /// and an LSD-tree representation, catalog links — loaded with `n_cities`
 /// uniform city points and a `grid x grid` tiling of state polygons.
 pub fn spatial_db(n_cities: usize, grid: usize, seed: u64) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (center, point), (pop, int)>);
@@ -51,7 +51,7 @@ pub fn city_tuples(n: usize, seed: u64) -> Vec<Value> {
 
 /// A keyed relation with a clustering B-tree: keys 0..n shuffled.
 pub fn keyed_db(n: usize) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type item = tuple(<(k, int), (payload, string)>);
@@ -88,7 +88,7 @@ pub fn item_tuples(n: usize) -> Vec<Value> {
 /// over it produces a page-partitionable cursor, and the padded payload
 /// keeps it at ~35 tuples per page so worker counts matter.
 pub fn heap_db(n: usize) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type hitem = tuple(<(k, int), (pad, string)>);

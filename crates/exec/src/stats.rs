@@ -64,9 +64,15 @@ impl ExecStats {
             .absorb(workers, tuples_in, tuples_out, pages);
     }
 
-    /// Counters for one operator (zeros if it never ran).
+    /// Counters for one operator (zeros if it never ran). Prefer
+    /// [`ExecStats::get`], which distinguishes "never ran" from zeros.
     pub fn op(&self, op: &str) -> OpStats {
-        self.ops.lock().get(op).copied().unwrap_or_default()
+        self.get(op).unwrap_or_default()
+    }
+
+    /// Counters for one operator, or `None` if it never ran.
+    pub fn get(&self, op: &str) -> Option<OpStats> {
+        self.ops.lock().get(op).copied()
     }
 
     /// All per-operator counters, sorted by operator name.
@@ -104,6 +110,8 @@ mod tests {
         assert_eq!(c.pages_scanned, 7);
         assert_eq!(c.max_workers, 4);
         assert_eq!(s.op("feed"), OpStats::default());
+        assert_eq!(s.get("feed"), None);
+        assert_eq!(s.get("count"), Some(c));
         assert_eq!(s.snapshot().len(), 1);
         s.reset();
         assert_eq!(s.op("count"), OpStats::default());

@@ -1,0 +1,365 @@
+//! Structured `EXPLAIN` / `EXPLAIN ANALYZE`.
+//!
+//! `Database::explain*` used to return a flat `String` of the optimized
+//! term. An [`Explain`] keeps the whole pipeline story: per-phase wall
+//! time, the ordered rewrite trace ([`RuleApplication`] per applied
+//! rule), the final plan (both as a term and as an indented tree), and
+//! — for `explain_analyze` — the actual per-operator tuple/page counts
+//! of the run. It renders via `Display` and serializes to JSON.
+
+use crate::json::{array, Obj};
+use crate::metrics::{op_json, op_line, pool_json};
+use crate::trace::{fmt_nanos, Phase};
+use sos_core::typed::{TypedExpr, TypedNode};
+use sos_exec::OpStats;
+use sos_optimizer::RuleApplication;
+use sos_storage::PoolStats;
+
+/// What kind of statement was explained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplainKind {
+    Query,
+    /// A translated update targets this (possibly representation-level)
+    /// object — the paper's Section 6 trace.
+    Update {
+        target: String,
+    },
+}
+
+/// Runtime section of `explain_analyze`: what actually happened when
+/// the plan ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainAnalysis {
+    /// Per-operator rows attributable to this run (reusing
+    /// [`sos_exec::OpStats`]), sorted by operator name.
+    pub ops: Vec<(String, OpStats)>,
+    /// Buffer-pool traffic attributable to this run.
+    pub pool: PoolStats,
+    /// A short summary of the produced value (kind and cardinality).
+    pub result: String,
+}
+
+/// The structured result of `Database::explain` / `explain_update` /
+/// `explain_analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explain {
+    /// The source text that was explained.
+    pub source: String,
+    pub kind: ExplainKind,
+    /// `(phase, nanoseconds)` in pipeline order for the phases that ran.
+    pub phases: Vec<(Phase, u64)>,
+    /// Every applied rewrite, in application order.
+    pub rewrites: Vec<RuleApplication>,
+    /// The final plan as a term (identical to the pre-redesign
+    /// `explain()` string).
+    pub plan: String,
+    /// The final plan as an indented operator tree.
+    pub plan_tree: String,
+    /// Present only for `explain_analyze`.
+    pub analysis: Option<ExplainAnalysis>,
+}
+
+impl Explain {
+    /// The final plan term — what `explain()` returned before the
+    /// structured redesign.
+    pub fn plan(&self) -> &str {
+        &self.plan
+    }
+
+    /// The applied rule names, in application order.
+    pub fn applied_rules(&self) -> Vec<&str> {
+        self.rewrites.iter().map(|r| r.rule.as_str()).collect()
+    }
+
+    /// The one-line statement form: `update <target> := <plan>` for
+    /// updates (the Section 6 trace line), the plan term for queries.
+    pub fn statement(&self) -> String {
+        match &self.kind {
+            ExplainKind::Query => self.plan.clone(),
+            ExplainKind::Update { target } => format!("update {target} := {}", self.plan),
+        }
+    }
+
+    /// Render the report. Golden-file tests pass `with_timings: false`
+    /// to drop the wall-clock line (the only nondeterministic part).
+    pub fn render(&self, with_timings: bool) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let what = match &self.kind {
+            ExplainKind::Query => "query",
+            ExplainKind::Update { .. } => "update",
+        };
+        let _ = writeln!(out, "explain {what}: {}", self.source);
+        if self.rewrites.is_empty() {
+            let _ = writeln!(out, "rewrites: (none applied)");
+        } else {
+            let _ = writeln!(out, "rewrites ({} applied):", self.rewrites.len());
+            for (i, r) in self.rewrites.iter().enumerate() {
+                let _ = writeln!(out, "  {}. [{}] {}", i + 1, r.step, r.rule);
+                if !r.conditions.is_empty() {
+                    let _ = writeln!(out, "     when   {}", r.conditions.join(", "));
+                }
+                let _ = writeln!(out, "     before {}", r.before);
+                let _ = writeln!(out, "     after  {}", r.after);
+            }
+        }
+        if let ExplainKind::Update { target } = &self.kind {
+            let _ = writeln!(out, "target: {target}");
+        }
+        let _ = writeln!(out, "plan: {}", self.plan);
+        for line in self.plan_tree.lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        if with_timings && !self.phases.is_empty() {
+            let rendered: Vec<String> = self
+                .phases
+                .iter()
+                .map(|(p, n)| format!("{p} {}", fmt_nanos(*n)))
+                .collect();
+            let _ = writeln!(out, "phases: {}", rendered.join(", "));
+        }
+        if let Some(a) = &self.analysis {
+            let _ = writeln!(out, "analyze:");
+            let _ = writeln!(out, "  result: {}", a.result);
+            let _ = writeln!(
+                out,
+                "  pool: {} logical reads ({} hits, {} physical), {} writes",
+                a.pool.logical_reads,
+                a.pool.cache_hits,
+                a.pool.physical_reads,
+                a.pool.physical_writes
+            );
+            for (name, s) in &a.ops {
+                let _ = writeln!(out, "  op {name}: {}", op_line(s));
+            }
+        }
+        out
+    }
+
+    /// JSON encoding (consumed by the bench harness).
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.str("source", &self.source);
+        match &self.kind {
+            ExplainKind::Query => o.str("kind", "query"),
+            ExplainKind::Update { target } => o.str("kind", "update").str("target", target),
+        };
+        o.raw(
+            "phases",
+            &array(
+                self.phases
+                    .iter()
+                    .map(|(p, n)| Obj::new().str("phase", p.name()).u64("nanos", *n).finish()),
+            ),
+        );
+        o.raw(
+            "rewrites",
+            &array(self.rewrites.iter().map(|r| {
+                Obj::new()
+                    .str("step", &r.step)
+                    .str("rule", &r.rule)
+                    .raw(
+                        "conditions",
+                        &array(r.conditions.iter().map(|c| {
+                            let mut s = String::new();
+                            crate::json::write_json_str(&mut s, c);
+                            s
+                        })),
+                    )
+                    .str("before", &r.before)
+                    .str("after", &r.after)
+                    .finish()
+            })),
+        );
+        o.str("plan", &self.plan);
+        if let Some(a) = &self.analysis {
+            o.raw(
+                "analysis",
+                &Obj::new()
+                    .str("result", &a.result)
+                    .raw("pool", &pool_json(&a.pool))
+                    .raw("ops", &array(a.ops.iter().map(|(n, s)| op_json(n, s))))
+                    .finish(),
+            );
+        }
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render(true))
+    }
+}
+
+/// Render a typed plan term as an indented operator tree. Leaves print
+/// on their operator's line; structural nodes (lambdas, lists) indent
+/// their bodies.
+pub fn plan_tree(t: &TypedExpr) -> String {
+    let mut out = String::new();
+    tree_node(t, 0, &mut out);
+    // Drop the trailing newline so callers control final spacing.
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+fn tree_node(t: &TypedExpr, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    match &t.node {
+        TypedNode::Apply { op, args, .. } => {
+            // Atomic applications (no operator/lambda children) render
+            // inline to keep trees readable.
+            if args.iter().all(is_leaf) {
+                let rendered: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(out, "{pad}{op}({})", rendered.join(", "));
+            } else {
+                let _ = writeln!(out, "{pad}{op}");
+                for a in args {
+                    tree_node(a, depth + 1, out);
+                }
+            }
+        }
+        TypedNode::ApplyFun { fun, args } => {
+            let _ = writeln!(out, "{pad}apply");
+            tree_node(fun, depth + 1, out);
+            for a in args {
+                tree_node(a, depth + 1, out);
+            }
+        }
+        TypedNode::Lambda { params, body } => {
+            let rendered: Vec<String> = params.iter().map(|(n, ty)| format!("{n}: {ty}")).collect();
+            let _ = writeln!(out, "{pad}fun ({})", rendered.join(", "));
+            tree_node(body, depth + 1, out);
+        }
+        TypedNode::List(items) | TypedNode::Tuple(items) => {
+            if items.iter().all(is_leaf) {
+                let _ = writeln!(out, "{pad}{t}");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{pad}{}",
+                    if matches!(&t.node, TypedNode::List(_)) {
+                        "list"
+                    } else {
+                        "tuple"
+                    }
+                );
+                for i in items {
+                    tree_node(i, depth + 1, out);
+                }
+            }
+        }
+        TypedNode::Const(_) | TypedNode::Object(_) | TypedNode::Var(_) => {
+            let _ = writeln!(out, "{pad}{t}");
+        }
+    }
+}
+
+/// A term that renders acceptably inline inside its parent's line.
+fn is_leaf(t: &TypedExpr) -> bool {
+    matches!(
+        &t.node,
+        TypedNode::Const(_) | TypedNode::Object(_) | TypedNode::Var(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_core::{Const, DataType, Symbol};
+
+    fn obj(name: &str) -> TypedExpr {
+        TypedExpr::new(TypedNode::Object(Symbol::new(name)), DataType::atom("int"))
+    }
+
+    fn apply(op: &str, args: Vec<TypedExpr>) -> TypedExpr {
+        TypedExpr::new(
+            TypedNode::Apply {
+                op: Symbol::new(op),
+                spec: 0,
+                args,
+            },
+            DataType::atom("int"),
+        )
+    }
+
+    #[test]
+    fn plan_tree_indents_nested_operators() {
+        let plan = apply(
+            "consume",
+            vec![apply(
+                "filter",
+                vec![
+                    apply("feed", vec![obj("r")]),
+                    TypedExpr::new(
+                        TypedNode::Lambda {
+                            params: vec![(Symbol::new("t"), DataType::atom("int"))],
+                            body: Box::new(TypedExpr::new(
+                                TypedNode::Const(Const::Bool(true)),
+                                DataType::atom("bool"),
+                            )),
+                        },
+                        DataType::atom("bool"),
+                    ),
+                ],
+            )],
+        );
+        let tree = plan_tree(&plan);
+        assert_eq!(
+            tree,
+            "consume\n  filter\n    feed(r)\n    fun (t: int)\n      true"
+        );
+    }
+
+    #[test]
+    fn explain_renders_rewrites_in_order_and_serializes() {
+        let e = Explain {
+            source: "r select[k > 0]".into(),
+            kind: ExplainKind::Query,
+            phases: vec![(Phase::Parse, 1200), (Phase::Check, 3400)],
+            rewrites: vec![RuleApplication {
+                step: "generic-translation".into(),
+                rule: "select-scan".into(),
+                conditions: vec!["rep(rel1, rep1)".into()],
+                before: "select(r, p)".into(),
+                after: "consume(filter(feed(r_rep), p))".into(),
+            }],
+            plan: "consume(filter(feed(r_rep), p))".into(),
+            plan_tree: "consume\n  filter".into(),
+            analysis: None,
+        };
+        let stable = e.render(false);
+        assert!(stable.contains("rewrites (1 applied):"));
+        assert!(stable.contains("1. [generic-translation] select-scan"));
+        assert!(stable.contains("when   rep(rel1, rep1)"));
+        assert!(!stable.contains("phases:"));
+        let full = e.to_string();
+        assert!(full.contains("phases: parse 1.2µs, check 3.4µs"));
+        assert_eq!(e.applied_rules(), vec!["select-scan"]);
+        assert_eq!(e.statement(), e.plan);
+        let json = e.to_json();
+        assert!(json.contains(r#""rule":"select-scan""#));
+        assert!(json.contains(r#""kind":"query""#));
+    }
+
+    #[test]
+    fn update_explain_statement_matches_section6_trace() {
+        let e = Explain {
+            source: "update cities := insert(cities, c)".into(),
+            kind: ExplainKind::Update {
+                target: "cities_rep".into(),
+            },
+            phases: Vec::new(),
+            rewrites: Vec::new(),
+            plan: "insert(cities_rep, c)".into(),
+            plan_tree: "insert(cities_rep, c)".into(),
+            analysis: None,
+        };
+        assert_eq!(e.statement(), "update cities_rep := insert(cities_rep, c)");
+        assert!(e.render(false).contains("target: cities_rep"));
+        assert!(e.to_json().contains(r#""target":"cities_rep""#));
+    }
+}

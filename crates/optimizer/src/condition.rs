@@ -38,6 +38,28 @@ pub enum Condition {
     LsdIndexesBBoxOf { lsd: Symbol, fvar: Symbol },
 }
 
+impl std::fmt::Display for Condition {
+    /// The rule-language shape of the condition, as written in the
+    /// paper's Section 5 examples (`rep(rel1, rep1)`); rewrite traces
+    /// print these so every applied rule shows what it checked.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Condition::CatalogLink {
+                catalog,
+                model,
+                rep,
+            } => write!(f, "{catalog}({model}, {rep})"),
+            Condition::TypeIs { var, pattern } => write!(f, "{var} : {pattern}"),
+            Condition::IsConst(var) => write!(f, "is_const({var})"),
+            Condition::BTreeKeyIs { rep, attr } => write!(f, "btree_key({rep}) = {attr}"),
+            Condition::Not(inner) => write!(f, "not {inner}"),
+            Condition::LsdIndexesBBoxOf { lsd, fvar } => {
+                write!(f, "{lsd} indexes bbox of {fvar}")
+            }
+        }
+    }
+}
+
 impl Condition {
     pub fn catalog_link(catalog: &str, model: &str, rep: &str) -> Condition {
         Condition::CatalogLink {

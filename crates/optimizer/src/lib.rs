@@ -22,7 +22,7 @@ mod ruleparse;
 
 pub use condition::Condition;
 pub use pattern::{OpPat, TermPattern};
-pub use rewrite::{Optimizer, OptimizerStats, Rule, RuleStep, Strategy};
+pub use rewrite::{Optimizer, OptimizerStats, Rule, RuleApplication, RuleStep, Strategy};
 pub use ruleparse::parse_rules;
 
 /// Errors raised during optimization.

@@ -62,6 +62,33 @@ pub struct OptimizerStats {
     pub rule_attempts: usize,
 }
 
+impl OptimizerStats {
+    /// Fold another run's counters into this one (the metrics registry
+    /// keeps cumulative totals across statements).
+    pub fn absorb(&mut self, other: OptimizerStats) {
+        self.rewrites += other.rewrites;
+        self.rule_attempts += other.rule_attempts;
+    }
+}
+
+/// One applied rewrite, recorded in application order when optimization
+/// runs traced: which step and rule fired, the conditions the rule
+/// checked, and the whole term before and after the rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleApplication {
+    /// The rule step (e.g. `index-access`) the rule belongs to.
+    pub step: String,
+    /// The rule's name (e.g. `join-inside-lsdtree`).
+    pub rule: String,
+    /// The conditions that held for this application, rendered in the
+    /// rule language (`rep(rel1, rep1)`, ...).
+    pub conditions: Vec<String>,
+    /// The whole (re-checked) term before the rewrite.
+    pub before: String,
+    /// The whole (re-checked) term after the rewrite.
+    pub after: String,
+}
+
 /// A sequence of rule steps.
 #[derive(Debug, Clone, Default)]
 pub struct Optimizer {
@@ -80,22 +107,56 @@ impl Optimizer {
         checker: &Checker,
         catalog: &Catalog,
     ) -> Result<(TypedExpr, OptimizerStats), OptError> {
+        self.drive(term, checker, catalog, None)
+            .map(|(t, s, _)| (t, s))
+    }
+
+    /// Optimize and additionally record every applied rewrite in
+    /// application order — the trace behind `EXPLAIN`'s rewrite section.
+    pub fn optimize_traced(
+        &self,
+        term: &TypedExpr,
+        checker: &Checker,
+        catalog: &Catalog,
+    ) -> Result<(TypedExpr, OptimizerStats, Vec<RuleApplication>), OptError> {
+        self.drive(term, checker, catalog, Some(Vec::new()))
+            .map(|(t, s, trace)| (t, s, trace.unwrap_or_default()))
+    }
+
+    /// The rewrite loop. `trace` is `Some` only for traced runs, so the
+    /// untraced hot path renders no term strings.
+    fn drive(
+        &self,
+        term: &TypedExpr,
+        checker: &Checker,
+        catalog: &Catalog,
+        mut trace: Option<Vec<RuleApplication>>,
+    ) -> Result<(TypedExpr, OptimizerStats, Option<Vec<RuleApplication>>), OptError> {
         let mut stats = OptimizerStats::default();
         let mut current = term.clone();
         for (step_idx, step) in self.steps.iter().enumerate() {
             let mut rewrites_in_step = 0;
             loop {
                 let top_down = step.strategy != Strategy::ExhaustiveBottomUp;
-                let Some((rule_name, raw)) =
-                    walk(&current, &step.rules, catalog, top_down, &mut stats)
+                let Some((rule, raw)) = walk(&current, &step.rules, catalog, top_down, &mut stats)
                 else {
                     break;
                 };
+                let before = trace.is_some().then(|| current.to_string());
                 current = checker.check_expr(&raw).map_err(|e| OptError::Recheck {
-                    rule: rule_name,
+                    rule: rule.name.clone(),
                     error: e,
                     term: format!("{raw}"),
                 })?;
+                if let (Some(trace), Some(before)) = (trace.as_mut(), before) {
+                    trace.push(RuleApplication {
+                        step: step.name.clone(),
+                        rule: rule.name.clone(),
+                        conditions: rule.conditions.iter().map(|c| c.to_string()).collect(),
+                        before,
+                        after: current.to_string(),
+                    });
+                }
                 stats.rewrites += 1;
                 rewrites_in_step += 1;
                 if step.strategy == Strategy::OnceTopDown {
@@ -109,26 +170,27 @@ impl Optimizer {
                 }
             }
         }
-        Ok((current, stats))
+        Ok((current, stats, trace))
     }
 }
 
-/// Find the first redex (by strategy order) and return the whole term in
-/// abstract syntax with the instantiated template spliced in.
-fn walk(
+/// Find the first redex (by strategy order) and return the applied rule
+/// plus the whole term in abstract syntax with the instantiated template
+/// spliced in.
+fn walk<'r>(
     node: &TypedExpr,
-    rules: &[Rule],
+    rules: &'r [Rule],
     catalog: &Catalog,
     top_down: bool,
     stats: &mut OptimizerStats,
-) -> Option<(String, Expr)> {
+) -> Option<(&'r Rule, Expr)> {
     if top_down {
         if let Some(r) = try_rules(node, rules, catalog, stats) {
             return Some(r);
         }
     }
-    if let Some((name, i, child_raw)) = walk_children(node, rules, catalog, top_down, stats) {
-        return Some((name, rebuild(node, i, child_raw)));
+    if let Some((rule, i, child_raw)) = walk_children(node, rules, catalog, top_down, stats) {
+        return Some((rule, rebuild(node, i, child_raw)));
     }
     if !top_down {
         if let Some(r) = try_rules(node, rules, catalog, stats) {
@@ -138,13 +200,13 @@ fn walk(
     None
 }
 
-fn walk_children(
+fn walk_children<'r>(
     node: &TypedExpr,
-    rules: &[Rule],
+    rules: &'r [Rule],
     catalog: &Catalog,
     top_down: bool,
     stats: &mut OptimizerStats,
-) -> Option<(String, usize, Expr)> {
+) -> Option<(&'r Rule, usize, Expr)> {
     let children: Vec<&TypedExpr> = match &node.node {
         TypedNode::Apply { args, .. } | TypedNode::List(args) | TypedNode::Tuple(args) => {
             args.iter().collect()
@@ -154,19 +216,19 @@ fn walk_children(
         _ => Vec::new(),
     };
     for (i, c) in children.into_iter().enumerate() {
-        if let Some((name, raw)) = walk(c, rules, catalog, top_down, stats) {
-            return Some((name, i, raw));
+        if let Some((rule, raw)) = walk(c, rules, catalog, top_down, stats) {
+            return Some((rule, i, raw));
         }
     }
     None
 }
 
-fn try_rules(
+fn try_rules<'r>(
     node: &TypedExpr,
-    rules: &[Rule],
+    rules: &'r [Rule],
     catalog: &Catalog,
     stats: &mut OptimizerStats,
-) -> Option<(String, Expr)> {
+) -> Option<(&'r Rule, Expr)> {
     for rule in rules {
         stats.rule_attempts += 1;
         let mut b = RuleBindings::default();
@@ -192,7 +254,7 @@ fn try_rules(
         }
         if let Some(solution) = frontier.first() {
             let raw = instantiate(&rule.rhs, solution);
-            return Some((rule.name.clone(), raw));
+            return Some((rule, raw));
         }
     }
     None

@@ -122,7 +122,7 @@ fn query_over_failing_disk_reports_error_at_system_level() {
     // so the 10-op fuse burns within the first few inserts.
     let disk = Arc::new(FaultyDisk::new(4));
     let pool = Arc::new(BufferPool::new(disk, 1));
-    let mut db = sos_system::Database::with_pool(pool);
+    let mut db = sos_system::Database::builder().pool(pool).build();
     db.run(
         r#"
         type t = tuple(<(k, int), (payload, string)>);

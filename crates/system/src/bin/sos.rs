@@ -6,10 +6,14 @@
 //!
 //! * `.spec <file>`  — load an additional specification
 //! * `.rules <file>` — load a textual rule file as an optimizer step
-//! * `.explain <q>`  — show the optimized plan for a query expression
+//! * `.explain [analyze] <q>` — rewrite trace + plan tree for a query
+//!   (`analyze` also runs it and reports actual tuple/page counts)
+//! * `.trace on|off` — toggle per-phase span recording
+//! * `.metrics`      — the unified metrics snapshot (pool, optimizer,
+//!   operators, phase timings)
 //! * `.run <file>`   — run a program file
 //! * `.save <dir>`   — persist the database (see `Database::save`)
-//! * `.stats`        — buffer-pool and per-operator counters
+//! * `.stats [op]`   — per-operator counters (one operator, or all)
 //! * `.workers [n]`  — show or set the intra-operator worker count
 //! * `.objects`      — list catalog objects
 //! * `.quit`
@@ -26,13 +30,14 @@ use sos_system::{Database, Output};
 use std::io::{BufRead, Write};
 
 fn main() {
-    let mut db = Database::new();
+    let mut builder = Database::builder();
     if let Some(n) = std::env::var("SOS_WORKERS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
-        db.set_workers(n);
+        builder = builder.workers(n);
     }
+    let mut db = builder.build();
     let stdin = std::io::stdin();
     let interactive = atty_like();
     let mut buffer = String::new();
@@ -103,30 +108,40 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
     match head {
         ".quit" | ".exit" => return false,
         ".help" => {
-            println!(".run <file> | .spec <file> | .rules <file> | .explain <query> | .ops [name] | .save <dir> | .stats | .workers [n] | .objects | .quit");
+            println!(".run <file> | .spec <file> | .rules <file> | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .stats [op] | .workers [n] | .objects | .quit");
         }
         ".stats" => {
-            let s = db.pool_stats();
-            println!(
-                "pool: logical reads {}, cache hits {}, physical reads {}, physical writes {}, evictions {}",
-                s.logical_reads, s.cache_hits, s.physical_reads, s.physical_writes, s.evictions
-            );
-            let ops = db.exec_stats();
-            if ops.is_empty() {
-                println!("operators: (none run yet)");
-            }
-            for (name, o) in ops {
-                println!(
-                    "op {name}: {} run(s) ({} parallel), {} in / {} out, {} page(s), max {} worker(s)",
-                    o.invocations,
-                    o.parallel_invocations,
-                    o.tuples_in,
-                    o.tuples_out,
-                    o.pages_scanned,
-                    o.max_workers
-                );
+            let arg = rest.trim();
+            if arg.is_empty() {
+                let metrics = db.metrics();
+                if metrics.ops.is_empty() {
+                    println!("operators: (none run yet)");
+                }
+                for (name, o) in &metrics.ops {
+                    println!("op {name}: {}", sos_system::op_line(o));
+                }
+            } else {
+                match db.op_stats(arg) {
+                    Some(o) => println!("op {arg}: {}", sos_system::op_line(&o)),
+                    None => println!("no such operator: `{arg}` never ran"),
+                }
             }
         }
+        ".metrics" => {
+            println!("{}", db.metrics());
+        }
+        ".trace" => match rest.trim() {
+            "on" => {
+                db.set_tracing(true);
+                println!("tracing on");
+            }
+            "off" => {
+                db.set_tracing(false);
+                println!("tracing off");
+            }
+            "" => println!("tracing {}", if db.tracing() { "on" } else { "off" }),
+            _ => println!("error: `.trace` takes `on` or `off`"),
+        },
         ".workers" => {
             let arg = rest.trim();
             if arg.is_empty() {
@@ -134,7 +149,7 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
             } else {
                 match arg.parse::<usize>() {
                     Ok(n) => {
-                        db.set_workers(n);
+                        db.set_parallelism(n);
                         println!("{} worker(s)", db.workers());
                     }
                     Err(_) => println!("error: `.workers` takes a positive integer"),
@@ -191,10 +206,23 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
                 }
             }
         }
-        ".explain" => match db.explain(rest.trim().trim_end_matches(';')) {
-            Ok(plan) => println!("{plan}"),
-            Err(e) => println!("error: {e}"),
-        },
+        ".explain" => {
+            let arg = rest.trim();
+            let (analyze, query) = match arg.strip_prefix("analyze ") {
+                Some(q) => (true, q),
+                None => (false, arg),
+            };
+            let query = query.trim().trim_end_matches(';');
+            let report = if analyze {
+                db.explain_analyze(query)
+            } else {
+                db.explain(query)
+            };
+            match report {
+                Ok(e) => print!("{e}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
         ".spec" => match std::fs::read_to_string(rest.trim()) {
             Ok(src) => match db.load_spec(&src) {
                 Ok(()) => println!("specification loaded"),

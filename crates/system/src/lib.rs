@@ -16,10 +16,12 @@
 //! optimizer into representation-level plans when representations exist,
 //! and executed.
 //!
+//! Databases are constructed through [`DatabaseBuilder`]:
+//!
 //! ```
 //! use sos_system::Database;
 //!
-//! let mut db = Database::new();
+//! let mut db = Database::builder().build();
 //! db.run(r#"
 //!     type city = tuple(<(name, string), (pop, int), (country, string)>);
 //!     type city_rel = rel(city);
@@ -28,6 +30,13 @@
 //!     query cities select[pop > 100000];
 //! "#).unwrap();
 //! ```
+//!
+//! Every phase of statement processing — parse, check, optimize,
+//! execute — is observable: [`Database::metrics`] returns the unified
+//! [`MetricsSnapshot`] (buffer pool + optimizer + per-operator rows +
+//! phase timings), [`Database::set_tracing`] turns per-phase span
+//! recording on, and [`Database::explain`] / [`Database::explain_analyze`]
+//! return a structured [`Explain`] with the ordered rewrite trace.
 
 pub mod builtin;
 pub mod persist;
@@ -39,11 +48,18 @@ use sos_core::spec::Level;
 use sos_core::typed::{TypedExpr, TypedNode};
 use sos_core::{CheckError, DataType, Expr, Signature, Symbol, TypeArg};
 use sos_exec::{EvalCtx, ExecEngine, ExecError, Value};
-use sos_optimizer::{OptError, Optimizer, OptimizerStats};
+use sos_obs::explain::plan_tree;
+use sos_obs::metrics::{ops_delta, pool_delta};
+use sos_obs::trace::Tracer;
+use sos_optimizer::{OptError, Optimizer, OptimizerStats, RuleApplication};
 use sos_parser::{parse_program, ParseError, Statement};
 use sos_storage::{BufferPool, PoolStats};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
+
+pub use sos_obs::metrics::op_line;
+pub use sos_obs::{Explain, ExplainAnalysis, ExplainKind, MetricsSnapshot, Phase, PhaseTimings};
 
 /// Everything that can go wrong processing a program.
 #[derive(Debug)]
@@ -142,6 +158,86 @@ impl Output {
     }
 }
 
+/// Configures and constructs a [`Database`] — the one construction
+/// path. Every knob that used to be a post-construction setter
+/// (`with_pool`, `set_workers`, `set_optimize`) is a builder method;
+/// tracing starts disabled unless [`DatabaseBuilder::trace`] enables it.
+///
+/// ```
+/// use sos_system::Database;
+///
+/// let mut db = Database::builder()
+///     .workers(2)
+///     .trace(true)
+///     .build();
+/// assert_eq!(db.workers(), 2);
+/// assert!(db.tracing());
+/// ```
+#[derive(Default)]
+pub struct DatabaseBuilder {
+    pool: Option<Arc<BufferPool>>,
+    workers: Option<usize>,
+    optimize: Option<bool>,
+    trace: bool,
+}
+
+impl DatabaseBuilder {
+    pub fn new() -> DatabaseBuilder {
+        DatabaseBuilder::default()
+    }
+
+    /// Run over the given buffer pool (default: a fresh in-memory pool
+    /// of 4096 frames).
+    pub fn pool(mut self, pool: Arc<BufferPool>) -> DatabaseBuilder {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Run over a fresh in-memory pool with `frames` frames.
+    pub fn memory_pool(self, frames: usize) -> DatabaseBuilder {
+        self.pool(sos_storage::mem_pool(frames))
+    }
+
+    /// Intra-operator worker count (default: one per available core;
+    /// `1` is exactly the serial engine).
+    pub fn workers(mut self, n: usize) -> DatabaseBuilder {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Enable or disable the rule optimizer (default: enabled).
+    pub fn optimize(mut self, enabled: bool) -> DatabaseBuilder {
+        self.optimize = Some(enabled);
+        self
+    }
+
+    /// Enable phase tracing from the start (default: off; near-zero
+    /// overhead while off).
+    pub fn trace(mut self, enabled: bool) -> DatabaseBuilder {
+        self.trace = enabled;
+        self
+    }
+
+    pub fn build(self) -> Database {
+        let pool = self.pool.unwrap_or_else(|| sos_storage::mem_pool(4096));
+        let mut engine = ExecEngine::new(pool);
+        if let Some(n) = self.workers {
+            engine.set_workers(n);
+        }
+        Database {
+            sig: builtin::builtin_signature(),
+            catalog: Catalog::new(),
+            engine,
+            store: HashMap::new(),
+            optimizer: rules::builtin_optimizer(),
+            optimize_enabled: self.optimize.unwrap_or(true),
+            last_opt_stats: OptimizerStats::default(),
+            total_opt_stats: OptimizerStats::default(),
+            tracer: Tracer::new(self.trace),
+        }
+    }
+}
+
 /// The SOS database system.
 pub struct Database {
     sig: Signature,
@@ -150,26 +246,30 @@ pub struct Database {
     store: HashMap<Symbol, Value>,
     optimizer: Optimizer,
     optimize_enabled: bool,
+    /// Counters of the most recent optimizer run.
     last_opt_stats: OptimizerStats,
+    /// Cumulative optimizer counters since the last `reset_metrics`.
+    total_opt_stats: OptimizerStats,
+    /// Per-phase span recorder (off by default).
+    tracer: Tracer,
 }
 
 impl Database {
+    /// Start configuring a database — the construction path.
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::new()
+    }
+
     /// A database over a fresh in-memory buffer pool.
+    #[deprecated(note = "use `Database::builder().build()`")]
     pub fn new() -> Database {
-        Database::with_pool(sos_storage::mem_pool(4096))
+        Database::builder().build()
     }
 
     /// A database over the given buffer pool.
+    #[deprecated(note = "use `Database::builder().pool(pool).build()`")]
     pub fn with_pool(pool: Arc<BufferPool>) -> Database {
-        Database {
-            sig: builtin::builtin_signature(),
-            catalog: Catalog::new(),
-            engine: ExecEngine::new(pool),
-            store: HashMap::new(),
-            optimizer: rules::builtin_optimizer(),
-            optimize_enabled: true,
-            last_opt_stats: OptimizerStats::default(),
-        }
+        Database::builder().pool(pool).build()
     }
 
     // ---- accessors ----
@@ -182,23 +282,55 @@ impl Database {
         &self.catalog
     }
 
-    pub fn pool_stats(&self) -> PoolStats {
-        self.engine.pool.stats()
+    // ---- observability ----
+
+    /// One consistent snapshot of every counter the system keeps:
+    /// buffer-pool traffic, cumulative optimizer counters, per-operator
+    /// runtime rows, and per-phase wall time (populated when tracing is
+    /// on). This subsumes the deprecated `pool_stats` /
+    /// `last_optimizer_stats` / `exec_stats` getters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            pool: self.engine.pool.stats(),
+            optimizer: self.total_opt_stats,
+            ops: self.engine.stats.snapshot(),
+            phases: self.tracer.timings(),
+        }
     }
 
-    pub fn reset_pool_stats(&self) {
-        self.engine.pool.reset_stats()
+    /// Reset every counter [`Database::metrics`] reports (the tracing
+    /// on/off flag is unchanged).
+    pub fn reset_metrics(&mut self) {
+        self.engine.pool.reset_stats();
+        self.engine.stats.reset();
+        self.total_opt_stats = OptimizerStats::default();
+        self.last_opt_stats = OptimizerStats::default();
+        self.tracer.reset();
     }
 
-    pub fn last_optimizer_stats(&self) -> OptimizerStats {
-        self.last_opt_stats
+    /// Turn per-phase span recording on or off. Off by default; while
+    /// off, the only cost per phase is one relaxed atomic load.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
     }
 
-    /// Set the worker count for intra-operator parallelism. `1` (the
-    /// default on single-core machines) is exactly the legacy serial
-    /// engine; `n > 1` lets heap scans, filters, counts and joins run
-    /// page- or chunk-partitioned across `n` threads.
-    pub fn set_workers(&mut self, n: usize) {
+    /// Whether phase tracing is currently on.
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Runtime counters for a single operator, or `None` if no operator
+    /// of that name ever ran (unknown names are no longer silently
+    /// reported as zeros).
+    pub fn op_stats(&self, op: &str) -> Option<sos_exec::OpStats> {
+        self.engine.stats.get(op)
+    }
+
+    /// Set the worker count for intra-operator parallelism at runtime.
+    /// `1` is exactly the serial engine; `n > 1` lets heap scans,
+    /// filters, counts and joins run page- or chunk-partitioned across
+    /// `n` threads. (Initial value: [`DatabaseBuilder::workers`].)
+    pub fn set_parallelism(&mut self, n: usize) {
         self.engine.set_workers(n);
     }
 
@@ -207,24 +339,56 @@ impl Database {
         self.engine.workers()
     }
 
+    /// Turn the rule optimizer off/on at runtime (benchmarks compare
+    /// plans this way; initial value: [`DatabaseBuilder::optimize`]).
+    pub fn set_optimizer_enabled(&mut self, enabled: bool) {
+        self.optimize_enabled = enabled;
+    }
+
+    /// Whether the rule optimizer is applied to statements.
+    pub fn optimizer_enabled(&self) -> bool {
+        self.optimize_enabled
+    }
+
+    // ---- deprecated observability shims ----
+
+    #[deprecated(note = "use `Database::metrics().pool`")]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.engine.pool.stats()
+    }
+
+    #[deprecated(note = "use `Database::reset_metrics()`")]
+    pub fn reset_pool_stats(&self) {
+        self.engine.pool.reset_stats()
+    }
+
+    /// Counters of the most recent optimizer run (the cumulative totals
+    /// live in [`Database::metrics`]).
+    #[deprecated(note = "use `Database::metrics().optimizer` (cumulative)")]
+    pub fn last_optimizer_stats(&self) -> OptimizerStats {
+        self.last_opt_stats
+    }
+
+    #[deprecated(note = "use `Database::set_parallelism` (or `DatabaseBuilder::workers`)")]
+    pub fn set_workers(&mut self, n: usize) {
+        self.set_parallelism(n);
+    }
+
     /// Per-operator execution counters (tuples in/out, pages scanned,
     /// workers used), sorted by operator name.
+    #[deprecated(note = "use `Database::metrics().ops`")]
     pub fn exec_stats(&self) -> Vec<(String, sos_exec::OpStats)> {
         self.engine.stats.snapshot()
     }
 
-    /// Counters for a single operator (zeros if it never ran).
-    pub fn op_stats(&self, op: &str) -> sos_exec::OpStats {
-        self.engine.stats.op(op)
-    }
-
+    #[deprecated(note = "use `Database::reset_metrics()`")]
     pub fn reset_exec_stats(&self) {
         self.engine.stats.reset()
     }
 
-    /// Turn the optimizer off/on (used by benchmarks to compare plans).
+    #[deprecated(note = "use `Database::set_optimizer_enabled` (or `DatabaseBuilder::optimize`)")]
     pub fn set_optimize(&mut self, enabled: bool) {
-        self.optimize_enabled = enabled;
+        self.set_optimizer_enabled(enabled);
     }
 
     // ---- extensibility ----
@@ -235,7 +399,7 @@ impl Database {
     /// ```
     /// # use sos_system::Database;
     /// # use sos_exec::Value;
-    /// let mut db = Database::new();
+    /// let mut db = Database::builder().build();
     /// db.load_spec(r##"op triple : int -> int syntax "_ #""##).unwrap();
     /// db.add_op_impl("triple", |_, _, args| {
     ///     Ok(Value::Int(args[0].as_int("triple")? * 3))
@@ -301,7 +465,10 @@ impl Database {
 
     /// Run a complete program, returning one output per statement.
     pub fn run(&mut self, src: &str) -> Result<Vec<Output>, SystemError> {
-        let stmts = parse_program(src, &self.sig)?;
+        let span = self.tracer.start();
+        let stmts = parse_program(src, &self.sig);
+        self.tracer.finish(Phase::Parse, span);
+        let stmts = stmts?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
             out.push(self.execute(stmt)?);
@@ -315,7 +482,7 @@ impl Database {
     /// ```
     /// # use sos_system::Database;
     /// # use sos_exec::Value;
-    /// let mut db = Database::new();
+    /// let mut db = Database::builder().build();
     /// assert_eq!(db.query("2 + 3 * 4").unwrap(), Value::Int(14));
     /// ```
     pub fn query(&mut self, expr_src: &str) -> Result<Value, SystemError> {
@@ -327,43 +494,104 @@ impl Database {
     }
 
     /// Type-check and optimize a query without executing it, returning
-    /// the plan in abstract syntax (used by tests and EXPERIMENTS.md).
+    /// a structured [`Explain`]: per-phase wall time, the ordered
+    /// rewrite trace, and the final plan as a term and as an indented
+    /// operator tree. Use [`Explain::plan`] for the bare plan term.
     ///
     /// ```
     /// # use sos_system::Database;
-    /// let mut db = Database::new();
+    /// let mut db = Database::builder().build();
     /// db.run("type t = tuple(<(k, int)>); create r : rel(t);").unwrap();
-    /// let plan = db.explain("r select[k > 0]").unwrap();
-    /// assert!(plan.starts_with("select(r, fun ("));
+    /// let report = db.explain("r select[k > 0]").unwrap();
+    /// assert!(report.plan().starts_with("select(r, fun ("));
+    /// assert!(!report.phases.is_empty());
     /// ```
-    pub fn explain(&mut self, expr_src: &str) -> Result<String, SystemError> {
+    pub fn explain(&mut self, expr_src: &str) -> Result<Explain, SystemError> {
+        self.explain_query(expr_src, false)
+    }
+
+    /// Like [`Database::explain`], but also *runs* the plan and attaches
+    /// an [`ExplainAnalysis`]: actual per-operator tuple/page counts,
+    /// buffer-pool traffic attributable to the run, and a summary of the
+    /// produced value.
+    pub fn explain_analyze(&mut self, expr_src: &str) -> Result<Explain, SystemError> {
+        self.explain_query(expr_src, true)
+    }
+
+    fn explain_query(&mut self, expr_src: &str, analyze: bool) -> Result<Explain, SystemError> {
+        let mut phases = Vec::new();
+        let started = Instant::now();
         let stmts = parse_program(&format!("query {expr_src};"), &self.sig)?;
+        phases.push((Phase::Parse, started.elapsed().as_nanos() as u64));
         let Statement::Query(e) = &stmts[0] else {
             unreachable!()
         };
+        let started = Instant::now();
         let checked = self.check(&self.resolve_expr(e))?;
-        let optimized = self.optimize(&checked)?;
-        Ok(optimized.to_string())
+        phases.push((Phase::Check, started.elapsed().as_nanos() as u64));
+        let started = Instant::now();
+        let (optimized, rewrites) = self.optimize_traced(&checked)?;
+        phases.push((Phase::Optimize, started.elapsed().as_nanos() as u64));
+        let analysis = if analyze {
+            let pool_before = self.engine.pool.stats();
+            let ops_before = self.engine.stats.snapshot();
+            let started = Instant::now();
+            let value = self.eval(&optimized)?;
+            phases.push((Phase::Execute, started.elapsed().as_nanos() as u64));
+            Some(ExplainAnalysis {
+                ops: ops_delta(&ops_before, &self.engine.stats.snapshot()),
+                pool: pool_delta(&pool_before, &self.engine.pool.stats()),
+                result: value_summary(&value),
+            })
+        } else {
+            None
+        };
+        Ok(Explain {
+            source: expr_src.trim().to_string(),
+            kind: ExplainKind::Query,
+            phases,
+            rewrites,
+            plan: optimized.to_string(),
+            plan_tree: plan_tree(&optimized),
+            analysis,
+        })
     }
 
-    /// Type-check and optimize an update statement without executing it,
-    /// returning the translated statement text — the paper's Section 6
-    /// trace: `update cities := insert(cities, c)` explains to
-    /// `update cities_rep := insert(cities_rep, c)`.
-    pub fn explain_update(&mut self, stmt_src: &str) -> Result<String, SystemError> {
+    /// Type-check and optimize an update statement without executing it.
+    /// [`Explain::statement`] renders the translated statement text —
+    /// the paper's Section 6 trace: `update cities := insert(cities, c)`
+    /// explains to `update cities_rep := insert(cities_rep, c)`.
+    pub fn explain_update(&mut self, stmt_src: &str) -> Result<Explain, SystemError> {
+        let mut phases = Vec::new();
+        let started = Instant::now();
         let stmts = parse_program(stmt_src, &self.sig)?;
+        phases.push((Phase::Parse, started.elapsed().as_nanos() as u64));
         let Some(Statement::Update(name, expr)) = stmts.first() else {
             return Err(SystemError::Persist(
                 "explain_update expects a single update statement".into(),
             ));
         };
+        let started = Instant::now();
         let resolved = self.resolve_expr(expr);
         let checked = self.check(&resolved)?;
-        let optimized = self.optimize(&checked)?;
+        phases.push((Phase::Check, started.elapsed().as_nanos() as u64));
+        let started = Instant::now();
+        let (optimized, rewrites) = self.optimize_traced(&checked)?;
+        phases.push((Phase::Optimize, started.elapsed().as_nanos() as u64));
         let target = self
             .update_target(&optimized)
             .unwrap_or_else(|| name.clone());
-        Ok(format!("update {target} := {optimized}"))
+        Ok(Explain {
+            source: stmt_src.trim().to_string(),
+            kind: ExplainKind::Update {
+                target: target.to_string(),
+            },
+            phases,
+            rewrites,
+            plan: optimized.to_string(),
+            plan_tree: plan_tree(&optimized),
+            analysis: None,
+        })
     }
 
     /// Execute one parsed statement.
@@ -397,8 +625,11 @@ impl Database {
                 if self.catalog.object(name).is_none() {
                     return Err(SystemError::UnknownObject(name.clone()));
                 }
+                let span = self.tracer.start();
                 let resolved = self.resolve_expr(expr);
-                let checked = self.check(&resolved)?;
+                let checked = self.check(&resolved);
+                self.tracer.finish(Phase::Check, span);
+                let checked = checked?;
                 let optimized = self.optimize(&checked)?;
                 // A translated model update targets the representation
                 // object named by the rewritten update operator.
@@ -428,8 +659,11 @@ impl Database {
                 Ok(Output::Deleted(name.clone()))
             }
             Statement::Query(expr) => {
+                let span = self.tracer.start();
                 let resolved = self.resolve_expr(expr);
-                let checked = self.check(&resolved)?;
+                let checked = self.check(&resolved);
+                self.tracer.finish(Phase::Check, span);
+                let checked = checked?;
                 let optimized = self.optimize(&checked)?;
                 let value = self.eval(&optimized)?;
                 Ok(Output::Query(value))
@@ -473,13 +707,41 @@ impl Database {
         if !self.optimize_enabled {
             return Ok(t.clone());
         }
+        let span = self.tracer.start();
         let checker = Checker::new(&self.sig, &self.catalog);
-        let (optimized, stats) = self.optimizer.optimize(t, &checker, &self.catalog)?;
+        let result = self.optimizer.optimize(t, &checker, &self.catalog);
+        self.tracer.finish(Phase::Optimize, span);
+        let (optimized, stats) = result?;
         self.last_opt_stats = stats;
+        self.total_opt_stats.absorb(stats);
         Ok(optimized)
     }
 
+    /// Optimize while recording every applied rewrite (the explain path;
+    /// timings there go through `Instant` directly, not the tracer).
+    fn optimize_traced(
+        &mut self,
+        t: &TypedExpr,
+    ) -> Result<(TypedExpr, Vec<RuleApplication>), SystemError> {
+        if !self.optimize_enabled {
+            return Ok((t.clone(), Vec::new()));
+        }
+        let checker = Checker::new(&self.sig, &self.catalog);
+        let (optimized, stats, trace) =
+            self.optimizer.optimize_traced(t, &checker, &self.catalog)?;
+        self.last_opt_stats = stats;
+        self.total_opt_stats.absorb(stats);
+        Ok((optimized, trace))
+    }
+
     fn eval(&mut self, t: &TypedExpr) -> Result<Value, SystemError> {
+        let span = self.tracer.start();
+        let result = self.eval_inner(t);
+        self.tracer.finish(Phase::Execute, span);
+        result
+    }
+
+    fn eval_inner(&mut self, t: &TypedExpr) -> Result<Value, SystemError> {
         let mut ctx = EvalCtx::new(&self.engine, &mut self.store, &mut self.catalog);
         let v = ctx.eval(t)?;
         // Pipelined cursors are drained at the statement boundary; within
@@ -597,6 +859,20 @@ impl Database {
 
 impl Default for Database {
     fn default() -> Self {
-        Database::new()
+        Database::builder().build()
+    }
+}
+
+/// A short, deterministic summary of a produced value: kind and
+/// cardinality for collections, kind and rendering for atoms.
+fn value_summary(v: &Value) -> String {
+    match v {
+        Value::Rel(ts) => format!("rel of {} tuple(s)", ts.len()),
+        Value::Stream(ts) => format!("stream of {} tuple(s)", ts.len()),
+        Value::List(vs) => format!("list of {} value(s)", vs.len()),
+        Value::Int(_) | Value::Real(_) | Value::Str(_) | Value::Bool(_) => {
+            format!("{} = {}", v.kind_name(), sos_exec::render(v))
+        }
+        other => other.kind_name().to_string(),
     }
 }

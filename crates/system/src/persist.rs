@@ -35,7 +35,7 @@ impl Database {
         std::fs::create_dir_all(dir).map_err(persist_err)?;
         let disk = FileDisk::open(&dir.join(PAGES)).map_err(SystemError::from)?;
         let pool = Arc::new(BufferPool::new(Arc::new(disk), 4096));
-        let mut db = Database::with_pool(pool);
+        let mut db = Database::builder().pool(pool).build();
         let snap_path = dir.join(SNAPSHOT);
         if snap_path.exists() {
             let json = std::fs::read_to_string(&snap_path).map_err(persist_err)?;

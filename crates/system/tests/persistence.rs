@@ -75,7 +75,7 @@ fn full_database_roundtrip() {
             as_count(&db.query("cities_rep range_to[4999] count").unwrap())
         );
         // Catalog links survive: the optimizer still fires.
-        let plan = db.explain("cities select[pop = 31]").unwrap();
+        let plan = db.explain("cities select[pop = 31]").unwrap().plan;
         assert!(plan.contains("exactmatch(cities_rep"), "plan: {plan}");
         // The LSD-tree directory survives: spatial plans still work.
         let joined = as_count(

@@ -33,6 +33,9 @@ fn shell_runs_a_program_and_meta_commands() {
          .objects\n\
          .ops select\n\
          .stats\n\
+         .stats select\n\
+         .stats frobnicate\n\
+         .metrics\n\
          .quit\n",
     );
     assert!(out.contains("type t defined"), "{out}");
@@ -44,7 +47,40 @@ fn shell_runs_a_program_and_meta_commands() {
         out.contains("op select : forall rel: rel(tuple) in REL"),
         "{out}"
     );
+    // `.stats select` reports the one operator; unknown names are called
+    // out instead of showing silent zeros.
+    assert!(out.contains("op select:"), "{out}");
+    assert!(
+        out.contains("no such operator: `frobnicate` never ran"),
+        "{out}"
+    );
+    // `.metrics` is the unified snapshot: pool + optimizer + phases.
     assert!(out.contains("logical reads"), "{out}");
+    assert!(out.contains("optimizer:"), "{out}");
+    assert!(out.contains("phases:"), "{out}");
+}
+
+#[test]
+fn shell_traces_phases_and_explains_analyze() {
+    let out = run_shell(
+        "type t = tuple(<(a, int)>);\n\
+         create r : rel(t);\n\
+         update r := insert(r, mktuple[(a, 41)]);\n\
+         .trace on\n\
+         query r count;\n\
+         .metrics\n\
+         .trace off\n\
+         .explain analyze r select[a > 0] count\n\
+         .quit\n",
+    );
+    assert!(out.contains("tracing on"), "{out}");
+    // With tracing on, the metrics snapshot shows per-phase spans.
+    assert!(out.contains("parse 1x"), "{out}");
+    assert!(out.contains("execute 1x"), "{out}");
+    assert!(out.contains("tracing off"), "{out}");
+    // `.explain analyze` ran the plan: actual counts appear.
+    assert!(out.contains("analyze:"), "{out}");
+    assert!(out.contains("result: int = 1"), "{out}");
 }
 
 #[test]

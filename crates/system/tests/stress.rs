@@ -31,7 +31,7 @@ fn hundreds_of_statements_in_one_program() {
     for i in (0..200).step_by(40) {
         program.push_str(&format!("query items select[k = {i}] count;\n"));
     }
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     let outputs = db.run(&program).unwrap();
     assert_eq!(outputs.len(), 5 + 200 + 5);
     assert_eq!(as_count(&db.query("items_rep feed count").unwrap()), 200);
@@ -43,7 +43,7 @@ fn hundreds_of_statements_in_one_program() {
 
 #[test]
 fn many_objects_and_types() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     for i in 0..60 {
         db.run(&format!(
             "type t{i} = tuple(<(a{i}, int), (b{i}, string)>);\n\
@@ -63,7 +63,7 @@ fn many_objects_and_types() {
 
 #[test]
 fn deep_pipelines_check_and_run() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         "type item = tuple(<(k, int), (tag, string)>);\n\
          create s : srel(item);",
@@ -84,7 +84,7 @@ fn deep_pipelines_check_and_run() {
 
 #[test]
 fn repeated_create_delete_cycles() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run("type t = tuple(<(a, int)>);").unwrap();
     for round in 0..50 {
         db.run(&format!(
@@ -102,7 +102,7 @@ fn repeated_create_delete_cycles() {
 
 #[test]
 fn interleaved_model_and_rep_updates_stay_consistent() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         "type item = tuple(<(k, int), (tag, string)>);\n\
          create items : rel(item);\n\

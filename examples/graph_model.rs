@@ -103,7 +103,7 @@ fn register_graph_ops(db: &mut Database) {
 }
 
 fn main() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.load_spec(GRAPH_SPEC).expect("graph model spec loads");
     register_graph_ops(&mut db);
 

@@ -13,7 +13,7 @@ use sos_exec::Value;
 use sos_system::Database;
 
 fn main() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
 
     // --- Nested relations (the paper's second type system) -------------
     db.load_spec(

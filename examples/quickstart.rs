@@ -10,7 +10,7 @@ use sos_exec::render;
 use sos_system::{Database, Output};
 
 fn main() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
 
     // The little example program of Section 2.4 (statement terminators
     // added; values entered with mktuple).

@@ -23,7 +23,7 @@ fn main() {
     let n_cities = 2000;
     let grid = 16; // 256 states
 
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (center, point), (pop, int)>);
@@ -59,27 +59,38 @@ fn main() {
     db.bulk_insert("states_rep", states).expect("load states");
     println!("loaded {n_cities} cities and {} states\n", grid * grid);
 
-    // 1. What the optimizer does with the model-level join.
+    // 1. What the optimizer does with the model-level join: the full
+    //    structured report — the ordered rewrite trace (which rule fired,
+    //    under which conditions, before/after terms), the plan tree, and
+    //    the per-phase wall time.
     let query = "cities states join[center inside region]";
-    let plan = db.explain(query).expect("plan");
+    let report = db.explain(query).expect("plan");
     println!("=== model query ===\n{query}\n");
-    println!("=== optimized plan (Section 5 rule) ===\n{plan}\n");
+    println!("=== explain (Section 5 rule) ===\n{report}");
+    println!("applied rules: {}\n", report.applied_rules().join(", "));
 
-    // 2. Run it, and the naive plan, and compare page touches.
-    db.reset_pool_stats();
+    // 2. EXPLAIN ANALYZE: run the optimized plan and attach the actual
+    //    per-operator tuple/page counts and pool traffic of that run.
+    let analyzed = db
+        .explain_analyze(&format!("{query} count"))
+        .expect("analyze");
+    println!("=== explain analyze ===\n{analyzed}");
+
+    // 3. Run it, and the naive plan, and compare page touches.
+    db.reset_metrics();
     let t0 = std::time::Instant::now();
     let optimized = db.query(&format!("{query} count")).expect("optimized run");
     let opt_time = t0.elapsed();
-    let opt_stats = db.pool_stats();
+    let opt_stats = db.metrics().pool;
 
     let scan_plan = "cities_rep feed \
         (fun (c: city) states_rep feed filter[fun (s: state) c center inside s region]) \
         search_join count";
-    db.reset_pool_stats();
+    db.reset_metrics();
     let t1 = std::time::Instant::now();
     let scanned = db.query(scan_plan).expect("scan run");
     let scan_time = t1.elapsed();
-    let scan_stats = db.pool_stats();
+    let scan_stats = db.metrics().pool;
 
     assert_eq!(optimized, scanned, "both plans must agree");
     println!("=== results ===");

@@ -17,7 +17,8 @@ fn show_update(db: &mut Database, stmt: &str) {
     println!("M  {stmt}");
     // The paper's R-trace: show the translated statement, then run it.
     match db.explain_update(stmt) {
-        Ok(translated) => {
+        Ok(report) => {
+            let translated = report.statement();
             let shown = if translated.len() > 160 {
                 format!("{}...", &translated[..160])
             } else {
@@ -34,7 +35,7 @@ fn show_update(db: &mut Database, stmt: &str) {
 }
 
 fn main() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
 
     // The Section 6 preamble: hybrid type, model object, representation,
     // catalog link.

@@ -7,7 +7,7 @@ use sos_system::Database;
 /// The built-in relational type system accepts the paper's city types.
 #[test]
 fn relational_types_from_the_paper() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(name, string), (pop, int), (country, string)>);
@@ -28,7 +28,7 @@ fn relational_types_from_the_paper() {
 
 #[test]
 fn ill_formed_types_are_rejected() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     // rel of a non-tuple type
     assert!(db.run("create bad : rel(int);").is_err());
     // unknown constructor
@@ -48,7 +48,7 @@ fn ill_formed_types_are_rejected() {
 /// *additional* specification — the framework is not fixed to one model.
 #[test]
 fn nested_relational_model_as_new_specification() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.load_spec(
         "kinds NREL
          model cons nrel : (ident x (DATA | NREL))+ -> NREL",
@@ -76,7 +76,7 @@ fn nested_relational_model_as_new_specification() {
 /// Complex objects in the spirit of [BaK86] (Section 2.1, third system).
 #[test]
 fn complex_object_model_as_new_specification() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.load_spec(
         "kinds OBJ
          cons obottom, otop, oint, ostring : -> OBJ
@@ -102,7 +102,7 @@ fn complex_object_model_as_new_specification() {
 /// is rejected.
 #[test]
 fn named_types_are_structural_aliases() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(name, string), (pop, int)>);
@@ -131,7 +131,7 @@ fn named_types_are_structural_aliases() {
 /// The string(n) example of Section 3: constructors taking values.
 #[test]
 fn constructors_on_values_string_n() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.load_spec(
         "kinds FIXSTR
          cons fixstring : int -> FIXSTR",
@@ -148,7 +148,7 @@ fn constructors_on_values_string_n() {
 /// Function types classify view objects (Section 2.4).
 #[test]
 fn function_types_for_views_check() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(name, string), (pop, int)>);

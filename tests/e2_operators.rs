@@ -7,7 +7,7 @@ use sos_exec::Value;
 use sos_system::Database;
 
 fn db_with_cities() -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(name, string), (pop, int), (country, string)>);
@@ -121,7 +121,7 @@ fn join_computes_result_type_via_type_operator() {
 
 #[test]
 fn mktuple_type_operator_infers_schema() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type pair = tuple(<(a, int), (b, string)>);
@@ -142,7 +142,7 @@ fn count_works_on_relations() {
 
 #[test]
 fn geometry_operators_resolve_and_evaluate() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     assert_eq!(
         db.query("makepoint(1, 2) inside makerect(0, 0, 5, 5)")
             .unwrap(),

@@ -16,7 +16,7 @@ fn tuples(v: &Value) -> &[Value] {
 /// terminators and explicit value entry.
 #[test]
 fn the_cities_program() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     let outputs = db
         .run(
             r#"
@@ -45,7 +45,7 @@ fn the_cities_program() {
 /// `( -> city_rel)` holding a function value.
 #[test]
 fn views_are_function_valued_objects() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(name, string), (pop, int), (country, string)>);
@@ -72,7 +72,7 @@ fn views_are_function_valued_objects() {
 /// Parameterized views (Section 2.4): `cities_in ("Germany")`.
 #[test]
 fn parameterized_views() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(name, string), (pop, int), (country, string)>);
@@ -95,7 +95,7 @@ fn parameterized_views() {
 
 #[test]
 fn delete_statement_removes_object() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type t = tuple(<(a, int)>);
@@ -110,7 +110,7 @@ fn delete_statement_removes_object() {
 
 #[test]
 fn update_statement_type_safety() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type t = tuple(<(a, int)>);
@@ -126,7 +126,7 @@ fn update_statement_type_safety() {
 
 #[test]
 fn comments_in_programs_are_ignored() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type t = tuple(<(a, int)>); { this is the paper's comment style }
@@ -142,7 +142,7 @@ fn comments_in_programs_are_ignored() {
 /// the updated object, and chained updates accumulate.
 #[test]
 fn chained_updates_accumulate() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type t = tuple(<(a, int)>);

@@ -22,7 +22,7 @@ fn state_tuple(name: &str, region: Polygon) -> Value {
 /// A database with the paper's Section 4 schema: a B-tree of cities by
 /// population and an LSD-tree of states by region bounding box.
 fn rep_db(n_cities: usize, grid: usize) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (center, point), (pop, int)>);
@@ -113,7 +113,7 @@ fn range_queries_match_filter_scans() {
 
 #[test]
 fn exactmatch_finds_duplicate_keys() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type t = tuple(<(k, int), (v, string)>);
@@ -132,7 +132,7 @@ fn exactmatch_finds_duplicate_keys() {
 #[test]
 fn kbtree_indexes_by_key_expression() {
     // The paper's derived-key B-tree: btree(city, fun (c) c pop div 1000).
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (center, point), (pop, int)>);
@@ -217,7 +217,7 @@ fn stream_operators_reject_wrong_levels() {
 
 #[test]
 fn aggregates_over_streams() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type t = tuple(<(k, int), (w, real), (label, string)>);
@@ -256,7 +256,7 @@ fn aggregates_over_streams() {
 
 #[test]
 fn hashjoin_agrees_with_search_join_on_equijoins() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type emp = tuple(<(ename, string), (dept, int)>);

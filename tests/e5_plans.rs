@@ -20,7 +20,7 @@ fn state_tuple(name: &str, region: Polygon) -> Value {
 }
 
 fn rep_db(n_cities: usize, grid: usize) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (center, point), (pop, int)>);
@@ -62,13 +62,13 @@ fn index_join_touches_fewer_pages_than_scan_join() {
          filter[fun (s: state) c center inside s region]) \
         search_join count";
 
-    db.reset_pool_stats();
+    db.reset_metrics();
     let scan_result = db.query(scan_plan).unwrap();
-    let scan_reads = db.pool_stats().logical_reads;
+    let scan_reads = db.metrics().pool.logical_reads;
 
-    db.reset_pool_stats();
+    db.reset_metrics();
     let index_result = db.query(index_plan).unwrap();
-    let index_reads = db.pool_stats().logical_reads;
+    let index_reads = db.metrics().pool.logical_reads;
 
     assert_eq!(scan_result, index_result, "plans must agree");
     assert!(as_count(&scan_result) > 200);
@@ -82,15 +82,15 @@ fn index_join_touches_fewer_pages_than_scan_join() {
 fn btree_range_touches_fewer_pages_than_scan() {
     let mut db = rep_db(5000, 2);
     // A ~1% selectivity range.
-    db.reset_pool_stats();
+    db.reset_metrics();
     let via_scan = db
         .query("cities_rep feed filter[pop >= 0 and pop <= 1000] count")
         .unwrap();
-    let scan_reads = db.pool_stats().logical_reads;
+    let scan_reads = db.metrics().pool.logical_reads;
 
-    db.reset_pool_stats();
+    db.reset_metrics();
     let via_range = db.query("cities_rep range[0, 1000] count").unwrap();
-    let range_reads = db.pool_stats().logical_reads;
+    let range_reads = db.metrics().pool.logical_reads;
 
     assert_eq!(via_scan, via_range);
     assert!(
@@ -104,12 +104,12 @@ fn full_range_equals_full_scan_cost_shape() {
     // At selectivity 1 the range query degenerates to the scan: both
     // read every leaf. (The crossover benchmark B1 sweeps between.)
     let mut db = rep_db(2000, 2);
-    db.reset_pool_stats();
+    db.reset_metrics();
     let a = db.query("cities_rep feed count").unwrap();
-    let scan_reads = db.pool_stats().logical_reads;
-    db.reset_pool_stats();
+    let scan_reads = db.metrics().pool.logical_reads;
+    db.reset_metrics();
     let b = db.query("cities_rep range[0, 99999] count").unwrap();
-    let range_reads = db.pool_stats().logical_reads;
+    let range_reads = db.metrics().pool.logical_reads;
     assert_eq!(a, b);
     let ratio = range_reads as f64 / scan_reads as f64;
     assert!(

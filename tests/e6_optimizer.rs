@@ -25,7 +25,7 @@ fn state_tuple(name: &str, region: Polygon) -> Value {
 /// linked through the `rep` catalog — the exact setup of Section 6's
 /// example trace.
 fn model_db(n_cities: usize, grid: usize) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (center, point), (pop, int)>);
@@ -65,7 +65,7 @@ fn as_count(v: &Value) -> i64 {
 #[test]
 fn select_on_key_becomes_exactmatch() {
     let mut db = model_db(100, 2);
-    let plan = db.explain("cities select[pop = 991]").unwrap();
+    let plan = db.explain("cities select[pop = 991]").unwrap().plan;
     assert!(
         plan.contains("exactmatch(cities_rep"),
         "expected exactmatch plan, got: {plan}"
@@ -81,12 +81,12 @@ fn select_on_key_becomes_exactmatch() {
 #[test]
 fn select_range_comparisons_become_halfranges() {
     let mut db = model_db(100, 2);
-    let ge = db.explain("cities select[pop >= 50000]").unwrap();
+    let ge = db.explain("cities select[pop >= 50000]").unwrap().plan;
     assert!(ge.contains("range_from(cities_rep"), "plan: {ge}");
-    let le = db.explain("cities select[pop <= 50000]").unwrap();
+    let le = db.explain("cities select[pop <= 50000]").unwrap().plan;
     assert!(le.contains("range_to(cities_rep"), "plan: {le}");
     // Strict comparisons keep the original predicate as a filter.
-    let gt = db.explain("cities select[pop > 50000]").unwrap();
+    let gt = db.explain("cities select[pop > 50000]").unwrap().plan;
     assert!(
         gt.contains("range_from(cities_rep") && gt.contains("filter"),
         "plan: {gt}"
@@ -103,7 +103,10 @@ fn select_range_comparisons_become_halfranges() {
 #[test]
 fn select_on_non_key_attribute_becomes_scan() {
     let mut db = model_db(100, 2);
-    let plan = db.explain(r#"cities select[cname = "city7"]"#).unwrap();
+    let plan = db
+        .explain(r#"cities select[cname = "city7"]"#)
+        .unwrap()
+        .plan;
     assert!(
         plan.contains("filter(feed(cities_rep"),
         "expected scan plan, got: {plan}"
@@ -121,7 +124,8 @@ fn geometric_join_rewrites_to_lsdtree_search_join() {
     let mut db = model_db(150, 5);
     let plan = db
         .explain("cities states join[center inside region]")
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(
         plan.contains("point_search(states_rep"),
         "expected the Section 5 plan, got: {plan}"
@@ -155,7 +159,7 @@ fn geometric_join_rewrites_to_lsdtree_search_join() {
 /// fire; the generic scan-based search join is produced instead.
 #[test]
 fn spatial_rule_requires_matching_lsdtree() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (center, point), (pop, int)>);
@@ -172,7 +176,8 @@ fn spatial_rule_requires_matching_lsdtree() {
     .unwrap();
     let plan = db
         .explain("cities states join[center inside region]")
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(!plan.contains("point_search"), "plan: {plan}");
     assert!(plan.contains("search_join"), "plan: {plan}");
     assert!(plan.contains("feed(states_rep"), "plan: {plan}");
@@ -182,7 +187,7 @@ fn spatial_rule_requires_matching_lsdtree() {
 /// (no rep catalog entry: no rule condition holds).
 #[test]
 fn no_representation_no_rewrite() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type t = tuple(<(a, int)>);
@@ -191,17 +196,19 @@ fn no_representation_no_rewrite() {
     "#,
     )
     .unwrap();
-    let plan = db.explain("r select[a > 0]").unwrap();
+    let plan = db.explain("r select[a > 0]").unwrap().plan;
     assert!(plan.contains("select("), "plan: {plan}");
     assert_eq!(as_count(&db.query("r select[a > 0]").unwrap()), 1);
 }
 
-/// Optimizer statistics are reported (rewrites and attempts).
+/// Optimizer statistics are reported (rewrites and attempts) through
+/// the unified metrics snapshot.
 #[test]
 fn optimizer_reports_stats() {
     let mut db = model_db(20, 2);
+    db.reset_metrics();
     db.query("cities select[pop = 991] count").unwrap();
-    let stats = db.last_optimizer_stats();
+    let stats = db.metrics().optimizer;
     assert!(stats.rewrites >= 1);
     assert!(stats.rule_attempts >= 1);
 }
@@ -213,9 +220,9 @@ fn optimizer_reports_stats() {
 #[test]
 fn optimizer_toggle_changes_plans() {
     let mut db = model_db(50, 2);
-    let on = db.explain("cities select[pop >= 0]").unwrap();
-    db.set_optimize(false);
-    let off = db.explain("cities select[pop >= 0]").unwrap();
+    let on = db.explain("cities select[pop >= 0]").unwrap().plan;
+    db.set_optimizer_enabled(false);
+    let off = db.explain("cities select[pop >= 0]").unwrap().plan;
     assert_ne!(on, off);
     assert!(off.contains("select("));
 }
@@ -224,7 +231,7 @@ fn optimizer_toggle_changes_plans() {
 /// join (the extensible "special join algorithm" of the paper's intro).
 #[test]
 fn equi_join_rewrites_to_hashjoin() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type emp = tuple(<(ename, string), (dept, int)>);
@@ -248,14 +255,14 @@ fn equi_join_rewrites_to_hashjoin() {
     db.bulk_insert("emps_rep", emps).unwrap();
     db.bulk_insert("depts_rep", depts).unwrap();
 
-    let plan = db.explain("emps depts join[dept = dno]").unwrap();
+    let plan = db.explain("emps depts join[dept = dno]").unwrap().plan;
     assert!(plan.contains("hashjoin"), "plan: {plan}");
     assert_eq!(
         as_count(&db.query("emps depts join[dept = dno] count").unwrap()),
         100
     );
     // A non-equi predicate falls through to the generic search join.
-    let plan2 = db.explain("emps depts join[dept < dno]").unwrap();
+    let plan2 = db.explain("emps depts join[dept < dno]").unwrap().plan;
     assert!(!plan2.contains("hashjoin"), "plan: {plan2}");
     assert!(plan2.contains("search_join"), "plan: {plan2}");
 }
@@ -268,18 +275,21 @@ fn conjunctive_selection_uses_the_index() {
     // pop is the btree key; cname is the residue.
     let plan = db
         .explain(r#"cities select[fun (c: city) c pop >= 50000 and c cname = "city3"]"#)
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(plan.contains("range_from(cities_rep"), "plan: {plan}");
     assert!(plan.contains("filter"), "plan: {plan}");
     // Equality conjunct.
     let plan2 = db
         .explain(r#"cities select[fun (c: city) c pop = 991 and c cname = "city1"]"#)
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(plan2.contains("exactmatch(cities_rep"), "plan: {plan2}");
     // Strict comparison keeps the boundary check in the residue.
     let plan3 = db
         .explain(r#"cities select[fun (c: city) c pop > 50000 and c cname = "city9"]"#)
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(plan3.contains("range_from(cities_rep"), "plan: {plan3}");
     assert!(plan3.contains(">("), "plan keeps the strict check: {plan3}");
 
@@ -310,9 +320,9 @@ fn optimization_lowers_the_term_level() {
         checker.check_expr(&raw).unwrap()
     };
     assert_eq!(db.term_level(&checked), Level::Model);
-    db.set_optimize(true);
+    db.set_optimizer_enabled(true);
     // Go through explain to re-check and optimize, then classify.
-    let plan_src = db.explain("cities select[pop = 991]").unwrap();
+    let plan_src = db.explain("cities select[pop = 991]").unwrap().plan;
     // The optimized plan must contain no model-level operator: re-check
     // the plan text and classify.
     let plan_raw = sos_parser::parse_expr_str(&plan_src, db.signature());

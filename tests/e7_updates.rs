@@ -10,7 +10,7 @@ use sos_system::{Database, Output};
 
 /// The Section 6 setup: model object + B-tree representation + catalog.
 fn db6() -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (pop, int), (country, string)>);
@@ -243,23 +243,23 @@ fn key_predicate_delete_uses_the_index() {
     db.bulk_insert("cities_rep", tuples.clone()).unwrap();
 
     // The translated statement uses range_to on the representation.
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.run("update cities := delete(cities, fun (c: city) c pop <= 49);")
         .unwrap();
-    let index_reads = db.pool_stats().logical_reads;
+    let index_reads = db.metrics().pool.logical_reads;
     assert_eq!(as_count(&db.query("cities_rep feed count").unwrap()), 4950);
 
     // The same deletion done by an explicit scan-based plan reads every
     // leaf page to find the 50 doomed tuples.
     let mut db2 = db6();
     db2.bulk_insert("cities_rep", tuples).unwrap();
-    db2.reset_pool_stats();
+    db2.reset_metrics();
     db2.run(
         "update cities_rep := delete(cities_rep, \
          cities_rep feed filter[fun (c: city) c pop <= 49]);",
     )
     .unwrap();
-    let scan_reads = db2.pool_stats().logical_reads;
+    let scan_reads = db2.metrics().pool.logical_reads;
     assert_eq!(as_count(&db2.query("cities_rep feed count").unwrap()), 4950);
     // Both plans pay the per-tuple B-tree descent on deletion (our
     // materialized streams do not retain leaf positions — see DESIGN.md);
@@ -289,17 +289,17 @@ fn vacuum_reclaims_pages_after_mass_deletion() {
     db.run("update cities := delete(cities, fun (c: city) c pop mod 100 != 0);")
         .unwrap();
     let before = as_count(&db.query("cities_rep feed count").unwrap());
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.query("cities_rep feed count").unwrap();
-    let reads_before = db.pool_stats().logical_reads;
+    let reads_before = db.metrics().pool.logical_reads;
 
     db.run("update cities_rep := vacuum(cities_rep);").unwrap();
 
     let after = as_count(&db.query("cities_rep feed count").unwrap());
     assert_eq!(before, after, "vacuum must not change contents");
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.query("cities_rep feed count").unwrap();
-    let reads_after = db.pool_stats().logical_reads;
+    let reads_after = db.metrics().pool.logical_reads;
     assert!(
         reads_after * 4 < reads_before,
         "vacuum should shrink the scan: {reads_before} -> {reads_after}"
@@ -348,18 +348,26 @@ fn rel_insert_translates_to_stream_insert() {
 #[test]
 fn explain_update_shows_the_translation() {
     let mut db = db6();
-    let shown = db
+    let report = db
         .explain_update(
             r#"update cities := insert(cities, mktuple[(cname, "X"), (pop, 1), (country, "Y")]);"#,
         )
         .unwrap();
+    let shown = report.statement();
     assert!(
         shown.starts_with("update cities_rep := insert(cities_rep,"),
         "{shown}"
     );
+    assert_eq!(
+        report.kind,
+        sos_system::ExplainKind::Update {
+            target: "cities_rep".into()
+        }
+    );
     let shown2 = db
         .explain_update("update cities := delete(cities, fun (c: city) c pop <= 10);")
-        .unwrap();
+        .unwrap()
+        .statement();
     assert!(shown2.contains("range_to(cities_rep"), "{shown2}");
     // Non-update statements are rejected.
     assert!(db.explain_update("query cities count;").is_err());

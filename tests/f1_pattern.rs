@@ -105,7 +105,7 @@ fn figure1_pattern_rejects_wrong_structure() {
 /// list, attrname, dtype.
 #[test]
 fn replace_specification_is_figure1() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type person = tuple(<(name, string), (age, int)>);
@@ -117,7 +117,8 @@ fn replace_specification_is_figure1() {
     // quantifier makes the replacement function's type precise.
     let plan = db
         .explain("people feed replace[age, fun (p: person) p age + 1] count")
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(plan.contains("replace"), "plan: {plan}");
     // A wrongly typed replacement function is rejected: dtype is bound
     // to int by (attrname, dtype) in list.

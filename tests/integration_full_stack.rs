@@ -16,7 +16,7 @@ fn as_count(v: &Value) -> i64 {
 
 #[test]
 fn a_complete_session() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
 
     // 1. Schema: model objects, representations, catalog links.
     db.run(
@@ -105,7 +105,7 @@ fn a_complete_session() {
     );
 
     // 7. Page statistics are live and monotone.
-    let stats = db.pool_stats();
+    let stats = db.metrics().pool;
     assert!(stats.logical_reads > 0);
 
     // 8. Project + sort + head works over the optimized feed.
@@ -119,7 +119,7 @@ fn a_complete_session() {
 /// an implementation, and use it in the concrete syntax.
 #[test]
 fn extension_with_new_operator() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.load_spec(
         r##"
         op double : int -> int syntax "_ #"
@@ -139,7 +139,7 @@ fn extension_with_new_operator() {
 /// point inside a polygon is inside its bbox (used by the LSD plan).
 #[test]
 fn bbox_superset_property_holds_in_queries() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type state = tuple(<(sname, string), (region, pgon)>);

@@ -15,7 +15,7 @@ fn as_count(v: &Value) -> i64 {
 }
 
 fn db_with_orders() -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type order = tuple(<(country, string), (year, int), (amount, int)>);
@@ -95,13 +95,13 @@ fn prefixrange_selects_prefix_plus_range() {
 #[test]
 fn prefix_search_touches_fewer_pages_than_scan() {
     let mut db = db_with_orders();
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.query(r#"orders prefixmatch["DE"] count"#).unwrap();
-    let prefix_reads = db.pool_stats().logical_reads;
-    db.reset_pool_stats();
+    let prefix_reads = db.metrics().pool.logical_reads;
+    db.reset_metrics();
     db.query(r#"orders feed filter[country = "DE"] count"#)
         .unwrap();
-    let scan_reads = db.pool_stats().logical_reads;
+    let scan_reads = db.metrics().pool.logical_reads;
     assert!(
         prefix_reads <= scan_reads,
         "prefix={prefix_reads}, scan={scan_reads}"
@@ -130,7 +130,7 @@ fn mbtree_updates_work() {
 
 #[test]
 fn mbtree_rejects_unknown_attributes_at_create() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run("type t = tuple(<(a, int)>);").unwrap();
     assert!(db.run("create m : mbtree(t, <a, nope>);").is_err());
 }

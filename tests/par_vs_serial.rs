@@ -18,7 +18,7 @@ const WORKERS: &[usize] = &[2, 8];
 
 /// ~35 tuples per page; 3000 tuples spread over ~85 heap pages.
 fn heap_db(pool: Arc<sos_storage::BufferPool>, n: usize) -> Database {
-    let mut db = Database::with_pool(pool);
+    let mut db = Database::builder().pool(pool).build();
     db.run(
         r#"
         type item = tuple(<(k, int), (grp, int), (pad, string)>);
@@ -72,16 +72,16 @@ fn run(db: &mut Database, q: &str) -> Result<Value, String> {
 /// Run every query serially, then under each parallel worker count, and
 /// require identical outcomes (values *and* errors).
 fn assert_differential(db: &mut Database, queries: &[&str]) {
-    db.set_workers(1);
+    db.set_parallelism(1);
     let serial: Vec<Result<Value, String>> = queries.iter().map(|q| run(db, q)).collect();
     for &w in WORKERS {
-        db.set_workers(w);
+        db.set_parallelism(w);
         for (q, expected) in queries.iter().zip(&serial) {
             let got = run(db, q);
             assert_eq!(&got, expected, "query `{q}` diverged at workers={w}");
         }
     }
-    db.set_workers(1);
+    db.set_parallelism(1);
 }
 
 #[test]
@@ -167,23 +167,23 @@ fn runtime_errors_match_serial() {
 fn parallel_paths_run_and_release_every_pin() {
     let pool = sos_storage::mem_pool(4096);
     let mut db = heap_db(pool.clone(), 3000);
-    db.set_workers(4);
-    db.reset_exec_stats();
+    db.set_parallelism(4);
+    db.reset_metrics();
 
     db.query("heap_rep feed consume").unwrap();
-    let feed = db.op_stats("feed");
+    let feed = db.op_stats("feed").expect("feed ran");
     assert!(feed.parallel_invocations >= 1, "feed stats: {feed:?}");
     assert_eq!(feed.max_workers, 4);
     assert_eq!(feed.tuples_out, 3000);
     assert!(feed.pages_scanned >= 2, "feed stats: {feed:?}");
 
     db.query("heap_rep feed filter[grp = 3] count").unwrap();
-    let count = db.op_stats("count");
+    let count = db.op_stats("count").expect("count ran");
     assert!(count.parallel_invocations >= 1, "count stats: {count:?}");
     assert_eq!(count.tuples_in, 3000);
 
     db.query("items select[k mod 2 = 0] count").unwrap();
-    let select = db.op_stats("select");
+    let select = db.op_stats("select").expect("select ran");
     assert!(select.parallel_invocations >= 1, "select stats: {select:?}");
 
     // The buffer pool must come out quiescent and consistent.
@@ -199,14 +199,14 @@ fn impure_predicates_fall_back_to_serial() {
     let mut db = heap_db(sos_storage::mem_pool(4096), 3000);
     db.run("create threshold : int; update threshold := 1500;")
         .unwrap();
-    db.set_workers(1);
+    db.set_parallelism(1);
     let serial = run(&mut db, "heap_rep feed filter[k < threshold] count");
-    db.set_workers(4);
-    db.reset_exec_stats();
+    db.set_parallelism(4);
+    db.reset_metrics();
     let parallel = run(&mut db, "heap_rep feed filter[k < threshold] count");
     assert_eq!(serial, parallel);
     assert_eq!(
-        db.op_stats("feed").parallel_invocations,
+        db.op_stats("feed").map_or(0, |s| s.parallel_invocations),
         0,
         "an object-referencing predicate must stay on the serial path"
     );
@@ -222,7 +222,7 @@ fn parallel_speedup_on_multicore() {
         .unwrap_or(1);
     let mut db = heap_db(sos_storage::mem_pool(8192), 100_000);
     let time = |db: &mut Database, w: usize| {
-        db.set_workers(w);
+        db.set_parallelism(w);
         let start = std::time::Instant::now();
         for _ in 0..3 {
             assert_eq!(
@@ -252,7 +252,7 @@ proptest! {
         keys in prop::collection::vec(-1000i64..1000, 0..150),
         m in 1i64..20,
     ) {
-        let mut db = Database::new();
+        let mut db = Database::builder().build();
         db.run(
             r#"
             type itm = tuple(<(k, int), (pad, string)>);
@@ -271,10 +271,10 @@ proptest! {
             format!("h feed replace[k, fun (t: itm) t k mod {m}] consume"),
             "h feed sum[k]".to_string(),
         ];
-        db.set_workers(1);
+        db.set_parallelism(1);
         let serial: Vec<Result<Value, String>> =
             queries.iter().map(|q| run(&mut db, q)).collect();
-        db.set_workers(4);
+        db.set_parallelism(4);
         for (q, expected) in queries.iter().zip(&serial) {
             let got = run(&mut db, q);
             prop_assert!(&got == expected, "query `{}` diverged: {:?} vs {:?}", q, got, expected);

@@ -15,7 +15,7 @@ fn as_count(v: &Value) -> i64 {
 }
 
 fn big_db(n: usize) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type item = tuple(<(k, int), (pad, string)>);
@@ -41,13 +41,13 @@ fn big_db(n: usize) -> Database {
 fn head_terminates_the_scan_early() {
     let mut db = big_db(20_000);
     // Full scan cost, for reference.
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.query("items_rep feed count").unwrap();
-    let full = db.pool_stats().logical_reads;
+    let full = db.metrics().pool.logical_reads;
 
-    db.reset_pool_stats();
+    db.reset_metrics();
     let v = db.query("items_rep feed head[5] count").unwrap();
-    let early = db.pool_stats().logical_reads;
+    let early = db.metrics().pool.logical_reads;
     assert_eq!(as_count(&v), 5);
     assert!(
         early * 20 < full,
@@ -58,15 +58,15 @@ fn head_terminates_the_scan_early() {
 #[test]
 fn filter_head_pipelines_through_the_heap() {
     let mut db = big_db(20_000);
-    db.reset_pool_stats();
+    db.reset_metrics();
     let v = db
         .query("heap_rep feed filter[k mod 2 = 0] head[10] count")
         .unwrap();
-    let early = db.pool_stats().logical_reads;
+    let early = db.metrics().pool.logical_reads;
     assert_eq!(as_count(&v), 10);
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.query("heap_rep feed count").unwrap();
-    let full = db.pool_stats().logical_reads;
+    let full = db.metrics().pool.logical_reads;
     assert!(
         early * 20 < full,
         "filter|head must stop the scan: {early} vs {full}"
@@ -76,11 +76,11 @@ fn filter_head_pipelines_through_the_heap() {
 #[test]
 fn range_head_reads_only_the_needed_leaves() {
     let mut db = big_db(20_000);
-    db.reset_pool_stats();
+    db.reset_metrics();
     let v = db
         .query("items_rep range_from[10000] head[3] count")
         .unwrap();
-    let reads = db.pool_stats().logical_reads;
+    let reads = db.metrics().pool.logical_reads;
     assert_eq!(as_count(&v), 3);
     // Descent (height ~3) + one leaf.
     assert!(reads <= 10, "range_from + head[3] touched {reads} pages");
@@ -148,7 +148,7 @@ fn search_join_head_early_terminates() {
         .collect();
     db.bulk_insert("probes", probes).unwrap();
 
-    db.reset_pool_stats();
+    db.reset_metrics();
     let v = db
         .query(
             "items_rep feed \
@@ -156,11 +156,11 @@ fn search_join_head_early_terminates() {
              search_join head[4] count",
         )
         .unwrap();
-    let early = db.pool_stats().logical_reads;
+    let early = db.metrics().pool.logical_reads;
     assert_eq!(as_count(&v), 4);
-    db.reset_pool_stats();
+    db.reset_metrics();
     db.query("items_rep feed count").unwrap();
-    let full_outer_scan = db.pool_stats().logical_reads;
+    let full_outer_scan = db.metrics().pool.logical_reads;
     assert!(
         early < full_outer_scan / 5,
         "pipelined join+head should stop early: {early} vs outer scan {full_outer_scan}"
@@ -170,20 +170,20 @@ fn search_join_head_early_terminates() {
 #[test]
 fn project_replace_pipelines() {
     let mut db = big_db(20_000);
-    db.reset_pool_stats();
+    db.reset_metrics();
     let v = db
         .query("items_rep feed project[(k2, fun (t: item) t k * 2)] head[5] count")
         .unwrap();
-    let early = db.pool_stats().logical_reads;
+    let early = db.metrics().pool.logical_reads;
     assert_eq!(as_count(&v), 5);
     assert!(early < 40, "project|head touched {early} pages");
 
-    db.reset_pool_stats();
+    db.reset_metrics();
     let v2 = db
         .query("items_rep feed replace[k, fun (t: item) t k + 1] head[5] count")
         .unwrap();
     assert_eq!(as_count(&v2), 5);
-    assert!(db.pool_stats().logical_reads < 40);
+    assert!(db.metrics().pool.logical_reads < 40);
 }
 
 /// Self-referential updates see a snapshot, not their own effects:

@@ -7,7 +7,7 @@ use sos_exec::Value;
 use sos_system::Database;
 
 fn item_db() -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type item = tuple(<(k, int), (label, string)>);
@@ -57,7 +57,7 @@ proptest! {
         prop_assert_eq!(got_ge, expected_ge);
         prop_assert_eq!(got_le, expected_le);
         // The plans really used the index.
-        let plan = db.explain(&format!("items select[k >= {lo}]")).unwrap();
+        let plan = db.explain(&format!("items select[k >= {lo}]")).unwrap().plan;
         prop_assert!(plan.contains("range_from"));
     }
 

@@ -16,10 +16,10 @@ fn as_count(v: &Value) -> i64 {
 /// Build a database whose optimizer consists ONLY of rules parsed from
 /// the textual language.
 fn text_rule_db() -> Database {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     // Replace the built-in optimizer with an empty one, then load rules
     // from text.
-    db.set_optimize(false);
+    db.set_optimizer_enabled(false);
     db.run(
         r#"
         type item = tuple(<(k, int), (label, string)>);
@@ -37,7 +37,7 @@ fn text_rule_db() -> Database {
             .collect(),
     )
     .unwrap();
-    db.set_optimize(true);
+    db.set_optimizer_enabled(true);
     db
 }
 
@@ -82,7 +82,7 @@ fn text_rules_standalone_produce_the_same_plans_as_builtin() {
 
     let mut db = text_rule_db();
     // Plan from the built-in optimizer:
-    let builtin_plan = db.explain("items select[k = 7]").unwrap();
+    let builtin_plan = db.explain("items select[k = 7]").unwrap().plan;
     assert!(builtin_plan.contains("exactmatch(items_rep"));
 
     // Plan from the text rules, applied manually through the public
@@ -108,7 +108,7 @@ fn db2_plan(
 #[test]
 fn textual_funvar_rule_matches_spatial_join() {
     // The Section 5 rule, loaded from text, fires on the geometric join.
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type city = tuple(<(cname, string), (center, point), (pop, int)>);
@@ -139,7 +139,8 @@ fn textual_funvar_rule_matches_spatial_join() {
     // Reference plan from the builtin rules, via explain.
     let reference = db
         .explain("cities states join[center inside region]")
-        .unwrap();
+        .unwrap()
+        .plan;
     use sos_core::check::Checker;
     let checker = Checker::new(db.signature(), db.catalog());
     let raw =
@@ -154,7 +155,7 @@ fn textual_funvar_rule_matches_spatial_join() {
 
 #[test]
 fn bad_rule_files_are_rejected() {
-    let mut db = Database::new();
+    let mut db = Database::builder().build();
     assert!(db.load_rules("x", "rule broken").is_err());
     assert!(db.load_rules("x", "rule r: lhs f(; rhs x;").is_err());
     assert!(db
