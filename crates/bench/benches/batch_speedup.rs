@@ -1,0 +1,74 @@
+//! Vectorized-batch speedup gate.
+//!
+//! The batch path (`Cursor::next_batch`, engine batch width > 1) must
+//! beat the tuple-at-a-time drain it replaces: whole-page decodes with
+//! one pool fetch per page instead of one per record, and one closure
+//! environment setup per batch instead of per tuple. This bench times
+//! the same selection pipeline at batch widths 1 / 64 / 1024;
+//! `BATCH_SPEEDUP_SMOKE=1` switches to a quick gated run (used by CI)
+//! that asserts the batched drain is no slower than tuple-at-a-time.
+
+use bench::{as_count, heap_db};
+use criterion::{black_box, Criterion};
+use sos_system::Database;
+use std::time::Instant;
+
+const QUERY: &str = "hitems feed filter[k mod 7 = 0] count";
+
+fn bench_batch_speedup(c: &mut Criterion) {
+    let mut db = heap_db(100_000);
+    db.set_parallelism(1);
+    let mut group = c.benchmark_group("batch-speedup");
+    for width in [1usize, 64, 1024] {
+        db.set_batch_size(width);
+        group.bench_function(format!("selection-batch-{width}"), |b| {
+            b.iter(|| db.query(QUERY).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Median per-iteration nanoseconds over `samples` batches.
+fn median_nanos(db: &mut Database, samples: usize, iters: usize) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(db.query(QUERY).unwrap());
+            }
+            (start.elapsed().as_nanos() as u64) / iters as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn smoke() {
+    let mut db = heap_db(20_000);
+    db.set_parallelism(1);
+    // Warm the pool and the plan path before timing anything.
+    assert_eq!(as_count(&db.query(QUERY).unwrap()), 2858);
+
+    db.set_batch_size(1);
+    let tuple = median_nanos(&mut db, 7, 3);
+    db.set_batch_size(1024);
+    let batched = median_nanos(&mut db, 7, 3);
+
+    println!("batch-speedup smoke: tuple {tuple}ns/iter, batched {batched}ns/iter");
+    // The gate asserts "no slower" with a noise allowance; the full
+    // bench (and BENCH_PR3.json) records the actual multiple.
+    let limit = tuple + tuple / 10 + 200_000;
+    assert!(
+        batched <= limit,
+        "batched selection {batched}ns exceeds the tuple-at-a-time gate {limit}ns (tuple: {tuple}ns)"
+    );
+}
+
+fn main() {
+    if std::env::var("BATCH_SPEEDUP_SMOKE").is_ok() {
+        smoke();
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_batch_speedup(&mut c);
+}

@@ -30,14 +30,14 @@ fn join_db(n_emps: usize, n_depts: usize) -> Database {
     .unwrap();
     let emps: Vec<Value> = (0..n_emps)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Str(format!("e{i}")),
                 Value::Int((i % n_depts) as i64),
             ])
         })
         .collect();
     let depts: Vec<Value> = (0..n_depts)
-        .map(|d| Value::Tuple(vec![Value::Int(d as i64), Value::Str(format!("d{d}"))]))
+        .map(|d| Value::tuple(vec![Value::Int(d as i64), Value::Str(format!("d{d}"))]))
         .collect();
     db.bulk_insert("emps_rep", emps).unwrap();
     db.bulk_insert("depts_rep", depts).unwrap();

@@ -7,11 +7,15 @@
 //! cargo run --release -p bench --bin experiments
 //! ```
 
-use bench::{as_count, item_tuples, keyed_db, spatial_db};
+use bench::{as_count, heap_db, item_tuples, keyed_db, spatial_db};
 use sos_system::Database;
 use std::time::Instant;
 
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", pr3_json());
+        return;
+    }
     println!("Second-Order Signature — experiment harness");
     println!("===========================================\n");
     e1_e3();
@@ -274,7 +278,7 @@ fn b7() {
         .unwrap();
         let emps: Vec<sos_exec::Value> = (0..n)
             .map(|i| {
-                sos_exec::Value::Tuple(vec![
+                sos_exec::Value::tuple(vec![
                     sos_exec::Value::Str(format!("e{i}")),
                     sos_exec::Value::Int((i % 50) as i64),
                 ])
@@ -282,7 +286,7 @@ fn b7() {
             .collect();
         let depts: Vec<sos_exec::Value> = (0..50)
             .map(|d| {
-                sos_exec::Value::Tuple(vec![
+                sos_exec::Value::tuple(vec![
                     sos_exec::Value::Int(d as i64),
                     sos_exec::Value::Str(format!("d{d}")),
                 ])
@@ -326,7 +330,7 @@ fn e9_extensions() {
     for c in ["DE", "FR", "IN", "US", "JP", "BR", "CN", "GB"] {
         for year in 1980..2020 {
             for k in 0..8 {
-                tuples.push(sos_exec::Value::Tuple(vec![
+                tuples.push(sos_exec::Value::tuple(vec![
                     sos_exec::Value::Str(c.to_string()),
                     sos_exec::Value::Int(year),
                     sos_exec::Value::Int(year * 100 + k),
@@ -385,4 +389,118 @@ fn b3_b4() {
     }
     let per = t.elapsed().as_secs_f64() * 1000.0 / iters as f64;
     println!("  spatial-join rule application:        {per:>8.3} ms");
+}
+
+// ---- `--json` mode: the PR3 batch-execution comparison ----
+
+/// One engine configuration of the serial / parallel / batched matrix.
+/// The two serial configs run back-to-back so the headline
+/// batched-vs-tuple comparison sees the same machine state (the
+/// parallel configs heat every core and disturb turbo clocks).
+const PR3_CONFIGS: &[(&str, usize, usize)] = &[
+    ("tuple", 1, 1),
+    ("batched", 1024, 1),
+    ("parallel", 1, 4),
+    ("batched-parallel", 1024, 4),
+];
+
+/// Best wall time (ms) for `query` over a few samples.
+fn pr3_ms(db: &mut Database, query: &str, samples: usize, iters: usize) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            as_count(&db.query(query).unwrap());
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0 / iters as f64);
+    }
+    best
+}
+
+fn pr3_workload(db: &mut Database, name: &str, query: &str, rows: usize) -> String {
+    db.query(query).unwrap(); // warm the pool and plan path
+    let mut configs = Vec::new();
+    let mut by_name = std::collections::HashMap::new();
+    for &(config, batch, workers) in PR3_CONFIGS {
+        db.set_batch_size(batch);
+        db.set_parallelism(workers);
+        let ms = pr3_ms(db, query, 9, 3);
+        by_name.insert(config, ms);
+        configs.push(format!(
+            r#"{{"config":"{config}","batch_size":{batch},"workers":{workers},"ms":{ms:.3},"rows_per_sec":{:.0}}}"#,
+            rows as f64 / (ms / 1000.0)
+        ));
+    }
+    db.set_batch_size(1);
+    db.set_parallelism(1);
+    let speedup = by_name["tuple"] / by_name["batched"];
+    format!(
+        r#"{{"workload":"{name}","query":"{}","rows":{rows},"configs":[{}],"batched_vs_tuple_speedup":{speedup:.2}}}"#,
+        query.replace('"', "\\\""),
+        configs.join(",")
+    )
+}
+
+/// The JSON document committed as BENCH_PR3.json: selection, join and
+/// stream workloads under every execution configuration.
+fn pr3_json() -> String {
+    let mut workloads = Vec::new();
+
+    // Selection and full-scan count over the 100k-row heap relation.
+    let mut db = heap_db(100_000);
+    workloads.push(pr3_workload(&mut db, "count", "hitems feed count", 100_000));
+    workloads.push(pr3_workload(
+        &mut db,
+        "selection",
+        "hitems feed filter[k mod 7 = 0] count",
+        100_000,
+    ));
+    workloads.push(pr3_workload(
+        &mut db,
+        "stream-materialize",
+        "hitems feed consume",
+        100_000,
+    ));
+
+    // Search join: 8000 outer tuples probing a 50-row inner per tuple.
+    let mut db = Database::builder().build();
+    db.run(
+        r#"
+        type emp = tuple(<(ename, string), (dept, int)>);
+        type dpt = tuple(<(dno, int), (dname, string)>);
+        create emps_rep : tidrel(emp);
+        create depts_rep : tidrel(dpt);
+    "#,
+    )
+    .unwrap();
+    let emps: Vec<sos_exec::Value> = (0..8000)
+        .map(|i| {
+            sos_exec::Value::tuple(vec![
+                sos_exec::Value::Str(format!("e{i}")),
+                sos_exec::Value::Int((i % 50) as i64),
+            ])
+        })
+        .collect();
+    let depts: Vec<sos_exec::Value> = (0..50)
+        .map(|d| {
+            sos_exec::Value::tuple(vec![
+                sos_exec::Value::Int(d as i64),
+                sos_exec::Value::Str(format!("d{d}")),
+            ])
+        })
+        .collect();
+    db.bulk_insert("emps_rep", emps).unwrap();
+    db.bulk_insert("depts_rep", depts).unwrap();
+    workloads.push(pr3_workload(
+        &mut db,
+        "search-join",
+        "emps_rep feed (fun (e: emp) depts_rep feed \
+         filter[fun (d: dpt) e dept = d dno]) search_join count",
+        8000,
+    ));
+
+    format!(
+        "{{\"bench\":\"PR3 vectorized batch execution\",\"workloads\":[\n{}\n]}}",
+        workloads.join(",\n")
+    )
 }

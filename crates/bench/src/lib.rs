@@ -28,7 +28,7 @@ pub fn spatial_db(n_cities: usize, grid: usize, seed: u64) -> Database {
         .expect("load cities");
     let states: Vec<Value> = gen::state_grid(grid, seed + 1)
         .into_iter()
-        .map(|(name, poly)| Value::Tuple(vec![Value::Str(name), Value::Pgon(poly)]))
+        .map(|(name, poly)| Value::tuple(vec![Value::Str(name), Value::Pgon(poly)]))
         .collect();
     db.bulk_insert("states_rep", states).expect("load states");
     db
@@ -40,7 +40,7 @@ pub fn city_tuples(n: usize, seed: u64) -> Vec<Value> {
         .into_iter()
         .enumerate()
         .map(|(i, p)| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Str(format!("city{i}")),
                 Value::Point(p),
                 Value::Int(((i as i64).wrapping_mul(2654435761)).rem_euclid(1_000_000)),
@@ -76,7 +76,7 @@ pub fn item_tuples(n: usize) -> Vec<Value> {
     order
         .into_iter()
         .map(|k| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Int(k),
                 Value::Str(format!("payload for item {k}")),
             ])
@@ -98,7 +98,7 @@ pub fn heap_db(n: usize) -> Database {
     .expect("heap schema");
     let tuples: Vec<Value> = (0..n)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Int(i as i64),
                 Value::Str(format!("{:0180}", i)),
             ])

@@ -1,22 +1,61 @@
+use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
-/// An interned-style identifier used for kinds, type constructors,
-/// operator names, attribute names and variables.
+/// An interned identifier used for kinds, type constructors, operator
+/// names, attribute names and variables.
 ///
-/// Cheap to clone (a reference-counted string); comparison is by content.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Construction goes through a global cache, so two symbols spelled the
+/// same share one allocation: cloning is a reference-count bump and the
+/// hot-path equality check (attribute lookup, operator dispatch, pattern
+/// matching) is a pointer comparison. The cache only ever grows — the
+/// name universe of a database (types, attributes, operators, variables)
+/// is small and long-lived, so entries are never evicted.
+#[derive(Clone, Eq, PartialOrd, Ord)]
 pub struct Symbol(Arc<str>);
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the content, matching the content-based `PartialEq`:
+        // equal symbols hash equally whether or not they share an
+        // allocation.
+        self.0.hash(state);
+    }
+}
+
+/// Return the canonical shared allocation for `s`.
+fn intern(s: &str) -> Arc<str> {
+    static CACHE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("symbol cache poisoned");
+    if let Some(hit) = cache.get(s) {
+        return hit.clone();
+    }
+    let fresh: Arc<str> = Arc::from(s);
+    cache.insert(fresh.clone());
+    fresh
+}
 
 impl Symbol {
     pub fn new(s: &str) -> Self {
-        Symbol(Arc::from(s))
+        Symbol(intern(s))
     }
 
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Symbol) -> bool {
+        // Interned symbols of equal content share one allocation, so the
+        // pointer check settles almost every comparison; the content
+        // fallback keeps correctness independent of the cache.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
     }
 }
 
@@ -28,7 +67,7 @@ impl From<&str> for Symbol {
 
 impl From<String> for Symbol {
     fn from(s: String) -> Self {
-        Symbol(Arc::from(s.as_str()))
+        Symbol::new(&s)
     }
 }
 
@@ -77,6 +116,14 @@ mod tests {
         assert_eq!(Symbol::new("rel"), Symbol::new("rel"));
         assert_ne!(Symbol::new("rel"), Symbol::new("tuple"));
         assert_eq!(Symbol::new("x"), "x");
+    }
+
+    #[test]
+    fn interning_shares_one_allocation() {
+        let a = Symbol::new("interned-probe");
+        let b = Symbol::from("interned-probe".to_string());
+        assert!(Arc::ptr_eq(&a.0, &b.0), "same spelling, same allocation");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -38,9 +38,16 @@ pub struct ExecEngine {
     atomic: std::collections::HashSet<Symbol>,
     /// Worker threads for intra-operator parallelism; `1` disables it.
     workers: usize,
+    /// Tuples pulled per `next_batch` call; `1` selects the exact legacy
+    /// tuple-at-a-time drains (see [`crate::stream::Cursor::next_batch`]).
+    batch: usize,
     /// Per-operator execution counters.
     pub stats: Arc<crate::stats::ExecStats>,
 }
+
+/// Default vectorized batch width: enough rows to amortize closure-call
+/// setup, small enough that a batch of tuples stays cache-resident.
+pub const DEFAULT_BATCH: usize = 1024;
 
 impl ExecEngine {
     /// An engine with every built-in operator registered. Starts with
@@ -54,6 +61,7 @@ impl ExecEngine {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            batch: DEFAULT_BATCH,
             stats: Arc::new(crate::stats::ExecStats::default()),
         };
         crate::ops::register_builtins(&mut e);
@@ -94,6 +102,17 @@ impl ExecEngine {
     /// The current worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Set the vectorized batch width (min 1). `1` restores the exact
+    /// tuple-at-a-time legacy behavior in every consumer.
+    pub fn set_batch_size(&mut self, n: usize) {
+        self.batch = n.max(1);
+    }
+
+    /// The current vectorized batch width.
+    pub fn batch_size(&self) -> usize {
+        self.batch
     }
 
     /// Create the initial value for a freshly created object of `ty`
@@ -211,6 +230,14 @@ fn check_keyfun(
     Ok(checker.check_expr(&expr)?)
 }
 
+/// A saved variable environment plus the length of the installed
+/// captured prefix — the bookkeeping for one amortized batch of closure
+/// calls (see [`EvalCtx::begin_call`]).
+pub struct CallFrame {
+    saved: Vec<(Symbol, Value)>,
+    base: usize,
+}
+
 /// Per-evaluation context: the mutable object store, the catalog, and
 /// the lambda-variable environment.
 pub struct EvalCtx<'a> {
@@ -310,6 +337,34 @@ impl<'a> EvalCtx<'a> {
 
     /// Apply a closure to argument values.
     pub fn call(&mut self, closure: &Closure, args: Vec<Value>) -> ExecResult<Value> {
+        let frame = self.begin_call(closure);
+        let out = self.call_bound(closure, &frame, args);
+        self.end_call(frame);
+        out
+    }
+
+    /// Install `closure`'s captured environment once, so a batch of
+    /// [`EvalCtx::call_bound`] invocations pays the environment clone a
+    /// single time instead of per tuple. Must be balanced by
+    /// [`EvalCtx::end_call`] with the returned frame.
+    pub fn begin_call(&mut self, closure: &Closure) -> CallFrame {
+        let saved = std::mem::take(&mut self.vars);
+        self.vars = closure.captured.clone();
+        CallFrame {
+            saved,
+            base: self.vars.len(),
+        }
+    }
+
+    /// Apply `closure` to `args` inside an installed frame: rebinds only
+    /// the parameters (the captured prefix stays in place). Semantically
+    /// identical to [`EvalCtx::call`] for the same closure.
+    pub fn call_bound(
+        &mut self,
+        closure: &Closure,
+        frame: &CallFrame,
+        args: Vec<Value>,
+    ) -> ExecResult<Value> {
         if closure.params.len() != args.len() {
             return Err(ExecError::Other(format!(
                 "function expects {} argument(s), got {}",
@@ -317,14 +372,35 @@ impl<'a> EvalCtx<'a> {
                 args.len()
             )));
         }
-        let saved = std::mem::take(&mut self.vars);
-        self.vars = closure.captured.clone();
+        self.vars.truncate(frame.base);
         for ((name, _), v) in closure.params.iter().zip(args) {
             self.vars.push((name.clone(), v));
         }
-        let out = self.eval(&closure.body);
-        self.vars = saved;
-        out
+        self.eval(&closure.body)
+    }
+
+    /// Single-argument [`EvalCtx::call_bound`] without the argument
+    /// vector: the per-tuple shape of batched `filter`/`project`/`replace`.
+    pub fn call_bound1(
+        &mut self,
+        closure: &Closure,
+        frame: &CallFrame,
+        arg: Value,
+    ) -> ExecResult<Value> {
+        if closure.params.len() != 1 {
+            return Err(ExecError::Other(format!(
+                "function expects {} argument(s), got 1",
+                closure.params.len()
+            )));
+        }
+        self.vars.truncate(frame.base);
+        self.vars.push((closure.params[0].0.clone(), arg));
+        self.eval(&closure.body)
+    }
+
+    /// Restore the variable environment saved by [`EvalCtx::begin_call`].
+    pub fn end_call(&mut self, frame: CallFrame) {
+        self.vars = frame.saved;
     }
 
     /// Derive the B-tree key value for a tuple.

@@ -38,7 +38,7 @@ pub fn filter_tuples(
 pub fn concat_tuples(a: &Value, b: &Value, op: &str) -> ExecResult<Value> {
     let mut fields = a.as_tuple(op)?.to_vec();
     fields.extend(b.as_tuple(op)?.iter().cloned());
-    Ok(Value::Tuple(fields))
+    Ok(Value::tuple(fields))
 }
 
 pub fn register(e: &mut ExecEngine) {
@@ -105,7 +105,7 @@ pub fn register(e: &mut ExecEngine) {
             }
             fields.push(comps[1].clone());
         }
-        Ok(Value::Tuple(fields))
+        Ok(Value::tuple(fields))
     });
 
     e.add_op("count", |ctx, _, args| match &args[0] {
@@ -116,11 +116,28 @@ pub fn register(e: &mut ExecEngine) {
             if let Some(res) = crate::parallel::try_par_count(ctx.engine, &mut cursor) {
                 return Ok(Value::Int(res?));
             }
-            // ...else drain the pipeline one tuple at a time (no
-            // buffering).
+            // ...else drain the pipeline without buffering: whole
+            // batches when the engine's batch width allows, one tuple
+            // at a time otherwise.
+            let width = ctx.engine.batch_size();
             let mut n = 0i64;
-            while cursor.next(ctx)?.is_some() {
-                n += 1;
+            if width > 1 {
+                let mut batches = 0u64;
+                let mut buf = Vec::with_capacity(width.min(4096));
+                loop {
+                    buf.clear();
+                    let got = cursor.next_batch_into(ctx, width, &mut buf)?;
+                    if got == 0 {
+                        break;
+                    }
+                    n += got as i64;
+                    batches += 1;
+                }
+                ctx.engine.stats.record_batches("count", batches, n as u64);
+            } else {
+                while cursor.next(ctx)?.is_some() {
+                    n += 1;
+                }
             }
             ctx.engine.stats.record("count", 1, n as usize, 1, 0);
             Ok(Value::Int(n))

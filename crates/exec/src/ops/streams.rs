@@ -175,8 +175,28 @@ pub fn register(e: &mut ExecEngine) {
     e.add_op("collect", |ctx, _, args| {
         let mut input = into_cursor(args[0].clone())?;
         let heap = HeapFile::create(ctx.engine.pool.clone())?;
-        while let Some(t) = input.next(ctx)? {
-            heap.insert(&t.encode_tuple("collect")?)?;
+        let width = ctx.engine.batch_size();
+        if width > 1 {
+            let mut batches = 0u64;
+            let mut rows = 0u64;
+            let mut buf = Vec::with_capacity(width.min(4096));
+            loop {
+                buf.clear();
+                let got = input.next_batch_into(ctx, width, &mut buf)?;
+                if got == 0 {
+                    break;
+                }
+                batches += 1;
+                rows += got as u64;
+                for t in &buf {
+                    heap.insert(&t.encode_tuple("collect")?)?;
+                }
+            }
+            ctx.engine.stats.record_batches("collect", batches, rows);
+        } else {
+            while let Some(t) = input.next(ctx)? {
+                heap.insert(&t.encode_tuple("collect")?)?;
+            }
         }
         Ok(Value::SRel(Arc::new(heap)))
     });

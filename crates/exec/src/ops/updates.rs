@@ -204,7 +204,7 @@ pub fn register(e: &mut ExecEngine) {
                 if ctx.call(&pred, vec![t.clone()])?.as_bool("modify")? {
                     let mut fields = t.as_tuple("modify")?.to_vec();
                     fields[idx] = ctx.call(&fun, vec![t.clone()])?;
-                    out.push(Value::Tuple(fields));
+                    out.push(Value::tuple(fields));
                 } else {
                     out.push(t);
                 }

@@ -19,7 +19,6 @@ use crate::stream::Cursor;
 use crate::value::{Closure, Value};
 use sos_core::typed::{TypedExpr, TypedNode};
 use sos_storage::heap::HeapFile;
-use sos_storage::parallel::par_scan_pages;
 use sos_storage::PageId;
 use std::sync::Arc;
 
@@ -223,87 +222,73 @@ impl HeapPlan {
         }
     }
 
+    /// Run `fold` over every record of a contiguous page chunk on each
+    /// worker: one accumulator per chunk (no per-record allocation or
+    /// reduce), records decoded in place via `HeapFile::visit_page`.
+    /// Chunk results come back in page order, so concatenation matches
+    /// the serial scan; the first error in page order wins.
+    fn fold_page_chunks<T, F>(&self, workers: usize, fold: F) -> ExecResult<Vec<(T, usize)>>
+    where
+        T: Default + Send,
+        F: Fn(&mut T, Value) -> ExecResult<()> + Sync,
+    {
+        let chunks = par_chunks(&self.pages, workers, |_, part| -> ExecResult<(T, usize)> {
+            let mut acc = T::default();
+            let mut read = 0usize;
+            for &pid in part {
+                self.heap.visit_page::<ExecError, _>(pid, |_, rec| {
+                    read += 1;
+                    fold(&mut acc, Value::decode_tuple(rec)?)
+                })?;
+            }
+            Ok((acc, read))
+        });
+        chunks.into_iter().collect()
+    }
+
     fn collect(&self, engine: &ExecEngine, workers: usize) -> ExecResult<Vec<Value>> {
-        #[derive(Default)]
-        struct Acc {
-            rows: Vec<Value>,
-            read: usize,
-            err: Option<ExecError>,
-        }
-        let acc: Acc = par_scan_pages(
-            &self.heap,
-            self.pages.clone(),
-            workers,
-            |_, rec| {
-                let mut a = Acc {
-                    read: 1,
-                    ..Acc::default()
-                };
-                match Value::decode_tuple(rec).and_then(|t| apply_steps(engine, &self.steps, t)) {
-                    Ok(Some(t)) => a.rows.push(t),
-                    Ok(None) => {}
-                    Err(e) => a.err = Some(e),
-                }
-                a
-            },
-            |mut a, mut b| {
-                a.read += b.read;
-                if a.err.is_none() {
-                    a.rows.append(&mut b.rows);
-                    a.err = b.err;
-                }
-                a
-            },
-        )?;
-        if let Some(e) = acc.err {
-            return Err(e);
+        let chunks = self.fold_page_chunks(workers, |rows: &mut Vec<Value>, t| {
+            if let Some(t) = apply_steps(engine, &self.steps, t)? {
+                rows.push(t);
+            }
+            Ok(())
+        })?;
+        let mut read = 0;
+        let mut out = Vec::new();
+        for (mut rows, r) in chunks {
+            read += r;
+            out.append(&mut rows);
         }
         engine
             .stats
-            .record("feed", workers, acc.read, acc.rows.len(), self.pages.len());
-        Ok(acc.rows)
+            .record("feed", workers, read, out.len(), self.pages.len());
+        engine
+            .stats
+            .record_batches("feed", self.pages.len() as u64, read as u64);
+        Ok(out)
     }
 
     fn count(&self, engine: &ExecEngine, workers: usize) -> ExecResult<i64> {
-        #[derive(Default)]
-        struct Acc {
-            n: i64,
-            read: usize,
-            err: Option<ExecError>,
-        }
-        let acc: Acc = par_scan_pages(
-            &self.heap,
-            self.pages.clone(),
-            workers,
-            |_, rec| {
-                let mut a = Acc {
-                    read: 1,
-                    ..Acc::default()
-                };
-                match Value::decode_tuple(rec).and_then(|t| apply_steps(engine, &self.steps, t)) {
-                    Ok(Some(_)) => a.n = 1,
-                    Ok(None) => {}
-                    Err(e) => a.err = Some(e),
-                }
-                a
-            },
-            |mut a, b| {
-                a.read += b.read;
-                if a.err.is_none() {
-                    a.n += b.n;
-                    a.err = b.err;
-                }
-                a
-            },
-        )?;
-        if let Some(e) = acc.err {
-            return Err(e);
+        let chunks = self.fold_page_chunks(workers, |n: &mut i64, t| {
+            if apply_steps(engine, &self.steps, t)?.is_some() {
+                *n += 1;
+            }
+            Ok(())
+        })?;
+        let mut read = 0;
+        let mut total = 0i64;
+        for (n, r) in chunks {
+            read += r;
+            total += n;
         }
         // `count` emits one value; tuples_out = 1 matches the serial path.
         engine
             .stats
-            .record("count", workers, acc.read, 1, self.pages.len());
-        Ok(acc.n)
+            .record("count", workers, read, 1, self.pages.len());
+        engine
+            .stats
+            .record_batches("count", self.pages.len() as u64, read as u64);
+        Ok(total)
     }
 }
 
@@ -323,12 +308,12 @@ fn apply_steps(engine: &ExecEngine, steps: &[Step], mut t: Value) -> ExecResult<
                 for f in funs {
                     fields.push(f.call(engine, std::slice::from_ref(&t))?);
                 }
-                t = Value::Tuple(fields);
+                t = Value::tuple(fields);
             }
             Step::Replace { idx, fun } => {
                 let mut fields = t.as_tuple("replace")?.to_vec();
                 fields[*idx] = fun.call(engine, std::slice::from_ref(&t))?;
-                t = Value::Tuple(fields);
+                t = Value::tuple(fields);
             }
         }
     }

@@ -26,6 +26,18 @@ pub struct OpStats {
     pub pages_scanned: u64,
     /// The largest worker count any invocation actually used.
     pub max_workers: u64,
+    /// Batches emitted by the vectorized path (0 = tuple-at-a-time).
+    pub batches: u64,
+    /// Tuples carried by those batches; `batched_rows / batches` is the
+    /// observed rows-per-batch.
+    pub batched_rows: u64,
+}
+
+impl OpStats {
+    /// Observed average batch width, or 0 if the operator never batched.
+    pub fn rows_per_batch(&self) -> u64 {
+        self.batched_rows.checked_div(self.batches).unwrap_or(0)
+    }
 }
 
 impl OpStats {
@@ -62,6 +74,19 @@ impl ExecStats {
             .entry(op)
             .or_default()
             .absorb(workers, tuples_in, tuples_out, pages);
+    }
+
+    /// Record batch traffic for an operator that drained its input
+    /// through the vectorized path (complements [`ExecStats::record`],
+    /// which counts the invocation itself).
+    pub fn record_batches(&self, op: &'static str, batches: u64, rows: u64) {
+        if batches == 0 {
+            return;
+        }
+        let mut ops = self.ops.lock();
+        let s = ops.entry(op).or_default();
+        s.batches += batches;
+        s.batched_rows += rows;
     }
 
     /// Counters for one operator (zeros if it never ran). Prefer

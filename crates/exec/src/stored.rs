@@ -70,7 +70,7 @@ pub fn to_stored(v: &Value) -> ExecResult<Option<StoredValue>> {
         Value::LsdTree(h) => StoredValue::LsdTree(h.tree.snapshot()),
         // Atomic data values: one-field record.
         atomic => StoredValue::Record {
-            bytes: Value::Tuple(vec![atomic.clone()]).encode_tuple("save")?,
+            bytes: Value::tuple(vec![atomic.clone()]).encode_tuple("save")?,
             tuple: false,
         },
     }))
@@ -94,11 +94,11 @@ pub fn from_stored(
             if tuple {
                 Ok(decoded)
             } else {
-                match decoded {
-                    Value::Tuple(mut fields) if fields.len() == 1 => {
-                        Ok(fields.pop().expect("one field"))
-                    }
-                    _ => Err(ExecError::Other("malformed atomic record".into())),
+                let mut fields = decoded.into_tuple("load")?;
+                if fields.len() == 1 {
+                    Ok(fields.pop().expect("one field"))
+                } else {
+                    Err(ExecError::Other("malformed atomic record".into()))
                 }
             }
         }

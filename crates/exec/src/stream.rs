@@ -193,7 +193,7 @@ impl Cursor {
                 for f in &funs {
                     fields.push(ctx.call(f, vec![t.clone()])?);
                 }
-                Ok(Some(Value::Tuple(fields)))
+                Ok(Some(Value::tuple(fields)))
             }
             Cursor::Replace { input, idx, fun } => {
                 let Some(t) = input.next(ctx)? else {
@@ -202,7 +202,7 @@ impl Cursor {
                 let (idx, fun) = (*idx, fun.clone());
                 let mut fields = t.as_tuple("replace")?.to_vec();
                 fields[idx] = ctx.call(&fun, vec![t.clone()])?;
-                Ok(Some(Value::Tuple(fields)))
+                Ok(Some(Value::tuple(fields)))
             }
             Cursor::SearchJoin {
                 outer,
@@ -248,12 +248,259 @@ impl Cursor {
         }
     }
 
-    /// Drain the remaining tuples.
-    pub fn drain(&mut self, ctx: &mut EvalCtx) -> ExecResult<Vec<Value>> {
-        let mut out = Vec::new();
-        while let Some(t) = self.next(ctx)? {
-            out.push(t);
+    /// Pull up to `n` tuples in one call — the vectorized counterpart of
+    /// [`Cursor::next`]. Returns `None` once exhausted, otherwise
+    /// `1..=n` tuples in the same order `next` would produce them.
+    ///
+    /// Sources decode a whole page per refill (one fetch and latch via
+    /// the storage `visit_page`/`visit_leaf` helpers, spilling the
+    /// remainder past `n` into the cursor's buffer); `Filter`, `Project`
+    /// and `Replace` evaluate their closures over the whole batch inside
+    /// one installed [`crate::engine::CallFrame`], paying the captured-
+    /// environment clone once per batch instead of per tuple.
+    ///
+    /// Semantics match the tuple-at-a-time path, with one documented
+    /// exception: `Project` evaluates column-wise (each function over
+    /// the whole batch), so when several projection functions fail
+    /// within one batch the error surfaced is the first in (function,
+    /// row) order rather than (row, function) order.
+    pub fn next_batch(&mut self, ctx: &mut EvalCtx, n: usize) -> ExecResult<Option<Vec<Value>>> {
+        let mut out = Vec::with_capacity(n.clamp(1, 4096));
+        let got = self.next_batch_into(ctx, n, &mut out)?;
+        Ok((got > 0).then_some(out))
+    }
+
+    /// [`Cursor::next_batch`] into a caller-owned buffer: appends up to
+    /// `n` tuples to `out` and returns how many were appended (0 once
+    /// exhausted). Batched consumers (`count`, `collect`, the
+    /// statement-boundary drain) reuse one buffer across the whole
+    /// drain instead of allocating a fresh vector per batch.
+    pub fn next_batch_into(
+        &mut self,
+        ctx: &mut EvalCtx,
+        n: usize,
+        out: &mut Vec<Value>,
+    ) -> ExecResult<usize> {
+        let n = n.max(1);
+        let start = out.len();
+        let target = start + n;
+        match self {
+            Cursor::Mat(buf) => {
+                let take = n.min(buf.len());
+                out.extend(buf.drain(..take));
+            }
+            Cursor::Heap {
+                heap,
+                pages,
+                page_idx,
+                buf,
+            } => {
+                while out.len() < target {
+                    if let Some(v) = buf.pop_front() {
+                        out.push(v);
+                        continue;
+                    }
+                    if *page_idx >= pages.len() {
+                        break;
+                    }
+                    let page = pages[*page_idx];
+                    *page_idx += 1;
+                    heap.visit_page::<ExecError, _>(page, |_, bytes| {
+                        let v = Value::decode_tuple(bytes)?;
+                        if out.len() < target {
+                            out.push(v);
+                        } else {
+                            buf.push_back(v);
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
+            Cursor::BTreeRange {
+                handle,
+                lo,
+                hi,
+                next_page,
+                primed,
+                done,
+                buf,
+            } => {
+                while out.len() < target {
+                    if let Some(v) = buf.pop_front() {
+                        out.push(v);
+                        continue;
+                    }
+                    if *done {
+                        break;
+                    }
+                    let pid = if !*primed {
+                        *primed = true;
+                        handle.tree.find_leaf(lo)?
+                    } else {
+                        match *next_page {
+                            Some(p) => p,
+                            None => {
+                                *done = true;
+                                break;
+                            }
+                        }
+                    };
+                    let mut past_hi = false;
+                    let next = handle.tree.visit_leaf::<ExecError, _>(pid, |k, bytes| {
+                        if past_hi || k < lo.as_slice() {
+                            return Ok(());
+                        }
+                        if k > hi.as_slice() {
+                            past_hi = true;
+                            return Ok(());
+                        }
+                        let v = Value::decode_tuple(bytes)?;
+                        if out.len() < target {
+                            out.push(v);
+                        } else {
+                            buf.push_back(v);
+                        }
+                        Ok(())
+                    })?;
+                    *next_page = next;
+                    if past_hi || next.is_none() {
+                        *done = true;
+                    }
+                }
+            }
+            Cursor::Filter { input, pred } => {
+                let pred = pred.clone();
+                let mut scratch = Vec::with_capacity(n.min(4096));
+                loop {
+                    scratch.clear();
+                    if input.next_batch_into(ctx, n, &mut scratch)? == 0 {
+                        break;
+                    }
+                    let frame = ctx.begin_call(&pred);
+                    let mut res = Ok(());
+                    for t in scratch.drain(..) {
+                        match ctx
+                            .call_bound1(&pred, &frame, t.clone())
+                            .and_then(|v| v.as_bool("filter"))
+                        {
+                            Ok(true) => out.push(t),
+                            Ok(false) => {}
+                            Err(e) => {
+                                res = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    ctx.end_call(frame);
+                    res?;
+                    if out.len() > start {
+                        break;
+                    }
+                }
+            }
+            Cursor::Project { input, funs } => {
+                let mut batch = Vec::with_capacity(n.min(4096));
+                if input.next_batch_into(ctx, n, &mut batch)? > 0 {
+                    let funs = funs.clone();
+                    let mut cols: Vec<Vec<Value>> = Vec::with_capacity(funs.len());
+                    for f in &funs {
+                        let frame = ctx.begin_call(f);
+                        let mut col = Vec::with_capacity(batch.len());
+                        let mut res = Ok(());
+                        for t in &batch {
+                            match ctx.call_bound1(f, &frame, t.clone()) {
+                                Ok(v) => col.push(v),
+                                Err(e) => {
+                                    res = Err(e);
+                                    break;
+                                }
+                            }
+                        }
+                        ctx.end_call(frame);
+                        res?;
+                        cols.push(col);
+                    }
+                    let mut iters: Vec<_> = cols.into_iter().map(|c| c.into_iter()).collect();
+                    for _ in 0..batch.len() {
+                        out.push(Value::tuple(
+                            iters
+                                .iter_mut()
+                                .map(|it| it.next().expect("column length matches batch"))
+                                .collect(),
+                        ));
+                    }
+                }
+            }
+            Cursor::Replace { input, idx, fun } => {
+                let mut batch = Vec::with_capacity(n.min(4096));
+                if input.next_batch_into(ctx, n, &mut batch)? > 0 {
+                    let (idx, fun) = (*idx, fun.clone());
+                    let frame = ctx.begin_call(&fun);
+                    let mut res = Ok(());
+                    for t in &batch {
+                        let built = ctx.call_bound1(&fun, &frame, t.clone()).and_then(|v| {
+                            let mut fields = t.as_tuple("replace")?.to_vec();
+                            fields[idx] = v;
+                            Ok(Value::tuple(fields))
+                        });
+                        match built {
+                            Ok(v) => out.push(v),
+                            Err(e) => {
+                                res = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    ctx.end_call(frame);
+                    res?;
+                }
+            }
+            Cursor::Head { input, remaining } => {
+                if *remaining > 0 {
+                    let take = n.min(*remaining);
+                    let got = input.next_batch_into(ctx, take, out)?;
+                    *remaining = if got == 0 { 0 } else { *remaining - got };
+                }
+            }
+            Cursor::Shared(c) => {
+                let c = c.clone();
+                let mut guard = c.lock();
+                guard.next_batch_into(ctx, n, out)?;
+            }
+            // The search join refills its inner buffer per outer tuple;
+            // batching adds nothing, so it stays on the tuple path.
+            Cursor::SearchJoin { .. } => {
+                while out.len() < target {
+                    match self.next(ctx)? {
+                        Some(t) => out.push(t),
+                        None => break,
+                    }
+                }
+            }
         }
+        Ok(out.len() - start)
+    }
+
+    /// Drain the remaining tuples. With an engine batch width above 1
+    /// the drain pulls whole batches (recorded under the `materialize`
+    /// operator); width 1 is the exact legacy tuple-at-a-time loop.
+    pub fn drain(&mut self, ctx: &mut EvalCtx) -> ExecResult<Vec<Value>> {
+        let width = ctx.engine.batch_size();
+        if width <= 1 {
+            let mut out = Vec::new();
+            while let Some(t) = self.next(ctx)? {
+                out.push(t);
+            }
+            return Ok(out);
+        }
+        let mut out = Vec::new();
+        let mut batches = 0u64;
+        while self.next_batch_into(ctx, width, &mut out)? > 0 {
+            batches += 1;
+        }
+        ctx.engine
+            .stats
+            .record_batches("materialize", batches, out.len() as u64);
         Ok(out)
     }
 }

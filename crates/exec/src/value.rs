@@ -21,8 +21,12 @@ pub enum Value {
     Rect(Rect),
     Pgon(Polygon),
     // ---- structured model-level values ----
-    /// A tuple: field values in schema order.
-    Tuple(Vec<Value>),
+    /// A tuple: field values in schema order, shared behind an `Arc` so
+    /// that passing a tuple across filter/project/join boundaries (and
+    /// binding it to a predicate parameter) is a reference-count bump,
+    /// not a deep copy. Tuples are immutable; operators that change
+    /// fields build a fresh tuple.
+    Tuple(Arc<[Value]>),
     /// A model-level relation: a bag of tuples.
     Rel(Vec<Value>),
     /// A materialized stream of tuples.
@@ -54,6 +58,22 @@ pub struct Closure {
 }
 
 impl Value {
+    /// Construct a tuple value (the one place fields get wrapped in the
+    /// shared allocation).
+    pub fn tuple(fields: Vec<Value>) -> Value {
+        Value::Tuple(fields.into())
+    }
+
+    /// Take ownership of a tuple's fields (cloning out of the shared
+    /// slice; only cold paths — stored-object loads, updates — need
+    /// owned fields).
+    pub fn into_tuple(self, op: &str) -> ExecResult<Vec<Value>> {
+        match self {
+            Value::Tuple(fs) => Ok(fs.to_vec()),
+            other => Err(mismatch(op, "tuple", &other.kind_name())),
+        }
+    }
+
     pub fn from_const(c: &Const) -> Value {
         match c {
             Const::Int(v) => Value::Int(*v),
@@ -148,20 +168,19 @@ impl Value {
 
     /// Decode storage fields into a tuple value.
     pub fn from_fields(fields: Vec<Field>) -> Value {
-        Value::Tuple(
-            fields
-                .into_iter()
-                .map(|f| match f {
-                    Field::Int(v) => Value::Int(v),
-                    Field::Real(v) => Value::Real(v),
-                    Field::Str(s) => Value::Str(s),
-                    Field::Bool(b) => Value::Bool(b),
-                    Field::Point(p) => Value::Point(p),
-                    Field::Rect(r) => Value::Rect(r),
-                    Field::Pgon(p) => Value::Pgon(p),
-                })
-                .collect(),
-        )
+        Value::tuple(fields.into_iter().map(Value::from_field).collect())
+    }
+
+    fn from_field(f: Field) -> Value {
+        match f {
+            Field::Int(v) => Value::Int(v),
+            Field::Real(v) => Value::Real(v),
+            Field::Str(s) => Value::Str(s),
+            Field::Bool(b) => Value::Bool(b),
+            Field::Point(p) => Value::Point(p),
+            Field::Rect(r) => Value::Rect(r),
+            Field::Pgon(p) => Value::Pgon(p),
+        }
     }
 
     /// Encode a tuple value to record bytes.
@@ -169,10 +188,14 @@ impl Value {
         Ok(sos_storage::field::encode_record(&self.to_fields(op)?))
     }
 
-    /// Decode record bytes to a tuple value.
+    /// Decode record bytes to a tuple value. Fields are converted as
+    /// they are decoded and collected straight into the shared slice:
+    /// one allocation per record, no intermediate `Vec<Field>`.
     pub fn decode_tuple(bytes: &[u8]) -> ExecResult<Value> {
-        Ok(Value::from_fields(sos_storage::field::decode_record(
+        Ok(Value::Tuple(sos_storage::field::decode_record_shared(
             bytes,
+            Value::from_field,
+            || Value::Undefined,
         )?))
     }
 }
@@ -189,11 +212,12 @@ impl PartialEq for Value {
             (Point(a), Point(b)) => a == b,
             (Rect(a), Rect(b)) => a == b,
             (Pgon(a), Pgon(b)) => a == b,
-            (Tuple(a), Tuple(b))
-            | (Rel(a), Rel(b))
-            | (Stream(a), Stream(b))
-            | (List(a), List(b))
-            | (Pair(a), Pair(b)) => a == b,
+            // Shared tuples short-circuit on pointer identity before
+            // falling back to structural comparison.
+            (Tuple(a), Tuple(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Rel(a), Rel(b)) | (Stream(a), Stream(b)) | (List(a), List(b)) | (Pair(a), Pair(b)) => {
+                a == b
+            }
             (Cursor(a), Cursor(b)) => Arc::ptr_eq(a, b),
             (SRel(a), SRel(b)) | (TidRel(a), TidRel(b)) => Arc::ptr_eq(a, b),
             (BTree(a), BTree(b)) => Arc::ptr_eq(a, b),
@@ -311,7 +335,7 @@ mod tests {
 
     #[test]
     fn tuple_field_roundtrip() {
-        let t = Value::Tuple(vec![
+        let t = Value::tuple(vec![
             Value::Str("Hagen".into()),
             Value::Int(190000),
             Value::Point(Point::new(7.5, 51.4)),
@@ -331,8 +355,8 @@ mod tests {
 
     #[test]
     fn rel_equality_is_structural_handles_by_pointer() {
-        let a = Value::Rel(vec![Value::Tuple(vec![Value::Int(1)])]);
-        let b = Value::Rel(vec![Value::Tuple(vec![Value::Int(1)])]);
+        let a = Value::Rel(vec![Value::tuple(vec![Value::Int(1)])]);
+        let b = Value::Rel(vec![Value::tuple(vec![Value::Int(1)])]);
         assert_eq!(a, b);
         let pool = sos_storage::mem_pool(8);
         let h = Arc::new(sos_storage::heap::HeapFile::create(pool.clone()).unwrap());

@@ -12,7 +12,7 @@ fn engine_with_heap(n: usize) -> (ExecEngine, Arc<sos_storage::heap::HeapFile>) 
     let engine = ExecEngine::new(sos_storage::mem_pool(256));
     let heap = Arc::new(sos_storage::heap::HeapFile::create(engine.pool.clone()).unwrap());
     for i in 0..n {
-        let t = Value::Tuple(vec![Value::Int(i as i64)]);
+        let t = Value::tuple(vec![Value::Int(i as i64)]);
         heap.insert(&t.encode_tuple("test").unwrap()).unwrap();
     }
     (engine, heap)

@@ -89,7 +89,7 @@ fn attribute_access_falls_back_to_positional_fields() {
     let mut store = HashMap::new();
     store.insert(
         sym("c"),
-        Value::Tuple(vec![Value::Str("Hagen".into()), Value::Int(190_000)]),
+        Value::tuple(vec![Value::Str("Hagen".into()), Value::Int(190_000)]),
     );
     let mut cat = Catalog::new();
     let mut ctx = EvalCtx::new(&e, &mut store, &mut cat);

@@ -82,7 +82,7 @@ impl std::fmt::Display for MetricsSnapshot {
 /// The one-line rendering of an operator row shared by `.stats`,
 /// `.metrics` and `Explain` output.
 pub fn op_line(s: &OpStats) -> String {
-    format!(
+    let mut line = format!(
         "{} run(s) ({} parallel), {} in / {} out, {} page(s), max {} worker(s)",
         s.invocations,
         s.parallel_invocations,
@@ -90,7 +90,15 @@ pub fn op_line(s: &OpStats) -> String {
         s.tuples_out,
         s.pages_scanned,
         s.max_workers
-    )
+    );
+    if s.batches > 0 {
+        line.push_str(&format!(
+            ", {} batch(es) of ~{} row(s)",
+            s.batches,
+            s.rows_per_batch()
+        ));
+    }
+    line
 }
 
 pub(crate) fn pool_json(p: &PoolStats) -> String {
@@ -112,6 +120,8 @@ pub(crate) fn op_json(name: &str, s: &OpStats) -> String {
         .u64("tuples_out", s.tuples_out)
         .u64("pages_scanned", s.pages_scanned)
         .u64("max_workers", s.max_workers)
+        .u64("batches", s.batches)
+        .u64("batched_rows", s.batched_rows)
         .finish()
 }
 
@@ -149,8 +159,12 @@ pub fn ops_delta(
                 tuples_out: a.tuples_out - b.tuples_out,
                 pages_scanned: a.pages_scanned - b.pages_scanned,
                 max_workers: a.max_workers,
+                batches: a.batches - b.batches,
+                batched_rows: a.batched_rows - b.batched_rows,
             };
-            (d.invocations > 0).then(|| (name.clone(), d))
+            // `materialize` records only batch traffic, so batches alone
+            // also keep a row alive in the delta.
+            (d.invocations > 0 || d.batches > 0).then(|| (name.clone(), d))
         })
         .collect()
 }

@@ -345,6 +345,22 @@ impl BTree {
         }
     }
 
+    /// Visit every `(key, record)` of one leaf in key order, returning
+    /// the next leaf in the chain — the page-at-a-time decode path of
+    /// the batch executor (one node read per page, no per-entry copy
+    /// beyond deserialization).
+    pub fn visit_leaf<E, F>(&self, pid: PageId, mut f: F) -> Result<Option<PageId>, E>
+    where
+        E: From<StorageError>,
+        F: FnMut(&[u8], &[u8]) -> Result<(), E>,
+    {
+        let (entries, next) = self.read_leaf(pid)?;
+        for (k, v) in &entries {
+            f(k.as_slice(), v)?;
+        }
+        Ok(next)
+    }
+
     /// Range query: all records with `lo <= key <= hi`, in key order.
     /// Use [`crate::keys::bottom`]/[`crate::keys::top`] for halfranges.
     pub fn range(&self, lo: &[u8], hi: &[u8]) -> StorageResult<RangeScan<'_>> {

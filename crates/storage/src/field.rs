@@ -160,14 +160,63 @@ pub fn encode_record(fields: &[Field]) -> Vec<u8> {
 }
 
 /// Decode a whole record produced by [`encode_record`].
-pub fn decode_record(mut buf: &[u8]) -> StorageResult<Vec<Field>> {
+pub fn decode_record(buf: &[u8]) -> StorageResult<Vec<Field>> {
+    decode_record_map(buf, |f| f)
+}
+
+/// Decode a whole record, converting each field through `conv` as it is
+/// decoded. The execution layer decodes straight into its own value
+/// representation this way, without materializing an intermediate
+/// `Vec<Field>` per record.
+pub fn decode_record_map<T>(
+    mut buf: &[u8],
+    mut conv: impl FnMut(Field) -> T,
+) -> StorageResult<Vec<T>> {
     if buf.len() < 2 {
         return Err(StorageError::Corrupt("record shorter than header".into()));
     }
     let n = buf.get_u16_le() as usize;
     let mut fields = Vec::with_capacity(n);
     for _ in 0..n {
-        fields.push(Field::decode(&mut buf)?);
+        fields.push(conv(Field::decode(&mut buf)?));
+    }
+    if !buf.is_empty() {
+        return Err(StorageError::Corrupt("trailing bytes after record".into()));
+    }
+    Ok(fields)
+}
+
+/// Decode a whole record directly into a shared slice: the exact-size
+/// field count from the header drives a `TrustedLen` collect, so the
+/// record costs a single allocation. `placeholder` fills the remaining
+/// slots once a field fails to decode (the error is returned, the
+/// slice discarded).
+pub fn decode_record_shared<T>(
+    mut buf: &[u8],
+    mut conv: impl FnMut(Field) -> T,
+    placeholder: impl Fn() -> T,
+) -> StorageResult<std::sync::Arc<[T]>> {
+    if buf.len() < 2 {
+        return Err(StorageError::Corrupt("record shorter than header".into()));
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut err = None;
+    let fields: std::sync::Arc<[T]> = (0..n)
+        .map(|_| {
+            if err.is_some() {
+                return placeholder();
+            }
+            match Field::decode(&mut buf) {
+                Ok(f) => conv(f),
+                Err(e) => {
+                    err = Some(e);
+                    placeholder()
+                }
+            }
+        })
+        .collect();
+    if let Some(e) = err {
+        return Err(e);
     }
     if !buf.is_empty() {
         return Err(StorageError::Corrupt("trailing bytes after record".into()));

@@ -117,6 +117,26 @@ impl HeapFile {
         self.scan_pages(self.pages.lock().clone())
     }
 
+    /// Visit every live record of `page` in slot order under a single
+    /// page fetch and read latch, passing each record's bytes to `f`
+    /// without copying — the page-at-a-time decode path of the batch
+    /// executor. `f` must not re-enter the buffer pool (the latch is
+    /// held across the whole visit).
+    pub fn visit_page<E, F>(&self, page: PageId, mut f: F) -> Result<(), E>
+    where
+        E: From<StorageError>,
+        F: FnMut(TupleId, &[u8]) -> Result<(), E>,
+    {
+        let guard = self.pool.fetch(page)?;
+        let buf = guard.read();
+        for slot in SlottedPage::live_slots(&buf[..]) {
+            let rec = SlottedPage::get(&buf[..], slot)
+                .ok_or(StorageError::InvalidTupleId { page, slot })?;
+            f(TupleId { page, slot }, rec)?;
+        }
+        Ok(())
+    }
+
     /// Scan only the given pages (used by the parallel scan to give each
     /// worker a disjoint page subset).
     pub fn scan_pages(&self, pages: Vec<PageId>) -> HeapScan<'_> {

@@ -108,7 +108,7 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
     match head {
         ".quit" | ".exit" => return false,
         ".help" => {
-            println!(".run <file> | .spec <file> | .rules <file> | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .stats [op] | .workers [n] | .objects | .quit");
+            println!(".run <file> | .spec <file> | .rules <file> | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .stats [op] | .workers [n] | .batch [n] | .objects | .quit");
         }
         ".stats" => {
             let arg = rest.trim();
@@ -153,6 +153,20 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
                         println!("{} worker(s)", db.workers());
                     }
                     Err(_) => println!("error: `.workers` takes a positive integer"),
+                }
+            }
+        }
+        ".batch" => {
+            let arg = rest.trim();
+            if arg.is_empty() {
+                println!("batch size {}", db.batch_size());
+            } else {
+                match arg.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        db.set_batch_size(n);
+                        println!("batch size {}", db.batch_size());
+                    }
+                    _ => println!("error: `.batch` takes a positive integer"),
                 }
             }
         }

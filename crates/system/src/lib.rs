@@ -177,6 +177,7 @@ impl Output {
 pub struct DatabaseBuilder {
     pool: Option<Arc<BufferPool>>,
     workers: Option<usize>,
+    batch_size: Option<usize>,
     optimize: Option<bool>,
     trace: bool,
 }
@@ -205,6 +206,13 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Vectorized batch width for cursor drains (default: 1024; `1` is
+    /// exactly the tuple-at-a-time engine).
+    pub fn batch_size(mut self, n: usize) -> DatabaseBuilder {
+        self.batch_size = Some(n);
+        self
+    }
+
     /// Enable or disable the rule optimizer (default: enabled).
     pub fn optimize(mut self, enabled: bool) -> DatabaseBuilder {
         self.optimize = Some(enabled);
@@ -223,6 +231,9 @@ impl DatabaseBuilder {
         let mut engine = ExecEngine::new(pool);
         if let Some(n) = self.workers {
             engine.set_workers(n);
+        }
+        if let Some(n) = self.batch_size {
+            engine.set_batch_size(n);
         }
         Database {
             sig: builtin::builtin_signature(),
@@ -337,6 +348,19 @@ impl Database {
     /// The current intra-operator worker count.
     pub fn workers(&self) -> usize {
         self.engine.workers()
+    }
+
+    /// Set the vectorized batch width at runtime. `1` restores the
+    /// exact tuple-at-a-time drains; larger widths pull whole batches
+    /// through the cursor pipeline. (Initial value:
+    /// [`DatabaseBuilder::batch_size`], default 1024.)
+    pub fn set_batch_size(&mut self, n: usize) {
+        self.engine.set_batch_size(n);
+    }
+
+    /// The current vectorized batch width.
+    pub fn batch_size(&self) -> usize {
+        self.engine.batch_size()
     }
 
     /// Turn the rule optimizer off/on at runtime (benchmarks compare

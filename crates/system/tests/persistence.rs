@@ -45,7 +45,7 @@ fn full_database_roundtrip() {
             .into_iter()
             .enumerate()
             .map(|(i, p)| {
-                Value::Tuple(vec![
+                Value::tuple(vec![
                     Value::Str(format!("city{i}")),
                     Value::Point(p),
                     Value::Int((i as i64 * 31) % 10_000),
@@ -55,7 +55,7 @@ fn full_database_roundtrip() {
         db.bulk_insert("cities_rep", cities).unwrap();
         let states: Vec<Value> = gen::state_grid(6, 6)
             .into_iter()
-            .map(|(n, poly)| Value::Tuple(vec![Value::Str(n), Value::Pgon(poly)]))
+            .map(|(n, poly)| Value::tuple(vec![Value::Str(n), Value::Pgon(poly)]))
             .collect();
         db.bulk_insert("states_rep", states).unwrap();
         let skipped = db.save(&dir).unwrap();
@@ -116,7 +116,7 @@ fn model_values_and_catalog_rows_roundtrip() {
         let Value::Rel(ts) = v else { panic!() };
         assert_eq!(
             ts[0],
-            Value::Tuple(vec![Value::Int(2), Value::Str("two".into())])
+            Value::tuple(vec![Value::Int(2), Value::Str("two".into())])
         );
         // The standalone tuple object too.
         db.run("update r := insert(r, c);").unwrap();

@@ -70,7 +70,7 @@ fn deep_pipelines_check_and_run() {
     )
     .unwrap();
     let tuples: Vec<Value> = (0..500)
-        .map(|i| Value::Tuple(vec![Value::Int(i), Value::Str(format!("t{}", i % 3))]))
+        .map(|i| Value::tuple(vec![Value::Int(i), Value::Str(format!("t{}", i % 3))]))
         .collect();
     db.bulk_insert("s", tuples).unwrap();
     // 24-stage pipeline.

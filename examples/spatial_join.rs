@@ -44,7 +44,7 @@ fn main() {
         .into_iter()
         .enumerate()
         .map(|(i, p)| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Str(format!("city{i}")),
                 Value::Point(p),
                 Value::Int((i as i64 * 13) % 1_000_000),
@@ -54,7 +54,7 @@ fn main() {
     db.bulk_insert("cities_rep", cities).expect("load cities");
     let states: Vec<Value> = gen::state_grid(grid, 7)
         .into_iter()
-        .map(|(name, poly)| Value::Tuple(vec![Value::Str(name), Value::Pgon(poly)]))
+        .map(|(name, poly)| Value::tuple(vec![Value::Str(name), Value::Pgon(poly)]))
         .collect();
     db.bulk_insert("states_rep", states).expect("load states");
     println!("loaded {n_cities} cities and {} states\n", grid * grid);

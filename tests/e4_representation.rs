@@ -8,7 +8,7 @@ use sos_geom::{gen, Point, Polygon};
 use sos_system::Database;
 
 fn city_tuple(name: &str, center: Point, pop: i64) -> Value {
-    Value::Tuple(vec![
+    Value::tuple(vec![
         Value::Str(name.to_string()),
         Value::Point(center),
         Value::Int(pop),
@@ -16,7 +16,7 @@ fn city_tuple(name: &str, center: Point, pop: i64) -> Value {
 }
 
 fn state_tuple(name: &str, region: Polygon) -> Value {
-    Value::Tuple(vec![Value::Str(name.to_string()), Value::Pgon(region)])
+    Value::tuple(vec![Value::Str(name.to_string()), Value::Pgon(region)])
 }
 
 /// A database with the paper's Section 4 schema: a B-tree of cities by
@@ -122,7 +122,7 @@ fn exactmatch_finds_duplicate_keys() {
     )
     .unwrap();
     let tuples: Vec<Value> = (0..30)
-        .map(|i| Value::Tuple(vec![Value::Int(i % 3), Value::Str(format!("v{i}"))]))
+        .map(|i| Value::tuple(vec![Value::Int(i % 3), Value::Str(format!("v{i}"))]))
         .collect();
     db.bulk_insert("idx", tuples).unwrap();
     assert_eq!(count(&db.query("idx exactmatch[1] count").unwrap()), 10);
@@ -227,7 +227,7 @@ fn aggregates_over_streams() {
     .unwrap();
     let tuples: Vec<Value> = (1..=10)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Int(i),
                 Value::Real(i as f64 / 2.0),
                 Value::Str(format!("l{i}")),
@@ -267,10 +267,10 @@ fn hashjoin_agrees_with_search_join_on_equijoins() {
     )
     .unwrap();
     let emps: Vec<Value> = (0..200)
-        .map(|i| Value::Tuple(vec![Value::Str(format!("e{i}")), Value::Int(i % 10)]))
+        .map(|i| Value::tuple(vec![Value::Str(format!("e{i}")), Value::Int(i % 10)]))
         .collect();
     let depts: Vec<Value> = (0..10)
-        .map(|d| Value::Tuple(vec![Value::Int(d), Value::Str(format!("d{d}"))]))
+        .map(|d| Value::tuple(vec![Value::Int(d), Value::Str(format!("d{d}"))]))
         .collect();
     db.bulk_insert("emps", emps).unwrap();
     db.bulk_insert("depts", depts).unwrap();

@@ -8,7 +8,7 @@ use sos_geom::{gen, Point, Polygon};
 use sos_system::Database;
 
 fn city_tuple(name: &str, center: Point, pop: i64) -> Value {
-    Value::Tuple(vec![
+    Value::tuple(vec![
         Value::Str(name.to_string()),
         Value::Point(center),
         Value::Int(pop),
@@ -16,7 +16,7 @@ fn city_tuple(name: &str, center: Point, pop: i64) -> Value {
 }
 
 fn state_tuple(name: &str, region: Polygon) -> Value {
-    Value::Tuple(vec![Value::Str(name.to_string()), Value::Pgon(region)])
+    Value::tuple(vec![Value::Str(name.to_string()), Value::Pgon(region)])
 }
 
 fn rep_db(n_cities: usize, grid: usize) -> Database {

@@ -10,7 +10,7 @@ use sos_geom::{gen, Point, Polygon};
 use sos_system::Database;
 
 fn city_tuple(name: &str, center: Point, pop: i64) -> Value {
-    Value::Tuple(vec![
+    Value::tuple(vec![
         Value::Str(name.to_string()),
         Value::Point(center),
         Value::Int(pop),
@@ -18,7 +18,7 @@ fn city_tuple(name: &str, center: Point, pop: i64) -> Value {
 }
 
 fn state_tuple(name: &str, region: Polygon) -> Value {
-    Value::Tuple(vec![Value::Str(name.to_string()), Value::Pgon(region)])
+    Value::tuple(vec![Value::Str(name.to_string()), Value::Pgon(region)])
 }
 
 /// Model-level objects `cities`/`states` with representation objects
@@ -247,10 +247,10 @@ fn equi_join_rewrites_to_hashjoin() {
     )
     .unwrap();
     let emps: Vec<Value> = (0..100)
-        .map(|i| Value::Tuple(vec![Value::Str(format!("e{i}")), Value::Int(i % 7)]))
+        .map(|i| Value::tuple(vec![Value::Str(format!("e{i}")), Value::Int(i % 7)]))
         .collect();
     let depts: Vec<Value> = (0..7)
-        .map(|d| Value::Tuple(vec![Value::Int(d), Value::Str(format!("d{d}"))]))
+        .map(|d| Value::tuple(vec![Value::Int(d), Value::Str(format!("d{d}"))]))
         .collect();
     db.bulk_insert("emps_rep", emps).unwrap();
     db.bulk_insert("depts_rep", depts).unwrap();

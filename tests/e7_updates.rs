@@ -79,7 +79,7 @@ fn model_insert_translates_to_btree_insert() {
 fn fill(db: &mut Database, n: i64) {
     let tuples: Vec<Value> = (0..n)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Str(format!("city{i}")),
                 Value::Int(i * 1000),
                 Value::Str(if i % 2 == 0 { "Germany" } else { "India" }.to_string()),
@@ -233,7 +233,7 @@ fn key_predicate_delete_uses_the_index() {
     let mut db = db6();
     let tuples: Vec<Value> = (0..5000)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Str(format!("city{i}")),
                 Value::Int(i),
                 Value::Str("X".to_string()),
@@ -277,7 +277,7 @@ fn vacuum_reclaims_pages_after_mass_deletion() {
     let mut db = db6();
     let tuples: Vec<Value> = (0..5000)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Str(format!("city{i}")),
                 Value::Int(i),
                 Value::Str("X".into()),
@@ -324,7 +324,7 @@ fn rel_insert_translates_to_stream_insert() {
         "more_rep",
         (0..5)
             .map(|i| {
-                Value::Tuple(vec![
+                Value::tuple(vec![
                     Value::Str(format!("extra{i}")),
                     Value::Int(100_000 + i),
                     Value::Str("X".into()),

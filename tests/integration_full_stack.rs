@@ -40,7 +40,7 @@ fn a_complete_session() {
         .into_iter()
         .enumerate()
         .map(|(i, p)| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Str(format!("city{i}")),
                 Value::Point(p),
                 Value::Int((i as i64 * 257) % 50_000),
@@ -50,7 +50,7 @@ fn a_complete_session() {
     db.bulk_insert("cities_rep", cities).unwrap();
     let states: Vec<Value> = gen::state_grid(8, 100)
         .into_iter()
-        .map(|(name, poly)| Value::Tuple(vec![Value::Str(name), Value::Pgon(poly)]))
+        .map(|(name, poly)| Value::tuple(vec![Value::Str(name), Value::Pgon(poly)]))
         .collect();
     db.bulk_insert("states_rep", states).unwrap();
 
@@ -149,7 +149,7 @@ fn bbox_superset_property_holds_in_queries() {
     .unwrap();
     let states: Vec<Value> = gen::state_grid(5, 5)
         .into_iter()
-        .map(|(name, poly)| Value::Tuple(vec![Value::Str(name), Value::Pgon(poly)]))
+        .map(|(name, poly)| Value::tuple(vec![Value::Str(name), Value::Pgon(poly)]))
         .collect();
     db.bulk_insert("states_rep", states).unwrap();
     for p in gen::uniform_points(40, 6) {

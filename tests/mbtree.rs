@@ -27,7 +27,7 @@ fn db_with_orders() -> Database {
     for (i, country) in ["DE", "FR", "IN", "US"].iter().enumerate() {
         for year in 2000..2020 {
             for k in 0..3 {
-                tuples.push(Value::Tuple(vec![
+                tuples.push(Value::tuple(vec![
                     Value::Str(country.to_string()),
                     Value::Int(year),
                     Value::Int((i as i64 + 1) * 1000 + year * 10 + k),

@@ -32,7 +32,7 @@ fn heap_db(pool: Arc<sos_storage::BufferPool>, n: usize) -> Database {
     .unwrap();
     let items: Vec<Value> = (0..n)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Int(i as i64),
                 Value::Int((i % 10) as i64),
                 Value::Str(format!("{:0180}", i)),
@@ -44,7 +44,7 @@ fn heap_db(pool: Arc<sos_storage::BufferPool>, n: usize) -> Database {
     // and the chunked in-memory paths engage from 64 tuples anyway.
     let small: Vec<Value> = (0..300)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Int(i as i64),
                 Value::Int((i % 10) as i64),
                 Value::Str(format!("i{i}")),
@@ -54,7 +54,7 @@ fn heap_db(pool: Arc<sos_storage::BufferPool>, n: usize) -> Database {
     db.bulk_insert("items", small).unwrap();
     let mates: Vec<Value> = (0..90)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Int((i * 3) as i64),
                 Value::Str(format!("m{i}")),
             ])
@@ -262,7 +262,7 @@ proptest! {
         .unwrap();
         let tuples: Vec<Value> = keys
             .iter()
-            .map(|k| Value::Tuple(vec![Value::Int(*k), Value::Str(format!("{k:0150}"))]))
+            .map(|k| Value::tuple(vec![Value::Int(*k), Value::Str(format!("{k:0150}"))]))
             .collect();
         db.bulk_insert("h", tuples).unwrap();
         let queries = [

@@ -26,7 +26,7 @@ fn big_db(n: usize) -> Database {
     .unwrap();
     let tuples: Vec<Value> = (0..n)
         .map(|i| {
-            Value::Tuple(vec![
+            Value::tuple(vec![
                 Value::Int(i as i64),
                 Value::Str(format!("{:0200}", i)), // ~35 tuples per page
             ])
@@ -118,7 +118,7 @@ fn search_join_inner_pipelines_per_probe() {
     )
     .unwrap();
     let probes: Vec<Value> = (0..1000)
-        .map(|i| Value::Tuple(vec![Value::Int(i), Value::Str(format!("p{i}"))]))
+        .map(|i| Value::tuple(vec![Value::Int(i), Value::Str(format!("p{i}"))]))
         .collect();
     db.bulk_insert("probes", probes).unwrap();
     let v = db
@@ -144,7 +144,7 @@ fn search_join_head_early_terminates() {
     )
     .unwrap();
     let probes: Vec<Value> = (0..10_000)
-        .map(|i| Value::Tuple(vec![Value::Int(i), Value::Str(format!("p{i}"))]))
+        .map(|i| Value::tuple(vec![Value::Int(i), Value::Str(format!("p{i}"))]))
         .collect();
     db.bulk_insert("probes", probes).unwrap();
 

@@ -25,7 +25,7 @@ fn load(db: &mut Database, keys: &[i64]) {
     let tuples: Vec<Value> = keys
         .iter()
         .enumerate()
-        .map(|(i, k)| Value::Tuple(vec![Value::Int(*k), Value::Str(format!("t{i}"))]))
+        .map(|(i, k)| Value::tuple(vec![Value::Int(*k), Value::Str(format!("t{i}"))]))
         .collect();
     db.bulk_insert("items_rep", tuples).unwrap();
 }

@@ -33,7 +33,7 @@ fn text_rule_db() -> Database {
     db.bulk_insert(
         "items_rep",
         (0..100)
-            .map(|i| Value::Tuple(vec![Value::Int(i), Value::Str(format!("l{i}"))]))
+            .map(|i| Value::tuple(vec![Value::Int(i), Value::Str(format!("l{i}"))]))
             .collect(),
     )
     .unwrap();
