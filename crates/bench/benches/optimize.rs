@@ -50,7 +50,8 @@ fn bench_ruleset_scaling(c: &mut Criterion) {
         }
         if !padding.is_empty() {
             let rules = parse_rules(&padding).unwrap();
-            db.add_rule_step(RuleStep::exhaustive("padding", rules));
+            db.add_rule_step(RuleStep::exhaustive("padding", rules))
+                .unwrap();
         }
         group.bench_function(format!("select-plan-with-{extra}-extra-rules"), |b| {
             b.iter(|| db.explain("cities select[pop = 500]").unwrap().plan.len())

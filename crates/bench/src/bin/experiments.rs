@@ -13,7 +13,7 @@ use std::time::Instant;
 
 fn main() {
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", pr3_json());
+        println!("{}", pr4_json());
         return;
     }
     println!("Second-Order Signature — experiment harness");
@@ -502,5 +502,47 @@ fn pr3_json() -> String {
     format!(
         "{{\"bench\":\"PR3 vectorized batch execution\",\"workloads\":[\n{}\n]}}",
         workloads.join(",\n")
+    )
+}
+
+/// Static-analysis overhead: the full sos-lint pass (L001..L005) over
+/// the built-in signature and rule set, per iteration. This is the
+/// cost `strict_lint(true)` adds to a `load_spec`/`load_rules` call,
+/// and what the `.lint` shell command pays.
+fn lint_overhead_json() -> String {
+    let sig = sos_system::builtin::builtin_signature();
+    let opt = sos_system::rules::builtin_optimizer();
+    let specs = sig.specs().len();
+    let rules: usize = opt.steps.iter().map(|s| s.rules.len()).sum();
+    // Warm up, and pin the invariant the suite relies on: the builtin
+    // corpus lints clean.
+    assert!(sos_lint::lint_all(&sig, &opt).is_empty());
+    let iters = 100;
+    let t = Instant::now();
+    let mut diags = 0usize;
+    for _ in 0..iters {
+        diags += sos_lint::lint_spec(&sig).len();
+        diags += sos_lint::lint_rules(&opt, &sig).len();
+    }
+    let ms = t.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    format!(
+        r#"{{"specs":{specs},"rules":{rules},"iterations":{iters},"diagnostics":{diags},"ms_per_full_pass":{ms:.4}}}"#
+    )
+}
+
+/// The JSON document committed as BENCH_PR4.json: the PR3 execution
+/// matrix plus the sos-lint overhead entry.
+fn pr4_json() -> String {
+    let pr3 = pr3_json();
+    // Splice the lint entry into the PR3 document rather than nesting
+    // it, so every workload stays at the same path as in BENCH_PR3.json.
+    let body = pr3
+        .strip_prefix("{\"bench\":\"PR3 vectorized batch execution\",")
+        .expect("pr3_json prefix")
+        .strip_suffix('}')
+        .expect("pr3_json suffix");
+    format!(
+        "{{\"bench\":\"PR4 static analysis + batch execution\",\"lint_overhead\":{},{body}}}",
+        lint_overhead_json()
     )
 }

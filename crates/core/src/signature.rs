@@ -102,6 +102,29 @@ impl Signature {
         self.constructors.get(name)
     }
 
+    /// All registered type constructors, in arbitrary order (analysis
+    /// passes sort by name for deterministic reports).
+    pub fn constructors(&self) -> impl Iterator<Item = &TypeConstructorDef> {
+        self.constructors.values()
+    }
+
+    /// Does the constructor named `cons` produce types of `kind` —
+    /// either as its defining kind or via an extra membership
+    /// declaration? (The constructor-level twin of
+    /// [`Signature::type_in_kind`], used by static analyses that work on
+    /// patterns rather than ground types.)
+    pub fn constructor_in_kind(&self, cons: &Symbol, kind: &Symbol) -> bool {
+        self.constructors
+            .get(cons)
+            .map(|d| &d.kind == kind)
+            .unwrap_or(false)
+            || self
+                .kind_members
+                .get(kind)
+                .map(|m| m.contains(cons))
+                .unwrap_or(false)
+    }
+
     /// The kind of a type, per its outermost constructor. Function types
     /// have no kind (they live in the extended signature only).
     pub fn kind_of(&self, ty: &DataType) -> Option<&Symbol> {

@@ -1,0 +1,54 @@
+//! Loom model test for the `par_chunks` worker hand-off: every chunk
+//! result must be published to the parent (visible after the scoped
+//! join) and come back in chunk order, so concatenation reproduces the
+//! serial order on every schedule.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; see
+//! `crates/storage/tests/loom_pool.rs` for the convention and
+//! `vendor/loom` for what the stand-in does.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use sos_exec::parallel::par_chunks;
+
+/// Workers fold disjoint chunks; after `par_chunks` returns (the join
+/// is the publication point), the parent must observe every worker's
+/// writes, in chunk order, with each item processed exactly once.
+#[test]
+fn chunk_results_are_published_in_order() {
+    loom::model(|| {
+        let items: Vec<usize> = (0..16).collect();
+        let touched = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&touched);
+        let chunks = par_chunks(&items, 4, move |base, part| {
+            t.fetch_add(part.len(), Ordering::Relaxed);
+            (base, part.iter().sum::<usize>())
+        });
+        // In chunk order: bases strictly increase.
+        let bases: Vec<usize> = chunks.iter().map(|&(b, _)| b).collect();
+        let mut sorted = bases.clone();
+        sorted.sort_unstable();
+        assert_eq!(bases, sorted, "chunk results out of order");
+        // Fully published: the sums add up to the serial fold and every
+        // item was visited exactly once.
+        let total: usize = chunks.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, items.iter().sum::<usize>());
+        assert_eq!(touched.load(Ordering::Relaxed), items.len());
+    });
+}
+
+/// A serial fallback (one worker) and the parallel run agree on every
+/// schedule — the same differential the par_vs_serial harness checks at
+/// system level, here at the primitive.
+#[test]
+fn serial_and_parallel_chunking_agree() {
+    loom::model(|| {
+        let items: Vec<usize> = (0..13).collect();
+        let serial: Vec<usize> = par_chunks(&items, 1, |_, part| part.iter().sum())
+            .into_iter()
+            .collect();
+        let parallel: Vec<usize> = par_chunks(&items, 3, |_, part| part.iter().sum());
+        assert_eq!(serial.iter().sum::<usize>(), parallel.iter().sum::<usize>());
+    });
+}

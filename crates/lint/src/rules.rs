@@ -1,0 +1,594 @@
+//! Rule-set analyses: the rule side of L003 (RHS references the LHS
+//! cannot bind), L004 (rewrite-termination heuristic), and L005
+//! (condition sanity).
+
+use crate::{Anchor, Diagnostic, Severity};
+use sos_core::{DataType, Expr, SeqAtom, Signature, Symbol, TypeArg};
+use sos_optimizer::{Condition, OpPat, Optimizer, Rule, RuleStep, TermPattern};
+use std::collections::HashSet;
+
+pub(crate) fn lint_optimizer(opt: &Optimizer, sig: &Signature) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for step in &opt.steps {
+        for rule in &step.rules {
+            lint_rule(step, rule, sig, &mut out);
+        }
+        lint_termination(step, &mut out);
+    }
+    out
+}
+
+fn rule_anchor(step: &RuleStep, rule: &Rule) -> Anchor {
+    Anchor::Rule {
+        step: step.name.clone(),
+        rule: rule.name.clone(),
+    }
+}
+
+fn rule_loc(step: &RuleStep, rule: &Rule) -> String {
+    format!("rule `{}/{}`", step.name, rule.name)
+}
+
+// ------------------------------------------------------- LHS bindings
+
+/// What the LHS pattern (and, later, the conditions) can bind: term
+/// variables (including function variables), operator variables, and
+/// lambda-parameter names (resolvable as `$v` in RHS parameter types).
+#[derive(Default)]
+struct RuleBound {
+    terms: HashSet<Symbol>,
+    ops: HashSet<Symbol>,
+    params: HashSet<Symbol>,
+}
+
+fn collect_lhs(p: &TermPattern, b: &mut RuleBound) {
+    match p {
+        TermPattern::Var(v) | TermPattern::ConstVar(v) | TermPattern::ObjectVar(v) => {
+            b.terms.insert(v.clone());
+        }
+        TermPattern::Apply { op, args } => {
+            if let OpPat::Var(v) = op {
+                b.ops.insert(v.clone());
+            }
+            for a in args {
+                collect_lhs(a, b);
+            }
+        }
+        TermPattern::Lambda { params, body } => {
+            b.params.extend(params.iter().cloned());
+            collect_lhs(body, b);
+        }
+        TermPattern::FunApp { fvar, .. } => {
+            b.terms.insert(fvar.clone());
+        }
+        TermPattern::AsFun { fvar, inner, .. } => {
+            b.terms.insert(fvar.clone());
+            collect_lhs(inner, b);
+        }
+        TermPattern::As(v, inner) => {
+            b.terms.insert(v.clone());
+            collect_lhs(inner, b);
+        }
+        TermPattern::Param(_) | TermPattern::Const(_) => {}
+    }
+}
+
+// --------------------------------------------------------------- L005
+
+/// Check one condition's references against the current bound set,
+/// reporting under the rendering of `shown` (so `not ...` shows whole).
+fn check_condition_refs(
+    cond: &Condition,
+    shown: &Condition,
+    b: &RuleBound,
+    anchor: &Anchor,
+    loc: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let require_term = |v: &Symbol, out: &mut Vec<Diagnostic>| {
+        if !b.terms.contains(v) {
+            out.push(
+                Diagnostic::new(
+                    "L005",
+                    Severity::Error,
+                    anchor.clone(),
+                    loc.to_string(),
+                    format!(
+                        "condition `{shown}` references `{v}`, which no pattern variable binds"
+                    ),
+                )
+                .suggest(format!(
+                    "bind `{v}` in the LHS pattern or in an earlier condition"
+                )),
+            );
+        }
+    };
+    match cond {
+        Condition::CatalogLink { model, .. } => require_term(model, out),
+        Condition::TypeIs { var, .. } => require_term(var, out),
+        Condition::IsConst(v) => require_term(v, out),
+        Condition::BTreeKeyIs { rep, attr } => {
+            require_term(rep, out);
+            if !b.terms.contains(attr) && !b.ops.contains(attr) {
+                out.push(
+                    Diagnostic::new(
+                        "L005",
+                        Severity::Error,
+                        anchor.clone(),
+                        loc.to_string(),
+                        format!(
+                            "condition `{shown}` compares the key against `{attr}`, which \
+                             no pattern variable (term or operator) binds"
+                        ),
+                    )
+                    .suggest(format!("bind `{attr}` in the LHS pattern")),
+                );
+            }
+        }
+        Condition::Not(inner) => check_condition_refs(inner, shown, b, anchor, loc, out),
+        Condition::LsdIndexesBBoxOf { lsd, fvar } => {
+            require_term(lsd, out);
+            require_term(fvar, out);
+        }
+    }
+}
+
+// ----------------------------------------------------------- L003/rhs
+
+/// `$v` placeholders in a lambda-parameter type.
+fn dollar_vars(ty: &DataType, out: &mut Vec<Symbol>) {
+    match ty {
+        DataType::Cons(n, args) => {
+            if let Some(rest) = n.as_str().strip_prefix('$') {
+                out.push(Symbol::new(rest));
+            }
+            for a in args {
+                dollar_vars_arg(a, out);
+            }
+        }
+        DataType::Fun(params, res) => {
+            for p in params {
+                dollar_vars(p, out);
+            }
+            dollar_vars(res, out);
+        }
+    }
+}
+
+fn dollar_vars_arg(a: &TypeArg, out: &mut Vec<Symbol>) {
+    match a {
+        TypeArg::Type(t) => dollar_vars(t, out),
+        TypeArg::List(items) | TypeArg::Pair(items) => {
+            for i in items {
+                dollar_vars_arg(i, out);
+            }
+        }
+        TypeArg::Expr(_) => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_rhs(
+    e: &Expr,
+    b: &RuleBound,
+    type_binders: &HashSet<Symbol>,
+    sig: &Signature,
+    scope: &mut Vec<Symbol>,
+    anchor: &Anchor,
+    loc: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    match e {
+        Expr::Name(v) => {
+            if !(b.terms.contains(v) || b.ops.contains(v) || scope.contains(v)) {
+                out.push(
+                    Diagnostic::new(
+                        "L003",
+                        Severity::Error,
+                        anchor.clone(),
+                        loc.to_string(),
+                        format!(
+                            "RHS references `{v}`, which the LHS pattern and conditions \
+                             cannot bind"
+                        ),
+                    )
+                    .suggest(format!(
+                        "bind `{v}` on the LHS, or in a condition such as `rep(model, {v})`"
+                    )),
+                );
+            }
+        }
+        Expr::Apply { op, args } => {
+            let known = b.terms.contains(op)
+                || b.ops.contains(op)
+                || scope.contains(op)
+                || op.as_str() == "%call"
+                || sig.is_fixed_op(op);
+            if !known {
+                if sig.candidates(op).is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            "L003",
+                            Severity::Error,
+                            anchor.clone(),
+                            loc.to_string(),
+                            format!(
+                                "RHS applies `{op}`, which is neither an operator in the \
+                                 signature nor an operator/function variable the LHS binds"
+                            ),
+                        )
+                        .suggest(format!(
+                            "bind `{op}` as an operator variable on the LHS or use a \
+                             declared operator"
+                        )),
+                    );
+                } else {
+                    out.push(
+                        Diagnostic::new(
+                            "L003",
+                            Severity::Warning,
+                            anchor.clone(),
+                            loc.to_string(),
+                            format!(
+                                "RHS applies `{op}`, which the LHS does not bind and which \
+                                 is not a fixed operator; it only resolves if `{op}` is an \
+                                 attribute of the argument's tuple type"
+                            ),
+                        )
+                        .suggest(format!(
+                            "bind `{op}` as an operator variable if the attribute should \
+                             come from the matched term"
+                        )),
+                    );
+                }
+            }
+            for a in args {
+                check_rhs(a, b, type_binders, sig, scope, anchor, loc, out);
+            }
+        }
+        Expr::Lambda { params, body } => {
+            for (_, ty) in params {
+                let mut dv = Vec::new();
+                dollar_vars(ty, &mut dv);
+                dv.sort();
+                dv.dedup();
+                for v in dv {
+                    if !(b.params.contains(&v) || type_binders.contains(&v)) {
+                        out.push(
+                            Diagnostic::new(
+                                "L003",
+                                Severity::Error,
+                                anchor.clone(),
+                                loc.to_string(),
+                                format!(
+                                    "RHS lambda parameter type references `${v}`, which no \
+                                     LHS lambda parameter or type condition binds"
+                                ),
+                            )
+                            .suggest(format!(
+                                "add a condition `term : pattern` binding `{v}`, or reuse \
+                                 an LHS parameter's type variable"
+                            )),
+                        );
+                    }
+                }
+            }
+            let depth = scope.len();
+            scope.extend(params.iter().map(|(p, _)| p.clone()));
+            check_rhs(body, b, type_binders, sig, scope, anchor, loc, out);
+            scope.truncate(depth);
+        }
+        Expr::Const(_) => {}
+        Expr::List(items) | Expr::Tuple(items) => {
+            for i in items {
+                check_rhs(i, b, type_binders, sig, scope, anchor, loc, out);
+            }
+        }
+        Expr::Seq(atoms) => {
+            // Rule templates are abstract syntax; a Seq only appears in
+            // hand-built rules. Check embedded expressions, leave the
+            // word heads to the checker.
+            for a in atoms {
+                match a {
+                    SeqAtom::Operand(e) => {
+                        check_rhs(e, b, type_binders, sig, scope, anchor, loc, out)
+                    }
+                    SeqAtom::Word {
+                        brackets, parens, ..
+                    } => {
+                        for e in brackets.iter().chain(parens.iter()).flatten() {
+                            check_rhs(e, b, type_binders, sig, scope, anchor, loc, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lint_rule(step: &RuleStep, rule: &Rule, sig: &Signature, out: &mut Vec<Diagnostic>) {
+    let anchor = rule_anchor(step, rule);
+    let loc = rule_loc(step, rule);
+    let mut bound = RuleBound::default();
+    collect_lhs(&rule.lhs, &mut bound);
+
+    // Conditions run in declared order, each seeing what the previous
+    // ones bound (L005), and may bind new variables the RHS uses.
+    let mut type_binders: HashSet<Symbol> = HashSet::new();
+    for cond in &rule.conditions {
+        check_condition_refs(cond, cond, &bound, &anchor, &loc, out);
+        match cond {
+            Condition::CatalogLink { rep, .. } => {
+                bound.terms.insert(rep.clone());
+            }
+            Condition::TypeIs { pattern, .. } => {
+                let mut vs = Vec::new();
+                pattern.vars(&mut vs);
+                type_binders.extend(vs);
+            }
+            _ => {}
+        }
+    }
+
+    let mut scope = Vec::new();
+    check_rhs(
+        &rule.rhs,
+        &bound,
+        &type_binders,
+        sig,
+        &mut scope,
+        &anchor,
+        &loc,
+        out,
+    );
+}
+
+// --------------------------------------------------------------- L004
+
+/// Operator symbols an RHS template introduces as applications,
+/// excluding spliced variables (`%call`, bound op/function variables).
+fn introduced_ops(e: &Expr, bound: &RuleBound, out: &mut HashSet<Symbol>) {
+    match e {
+        Expr::Apply { op, args } => {
+            if op.as_str() != "%call" && !bound.terms.contains(op) && !bound.ops.contains(op) {
+                out.insert(op.clone());
+            }
+            for a in args {
+                introduced_ops(a, bound, out);
+            }
+        }
+        Expr::Lambda { body, .. } => introduced_ops(body, bound, out),
+        Expr::List(items) | Expr::Tuple(items) => {
+            for i in items {
+                introduced_ops(i, bound, out);
+            }
+        }
+        Expr::Seq(atoms) => {
+            for a in atoms {
+                if let SeqAtom::Operand(e) = a {
+                    introduced_ops(e, bound, out);
+                }
+            }
+        }
+        Expr::Name(_) | Expr::Const(_) => {}
+    }
+}
+
+/// The operator a rule's LHS matches at its root.
+enum LhsRoot {
+    /// A specific operator application.
+    Exact(Symbol),
+    /// Matches any application (op variable or bare term variable).
+    AnyApply,
+    /// Cannot match an application node (constant, lambda, ...).
+    NotApply,
+}
+
+fn lhs_root(p: &TermPattern) -> LhsRoot {
+    match p {
+        TermPattern::Apply { op, .. } => match op {
+            OpPat::Exact(n) => LhsRoot::Exact(n.clone()),
+            OpPat::Var(_) => LhsRoot::AnyApply,
+        },
+        TermPattern::As(_, inner) | TermPattern::AsFun { inner, .. } => lhs_root(inner),
+        TermPattern::Var(_) | TermPattern::FunApp { .. } => LhsRoot::AnyApply,
+        TermPattern::Lambda { .. }
+        | TermPattern::Param(_)
+        | TermPattern::Const(_)
+        | TermPattern::ConstVar(_)
+        | TermPattern::ObjectVar(_) => LhsRoot::NotApply,
+    }
+}
+
+/// Number of application nodes — the decreasing measure the heuristic
+/// accepts.
+fn pattern_size(p: &TermPattern) -> usize {
+    match p {
+        TermPattern::Apply { args, .. } => 1 + args.iter().map(pattern_size).sum::<usize>(),
+        TermPattern::Lambda { body, .. } => pattern_size(body),
+        TermPattern::As(_, inner) | TermPattern::AsFun { inner, .. } => pattern_size(inner),
+        _ => 0,
+    }
+}
+
+fn expr_size(e: &Expr) -> usize {
+    match e {
+        Expr::Apply { op, args } => {
+            let this = usize::from(op.as_str() != "%call");
+            this + args.iter().map(expr_size).sum::<usize>()
+        }
+        Expr::Lambda { body, .. } => expr_size(body),
+        Expr::List(items) | Expr::Tuple(items) => items.iter().map(expr_size).sum(),
+        Expr::Seq(atoms) => atoms
+            .iter()
+            .map(|a| match a {
+                SeqAtom::Operand(e) => expr_size(e),
+                SeqAtom::Word { .. } => 1,
+            })
+            .sum(),
+        Expr::Name(_) | Expr::Const(_) => 0,
+    }
+}
+
+/// Strongly connected components, smallest-index-first (Kosaraju).
+fn sccs(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        // Iterative post-order.
+        let mut stack = vec![(start, 0usize)];
+        seen[start] = true;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < edges[v].len() {
+                let w = edges[v][*i];
+                *i += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    let mut redges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, outs) in edges.iter().enumerate() {
+        for &w in outs {
+            redges[w].push(v);
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = comps.len();
+        let mut members = vec![start];
+        comp[start] = id;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for &w in &redges[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = id;
+                    members.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        comps.push(members);
+    }
+    comps
+}
+
+fn lint_termination(step: &RuleStep, out: &mut Vec<Diagnostic>) {
+    let n = step.rules.len();
+    let mut intro: Vec<HashSet<Symbol>> = Vec::with_capacity(n);
+    for rule in &step.rules {
+        let mut bound = RuleBound::default();
+        collect_lhs(&rule.lhs, &mut bound);
+        let mut ops = HashSet::new();
+        introduced_ops(&rule.rhs, &bound, &mut ops);
+        intro.push(ops);
+    }
+    let roots: Vec<LhsRoot> = step.rules.iter().map(|r| lhs_root(&r.lhs)).collect();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if intro[i].is_empty() {
+            continue;
+        }
+        for (j, root) in roots.iter().enumerate() {
+            let hit = match root {
+                LhsRoot::Exact(op) => intro[i].contains(op),
+                LhsRoot::AnyApply => true,
+                LhsRoot::NotApply => false,
+            };
+            if hit {
+                edges[i].push(j);
+            }
+        }
+    }
+    for comp in sccs(&edges) {
+        let cyclic = comp.len() > 1 || edges[comp[0]].contains(&comp[0]);
+        if !cyclic {
+            continue;
+        }
+        // A catalog/type condition gates re-application; a strictly
+        // decreasing application count bounds the chain. Either excuses
+        // the cycle (heuristic — see DESIGN.md §7 for what it misses).
+        if comp.iter().any(|&i| !step.rules[i].conditions.is_empty()) {
+            continue;
+        }
+        let sizes: Vec<(usize, usize)> = comp
+            .iter()
+            .map(|&i| {
+                (
+                    pattern_size(&step.rules[i].lhs),
+                    expr_size(&step.rules[i].rhs),
+                )
+            })
+            .collect();
+        let non_increasing = sizes.iter().all(|&(l, r)| r <= l);
+        let some_decreasing = sizes.iter().any(|&(l, r)| r < l);
+        if non_increasing && some_decreasing && comp.len() > 1 {
+            continue;
+        }
+        if comp.len() == 1 {
+            let i = comp[0];
+            let (l, r) = sizes[0];
+            if r < l {
+                continue;
+            }
+            let rule = &step.rules[i];
+            out.push(
+                Diagnostic::new(
+                    "L004",
+                    Severity::Error,
+                    rule_anchor(step, rule),
+                    rule_loc(step, rule),
+                    format!(
+                        "RHS re-matches the rule's own LHS with no condition and no \
+                         decreasing term measure (LHS has {l} application(s), RHS {r}); \
+                         the step can only stop by exhausting its budget ({})",
+                        step.budget
+                    ),
+                )
+                .suggest(
+                    "add a guarding condition (catalog or type), or make the RHS \
+                     strictly smaller than the LHS",
+                ),
+            );
+        } else {
+            let names: Vec<String> = comp
+                .iter()
+                .map(|&i| format!("`{}`", step.rules[i].name))
+                .collect();
+            let first = &step.rules[comp[0]];
+            out.push(
+                Diagnostic::new(
+                    "L004",
+                    Severity::Error,
+                    rule_anchor(step, first),
+                    format!("step `{}`", step.name),
+                    format!(
+                        "rules {} form a rewrite cycle with no condition and no strictly \
+                         decreasing term measure; the step can only stop by exhausting \
+                         its budget ({})",
+                        names.join(", "),
+                        step.budget
+                    ),
+                )
+                .suggest(
+                    "add a guarding condition to a rule in the cycle, or make the cycle \
+                     strictly shrink the term",
+                ),
+            );
+        }
+    }
+}

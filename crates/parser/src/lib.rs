@@ -30,7 +30,7 @@ mod spec;
 
 pub use expr::{parse_expr_str, parse_program, parse_type_str, Statement};
 pub use lexer::{tokenize, Token, TokenKind};
-pub use spec::parse_spec;
+pub use spec::{line_of, parse_spec, parse_spec_with_spans, SpecSpans};
 
 use sos_core::Signature;
 

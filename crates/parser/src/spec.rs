@@ -46,8 +46,66 @@ use sos_core::spec::{
 use sos_core::{sym, Signature, Symbol};
 use std::collections::HashSet;
 
+/// Byte offsets of a parsed specification's declarations — a side
+/// table diagnostics can map back to source lines (`sos lint` attaches
+/// line numbers through this; the core IR stays span-free).
+#[derive(Debug, Default, Clone)]
+pub struct SpecSpans {
+    /// `(spec index in the signature, byte offset of the `op` keyword)`.
+    /// Multi-name declarations (`op =, != : ...`) share one offset.
+    pub specs: Vec<(usize, usize)>,
+    /// `(constructor name, byte offset of the `cons` keyword)`.
+    pub constructors: Vec<(Symbol, usize)>,
+    /// `(subtype index in the signature, byte offset)`.
+    pub subtypes: Vec<(usize, usize)>,
+}
+
+impl SpecSpans {
+    pub fn spec_offset(&self, idx: usize) -> Option<usize> {
+        self.specs.iter().find(|(i, _)| *i == idx).map(|&(_, p)| p)
+    }
+
+    pub fn constructor_offset(&self, name: &Symbol) -> Option<usize> {
+        self.constructors
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, p)| p)
+    }
+
+    pub fn subtype_offset(&self, idx: usize) -> Option<usize> {
+        self.subtypes
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .map(|&(_, p)| p)
+    }
+}
+
+/// 1-based line number of a byte offset in `src`.
+pub fn line_of(src: &str, offset: usize) -> usize {
+    src.as_bytes()[..offset.min(src.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
 /// Parse a specification, adding its declarations to `sig`.
 pub fn parse_spec(src: &str, sig: &mut Signature) -> Result<(), ParseError> {
+    parse_spec_impl(src, sig, &mut SpecSpans::default())
+}
+
+/// Like [`parse_spec`], also returning where each declaration starts.
+pub fn parse_spec_with_spans(src: &str, sig: &mut Signature) -> Result<SpecSpans, ParseError> {
+    let mut spans = SpecSpans::default();
+    parse_spec_impl(src, sig, &mut spans)?;
+    Ok(spans)
+}
+
+fn parse_spec_impl(
+    src: &str,
+    sig: &mut Signature,
+    spans: &mut SpecSpans,
+) -> Result<(), ParseError> {
     let mut cur = Cursor::new(tokenize(src)?);
     while !cur.at_eof() {
         if cur.eat_keyword("kinds") {
@@ -81,11 +139,20 @@ pub fn parse_spec(src: &str, sig: &mut Signature) -> Result<(), ParseError> {
             // Section headers are optional grouping; declarations are
             // self-describing (`cons`, `subtype`, `op`).
         } else if cur.at_keyword("cons") || at_level_before(&cur, "cons") {
-            parse_cons(&mut cur, sig)?;
+            let pos = cur.pos();
+            for name in parse_cons(&mut cur, sig)? {
+                spans.constructors.push((name, pos));
+            }
         } else if cur.at_keyword("subtype") {
+            let pos = cur.pos();
+            let idx = sig.subtypes().len();
             parse_subtype(&mut cur, sig)?;
+            spans.subtypes.push((idx, pos));
         } else if cur.at_keyword("op") || at_level_before(&cur, "op") {
-            parse_op(&mut cur, sig)?;
+            let pos = cur.pos();
+            for idx in parse_op(&mut cur, sig)? {
+                spans.specs.push((idx, pos));
+            }
         } else {
             return Err(cur.error(&format!(
                 "expected a declaration (`kinds`, `cons`, `subtype`, `op`), found `{}`",
@@ -140,7 +207,7 @@ impl Env {
     }
 }
 
-fn parse_cons(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
+fn parse_cons(cur: &mut Cursor, sig: &mut Signature) -> Result<Vec<Symbol>, ParseError> {
     let level = parse_level(cur);
     cur.expect_keyword("cons")?;
     let mut names = vec![cur.ident()?];
@@ -162,16 +229,17 @@ fn parse_cons(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
         return Err(cur.error(&format!("unknown kind `{kind}`")));
     }
     cur.eat(&TokenKind::Semicolon);
-    for name in names {
+    let added: Vec<Symbol> = names.iter().map(|n| sym(n)).collect();
+    for name in &added {
         sig.add_constructor(TypeConstructorDef {
-            name: sym(&name),
+            name: name.clone(),
             quantifiers: quants.clone(),
             args: args.clone(),
             kind: sym(&kind),
             level,
         });
     }
-    Ok(())
+    Ok(added)
 }
 
 fn parse_subtype(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
@@ -190,7 +258,7 @@ fn parse_subtype(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError
     Ok(())
 }
 
-fn parse_op(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
+fn parse_op(cur: &mut Cursor, sig: &mut Signature) -> Result<Vec<usize>, ParseError> {
     let level = parse_level(cur);
     cur.expect_keyword("op")?;
     let mut names = vec![parse_op_name(cur)?];
@@ -251,8 +319,9 @@ fn parse_op(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
         }
     }
     cur.eat(&TokenKind::Semicolon);
+    let mut added = Vec::with_capacity(names.len());
     for name in names {
-        sig.add_spec(OperatorSpec {
+        added.push(sig.add_spec(OperatorSpec {
             name: name.clone(),
             quantifiers: quants.clone(),
             args: args.clone(),
@@ -260,9 +329,9 @@ fn parse_op(cur: &mut Cursor, sig: &mut Signature) -> Result<(), ParseError> {
             syntax: syntax.clone(),
             is_update,
             level,
-        });
+        }));
     }
-    Ok(())
+    Ok(added)
 }
 
 fn parse_op_name(cur: &mut Cursor) -> Result<OpName, ParseError> {

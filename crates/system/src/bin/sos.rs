@@ -6,6 +6,8 @@
 //!
 //! * `.spec <file>`  — load an additional specification
 //! * `.rules <file>` — load a textual rule file as an optimizer step
+//! * `.lint [json]`  — run the static analyzer (sos-lint) over the
+//!   loaded signature and rule set
 //! * `.explain [analyze] <q>` — rewrite trace + plan tree for a query
 //!   (`analyze` also runs it and reports actual tuple/page counts)
 //! * `.trace on|off` — toggle per-phase span recording
@@ -21,6 +23,17 @@
 //! The worker count defaults to the number of available cores and can
 //! be pinned with the `SOS_WORKERS` environment variable (`1` = serial).
 //!
+//! Besides the shell there is one batch mode:
+//!
+//! ```sh
+//! sos lint <spec-or-rules-file> [--json]
+//! ```
+//!
+//! which parses the file against the built-in signature, runs the
+//! static analyzer, prints the report (human or JSON) with source line
+//! numbers, and exits non-zero when any error-severity diagnostic is
+//! found — the shape CI wants.
+//!
 //! ```sh
 //! echo 'create r : rel(tuple(<(a, int)>)); query r count;' | cargo run --bin sos
 //! ```
@@ -30,6 +43,10 @@ use sos_system::{Database, Output};
 use std::io::{BufRead, Write};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        std::process::exit(lint_main(&argv[1..]));
+    }
     let mut builder = Database::builder();
     if let Some(n) = std::env::var("SOS_WORKERS")
         .ok()
@@ -76,6 +93,52 @@ fn main() {
     }
 }
 
+/// `sos lint <file> [--json]`: lint one spec or rule file in batch
+/// mode. `.rules` files are parsed as an optimizer step and checked
+/// against the built-in signature; anything else is parsed as a
+/// specification extending the built-in signature, and diagnostics are
+/// mapped back to source lines through the parser's span table.
+/// Exit code: 0 clean (warnings allowed), 1 error diagnostics, 2 usage
+/// or parse failure.
+fn lint_main(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut file = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ => file = Some(a.clone()),
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("usage: sos lint <spec-or-rules-file> [--json]");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return 2;
+        }
+    };
+    let diags = match Database::lint_source(&path, &src) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 2;
+        }
+    };
+    if json {
+        println!("{}", sos_lint::render_json(&diags));
+    } else {
+        print!("{}", sos_lint::render_human(&diags));
+    }
+    if sos_lint::has_errors(&diags) {
+        1
+    } else {
+        0
+    }
+}
+
 fn prompt(interactive: bool, buffer: &str) {
     if interactive {
         print!("{}", if buffer.is_empty() { "sos> " } else { "...> " });
@@ -108,7 +171,7 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
     match head {
         ".quit" | ".exit" => return false,
         ".help" => {
-            println!(".run <file> | .spec <file> | .rules <file> | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .stats [op] | .workers [n] | .batch [n] | .objects | .quit");
+            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .stats [op] | .workers [n] | .batch [n] | .objects | .quit");
         }
         ".stats" => {
             let arg = rest.trim();
@@ -244,6 +307,14 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
             },
             Err(e) => println!("error reading {rest}: {e}"),
         },
+        ".lint" => {
+            let diags = db.lint();
+            if rest.trim() == "json" {
+                println!("{}", sos_lint::render_json(&diags));
+            } else {
+                print!("{}", sos_lint::render_human(&diags));
+            }
+        }
         ".rules" => match std::fs::read_to_string(rest.trim()) {
             Ok(src) => match db.load_rules(rest.trim(), &src) {
                 Ok(()) => println!("rules loaded"),

@@ -53,7 +53,7 @@ use sos_obs::metrics::{ops_delta, pool_delta};
 use sos_obs::trace::Tracer;
 use sos_optimizer::{OptError, Optimizer, OptimizerStats, RuleApplication};
 use sos_parser::{parse_program, ParseError, Statement};
-use sos_storage::{BufferPool, PoolStats};
+use sos_storage::BufferPool;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -78,6 +78,9 @@ pub enum SystemError {
     UnknownObject(Symbol),
     /// Saving or opening a database directory failed.
     Persist(String),
+    /// `strict_lint` rejected a spec or rule registration: the new
+    /// declarations produced error-severity diagnostics.
+    Lint(Vec<sos_lint::Diagnostic>),
 }
 
 impl std::fmt::Display for SystemError {
@@ -98,6 +101,13 @@ impl std::fmt::Display for SystemError {
             ),
             SystemError::UnknownObject(n) => write!(f, "no object named `{n}`"),
             SystemError::Persist(m) => write!(f, "persistence error: {m}"),
+            SystemError::Lint(diags) => {
+                write!(f, "rejected by strict lint:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -180,6 +190,7 @@ pub struct DatabaseBuilder {
     batch_size: Option<usize>,
     optimize: Option<bool>,
     trace: bool,
+    strict_lint: bool,
 }
 
 impl DatabaseBuilder {
@@ -226,6 +237,15 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Reject [`Database::load_spec`] / [`Database::load_rules`] /
+    /// [`Database::add_rule_step`] registrations that produce
+    /// error-severity lint diagnostics (default: off). Warnings never
+    /// reject; [`Database::lint`] reports everything either way.
+    pub fn strict_lint(mut self, enabled: bool) -> DatabaseBuilder {
+        self.strict_lint = enabled;
+        self
+    }
+
     pub fn build(self) -> Database {
         let pool = self.pool.unwrap_or_else(|| sos_storage::mem_pool(4096));
         let mut engine = ExecEngine::new(pool);
@@ -245,6 +265,7 @@ impl DatabaseBuilder {
             last_opt_stats: OptimizerStats::default(),
             total_opt_stats: OptimizerStats::default(),
             tracer: Tracer::new(self.trace),
+            strict_lint: self.strict_lint,
         }
     }
 }
@@ -263,24 +284,14 @@ pub struct Database {
     total_opt_stats: OptimizerStats,
     /// Per-phase span recorder (off by default).
     tracer: Tracer,
+    /// Reject spec/rule registrations with error-severity diagnostics.
+    strict_lint: bool,
 }
 
 impl Database {
     /// Start configuring a database — the construction path.
     pub fn builder() -> DatabaseBuilder {
         DatabaseBuilder::new()
-    }
-
-    /// A database over a fresh in-memory buffer pool.
-    #[deprecated(note = "use `Database::builder().build()`")]
-    pub fn new() -> Database {
-        Database::builder().build()
-    }
-
-    /// A database over the given buffer pool.
-    #[deprecated(note = "use `Database::builder().pool(pool).build()`")]
-    pub fn with_pool(pool: Arc<BufferPool>) -> Database {
-        Database::builder().pool(pool).build()
     }
 
     // ---- accessors ----
@@ -374,47 +385,6 @@ impl Database {
         self.optimize_enabled
     }
 
-    // ---- deprecated observability shims ----
-
-    #[deprecated(note = "use `Database::metrics().pool`")]
-    pub fn pool_stats(&self) -> PoolStats {
-        self.engine.pool.stats()
-    }
-
-    #[deprecated(note = "use `Database::reset_metrics()`")]
-    pub fn reset_pool_stats(&self) {
-        self.engine.pool.reset_stats()
-    }
-
-    /// Counters of the most recent optimizer run (the cumulative totals
-    /// live in [`Database::metrics`]).
-    #[deprecated(note = "use `Database::metrics().optimizer` (cumulative)")]
-    pub fn last_optimizer_stats(&self) -> OptimizerStats {
-        self.last_opt_stats
-    }
-
-    #[deprecated(note = "use `Database::set_parallelism` (or `DatabaseBuilder::workers`)")]
-    pub fn set_workers(&mut self, n: usize) {
-        self.set_parallelism(n);
-    }
-
-    /// Per-operator execution counters (tuples in/out, pages scanned,
-    /// workers used), sorted by operator name.
-    #[deprecated(note = "use `Database::metrics().ops`")]
-    pub fn exec_stats(&self) -> Vec<(String, sos_exec::OpStats)> {
-        self.engine.stats.snapshot()
-    }
-
-    #[deprecated(note = "use `Database::reset_metrics()`")]
-    pub fn reset_exec_stats(&self) {
-        self.engine.stats.reset()
-    }
-
-    #[deprecated(note = "use `Database::set_optimizer_enabled` (or `DatabaseBuilder::optimize`)")]
-    pub fn set_optimize(&mut self, enabled: bool) {
-        self.set_optimizer_enabled(enabled);
-    }
-
     // ---- extensibility ----
 
     /// Load an additional specification (new kinds, constructors,
@@ -431,8 +401,73 @@ impl Database {
     /// assert_eq!(db.query("14 triple").unwrap(), Value::Int(42));
     /// ```
     pub fn load_spec(&mut self, src: &str) -> Result<(), SystemError> {
-        sos_parser::parse_spec(src, &mut self.sig)?;
+        if self.strict_lint {
+            // Parse into a trial copy; commit only if the extended
+            // signature is free of error-severity diagnostics (the
+            // built-in signature lints clean, so any error is new).
+            let mut trial = self.sig.clone();
+            sos_parser::parse_spec(src, &mut trial)?;
+            let diags = sos_lint::lint_spec(&trial);
+            if sos_lint::has_errors(&diags) {
+                return Err(SystemError::Lint(
+                    diags
+                        .into_iter()
+                        .filter(|d| d.severity == sos_lint::Severity::Error)
+                        .collect(),
+                ));
+            }
+            self.sig = trial;
+        } else {
+            sos_parser::parse_spec(src, &mut self.sig)?;
+        }
         Ok(())
+    }
+
+    /// Run the static analyzer over the current signature and rule set
+    /// (see the `sos-lint` crate and DESIGN.md §7). The shell's `.lint`
+    /// command prints this report.
+    pub fn lint(&self) -> Vec<sos_lint::Diagnostic> {
+        sos_lint::lint_all(&self.sig, &self.optimizer)
+    }
+
+    /// Lint a standalone source file the way `sos lint <file>` does.
+    ///
+    /// A name ending in `.rules` is parsed as one exhaustive optimizer
+    /// step (named after the file stem) and checked against the
+    /// built-in signature; anything else is parsed as a specification
+    /// *extending* the built-in signature, and diagnostics are mapped
+    /// back to 1-based source lines through the parser's span table.
+    /// The built-in signature lints clean, so every returned finding is
+    /// about `src`. Errors are parse failures, not lint findings.
+    pub fn lint_source(name: &str, src: &str) -> Result<Vec<sos_lint::Diagnostic>, String> {
+        if name.ends_with(".rules") {
+            let rules = sos_optimizer::parse_rules(src).map_err(|e| e.to_string())?;
+            let step = std::path::Path::new(name)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("rules");
+            let opt = sos_optimizer::Optimizer::new(vec![sos_optimizer::RuleStep::exhaustive(
+                step, rules,
+            )]);
+            Ok(sos_lint::lint_rules(&opt, &builtin::builtin_signature()))
+        } else {
+            let mut sig = builtin::builtin_signature();
+            let spans =
+                sos_parser::parse_spec_with_spans(src, &mut sig).map_err(|e| e.to_string())?;
+            let mut diags = sos_lint::lint_spec(&sig);
+            for d in &mut diags {
+                let offset = match &d.anchor {
+                    sos_lint::Anchor::Spec(i) => spans.spec_offset(*i),
+                    sos_lint::Anchor::Constructor(n) => spans.constructor_offset(n),
+                    sos_lint::Anchor::Subtype(i) => spans.subtype_offset(*i),
+                    _ => None,
+                };
+                if let Some(offset) = offset {
+                    d.line = Some(sos_parser::line_of(src, offset));
+                }
+            }
+            Ok(diags)
+        }
     }
 
     /// Register an operator implementation for a loaded specification.
@@ -446,19 +481,31 @@ impl Database {
         self.engine.add_op(name, f);
     }
 
-    /// Append an optimizer rule step.
-    pub fn add_rule_step(&mut self, step: sos_optimizer::RuleStep) {
+    /// Append an optimizer rule step. With `strict_lint` on, the step
+    /// is linted against the current signature first and rejected on
+    /// error-severity diagnostics.
+    pub fn add_rule_step(&mut self, step: sos_optimizer::RuleStep) -> Result<(), SystemError> {
+        if self.strict_lint {
+            let trial = Optimizer::new(vec![step.clone()]);
+            let diags = sos_lint::lint_rules(&trial, &self.sig);
+            if sos_lint::has_errors(&diags) {
+                return Err(SystemError::Lint(
+                    diags
+                        .into_iter()
+                        .filter(|d| d.severity == sos_lint::Severity::Error)
+                        .collect(),
+                ));
+            }
+        }
         self.optimizer.steps.push(step);
+        Ok(())
     }
 
     /// Load optimization rules from the textual rule language (Section 5)
     /// as a new exhaustive step with the given name.
     pub fn load_rules(&mut self, step_name: &str, src: &str) -> Result<(), SystemError> {
         let rules = sos_optimizer::parse_rules(src)?;
-        self.optimizer
-            .steps
-            .push(sos_optimizer::RuleStep::exhaustive(step_name, rules));
-        Ok(())
+        self.add_rule_step(sos_optimizer::RuleStep::exhaustive(step_name, rules))
     }
 
     /// Read an object's current value (tests and benchmarks).

@@ -1,6 +1,6 @@
 //! The observability façade end to end: `DatabaseBuilder`, the unified
-//! `metrics()` snapshot, phase tracing, structured explain, and the
-//! deprecated shims kept for downstream users.
+//! `metrics()` snapshot, phase tracing, and structured explain — the
+//! surface that replaced the removed pre-builder shims.
 
 use sos_system::{Database, Phase};
 
@@ -157,12 +157,12 @@ fn explain_is_structured_and_serializes() {
     assert!(!report.render(false).contains("phases:"));
 }
 
-/// The pre-redesign API keeps working for downstream users: thin
-/// deprecated shims over the builder and the metrics registry.
+/// The deprecated pre-builder shims (`new`, `with_pool`, `set_workers`,
+/// `set_optimize`, the stats getters) are gone: the builder façade and
+/// the metrics registry cover every former shim use.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_work() {
-    let mut db = Database::new();
+fn builder_facade_covers_former_shims() {
+    let mut db = Database::builder().build();
     db.run(
         r#"
         type t = tuple(<(a, int)>);
@@ -171,18 +171,16 @@ fn deprecated_shims_still_work() {
     "#,
     )
     .unwrap();
-    db.set_workers(2);
+    db.set_parallelism(2);
     assert_eq!(db.workers(), 2);
-    db.set_optimize(false);
+    db.set_optimizer_enabled(false);
     assert!(!db.optimizer_enabled());
-    db.set_optimize(true);
-    db.reset_exec_stats();
-    db.reset_pool_stats();
+    db.set_optimizer_enabled(true);
+    db.reset_metrics();
     db.query("r select[a > 0] count").unwrap();
-    assert!(db.pool_stats().logical_reads == db.metrics().pool.logical_reads);
-    assert_eq!(db.exec_stats(), db.metrics().ops);
-    let _ = db.last_optimizer_stats();
+    let m = db.metrics();
+    assert!(m.op("select").is_some(), "ops: {:?}", m.ops);
 
-    let db2 = Database::with_pool(sos_storage::mem_pool(128));
+    let db2 = Database::builder().pool(sos_storage::mem_pool(128)).build();
     assert!(db2.metrics().ops.is_empty());
 }

@@ -1,0 +1,55 @@
+//! A minimal, API-compatible stand-in for the `loom` model checker.
+//!
+//! The real loom exhaustively explores thread interleavings by running
+//! the model body under a cooperative scheduler with instrumented
+//! `loom::sync` / `loom::thread` types. This build environment is
+//! offline, so this vendored stand-in degrades gracefully: [`model`]
+//! runs the body many times on real OS threads (schedule *sampling*
+//! rather than exhaustive enumeration), and the `sync` / `thread`
+//! modules re-export the `std` primitives under loom's paths.
+//!
+//! Model tests written against this crate (`crates/storage/tests/
+//! loom_pool.rs`, `crates/exec/tests/loom_parallel.rs`) therefore keep
+//! the exact source shape loom expects — swap this crate for the real
+//! one and they become true exhaustive model checks. They compile only
+//! under `RUSTFLAGS="--cfg loom"`, the same convention the real crate
+//! uses.
+
+/// How many times [`model`] re-runs the body. Real loom enumerates
+/// schedules; the stand-in samples them, so more iterations mean more
+/// interleavings observed. Overridable via `LOOM_MAX_PREEMPTIONS`'s
+/// moral equivalent `LOOM_ITERS` for slow CI machines.
+fn iterations() -> usize {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Run a concurrency model. The closure is executed repeatedly; any
+/// panic (a failed assertion about pin counts, ordering, …) aborts the
+/// test exactly as it would under the real checker.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..iterations() {
+        f();
+    }
+}
+
+/// Loom-path re-exports of the thread API.
+pub mod thread {
+    pub use std::thread::{current, park, sleep, spawn, yield_now, JoinHandle};
+}
+
+/// Loom-path re-exports of the sync primitives.
+pub mod sync {
+    pub use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
