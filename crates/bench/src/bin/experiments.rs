@@ -13,7 +13,7 @@ use std::time::Instant;
 
 fn main() {
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", pr4_json());
+        println!("{}", pr5_json());
         return;
     }
     println!("Second-Order Signature — experiment harness");
@@ -26,6 +26,7 @@ fn main() {
     e7_b5();
     b3_b4();
     b7();
+    b9();
     e9_extensions();
     println!("\nall experiments completed");
 }
@@ -313,6 +314,47 @@ fn b7() {
     println!();
 }
 
+/// B9: durability — statements over a WAL-backed database survive an
+/// unclean shutdown, and the commit fsync has a measured price.
+fn b9() {
+    println!("B9: durability (write-ahead logging, crash recovery)");
+    let n = 100;
+    let mut mem = Database::builder().build();
+    mem.run(DURABLE_SCHEMA).unwrap();
+    let mem_ms = timed_inserts(&mut mem, n);
+
+    let dir = std::env::temp_dir().join(format!("sos-exp-b9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut dur = Database::builder().durable(&dir).try_build().unwrap();
+    dur.run(DURABLE_SCHEMA).unwrap();
+    let dur_ms = timed_inserts(&mut dur, n);
+    let wal = dur.metrics().wal;
+    drop(dur); // unclean: no checkpoint, no save — only the log survives
+
+    let mut reopened = Database::builder().durable(&dir).try_build().unwrap();
+    let recovered = as_count(&reopened.query("items_rep feed count").unwrap());
+    let info = *reopened.recovery_info().unwrap();
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    check(
+        "all committed statements survive the unclean shutdown",
+        recovered == n as i64,
+    );
+    check(
+        "recovery replayed logged page images",
+        info.replayed_pages > 0,
+    );
+    println!(
+        "  {n} insert statements: memory {mem_ms:>8.2} ms, durable {dur_ms:>8.2} ms \
+         ({:.1}x, {} sync(s), {} KiB logged)",
+        dur_ms / mem_ms.max(f64::MIN_POSITIVE),
+        wal.syncs,
+        wal.bytes / 1024
+    );
+    println!();
+}
+
 /// E9: engineering extensions — multi-attribute B-tree prefix search
 /// and vacuum (B-tree rebuild).
 fn e9_extensions() {
@@ -544,5 +586,80 @@ fn pr4_json() -> String {
     format!(
         "{{\"bench\":\"PR4 static analysis + batch execution\",\"lint_overhead\":{},{body}}}",
         lint_overhead_json()
+    )
+}
+
+// ---- PR5: durability — the WAL overhead entry ----
+
+const DURABLE_SCHEMA: &str = r#"
+    type item = tuple(<(k, int), (payload, string)>);
+    create items : rel(item);
+    create items_rep : btree(item, k, int);
+    create rep : catalog(<ident, ident>);
+    update rep := insert(rep, items, items_rep);
+"#;
+
+/// Wall milliseconds for `n` single-tuple insert statements — each one
+/// a separate statement, so over a durable database each one is a
+/// separate commit (log append + fsync).
+fn timed_inserts(db: &mut Database, n: usize) -> f64 {
+    let t = Instant::now();
+    for i in 0..n {
+        db.run(&format!(
+            r#"update items := insert(items, mktuple[(k, {i}), (payload, "p{i}")]);"#
+        ))
+        .expect("insert statement");
+    }
+    t.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Durable vs in-memory update throughput on real files: the measured
+/// price of the commit fsync and page-image logging, plus the WAL
+/// traffic the workload generated and the cost of a checkpoint.
+fn wal_overhead_json() -> String {
+    let n = 200;
+    let mut mem = Database::builder().build();
+    mem.run(DURABLE_SCHEMA).expect("schema");
+    let mem_ms = timed_inserts(&mut mem, n);
+
+    let dir = std::env::temp_dir().join(format!("sos-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut dur = Database::builder()
+        .durable(&dir)
+        .try_build()
+        .expect("durable open");
+    dur.run(DURABLE_SCHEMA).expect("schema");
+    let dur_ms = timed_inserts(&mut dur, n);
+    let wal = dur.metrics().wal;
+    let t = Instant::now();
+    dur.checkpoint().expect("checkpoint");
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1000.0;
+    drop(dur);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead = dur_ms / mem_ms.max(f64::MIN_POSITIVE);
+    format!(
+        r#"{{"statements":{n},"memory_ms":{mem_ms:.3},"durable_ms":{dur_ms:.3},"durable_ms_per_statement":{:.4},"overhead_factor":{overhead:.2},"wal_records":{},"wal_page_images":{},"wal_commits":{},"wal_bytes":{},"wal_syncs":{},"checkpoint_ms":{checkpoint_ms:.3}}}"#,
+        dur_ms / n as f64,
+        wal.records,
+        wal.page_images,
+        wal.commits,
+        wal.bytes,
+        wal.syncs
+    )
+}
+
+/// The JSON document committed as BENCH_PR5.json: the PR4 document plus
+/// the durability overhead entry.
+fn pr5_json() -> String {
+    let pr4 = pr4_json();
+    let body = pr4
+        .strip_prefix("{\"bench\":\"PR4 static analysis + batch execution\",")
+        .expect("pr4_json prefix")
+        .strip_suffix('}')
+        .expect("pr4_json suffix");
+    format!(
+        "{{\"bench\":\"PR5 durability + static analysis + batch execution\",\"wal_overhead\":{},{body}}}",
+        wal_overhead_json()
     )
 }

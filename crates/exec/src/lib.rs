@@ -18,9 +18,11 @@ pub mod parallel;
 pub mod stats;
 pub mod stored;
 pub mod stream;
+pub mod txn;
 
 pub use engine::{EvalCtx, ExecEngine};
 pub use error::{ExecError, ExecResult};
 pub use handles::{BTreeHandle, KeyExtractor, LsdHandle};
 pub use stats::{ExecStats, OpStats};
+pub use txn::StatementTx;
 pub use value::{compare, render, Closure, Value};

@@ -6,6 +6,12 @@
 //! functions over in-memory relations), the representation level
 //! (mutating B-trees, heap files, LSD-trees in place and returning the
 //! handle), and the catalog (Section 6's special catalog insert).
+//!
+//! Durability: these operators never touch the disk or the log
+//! themselves. They dirty pages through the shared buffer pool, and the
+//! statement processor brackets each update statement in a
+//! [`crate::txn::StatementTx`] — over a WAL-backed pool the dirtied
+//! pages are logged and committed (or rolled back) as one atomic unit.
 
 use crate::engine::{EvalCtx, ExecEngine};
 use crate::error::{mismatch, ExecError, ExecResult};

@@ -8,12 +8,12 @@
 //! of the run. It renders via `Display` and serializes to JSON.
 
 use crate::json::{array, Obj};
-use crate::metrics::{op_json, op_line, pool_json};
+use crate::metrics::{op_json, op_line, pool_json, wal_json, wal_line};
 use crate::trace::{fmt_nanos, Phase};
 use sos_core::typed::{TypedExpr, TypedNode};
 use sos_exec::OpStats;
 use sos_optimizer::RuleApplication;
-use sos_storage::PoolStats;
+use sos_storage::{PoolStats, WalStats};
 
 /// What kind of statement was explained.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +35,9 @@ pub struct ExplainAnalysis {
     pub ops: Vec<(String, OpStats)>,
     /// Buffer-pool traffic attributable to this run.
     pub pool: PoolStats,
+    /// WAL traffic attributable to this run (zero for queries and for
+    /// non-durable databases: only committed updates write the log).
+    pub wal: WalStats,
     /// A short summary of the produced value (kind and cardinality).
     pub result: String,
 }
@@ -132,6 +135,9 @@ impl Explain {
             for (name, s) in &a.ops {
                 let _ = writeln!(out, "  op {name}: {}", op_line(s));
             }
+            if !a.wal.is_empty() {
+                let _ = writeln!(out, "  wal: {}", wal_line(&a.wal));
+            }
         }
         out
     }
@@ -178,6 +184,7 @@ impl Explain {
                 &Obj::new()
                     .str("result", &a.result)
                     .raw("pool", &pool_json(&a.pool))
+                    .raw("wal", &wal_json(&a.wal))
                     .raw("ops", &array(a.ops.iter().map(|(n, s)| op_json(n, s))))
                     .finish(),
             );

@@ -11,7 +11,7 @@ use crate::json::{array, Obj};
 use crate::trace::{Phase, PhaseTimings};
 use sos_exec::OpStats;
 use sos_optimizer::OptimizerStats;
-use sos_storage::PoolStats;
+use sos_storage::{PoolStats, WalStats};
 
 /// One consistent view of every counter the system keeps.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -25,6 +25,8 @@ pub struct MetricsSnapshot {
     pub ops: Vec<(String, OpStats)>,
     /// Per-phase wall time (empty unless tracing was on).
     pub phases: PhaseTimings,
+    /// Write-ahead log traffic (all zero for a non-durable database).
+    pub wal: WalStats,
 }
 
 impl MetricsSnapshot {
@@ -49,6 +51,7 @@ impl MetricsSnapshot {
             &array(self.ops.iter().map(|(name, s)| op_json(name, s))),
         );
         o.raw("phases", &phases_json(&self.phases));
+        o.raw("wal", &wal_json(&self.wal));
         o.finish()
     }
 }
@@ -75,6 +78,9 @@ impl std::fmt::Display for MetricsSnapshot {
         for (name, s) in &self.ops {
             writeln!(f, "op {name}: {}", op_line(s))?;
         }
+        if !self.wal.is_empty() {
+            writeln!(f, "wal: {}", wal_line(&self.wal))?;
+        }
         write!(f, "{}", self.phases)
     }
 }
@@ -99,6 +105,31 @@ pub fn op_line(s: &OpStats) -> String {
         ));
     }
     line
+}
+
+/// The one-line rendering of WAL counters shared by `.metrics` and
+/// EXPLAIN ANALYZE output.
+pub fn wal_line(w: &WalStats) -> String {
+    let mut line = format!(
+        "{} record(s) ({} page image(s), {} commit(s), {} abort(s)), {} byte(s), {} sync(s)",
+        w.records, w.page_images, w.commits, w.aborts, w.bytes, w.syncs
+    );
+    if w.checkpoints > 0 {
+        line.push_str(&format!(", {} checkpoint(s)", w.checkpoints));
+    }
+    line
+}
+
+pub(crate) fn wal_json(w: &WalStats) -> String {
+    Obj::new()
+        .u64("records", w.records)
+        .u64("page_images", w.page_images)
+        .u64("commits", w.commits)
+        .u64("aborts", w.aborts)
+        .u64("bytes", w.bytes)
+        .u64("syncs", w.syncs)
+        .u64("checkpoints", w.checkpoints)
+        .finish()
 }
 
 pub(crate) fn pool_json(p: &PoolStats) -> String {
@@ -208,6 +239,14 @@ mod tests {
             },
             ops: vec![("filter".into(), row(2, 100))],
             phases: PhaseTimings::default(),
+            wal: WalStats {
+                records: 4,
+                page_images: 2,
+                commits: 1,
+                bytes: 16500,
+                syncs: 1,
+                ..WalStats::default()
+            },
         };
         let text = snap.to_string();
         assert!(text.contains("pool: 10 logical reads"));
@@ -215,9 +254,16 @@ mod tests {
         assert!(text.contains("op filter: 2 run(s)"));
         assert_eq!(snap.op("filter").unwrap().tuples_in, 100);
         assert!(snap.op("feed").is_none());
+        assert!(text.contains("wal: 4 record(s) (2 page image(s), 1 commit(s)"));
         let json = snap.to_json();
         assert!(json.contains(r#""logical_reads":10"#));
         assert!(json.contains(r#""op":"filter""#));
+        assert!(json.contains(r#""page_images":2"#));
+        // A zeroed WAL stays out of the human rendering but keeps its
+        // JSON shape.
+        let quiet = MetricsSnapshot::default();
+        assert!(!quiet.to_string().contains("wal:"));
+        assert!(quiet.to_json().contains(r#""wal""#));
     }
 
     #[test]

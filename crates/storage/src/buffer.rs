@@ -5,6 +5,7 @@
 //! engine-wide measure of logical page touches and physical I/O — the cost
 //! numbers reported by the experiment harness.
 
+use crate::wal::{Wal, WalStats};
 use crate::{DiskManager, PageId, StorageError, StorageResult, PAGE_SIZE};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
@@ -29,12 +30,31 @@ pub struct PoolStats {
     pub evictions: u64,
 }
 
+/// The page image (and dirty flag) a frame had before the current
+/// transaction first touched it; restored on abort.
+struct Undo {
+    data: Box<[u8; PAGE_SIZE]>,
+    was_dirty: bool,
+}
+
 struct Frame {
     pid: PageId,
     data: RwLock<Box<[u8; PAGE_SIZE]>>,
     dirty: AtomicBool,
     pins: AtomicUsize,
     last_used: AtomicU64,
+    /// Log position past this page's last committed after-image. The
+    /// WAL-before-data rule: the log must be durable through this LSN
+    /// before the page may be written to the data disk.
+    page_lsn: AtomicU64,
+    /// Id of the open transaction that dirtied this frame (0 = none).
+    /// Frames with a non-zero `txid` are never evicted and never written
+    /// back — the pool is strictly *no-steal*.
+    txid: AtomicU64,
+    undo: Mutex<Option<Undo>>,
+    /// Shared handle to the pool's open-transaction id, so the write
+    /// path can capture an undo image without reaching back to the pool.
+    tx_current: Arc<AtomicU64>,
 }
 
 struct Counters {
@@ -45,18 +65,35 @@ struct Counters {
     evictions: AtomicU64,
 }
 
-/// A buffer pool over a [`DiskManager`].
+/// A buffer pool over a [`DiskManager`], optionally fronted by a
+/// write-ahead log ([`BufferPool::with_wal`]).
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     capacity: usize,
     frames: Mutex<HashMap<PageId, Arc<Frame>>>,
     clock: AtomicU64,
     stats: Counters,
+    wal: Option<Arc<Wal>>,
+    /// Id of the open transaction (0 = none). Single-writer: statement
+    /// execution is serialized, parallel workers only read.
+    tx_current: Arc<AtomicU64>,
 }
 
 impl BufferPool {
     /// Create a pool of `capacity` frames (at least 1).
     pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Self {
+        Self::build(disk, capacity, None)
+    }
+
+    /// Create a pool whose writes are protected by a write-ahead log:
+    /// transactional updates ([`BufferPool::begin_tx`] /
+    /// [`BufferPool::commit_tx`]) log full page images before any data
+    /// page reaches `disk`, and eviction enforces WAL-before-data.
+    pub fn with_wal(disk: Arc<dyn DiskManager>, capacity: usize, wal: Arc<Wal>) -> Self {
+        Self::build(disk, capacity, Some(wal))
+    }
+
+    fn build(disk: Arc<dyn DiskManager>, capacity: usize, wal: Option<Arc<Wal>>) -> Self {
         BufferPool {
             disk,
             capacity: capacity.max(1),
@@ -69,6 +106,22 @@ impl BufferPool {
                 physical_writes: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
             },
+            wal,
+            tx_current: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn new_frame(&self, pid: PageId, data: Box<[u8; PAGE_SIZE]>, dirty: bool, tick: u64) -> Frame {
+        Frame {
+            pid,
+            data: RwLock::new(data),
+            dirty: AtomicBool::new(dirty),
+            pins: AtomicUsize::new(1),
+            last_used: AtomicU64::new(tick),
+            page_lsn: AtomicU64::new(0),
+            txid: AtomicU64::new(0),
+            undo: Mutex::new(None),
+            tx_current: Arc::clone(&self.tx_current),
         }
     }
 
@@ -92,13 +145,7 @@ impl BufferPool {
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.disk.read_page(pid, &mut data[..])?;
         self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
-        let frame = Arc::new(Frame {
-            pid,
-            data: RwLock::new(data),
-            dirty: AtomicBool::new(false),
-            pins: AtomicUsize::new(1),
-            last_used: AtomicU64::new(tick),
-        });
+        let frame = Arc::new(self.new_frame(pid, data, false, tick));
         frames.insert(pid, Arc::clone(&frame));
         Ok(PageGuard { frame })
     }
@@ -112,26 +159,34 @@ impl BufferPool {
         if frames.len() >= self.capacity {
             self.evict_one(&mut frames)?;
         }
-        let frame = Arc::new(Frame {
-            pid,
-            data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
-            dirty: AtomicBool::new(true),
-            pins: AtomicUsize::new(1),
-            last_used: AtomicU64::new(tick),
-        });
+        let frame = Arc::new(self.new_frame(pid, Box::new([0u8; PAGE_SIZE]), true, tick));
+        // A page allocated inside a transaction belongs to it: its undo
+        // image is the zero page it was born as.
+        let cur = self.tx_current.load(Ordering::SeqCst);
+        if cur != 0 {
+            frame.txid.store(cur, Ordering::SeqCst);
+            *frame.undo.lock() = Some(Undo {
+                data: Box::new([0u8; PAGE_SIZE]),
+                was_dirty: false,
+            });
+        }
         frames.insert(pid, Arc::clone(&frame));
         Ok((pid, PageGuard { frame }))
     }
 
     fn evict_one(&self, frames: &mut HashMap<PageId, Arc<Frame>>) -> StorageResult<()> {
+        // No-steal: frames dirtied by the open transaction are not
+        // eviction candidates — their images are not in the log yet, so
+        // writing them out would let uncommitted data reach the disk.
         let victim = frames
             .values()
-            .filter(|f| f.pins.load(Ordering::SeqCst) == 0)
+            .filter(|f| f.pins.load(Ordering::SeqCst) == 0 && f.txid.load(Ordering::SeqCst) == 0)
             .min_by_key(|f| f.last_used.load(Ordering::Relaxed))
             .map(|f| f.pid)
             .ok_or(StorageError::PoolExhausted)?;
         let frame = frames.remove(&victim).expect("victim present");
         if frame.dirty.load(Ordering::SeqCst) {
+            self.wal_before_data(&frame)?;
             let data = frame.data.read();
             self.disk.write_page(frame.pid, &data[..])?;
             self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
@@ -140,17 +195,143 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Write every dirty frame back to disk (frames stay cached).
+    /// The WAL-before-data check: before `frame` goes to the data disk,
+    /// the log must be durable past the frame's last logged image.
+    fn wal_before_data(&self, frame: &Frame) -> StorageResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.flush_to(frame.page_lsn.load(Ordering::SeqCst))?;
+        }
+        Ok(())
+    }
+
+    /// Write every committed dirty frame back to disk (frames stay
+    /// cached). Frames belonging to an open transaction are skipped —
+    /// they reach the disk only after their images are in the log.
     pub fn flush_all(&self) -> StorageResult<()> {
         let frames = self.frames.lock();
         for frame in frames.values() {
+            if frame.txid.load(Ordering::SeqCst) != 0 {
+                continue;
+            }
             if frame.dirty.swap(false, Ordering::SeqCst) {
+                self.wal_before_data(frame)?;
                 let data = frame.data.read();
                 self.disk.write_page(frame.pid, &data[..])?;
                 self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------ transactions
+
+    /// Begin a statement transaction. Without a WAL this is a no-op (and
+    /// returns 0); with one, subsequent page writes capture undo images
+    /// and are fenced from the data disk until [`BufferPool::commit_tx`].
+    pub fn begin_tx(&self) -> StorageResult<u64> {
+        let Some(wal) = &self.wal else { return Ok(0) };
+        if self.tx_current.load(Ordering::SeqCst) != 0 {
+            return Err(StorageError::Tx("transaction already active".into()));
+        }
+        let txid = wal.alloc_txid();
+        self.tx_current.store(txid, Ordering::SeqCst);
+        Ok(txid)
+    }
+
+    /// Commit the open transaction: log a full after-image of every page
+    /// it dirtied (in page order), append the optional `meta` payload and
+    /// the commit marker, and flush + sync the log. Only after this
+    /// returns `Ok` is the statement durable; the data pages themselves
+    /// stay cached and dirty, to be written back by eviction, flush or
+    /// checkpoint — always behind the WAL-before-data check.
+    ///
+    /// On error the transaction is left open so the caller can (and
+    /// should) [`BufferPool::abort_tx`] to restore the pre-images.
+    pub fn commit_tx(&self, meta: Option<&[u8]>) -> StorageResult<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let txid = self.tx_current.load(Ordering::SeqCst);
+        if txid == 0 {
+            return Err(StorageError::Tx("commit without active transaction".into()));
+        }
+        let frames = self.frames.lock();
+        let mut touched: Vec<&Arc<Frame>> = frames
+            .values()
+            .filter(|f| f.txid.load(Ordering::SeqCst) == txid)
+            .collect();
+        touched.sort_by_key(|f| f.pid);
+        for f in &touched {
+            let data = f.data.read();
+            let lsn = wal.append_page_image(txid, f.pid, &data[..]);
+            f.page_lsn.store(lsn, Ordering::SeqCst);
+        }
+        wal.commit(txid, meta)?;
+        for f in &touched {
+            f.txid.store(0, Ordering::SeqCst);
+            *f.undo.lock() = None;
+        }
+        self.tx_current.store(0, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Abort the open transaction, restoring every touched frame to its
+    /// pre-transaction image and dirty flag. No-op without a WAL or an
+    /// open transaction.
+    pub fn abort_tx(&self) -> StorageResult<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let txid = self.tx_current.load(Ordering::SeqCst);
+        if txid == 0 {
+            return Ok(());
+        }
+        let frames = self.frames.lock();
+        for f in frames.values() {
+            if f.txid.load(Ordering::SeqCst) != txid {
+                continue;
+            }
+            if let Some(undo) = f.undo.lock().take() {
+                *f.data.write() = undo.data;
+                f.dirty.store(undo.was_dirty, Ordering::SeqCst);
+            }
+            f.txid.store(0, Ordering::SeqCst);
+        }
+        self.tx_current.store(0, Ordering::SeqCst);
+        // Informational only — redo ignores uncommitted transactions.
+        wal.append_abort(txid);
+        Ok(())
+    }
+
+    /// Fuzzy checkpoint: flush the log, write every committed dirty page
+    /// to the data disk (WAL first), sync the data disk, then advance
+    /// the log's scan start past the work it no longer needs to redo.
+    /// `meta` is re-published at the new scan start so recovery can
+    /// still find the engine's catalog snapshot.
+    pub fn checkpoint(&self, meta: Option<&[u8]>) -> StorageResult<()> {
+        if self.tx_current.load(Ordering::SeqCst) != 0 {
+            return Err(StorageError::Tx("checkpoint inside a transaction".into()));
+        }
+        if let Some(wal) = &self.wal {
+            wal.flush()?;
+        }
+        self.flush_all()?;
+        self.disk.sync()?;
+        if let Some(wal) = &self.wal {
+            wal.checkpoint_mark(meta)?;
+        }
+        Ok(())
+    }
+
+    /// The write-ahead log, when this pool has one.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// True when this pool logs its writes.
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// WAL counters (zeroes without a WAL).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
     }
 
     /// Snapshot of the pool's counters.
@@ -211,8 +392,21 @@ impl PageGuard {
         self.frame.data.read()
     }
 
-    /// Exclusive write access; marks the page dirty.
+    /// Exclusive write access; marks the page dirty. Inside an open
+    /// transaction the first write to a frame captures its undo image,
+    /// so the statement can be rolled back atomically on error.
     pub fn write(&self) -> RwLockWriteGuard<'_, Box<[u8; PAGE_SIZE]>> {
+        let cur = self.frame.tx_current.load(Ordering::SeqCst);
+        if cur != 0 && self.frame.txid.load(Ordering::SeqCst) != cur {
+            let mut undo = self.frame.undo.lock();
+            if self.frame.txid.load(Ordering::SeqCst) != cur {
+                *undo = Some(Undo {
+                    data: self.frame.data.read().clone(),
+                    was_dirty: self.frame.dirty.load(Ordering::SeqCst),
+                });
+                self.frame.txid.store(cur, Ordering::SeqCst);
+            }
+        }
         self.frame.dirty.store(true, Ordering::SeqCst);
         self.frame.data.write()
     }

@@ -18,6 +18,11 @@ pub trait DiskManager: Send + Sync {
     fn allocate_page(&self) -> StorageResult<PageId>;
     /// Number of allocated pages.
     fn num_pages(&self) -> u64;
+    /// Force every previously acknowledged write to stable storage.
+    /// Durability claims (WAL-before-data, checkpointing) are stated in
+    /// terms of synced writes only: a plain `write_page` may sit in a
+    /// volatile cache until the next `sync`.
+    fn sync(&self) -> StorageResult<()>;
 }
 
 /// An in-memory disk: a growable vector of pages. Used by tests, examples
@@ -68,6 +73,11 @@ impl DiskManager for MemDisk {
 
     fn num_pages(&self) -> u64 {
         self.pages.lock().len() as u64
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        // Memory is as stable as a MemDisk ever gets.
+        Ok(())
     }
 }
 
@@ -125,6 +135,11 @@ impl DiskManager for FileDisk {
 
     fn num_pages(&self) -> u64 {
         self.next.load(Ordering::SeqCst)
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.file.sync_all()?;
+        Ok(())
     }
 }
 

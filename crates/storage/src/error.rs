@@ -15,6 +15,9 @@ pub enum StorageError {
     PoolExhausted,
     /// A page whose bytes do not deserialize as the expected node kind.
     Corrupt(String),
+    /// A transaction protocol violation (nested begin, commit without
+    /// begin, checkpoint inside a transaction, ...).
+    Tx(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -30,6 +33,7 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::Tx(msg) => write!(f, "transaction error: {msg}"),
         }
     }
 }

@@ -25,16 +25,20 @@ mod error;
 mod page;
 
 pub mod btree;
+pub mod fault;
 pub mod field;
 pub mod heap;
 pub mod keys;
 pub mod lsdtree;
 pub mod parallel;
+pub mod wal;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultClock, FaultDisk, FaultSchedule};
 pub use page::{PageId, TupleId, PAGE_SIZE};
+pub use wal::{Lsn, RecoveryInfo, Wal, WalStats};
 
 use std::sync::Arc;
 

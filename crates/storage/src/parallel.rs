@@ -248,6 +248,9 @@ mod tests {
         fn num_pages(&self) -> u64 {
             self.inner.num_pages()
         }
+        fn sync(&self) -> StorageResult<()> {
+            self.inner.sync()
+        }
     }
 
     #[test]

@@ -1,0 +1,782 @@
+//! Physical write-ahead logging and redo-only recovery.
+//!
+//! The log is an append-only stream of records over its own
+//! [`DiskManager`], separate from the data disk. Durability follows the
+//! classic ARIES redo discipline, simplified by a **no-steal** buffer
+//! policy (the pool never writes an uncommitted page to the data disk),
+//! so no undo records are ever needed on disk:
+//!
+//! * every page a transaction dirtied is logged as a full after-image at
+//!   commit, followed by a `Commit` marker, and the log is flushed and
+//!   synced before the commit is acknowledged (*WAL before data*);
+//! * recovery scans the log from the last checkpoint, stops at the first
+//!   torn or CRC-invalid record (logical truncation), and replays the
+//!   page images of committed transactions onto the data disk.
+//!
+//! # On-disk layout
+//!
+//! Pages `0` and `1` of the log disk are two alternating header slots —
+//! the classic double-buffered superblock. Each slot carries a sequence
+//! number, the current *generation*, the checkpoint LSN, and a CRC; the
+//! valid slot with the larger sequence number wins, so a torn header
+//! write falls back to the older (safe) slot. Records start at page `2`;
+//! an LSN is a byte offset into that record region.
+//!
+//! Each record is `len | gen | kind | txid | crc | payload`. The CRC
+//! covers everything after `len`. The generation number fences off stale
+//! bytes: it is bumped (and durably written to a header slot) every time
+//! the log is opened, before any new append, so a scan that sees a record
+//! whose generation runs backwards knows it has walked past the live tail
+//! into debris from an earlier incarnation.
+
+use crate::{DiskManager, PageId, StorageError, StorageResult, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A log sequence number: a byte offset into the record region.
+pub type Lsn = u64;
+
+const MAGIC: u64 = 0x534f_535f_5741_4c31; // "SOS_WAL1"
+/// Pages 0 and 1 hold the two header slots; records start at page 2.
+const HEADER_SLOTS: u64 = 2;
+/// Bytes of header slot payload that the CRC covers.
+const HEADER_LEN: usize = 28;
+/// Record header: len u32 | gen u32 | kind u8 | txid u64 | crc u32.
+const REC_HEADER: usize = 21;
+/// Upper bound on a single record payload; anything larger is debris.
+const MAX_PAYLOAD: u64 = 1 << 26;
+
+const KIND_PAGE: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_ABORT: u8 = 3;
+const KIND_META: u8 = 4;
+
+// ---------------------------------------------------------------- crc32
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3) over a sequence of byte slices.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+// --------------------------------------------------------------- stats
+
+/// Counters accumulated since the log was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (all kinds).
+    pub records: u64,
+    /// Full page images appended.
+    pub page_images: u64,
+    /// Transactions committed through the log.
+    pub commits: u64,
+    /// Transactions aborted (logged best-effort, never synced).
+    pub aborts: u64,
+    /// Bytes appended to the record region.
+    pub bytes: u64,
+    /// Flushes that reached the disk (`write` + `sync` round trips).
+    pub syncs: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+impl WalStats {
+    /// Counter-wise difference (`after - before`), for EXPLAIN ANALYZE.
+    pub fn delta(&self, before: &WalStats) -> WalStats {
+        WalStats {
+            records: self.records - before.records,
+            page_images: self.page_images - before.page_images,
+            commits: self.commits - before.commits,
+            aborts: self.aborts - before.aborts,
+            bytes: self.bytes - before.bytes,
+            syncs: self.syncs - before.syncs,
+            checkpoints: self.checkpoints - before.checkpoints,
+        }
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        *self == WalStats::default()
+    }
+}
+
+/// What recovery found and did when the log was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Valid records scanned (from the checkpoint to the tail).
+    pub scanned_records: u64,
+    /// Distinct committed transactions seen.
+    pub committed_txs: u64,
+    /// Page images replayed onto the data disk.
+    pub replayed_pages: u64,
+    /// True when the scan stopped on non-zero debris (a torn or
+    /// corrupt record) rather than on a clean zeroed tail.
+    pub truncated: bool,
+    /// Where the scan started (the checkpoint LSN).
+    pub start_lsn: Lsn,
+    /// First byte past the last valid record: the new append point.
+    pub valid_end: Lsn,
+}
+
+// -------------------------------------------------------------- header
+
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    seq: u64,
+    gen: u32,
+    checkpoint: Lsn,
+}
+
+fn encode_header(h: &Header) -> [u8; PAGE_SIZE] {
+    let mut page = [0u8; PAGE_SIZE];
+    page[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+    page[8..16].copy_from_slice(&h.seq.to_le_bytes());
+    page[16..20].copy_from_slice(&h.gen.to_le_bytes());
+    page[20..28].copy_from_slice(&h.checkpoint.to_le_bytes());
+    let crc = crc32(&[&page[..HEADER_LEN]]);
+    page[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&crc.to_le_bytes());
+    page
+}
+
+fn decode_header(page: &[u8]) -> Option<Header> {
+    let magic = u64::from_le_bytes(page[0..8].try_into().unwrap());
+    if magic != MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(page[HEADER_LEN..HEADER_LEN + 4].try_into().unwrap());
+    if crc32(&[&page[..HEADER_LEN]]) != crc {
+        return None;
+    }
+    Some(Header {
+        seq: u64::from_le_bytes(page[8..16].try_into().unwrap()),
+        gen: u32::from_le_bytes(page[16..20].try_into().unwrap()),
+        checkpoint: u64::from_le_bytes(page[20..28].try_into().unwrap()),
+    })
+}
+
+// ---------------------------------------------------------------- tail
+
+/// The in-memory append point: the partially filled tail page plus any
+/// filled pages not yet written to the log disk.
+struct Tail {
+    next_lsn: Lsn,
+    page_idx: u64,
+    page: Box<[u8; PAGE_SIZE]>,
+    pending: Vec<(u64, Box<[u8; PAGE_SIZE]>)>,
+}
+
+impl Tail {
+    fn push(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (self.next_lsn - self.page_idx * PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - off).min(rest.len());
+            self.page[off..off + n].copy_from_slice(&rest[..n]);
+            self.next_lsn += n as u64;
+            rest = &rest[n..];
+            if off + n == PAGE_SIZE {
+                let full = std::mem::replace(&mut self.page, Box::new([0u8; PAGE_SIZE]));
+                self.pending.push((self.page_idx, full));
+                self.page_idx += 1;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- reader
+
+/// Buffered byte-range reads over the record region.
+struct RegionReader<'a> {
+    disk: &'a Arc<dyn DiskManager>,
+    page: Box<[u8; PAGE_SIZE]>,
+    cur: Option<u64>,
+}
+
+impl<'a> RegionReader<'a> {
+    fn new(disk: &'a Arc<dyn DiskManager>) -> Self {
+        RegionReader {
+            disk,
+            page: Box::new([0u8; PAGE_SIZE]),
+            cur: None,
+        }
+    }
+
+    fn read(&mut self, mut off: u64, buf: &mut [u8]) -> StorageResult<()> {
+        let mut dst = 0;
+        while dst < buf.len() {
+            let pidx = off / PAGE_SIZE as u64;
+            if self.cur != Some(pidx) {
+                self.disk
+                    .read_page((HEADER_SLOTS + pidx) as PageId, &mut self.page[..])?;
+                self.cur = Some(pidx);
+            }
+            let poff = (off % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - poff).min(buf.len() - dst);
+            buf[dst..dst + n].copy_from_slice(&self.page[poff..poff + n]);
+            dst += n;
+            off += n as u64;
+        }
+        Ok(())
+    }
+}
+
+struct WalCounters {
+    records: AtomicU64,
+    page_images: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    bytes: AtomicU64,
+    syncs: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+struct Rec {
+    kind: u8,
+    txid: u64,
+    payload: Vec<u8>,
+}
+
+// ----------------------------------------------------------------- Wal
+
+/// The write-ahead log. Opened with [`Wal::recover`], which replays the
+/// committed suffix of the log onto the data disk before returning.
+pub struct Wal {
+    disk: Arc<dyn DiskManager>,
+    tail: Mutex<Tail>,
+    durable: AtomicU64,
+    gen: u32,
+    header_seq: AtomicU64,
+    checkpoint: AtomicU64,
+    next_txid: AtomicU64,
+    counters: WalCounters,
+    recovery: RecoveryInfo,
+}
+
+impl Wal {
+    /// Open the log on `wal_disk` and run redo-only recovery against
+    /// `data_disk`: scan from the checkpoint, truncate logically at the
+    /// first torn/CRC-invalid record, replay committed page images, sync
+    /// the data disk, then bump the generation so stale tail bytes can
+    /// never be mistaken for live records. Returns the opened log, the
+    /// payload of the last committed `Meta` record (the engine's catalog
+    /// snapshot), and what recovery did. Replay mutates only the data
+    /// disk — never the log — so recovering twice equals recovering once.
+    pub fn recover(
+        wal_disk: Arc<dyn DiskManager>,
+        data_disk: &Arc<dyn DiskManager>,
+    ) -> StorageResult<(Wal, Option<Vec<u8>>, RecoveryInfo)> {
+        while wal_disk.num_pages() < HEADER_SLOTS {
+            wal_disk.allocate_page()?;
+        }
+        // Pick the valid header slot with the larger sequence number.
+        let mut slot_buf = [0u8; PAGE_SIZE];
+        let mut best: Option<Header> = None;
+        for slot in 0..HEADER_SLOTS {
+            wal_disk.read_page(slot as PageId, &mut slot_buf)?;
+            if let Some(h) = decode_header(&slot_buf) {
+                if best.is_none_or(|b| h.seq > b.seq) {
+                    best = Some(h);
+                }
+            }
+        }
+        let header = best.unwrap_or(Header {
+            seq: 0,
+            gen: 0,
+            checkpoint: 0,
+        });
+
+        // Scan the record region from the checkpoint to the first
+        // invalid record.
+        let region_len = wal_disk.num_pages().saturating_sub(HEADER_SLOTS) * PAGE_SIZE as u64;
+        let start_lsn = header.checkpoint.min(region_len);
+        let mut reader = RegionReader::new(&wal_disk);
+        let mut lsn = start_lsn;
+        let mut cur_gen = 0u32;
+        let mut truncated = false;
+        let mut records: Vec<Rec> = Vec::new();
+        while lsn + REC_HEADER as u64 <= region_len {
+            let mut hdr = [0u8; REC_HEADER];
+            reader.read(lsn, &mut hdr)?;
+            let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as u64;
+            let gen = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+            let kind = hdr[8];
+            let txid = u64::from_le_bytes(hdr[9..17].try_into().unwrap());
+            let crc = u32::from_le_bytes(hdr[17..21].try_into().unwrap());
+            let malformed = !(KIND_PAGE..=KIND_META).contains(&kind)
+                || len > MAX_PAYLOAD
+                || lsn + REC_HEADER as u64 + len > region_len
+                || gen < cur_gen
+                || gen > header.gen;
+            if malformed {
+                truncated = hdr.iter().any(|&b| b != 0);
+                break;
+            }
+            let mut payload = vec![0u8; len as usize];
+            reader.read(lsn + REC_HEADER as u64, &mut payload)?;
+            if crc32(&[&hdr[4..17], &payload]) != crc {
+                truncated = true;
+                break;
+            }
+            cur_gen = gen;
+            records.push(Rec {
+                kind,
+                txid,
+                payload,
+            });
+            lsn += REC_HEADER as u64 + len;
+        }
+        let valid_end = lsn;
+
+        // Redo: apply page images of committed transactions, in log
+        // order, onto the data disk.
+        let committed: HashSet<u64> = records
+            .iter()
+            .filter(|r| r.kind == KIND_COMMIT)
+            .map(|r| r.txid)
+            .collect();
+        let mut meta: Option<Vec<u8>> = None;
+        let mut replayed = 0u64;
+        let mut max_txid = 0u64;
+        for r in &records {
+            max_txid = max_txid.max(r.txid);
+            if !committed.contains(&r.txid) {
+                continue;
+            }
+            match r.kind {
+                KIND_PAGE => {
+                    if r.payload.len() != 8 + PAGE_SIZE {
+                        return Err(StorageError::Corrupt(
+                            "wal page image with wrong payload size".into(),
+                        ));
+                    }
+                    let pid = u64::from_le_bytes(r.payload[0..8].try_into().unwrap());
+                    while data_disk.num_pages() <= pid {
+                        data_disk.allocate_page()?;
+                    }
+                    data_disk.write_page(pid as PageId, &r.payload[8..])?;
+                    replayed += 1;
+                }
+                KIND_META => meta = Some(r.payload.clone()),
+                _ => {}
+            }
+        }
+        if replayed > 0 {
+            data_disk.sync()?;
+        }
+
+        let info = RecoveryInfo {
+            scanned_records: records.len() as u64,
+            committed_txs: committed.len() as u64,
+            replayed_pages: replayed,
+            truncated,
+            start_lsn,
+            valid_end,
+        };
+
+        // Fence off the old generation: bump it and durably publish the
+        // new header before any append of this incarnation.
+        let new_header = Header {
+            seq: header.seq + 1,
+            gen: header.gen + 1,
+            checkpoint: start_lsn,
+        };
+        let page = encode_header(&new_header);
+        wal_disk.write_page((new_header.seq % HEADER_SLOTS) as PageId, &page)?;
+        wal_disk.sync()?;
+
+        // Rebuild the tail page around the append point, zeroing the
+        // stale suffix so the next flush overwrites old debris.
+        let page_idx = valid_end / PAGE_SIZE as u64;
+        let off = (valid_end % PAGE_SIZE as u64) as usize;
+        let mut tail_page = Box::new([0u8; PAGE_SIZE]);
+        if HEADER_SLOTS + page_idx < wal_disk.num_pages() {
+            wal_disk.read_page((HEADER_SLOTS + page_idx) as PageId, &mut tail_page[..])?;
+        }
+        tail_page[off..].fill(0);
+
+        let wal = Wal {
+            disk: wal_disk,
+            tail: Mutex::new(Tail {
+                next_lsn: valid_end,
+                page_idx,
+                page: tail_page,
+                pending: Vec::new(),
+            }),
+            durable: AtomicU64::new(valid_end),
+            gen: new_header.gen,
+            header_seq: AtomicU64::new(new_header.seq),
+            checkpoint: AtomicU64::new(start_lsn),
+            next_txid: AtomicU64::new(max_txid + 1),
+            counters: WalCounters {
+                records: AtomicU64::new(0),
+                page_images: AtomicU64::new(0),
+                commits: AtomicU64::new(0),
+                aborts: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                syncs: AtomicU64::new(0),
+                checkpoints: AtomicU64::new(0),
+            },
+            recovery: info,
+        };
+        Ok((wal, meta, info))
+    }
+
+    /// Allocate a fresh transaction id (never 0).
+    pub fn alloc_txid(&self) -> u64 {
+        self.next_txid.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn append_locked(&self, tail: &mut Tail, kind: u8, txid: u64, parts: &[&[u8]]) -> Lsn {
+        let len: usize = parts.iter().map(|p| p.len()).sum();
+        let mut hdr = [0u8; REC_HEADER];
+        hdr[0..4].copy_from_slice(&(len as u32).to_le_bytes());
+        hdr[4..8].copy_from_slice(&self.gen.to_le_bytes());
+        hdr[8] = kind;
+        hdr[9..17].copy_from_slice(&txid.to_le_bytes());
+        let mut crc_parts: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
+        crc_parts.push(&hdr[4..17]);
+        crc_parts.extend_from_slice(parts);
+        let crc = crc32(&crc_parts);
+        hdr[17..21].copy_from_slice(&crc.to_le_bytes());
+        let start = tail.next_lsn;
+        tail.push(&hdr);
+        for p in parts {
+            tail.push(p);
+        }
+        self.counters.records.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add((REC_HEADER + len) as u64, Ordering::Relaxed);
+        start
+    }
+
+    /// Append a full after-image of page `pid`. Returns the LSN *past*
+    /// the record — the point the log must be flushed to before the page
+    /// itself may be written to the data disk (WAL before data).
+    pub fn append_page_image(&self, txid: u64, pid: PageId, image: &[u8]) -> Lsn {
+        debug_assert_eq!(image.len(), PAGE_SIZE);
+        let pid8 = (pid as u64).to_le_bytes();
+        let mut tail = self.tail.lock();
+        self.append_locked(&mut tail, KIND_PAGE, txid, &[&pid8, image]);
+        self.counters.page_images.fetch_add(1, Ordering::Relaxed);
+        tail.next_lsn
+    }
+
+    /// Append an abort marker. Informational only (redo ignores the
+    /// transaction anyway since it has no commit), so it is not flushed.
+    pub fn append_abort(&self, txid: u64) -> Lsn {
+        let mut tail = self.tail.lock();
+        self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+        self.append_locked(&mut tail, KIND_ABORT, txid, &[])
+    }
+
+    /// Commit: append the optional `Meta` payload (the engine's catalog
+    /// snapshot) and the `Commit` marker, then flush and sync. When this
+    /// returns `Ok`, the transaction is durable.
+    pub fn commit(&self, txid: u64, meta: Option<&[u8]>) -> StorageResult<Lsn> {
+        let mut tail = self.tail.lock();
+        if let Some(m) = meta {
+            self.append_locked(&mut tail, KIND_META, txid, &[m]);
+        }
+        let lsn = self.append_locked(&mut tail, KIND_COMMIT, txid, &[]);
+        self.flush_locked(&mut tail)?;
+        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    /// Write all appended-but-unwritten log pages and sync the log disk.
+    pub fn flush(&self) -> StorageResult<Lsn> {
+        let mut tail = self.tail.lock();
+        self.flush_locked(&mut tail)
+    }
+
+    fn flush_locked(&self, tail: &mut Tail) -> StorageResult<Lsn> {
+        if self.durable.load(Ordering::SeqCst) == tail.next_lsn && tail.pending.is_empty() {
+            return Ok(tail.next_lsn);
+        }
+        let need = HEADER_SLOTS + tail.page_idx + 1;
+        while self.disk.num_pages() < need {
+            self.disk.allocate_page()?;
+        }
+        // `pending` is drained only after the sync succeeds, so a failed
+        // flush can be retried in full.
+        for (idx, page) in &tail.pending {
+            self.disk
+                .write_page((HEADER_SLOTS + idx) as PageId, &page[..])?;
+        }
+        self.disk
+            .write_page((HEADER_SLOTS + tail.page_idx) as PageId, &tail.page[..])?;
+        self.disk.sync()?;
+        tail.pending.clear();
+        self.durable.store(tail.next_lsn, Ordering::SeqCst);
+        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(tail.next_lsn)
+    }
+
+    /// Ensure the log is durable at least through `lsn` (the WAL-before-
+    /// data check: called with a page's LSN before that page goes to the
+    /// data disk).
+    pub fn flush_to(&self, lsn: Lsn) -> StorageResult<()> {
+        if self.durable.load(Ordering::SeqCst) >= lsn {
+            return Ok(());
+        }
+        self.flush()?;
+        Ok(())
+    }
+
+    /// LSN through which the log is durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable.load(Ordering::SeqCst)
+    }
+
+    /// The checkpoint LSN recovery will scan from.
+    pub fn checkpoint_lsn(&self) -> Lsn {
+        self.checkpoint.load(Ordering::SeqCst)
+    }
+
+    /// Advance the checkpoint. The caller (the buffer pool) must already
+    /// have pushed every committed page to the data disk *and synced it*;
+    /// this appends a fresh `Meta` + `Commit` pair (so the catalog
+    /// snapshot stays reachable from the new scan start), flushes, and
+    /// only then durably moves the scan start forward. A crash anywhere
+    /// in between leaves the old checkpoint in force, which merely means
+    /// more redo — never lost data.
+    pub fn checkpoint_mark(&self, meta: Option<&[u8]>) -> StorageResult<()> {
+        let txid = self.alloc_txid();
+        let mut tail = self.tail.lock();
+        let start = tail.next_lsn;
+        if let Some(m) = meta {
+            self.append_locked(&mut tail, KIND_META, txid, &[m]);
+        }
+        self.append_locked(&mut tail, KIND_COMMIT, txid, &[]);
+        self.flush_locked(&mut tail)?;
+        let seq = self.header_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let page = encode_header(&Header {
+            seq,
+            gen: self.gen,
+            checkpoint: start,
+        });
+        self.disk
+            .write_page((seq % HEADER_SLOTS) as PageId, &page)?;
+        self.disk.sync()?;
+        self.checkpoint.store(start, Ordering::SeqCst);
+        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot of the log's counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            records: self.counters.records.load(Ordering::Relaxed),
+            page_images: self.counters.page_images.load(Ordering::Relaxed),
+            commits: self.counters.commits.load(Ordering::Relaxed),
+            aborts: self.counters.aborts.load(Ordering::Relaxed),
+            bytes: self.counters.bytes.load(Ordering::Relaxed),
+            syncs: self.counters.syncs.load(Ordering::Relaxed),
+            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+
+    /// What recovery found when this log was opened.
+    pub fn recovery_info(&self) -> RecoveryInfo {
+        self.recovery
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn disks() -> (Arc<dyn DiskManager>, Arc<dyn DiskManager>) {
+        (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()))
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(&[b"123456789"]), 0xcbf4_3926);
+        // Split input hashes the same as contiguous input.
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn header_slot_roundtrip_and_rejection() {
+        let h = Header {
+            seq: 7,
+            gen: 3,
+            checkpoint: 4096,
+        };
+        let page = encode_header(&h);
+        let back = decode_header(&page).unwrap();
+        assert_eq!((back.seq, back.gen, back.checkpoint), (7, 3, 4096));
+        let mut torn = page;
+        torn[9] ^= 0xff;
+        assert!(decode_header(&torn).is_none());
+        assert!(decode_header(&[0u8; PAGE_SIZE]).is_none());
+    }
+
+    #[test]
+    fn commit_replays_on_recover_and_uncommitted_does_not() {
+        let data: Arc<dyn DiskManager> = Arc::new(MemDisk::new());
+        let (wal_disk, _) = disks();
+        let (wal, meta, info) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+        assert!(meta.is_none());
+        assert_eq!(info.scanned_records, 0);
+
+        // Committed tx writes page 0; uncommitted tx writes page 1.
+        data.allocate_page().unwrap();
+        data.allocate_page().unwrap();
+        let t1 = wal.alloc_txid();
+        let mut img = [7u8; PAGE_SIZE];
+        img[0] = 1;
+        wal.append_page_image(t1, 0, &img);
+        wal.commit(t1, Some(b"snapshot-1")).unwrap();
+        let t2 = wal.alloc_txid();
+        img[0] = 2;
+        wal.append_page_image(t2, 1, &img);
+        wal.flush().unwrap();
+        drop(wal);
+
+        let (wal2, meta2, info2) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+        assert_eq!(meta2.as_deref(), Some(&b"snapshot-1"[..]));
+        assert_eq!(info2.committed_txs, 1);
+        assert_eq!(info2.replayed_pages, 1);
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read_page(0, &mut buf).unwrap();
+        assert_eq!((buf[0], buf[1]), (1, 7));
+        data.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 0, "uncommitted image must not be replayed");
+        drop(wal2);
+
+        // Recovery is idempotent: a third open replays to the same state.
+        let (_, meta3, info3) = Wal::recover(wal_disk, &data).unwrap();
+        assert_eq!(meta3.as_deref(), Some(&b"snapshot-1"[..]));
+        assert_eq!(info3.scanned_records, info2.scanned_records);
+        data.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+    }
+
+    #[test]
+    fn torn_record_truncates_scan_but_keeps_earlier_commits() {
+        let (wal_disk, data) = disks();
+        let (wal, _, _) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+        let t1 = wal.alloc_txid();
+        let img = [9u8; PAGE_SIZE];
+        wal.append_page_image(t1, 0, &img);
+        wal.commit(t1, None).unwrap();
+        let t2 = wal.alloc_txid();
+        wal.append_page_image(t2, 1, &img);
+        wal.commit(t2, None).unwrap();
+        drop(wal);
+
+        // Corrupt a byte inside the *second* transaction's page image:
+        // t1 logged [PageWrite, Commit], so t2's image payload starts
+        // after those records plus t2's own record header and pid.
+        let off = ((REC_HEADER + 8 + PAGE_SIZE) + REC_HEADER + REC_HEADER + 8 + 100) as u64;
+        let pidx = (2 + off / PAGE_SIZE as u64) as PageId;
+        let poff = (off % PAGE_SIZE as u64) as usize;
+        let mut buf = [0u8; PAGE_SIZE];
+        wal_disk.read_page(pidx, &mut buf).unwrap();
+        buf[poff] ^= 0xff;
+        wal_disk.write_page(pidx, &buf).unwrap();
+
+        let (_, _, info) = Wal::recover(wal_disk, &data).unwrap();
+        assert!(info.truncated, "scan must stop at the corrupt record");
+        assert_eq!(info.committed_txs, 1, "only the first commit survives");
+        let mut page0 = [0u8; PAGE_SIZE];
+        data.read_page(0, &mut page0).unwrap();
+        assert_eq!(page0[0], 9);
+    }
+
+    #[test]
+    fn checkpoint_advances_scan_start_and_preserves_meta() {
+        let (wal_disk, data) = disks();
+        let (wal, _, _) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+        let t1 = wal.alloc_txid();
+        wal.append_page_image(t1, 0, &[1u8; PAGE_SIZE]);
+        wal.commit(t1, Some(b"before")).unwrap();
+        wal.checkpoint_mark(Some(b"at-checkpoint")).unwrap();
+        let cp = wal.checkpoint_lsn();
+        assert!(cp > 0);
+        drop(wal);
+
+        let (wal2, meta, info) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+        assert_eq!(info.start_lsn, cp, "scan starts at the checkpoint");
+        assert_eq!(
+            meta.as_deref(),
+            Some(&b"at-checkpoint"[..]),
+            "checkpoint re-publishes the snapshot past the scan start"
+        );
+        assert_eq!(
+            info.replayed_pages, 0,
+            "pre-checkpoint images not rescanned"
+        );
+        drop(wal2);
+    }
+
+    #[test]
+    fn generation_fences_reject_stale_tail_after_reopen() {
+        let (wal_disk, data) = disks();
+        // Generation 1: two committed transactions.
+        let (wal, _, _) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+        let t1 = wal.alloc_txid();
+        wal.append_page_image(t1, 0, &[1u8; PAGE_SIZE]);
+        wal.commit(t1, None).unwrap();
+        let end_t1 = wal.durable_lsn();
+        let t2 = wal.alloc_txid();
+        wal.append_page_image(t2, 1, &[2u8; PAGE_SIZE]);
+        wal.commit(t2, None).unwrap();
+        drop(wal);
+
+        // Simulate a logical truncation back to end_t1: corrupt the first
+        // record of t2 so recovery stops there, then append a new commit
+        // in the next generation. The old t2 bytes past the new append
+        // point must stay dead even where they are still CRC-valid.
+        let pidx = 2 + end_t1 / PAGE_SIZE as u64;
+        let mut buf = [0u8; PAGE_SIZE];
+        wal_disk.read_page(pidx as PageId, &mut buf).unwrap();
+        buf[(end_t1 % PAGE_SIZE as u64) as usize + 8] ^= 0xff;
+        wal_disk.write_page(pidx as PageId, &buf).unwrap();
+
+        let (wal2, _, info) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+        assert_eq!(info.valid_end, end_t1);
+        let t3 = wal2.alloc_txid();
+        wal2.commit(t3, Some(b"gen2")).unwrap();
+        drop(wal2);
+
+        let (_, meta, info2) = Wal::recover(wal_disk, &data).unwrap();
+        assert_eq!(meta.as_deref(), Some(&b"gen2"[..]));
+        // t1 (gen 1) + meta/commit of t3 (gen 2); t2's remnants are gone.
+        assert_eq!(info2.committed_txs, 2);
+    }
+}

@@ -55,6 +55,11 @@ impl DiskManager for FaultyDisk {
     fn num_pages(&self) -> u64 {
         self.inner.num_pages()
     }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.tick()?;
+        self.inner.sync()
+    }
 }
 
 #[test]

@@ -15,6 +15,8 @@
 //!   operators, phase timings)
 //! * `.run <file>`   — run a program file
 //! * `.save <dir>`   — persist the database (see `Database::save`)
+//! * `.checkpoint`   — durable fuzzy checkpoint (WAL databases; see
+//!   `Database::checkpoint`)
 //! * `.stats [op]`   — per-operator counters (one operator, or all)
 //! * `.workers [n]`  — show or set the intra-operator worker count
 //! * `.objects`      — list catalog objects
@@ -37,6 +39,9 @@
 //! ```sh
 //! echo 'create r : rel(tuple(<(a, int)>)); query r count;' | cargo run --bin sos
 //! ```
+//!
+//! `sos --durable <dir>` opens a WAL-backed database in `<dir>`
+//! (running crash recovery first); every statement commits durably.
 
 use sos_exec::render;
 use sos_system::{Database, Output};
@@ -54,7 +59,38 @@ fn main() {
     {
         builder = builder.workers(n);
     }
-    let mut db = builder.build();
+    // `sos --durable <dir>` opens a WAL-backed database in <dir>,
+    // running crash recovery first; every statement then commits
+    // durably and `.checkpoint` bounds the redo work of the next open.
+    if let Some(i) = argv.iter().position(|a| a == "--durable") {
+        let Some(dir) = argv.get(i + 1) else {
+            eprintln!("usage: sos --durable <dir>");
+            std::process::exit(2);
+        };
+        builder = builder.durable(dir);
+    }
+    let mut db = match builder.try_build() {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error opening database: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(info) = db.recovery_info() {
+        if info.scanned_records > 0 {
+            println!(
+                "recovered: {} record(s) scanned, {} committed transaction(s), {} page(s) replayed{}",
+                info.scanned_records,
+                info.committed_txs,
+                info.replayed_pages,
+                if info.truncated {
+                    " (torn log tail truncated)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
     let stdin = std::io::stdin();
     let interactive = atty_like();
     let mut buffer = String::new();
@@ -171,7 +207,17 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
     match head {
         ".quit" | ".exit" => return false,
         ".help" => {
-            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .stats [op] | .workers [n] | .batch [n] | .objects | .quit");
+            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .checkpoint | .stats [op] | .workers [n] | .batch [n] | .objects | .quit");
+        }
+        ".checkpoint" => {
+            if !db.is_durable() {
+                println!("not a durable database (open with `sos --durable <dir>`)");
+            } else {
+                match db.checkpoint() {
+                    Ok(()) => println!("checkpoint taken"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
         }
         ".stats" => {
             let arg = rest.trim();

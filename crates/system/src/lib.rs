@@ -47,14 +47,15 @@ use sos_core::check::Checker;
 use sos_core::spec::Level;
 use sos_core::typed::{TypedExpr, TypedNode};
 use sos_core::{CheckError, DataType, Expr, Signature, Symbol, TypeArg};
-use sos_exec::{EvalCtx, ExecEngine, ExecError, Value};
+use sos_exec::{EvalCtx, ExecEngine, ExecError, StatementTx, Value};
 use sos_obs::explain::plan_tree;
 use sos_obs::metrics::{ops_delta, pool_delta};
 use sos_obs::trace::Tracer;
 use sos_optimizer::{OptError, Optimizer, OptimizerStats, RuleApplication};
 use sos_parser::{parse_program, ParseError, Statement};
-use sos_storage::BufferPool;
+use sos_storage::{BufferPool, DiskManager, FileDisk, RecoveryInfo, Wal};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -186,11 +187,20 @@ impl Output {
 #[derive(Default)]
 pub struct DatabaseBuilder {
     pool: Option<Arc<BufferPool>>,
+    durable: Option<DurableSource>,
+    frame_capacity: Option<usize>,
     workers: Option<usize>,
     batch_size: Option<usize>,
     optimize: Option<bool>,
     trace: bool,
     strict_lint: bool,
+}
+
+/// Where a durable database keeps its two files (or disks): the data
+/// page file and the write-ahead log.
+enum DurableSource {
+    Dir(PathBuf),
+    Disks(Arc<dyn DiskManager>, Arc<dyn DiskManager>),
 }
 
 impl DatabaseBuilder {
@@ -208,6 +218,35 @@ impl DatabaseBuilder {
     /// Run over a fresh in-memory pool with `frames` frames.
     pub fn memory_pool(self, frames: usize) -> DatabaseBuilder {
         self.pool(sos_storage::mem_pool(frames))
+    }
+
+    /// Run durably out of `dir` (created if absent): data pages live in
+    /// `dir/pages.db`, the write-ahead log in `dir/wal.log`. Opening
+    /// runs crash recovery — committed statements from a previous
+    /// process survive; a torn tail is truncated. Mutually exclusive
+    /// with [`DatabaseBuilder::pool`].
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> DatabaseBuilder {
+        self.durable = Some(DurableSource::Dir(dir.into()));
+        self
+    }
+
+    /// Run durably over explicit data and WAL disks (fault-injection
+    /// tests hand in [`sos_storage::FaultDisk`] pairs here). Opening
+    /// runs crash recovery against `data`.
+    pub fn durable_disks(
+        mut self,
+        data: Arc<dyn DiskManager>,
+        wal: Arc<dyn DiskManager>,
+    ) -> DatabaseBuilder {
+        self.durable = Some(DurableSource::Disks(data, wal));
+        self
+    }
+
+    /// Buffer-pool frame count for the pools this builder constructs
+    /// itself (default: 4096). Ignored when an explicit pool is given.
+    pub fn frame_capacity(mut self, frames: usize) -> DatabaseBuilder {
+        self.frame_capacity = Some(frames);
+        self
     }
 
     /// Intra-operator worker count (default: one per available core;
@@ -246,8 +285,47 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Build, panicking on construction failure. In-memory databases
+    /// cannot fail to construct; durable ones go through
+    /// [`DatabaseBuilder::try_build`] when the caller wants the error.
     pub fn build(self) -> Database {
-        let pool = self.pool.unwrap_or_else(|| sos_storage::mem_pool(4096));
+        self.try_build().expect("database construction failed")
+    }
+
+    /// Build, surfacing I/O and recovery errors. For a durable source
+    /// this opens (or creates) the log, runs redo-only crash recovery
+    /// against the data disk, and restores the catalog and object values
+    /// from the last committed snapshot in the log.
+    pub fn try_build(self) -> Result<Database, SystemError> {
+        let frames = self.frame_capacity.unwrap_or(4096);
+        let mut recovery = None;
+        let mut recovered_meta = None;
+        let pool = match (self.pool, self.durable) {
+            (Some(_), Some(_)) => {
+                return Err(SystemError::Persist(
+                    "durable() and pool() are mutually exclusive".into(),
+                ))
+            }
+            (Some(pool), None) => pool,
+            (None, None) => sos_storage::mem_pool(frames),
+            (None, Some(src)) => {
+                let (data, wal_disk): (Arc<dyn DiskManager>, Arc<dyn DiskManager>) = match src {
+                    DurableSource::Dir(dir) => {
+                        std::fs::create_dir_all(&dir)
+                            .map_err(|e| SystemError::Persist(e.to_string()))?;
+                        (
+                            Arc::new(FileDisk::open(&dir.join("pages.db"))?),
+                            Arc::new(FileDisk::open(&dir.join("wal.log"))?),
+                        )
+                    }
+                    DurableSource::Disks(d, w) => (d, w),
+                };
+                let (wal, meta, info) = Wal::recover(wal_disk, &data)?;
+                recovery = Some(info);
+                recovered_meta = meta;
+                Arc::new(BufferPool::with_wal(data, frames, Arc::new(wal)))
+            }
+        };
         let mut engine = ExecEngine::new(pool);
         if let Some(n) = self.workers {
             engine.set_workers(n);
@@ -255,7 +333,7 @@ impl DatabaseBuilder {
         if let Some(n) = self.batch_size {
             engine.set_batch_size(n);
         }
-        Database {
+        let mut db = Database {
             sig: builtin::builtin_signature(),
             catalog: Catalog::new(),
             engine,
@@ -266,7 +344,12 @@ impl DatabaseBuilder {
             total_opt_stats: OptimizerStats::default(),
             tracer: Tracer::new(self.trace),
             strict_lint: self.strict_lint,
+            recovery,
+        };
+        if let Some(bytes) = recovered_meta {
+            db.install_snapshot(&bytes)?;
         }
+        Ok(db)
     }
 }
 
@@ -286,6 +369,8 @@ pub struct Database {
     tracer: Tracer,
     /// Reject spec/rule registrations with error-severity diagnostics.
     strict_lint: bool,
+    /// What crash recovery did at open (durable databases only).
+    recovery: Option<RecoveryInfo>,
 }
 
 impl Database {
@@ -304,6 +389,32 @@ impl Database {
         &self.catalog
     }
 
+    // ---- durability ----
+
+    /// True when this database logs statements to a write-ahead log
+    /// (built via [`DatabaseBuilder::durable`] or
+    /// [`DatabaseBuilder::durable_disks`]).
+    pub fn is_durable(&self) -> bool {
+        self.engine.pool.has_wal()
+    }
+
+    /// What crash recovery did when this database was opened — `None`
+    /// for in-memory databases.
+    pub fn recovery_info(&self) -> Option<&RecoveryInfo> {
+        self.recovery.as_ref()
+    }
+
+    /// Take a fuzzy checkpoint: flush the log, write every committed
+    /// dirty page to the data disk (WAL first), sync it, and advance the
+    /// log's recovery scan start past work it no longer needs to redo.
+    /// The current catalog snapshot is re-published at the new scan
+    /// start. On an in-memory database this degrades to a plain flush.
+    pub fn checkpoint(&mut self) -> Result<(), SystemError> {
+        let meta = self.snapshot_bytes()?;
+        self.engine.pool.checkpoint(Some(&meta))?;
+        Ok(())
+    }
+
     // ---- observability ----
 
     /// One consistent snapshot of every counter the system keeps:
@@ -317,6 +428,7 @@ impl Database {
             optimizer: self.total_opt_stats,
             ops: self.engine.stats.snapshot(),
             phases: self.tracer.timings(),
+            wal: self.engine.pool.wal_stats(),
         }
     }
 
@@ -522,13 +634,21 @@ impl Database {
             return Err(SystemError::UnknownObject(key));
         }
         let mut target = self.store.get(&key).cloned().unwrap_or(Value::Undefined);
+        let tx = self.begin_stmt()?;
         {
             let mut ctx = EvalCtx::new(&self.engine, &mut self.store, &mut self.catalog);
             for t in tuples {
                 target = sos_exec::ops::updates::insert_into(&mut ctx, &target, &t)?;
             }
         }
-        self.store.insert(key, target);
+        let prev = self.store.insert(key.clone(), target);
+        if let Err(e) = self.commit_stmt(tx) {
+            match prev {
+                Some(v) => self.store.insert(key, v),
+                None => self.store.remove(&key),
+            };
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -606,6 +726,7 @@ impl Database {
         let analysis = if analyze {
             let pool_before = self.engine.pool.stats();
             let ops_before = self.engine.stats.snapshot();
+            let wal_before = self.engine.pool.wal_stats();
             let started = Instant::now();
             let value = self.eval(&optimized)?;
             phases.push((Phase::Execute, started.elapsed().as_nanos() as u64));
@@ -613,6 +734,7 @@ impl Database {
                 ops: ops_delta(&ops_before, &self.engine.stats.snapshot()),
                 pool: pool_delta(&pool_before, &self.engine.pool.stats()),
                 result: value_summary(&value),
+                wal: self.engine.pool.wal_stats().delta(&wal_before),
             })
         } else {
             None
@@ -671,12 +793,15 @@ impl Database {
             Statement::TypeDef(name, ty) => {
                 let resolved = self.resolve_type(ty)?;
                 self.checker().check_type(&resolved)?;
+                let tx = self.begin_stmt()?;
                 self.catalog.define_type(name.clone(), resolved)?;
+                self.commit_stmt(tx)?;
                 Ok(Output::TypeDefined(name.clone()))
             }
             Statement::Create(name, ty) => {
                 let resolved = self.resolve_type(ty)?;
                 self.checker().check_type(&resolved)?;
+                let tx = self.begin_stmt()?;
                 self.catalog
                     .create_object(&self.sig, name.clone(), resolved.clone())?;
                 // Catalog objects are addressed by name (their state
@@ -690,6 +815,11 @@ impl Database {
                         .init_value(&self.sig, &self.catalog, &resolved)?
                 };
                 self.store.insert(name.clone(), value);
+                if let Err(e) = self.commit_stmt(tx) {
+                    self.store.remove(name);
+                    let _ = self.catalog.delete_object(name);
+                    return Err(e);
+                }
                 Ok(Output::Created(name.clone()))
             }
             Statement::Update(name, expr) => {
@@ -720,13 +850,31 @@ impl Database {
                         value_type: optimized.ty.to_string(),
                     });
                 }
+                // The update operators dirty pages inside this bracket;
+                // an Err out of eval drops `tx`, aborting: every touched
+                // page is restored, so a failed statement is a no-op.
+                let tx = self.begin_stmt()?;
                 let value = self.eval(&optimized)?;
-                self.store.insert(target.clone(), value);
+                let prev = self.store.insert(target.clone(), value);
+                if let Err(e) = self.commit_stmt(tx) {
+                    match prev {
+                        Some(v) => self.store.insert(target.clone(), v),
+                        None => self.store.remove(&target),
+                    };
+                    return Err(e);
+                }
                 Ok(Output::Updated(target))
             }
             Statement::Delete(name) => {
+                let tx = self.begin_stmt()?;
                 self.catalog.delete_object(name)?;
-                self.store.remove(name);
+                let prev = self.store.remove(name);
+                if let Err(e) = self.commit_stmt(tx) {
+                    if let Some(v) = prev {
+                        self.store.insert(name.clone(), v);
+                    }
+                    return Err(e);
+                }
                 Ok(Output::Deleted(name.clone()))
             }
             Statement::Query(expr) => {
@@ -768,6 +916,30 @@ impl Database {
 
     fn checker(&self) -> Checker<'_> {
         Checker::new(&self.sig, &self.catalog)
+    }
+
+    /// Open a statement transaction when the pool is WAL-backed.
+    /// `None` means the database is in-memory and there is nothing to
+    /// commit; the mutating arms of [`Database::execute`] bracket
+    /// themselves with this so a failed statement aborts (restoring
+    /// every touched page) instead of leaving a half-applied update.
+    fn begin_stmt(&self) -> Result<Option<StatementTx>, SystemError> {
+        if self.engine.pool.has_wal() {
+            Ok(Some(StatementTx::begin(Arc::clone(&self.engine.pool))?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Commit a statement transaction, logging the current catalog +
+    /// store snapshot as the commit's meta payload — what recovery
+    /// restores the in-memory side of the database from.
+    fn commit_stmt(&self, tx: Option<StatementTx>) -> Result<(), SystemError> {
+        if let Some(tx) = tx {
+            let meta = self.snapshot_bytes()?;
+            tx.commit(Some(&meta))?;
+        }
+        Ok(())
     }
 
     fn check(&self, e: &Expr) -> Result<TypedExpr, SystemError> {

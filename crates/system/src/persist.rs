@@ -39,30 +39,44 @@ impl Database {
         let snap_path = dir.join(SNAPSHOT);
         if snap_path.exists() {
             let json = std::fs::read_to_string(&snap_path).map_err(persist_err)?;
-            let snap: Snapshot = serde_json::from_str(&json).map_err(persist_err)?;
-            db.catalog = snap.catalog;
-            for (name, stored) in snap.store {
-                let ty = db
-                    .catalog
-                    .object(&name)
-                    .ok_or_else(|| SystemError::UnknownObject(name.clone()))?
-                    .ty
-                    .clone();
-                let value = from_stored(&db.engine, &db.sig, &db.catalog, &ty, stored)?;
-                db.store.insert(name, value);
-            }
+            db.install_snapshot(json.as_bytes())?;
         }
         Ok(db)
     }
 
-    /// Persist the database into `dir`: flush all pages and write the
-    /// catalog + value snapshot. Returns the names of objects whose
-    /// values could not be persisted (function-valued views) — their
-    /// types survive, their defining `update` must be re-run after
-    /// [`Database::open_dir`].
-    pub fn save(&self, dir: &Path) -> Result<Vec<Symbol>, SystemError> {
-        std::fs::create_dir_all(dir).map_err(persist_err)?;
-        self.engine.pool.flush_all().map_err(SystemError::from)?;
+    /// Serialize the current catalog + object values — the payload a
+    /// durable commit logs as its meta record, and what `save` writes
+    /// next to the page file. Function-valued objects (views) have no
+    /// persistent image and are silently skipped here; [`Database::save`]
+    /// reports them.
+    pub(crate) fn snapshot_bytes(&self) -> Result<Vec<u8>, SystemError> {
+        let (snap, _) = self.make_snapshot()?;
+        let json = serde_json::to_string(&snap).map_err(persist_err)?;
+        Ok(json.into_bytes())
+    }
+
+    /// Install a serialized snapshot: replace the catalog and rebuild
+    /// every object value from its stored image (representation handles
+    /// re-attach to pages already on — or recovered to — the data disk).
+    pub(crate) fn install_snapshot(&mut self, bytes: &[u8]) -> Result<(), SystemError> {
+        let json = std::str::from_utf8(bytes).map_err(persist_err)?;
+        let snap: Snapshot = serde_json::from_str(json).map_err(persist_err)?;
+        self.catalog = snap.catalog;
+        self.store.clear();
+        for (name, stored) in snap.store {
+            let ty = self
+                .catalog
+                .object(&name)
+                .ok_or_else(|| SystemError::UnknownObject(name.clone()))?
+                .ty
+                .clone();
+            let value = from_stored(&self.engine, &self.sig, &self.catalog, &ty, stored)?;
+            self.store.insert(name, value);
+        }
+        Ok(())
+    }
+
+    fn make_snapshot(&self) -> Result<(Snapshot, Vec<Symbol>), SystemError> {
         let mut store = Vec::new();
         let mut skipped = Vec::new();
         for (name, value) in &self.store {
@@ -73,10 +87,24 @@ impl Database {
         }
         store.sort_by(|a, b| a.0.cmp(&b.0));
         skipped.sort();
-        let snap = Snapshot {
-            catalog: self.catalog.clone(),
-            store,
-        };
+        Ok((
+            Snapshot {
+                catalog: self.catalog.clone(),
+                store,
+            },
+            skipped,
+        ))
+    }
+
+    /// Persist the database into `dir`: flush all pages and write the
+    /// catalog + value snapshot. Returns the names of objects whose
+    /// values could not be persisted (function-valued views) — their
+    /// types survive, their defining `update` must be re-run after
+    /// [`Database::open_dir`].
+    pub fn save(&self, dir: &Path) -> Result<Vec<Symbol>, SystemError> {
+        std::fs::create_dir_all(dir).map_err(persist_err)?;
+        self.engine.pool.flush_all().map_err(SystemError::from)?;
+        let (snap, skipped) = self.make_snapshot()?;
         let json = serde_json::to_string(&snap).map_err(persist_err)?;
         std::fs::write(dir.join(SNAPSHOT), json).map_err(persist_err)?;
         Ok(skipped)
