@@ -13,7 +13,7 @@ use std::time::Instant;
 
 fn main() {
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", pr5_json());
+        println!("{}", pr6_json());
         return;
     }
     println!("Second-Order Signature — experiment harness");
@@ -661,5 +661,90 @@ fn pr5_json() -> String {
     format!(
         "{{\"bench\":\"PR5 durability + static analysis + batch execution\",\"wal_overhead\":{},{body}}}",
         wal_overhead_json()
+    )
+}
+
+// ---- PR6: expression compilation — compiled vs interpreted ----
+
+/// One workload timed twice at the production batch width: expression
+/// compiler off (every closure through the tree-walking interpreter)
+/// then on (predicates and maps as batch bytecode).
+fn compile_workload(db: &mut Database, name: &str, query: &str, rows: usize) -> String {
+    db.query(query).unwrap(); // warm the pool and plan path
+    db.set_batch_size(1024);
+    db.set_parallelism(1);
+    db.set_compile_exprs(false);
+    let interp_ms = pr3_ms(db, query, 9, 3);
+    db.set_compile_exprs(true);
+    let compiled_ms = pr3_ms(db, query, 9, 3);
+    db.set_batch_size(1);
+    let speedup = interp_ms / compiled_ms.max(f64::MIN_POSITIVE);
+    format!(
+        r#"{{"workload":"{name}","query":"{}","rows":{rows},"batch_size":1024,"interpreted_ms":{interp_ms:.3},"compiled_ms":{compiled_ms:.3},"compiled_vs_interpreted_speedup":{speedup:.2}}}"#,
+        query.replace('"', "\\\"")
+    )
+}
+
+/// The two B10 workloads: the PR3 selection pipeline and the PR3
+/// search join, compiled vs interpreted.
+fn compile_speedup_json() -> String {
+    let mut db = heap_db(100_000);
+    let selection = compile_workload(
+        &mut db,
+        "selection",
+        "hitems feed filter[k mod 7 = 0] count",
+        100_000,
+    );
+
+    let mut db = Database::builder().build();
+    db.run(
+        r#"
+        type emp = tuple(<(ename, string), (dept, int)>);
+        type dpt = tuple(<(dno, int), (dname, string)>);
+        create emps_rep : tidrel(emp);
+        create depts_rep : tidrel(dpt);
+    "#,
+    )
+    .unwrap();
+    let emps: Vec<sos_exec::Value> = (0..8000)
+        .map(|i| {
+            sos_exec::Value::tuple(vec![
+                sos_exec::Value::Str(format!("e{i}")),
+                sos_exec::Value::Int((i % 50) as i64),
+            ])
+        })
+        .collect();
+    let depts: Vec<sos_exec::Value> = (0..50)
+        .map(|d| {
+            sos_exec::Value::tuple(vec![
+                sos_exec::Value::Int(d as i64),
+                sos_exec::Value::Str(format!("d{d}")),
+            ])
+        })
+        .collect();
+    db.bulk_insert("emps_rep", emps).unwrap();
+    db.bulk_insert("depts_rep", depts).unwrap();
+    let search_join = compile_workload(
+        &mut db,
+        "search-join",
+        "emps_rep feed (fun (e: emp) depts_rep feed \
+         filter[fun (d: dpt) e dept = d dno]) search_join count",
+        8000,
+    );
+    format!("[{selection},{search_join}]")
+}
+
+/// The JSON document committed as BENCH_PR6.json: the PR5 document plus
+/// the compiled-vs-interpreted entry.
+fn pr6_json() -> String {
+    let pr5 = pr5_json();
+    let body = pr5
+        .strip_prefix("{\"bench\":\"PR5 durability + static analysis + batch execution\",")
+        .expect("pr5_json prefix")
+        .strip_suffix('}')
+        .expect("pr5_json suffix");
+    format!(
+        "{{\"bench\":\"PR6 expression compilation + durability + static analysis + batch execution\",\"compile_speedup\":{},{body}}}",
+        compile_speedup_json()
     )
 }

@@ -1,0 +1,1242 @@
+//! The expression compiler: checked [`TypedExpr`] trees lowered to a
+//! flat register bytecode.
+//!
+//! The paper's second-order signature separates specification from
+//! execution; since the checker resolves every type before a term
+//! reaches the engine, a predicate like `k mod 7 = 0` can be lowered to
+//! monomorphic code with no interpreter frames. A [`CompiledFun`] is
+//! such a lowering of a [`Closure`] body: a postorder instruction
+//! sequence over a flat register file, evaluated once per tuple without
+//! environment pushes, name lookups, operator-table probes, or per-node
+//! argument vectors.
+//!
+//! Two tiers:
+//!
+//! * **Tier A (register bytecode)** — any pure body compiles: constants,
+//!   parameters, captured variables (frozen as constants — a closure's
+//!   captured environment is immutable), attribute access, and the
+//!   atomic operators of [`crate::ops::basic`]. Arithmetic and
+//!   comparison opcodes carry integer fast paths and delegate every
+//!   other operand shape to [`basic::eval_atomic`] — the same single
+//!   implementation the interpreter dispatches to — so a compiled
+//!   program is extensionally equal to the interpreted closure *by
+//!   construction*, including error text and error order (evaluation is
+//!   strict in both: argument subterms evaluate left-to-right, `and` /
+//!   `or` do not short-circuit).
+//! * **Tier B (columnar kernel)** — when the whole body is int/bool
+//!   typed (int field loads and constants, checked arithmetic, integer
+//!   `div`/`mod`, comparisons, logic), the program additionally lowers
+//!   to a columnar form executed over unboxed `i64` / `bool` vectors for
+//!   a whole batch: the roadmap's "tight loop, no frames". On *any*
+//!   irregularity — overflow, division by zero, a non-int value in an
+//!   int-typed field — the kernel bails out and the batch re-runs
+//!   row-by-row through tier A, which reproduces the exact
+//!   first-error-in-row-order behavior of the interpreter (tier A is
+//!   pure, so the abandoned columnar attempt has no side effects).
+//!
+//! Anything outside the pure subset — object references, nested
+//! function values, non-atomic or overridden operators, unbound
+//! variables — refuses to compile with a named [`Fallback`] reason; the
+//! caller keeps the interpreter path and the engine counts the fallback
+//! (surfaced through `.metrics` and EXPLAIN ANALYZE).
+//!
+//! `tests/prop_compiled_vs_interp.rs` checks compiled ≡ interpreted
+//! differentially over random expressions, batch widths, and worker
+//! counts.
+
+use crate::engine::ExecEngine;
+use crate::error::{ExecError, ExecResult};
+use crate::handles::attr_index;
+use crate::ops::basic;
+use crate::value::{Closure, Value};
+use sos_core::typed::{TypedExpr, TypedNode};
+use sos_core::{DataType, Symbol};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Why a closure could not be compiled. [`Fallback::reason`] is the
+/// stable key recorded in [`crate::stats::CompileStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fallback {
+    /// The body reads a database object (needs the store).
+    Object(Symbol),
+    /// The body builds or applies a function value (re-enters the
+    /// interpreter).
+    Function,
+    /// An operator that is not an atomic built-in (or whose built-in
+    /// implementation was overridden via [`ExecEngine::add_op`]).
+    ImpureOp(Symbol),
+    /// A variable bound neither by the parameters nor the captured
+    /// environment; the interpreter owns the error.
+    UnboundVar(Symbol),
+}
+
+impl Fallback {
+    /// The stable counter key for this reason.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Fallback::Object(_) => "object-ref",
+            Fallback::Function => "nested-function",
+            Fallback::ImpureOp(_) => "impure-op",
+            Fallback::UnboundVar(_) => "unbound-variable",
+        }
+    }
+}
+
+/// Binary opcodes with integer fast paths. Every other operand shape
+/// delegates to [`basic::eval_atomic`], so semantics (promotion rules,
+/// error text) stay the interpreter's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    DivInt,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    fn of(op: &str) -> Option<BinOp> {
+        Some(match op {
+            "+" => BinOp::Add,
+            "-" => BinOp::Sub,
+            "*" => BinOp::Mul,
+            "div" => BinOp::DivInt,
+            "mod" => BinOp::Mod,
+            "=" => BinOp::Eq,
+            "!=" => BinOp::Ne,
+            "<" => BinOp::Lt,
+            "<=" => BinOp::Le,
+            ">" => BinOp::Gt,
+            ">=" => BinOp::Ge,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            _ => return None,
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::DivInt => "div",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+}
+
+/// One bytecode instruction. Registers are allocated in postorder (SSA:
+/// each written exactly once per evaluation), so a dirty register file
+/// can be reused across rows without clearing.
+#[derive(Debug)]
+enum Inst {
+    /// Load a constant (source constants and frozen captured values).
+    Const(usize, Value),
+    /// Load the argument in input slot `.1`.
+    Input(usize, usize),
+    /// Tuple attribute access: `dst, src, field index, attribute name`
+    /// (the name only feeds the error message).
+    Field(usize, usize, usize, Symbol),
+    /// Binary atomic operator: `dst, op, a, b`.
+    Bin(usize, BinOp, usize, usize),
+    /// Boolean negation: `dst, a`.
+    Not(usize, usize),
+    /// Any other atomic operator, via [`basic::eval_atomic`]:
+    /// `dst, name, argument registers`.
+    Atomic(usize, &'static str, Box<[usize]>),
+    /// `<a, b, ...>` list construction.
+    MakeList(usize, Box<[usize]>),
+    /// `(a, b)` product construction.
+    MakePair(usize, Box<[usize]>),
+}
+
+// ---------------------------------------------------------------------
+// Tier B: the columnar int/bool kernel.
+// ---------------------------------------------------------------------
+
+/// A columnar register: an `i64` column or a `bool` column.
+#[derive(Debug, Clone, Copy)]
+enum ColReg {
+    I(usize),
+    B(usize),
+}
+
+#[derive(Debug)]
+enum ColInst {
+    /// Gather an int-typed field from every tuple of the batch.
+    GatherInt {
+        dst: usize,
+        field: usize,
+    },
+    /// Gather a bool-typed field from every tuple of the batch.
+    GatherBool {
+        dst: usize,
+        field: usize,
+    },
+    BroadcastInt {
+        dst: usize,
+        v: i64,
+    },
+    BroadcastBool {
+        dst: usize,
+        v: bool,
+    },
+    /// `+ - * div mod` over two int columns (checked; errors bail).
+    Arith {
+        op: BinOp,
+        dst: usize,
+        a: usize,
+        b: usize,
+    },
+    /// `= != < <= > >=` over two int columns into a bool column.
+    Cmp {
+        op: BinOp,
+        dst: usize,
+        a: usize,
+        b: usize,
+    },
+    /// Strict logic over bool columns.
+    And {
+        dst: usize,
+        a: usize,
+        b: usize,
+    },
+    Or {
+        dst: usize,
+        a: usize,
+        b: usize,
+    },
+    Not {
+        dst: usize,
+        a: usize,
+    },
+}
+
+/// The whole-batch outcome of the columnar kernel.
+enum ColOutcome {
+    Ints(Vec<i64>),
+    Bools(Vec<bool>),
+    /// Something irregular (overflow, div by zero, non-int field):
+    /// re-run the batch row-by-row through tier A.
+    Bail,
+}
+
+#[derive(Debug)]
+struct ColProgram {
+    insts: Vec<ColInst>,
+    n_int: usize,
+    n_bool: usize,
+    out: ColReg,
+}
+
+impl ColProgram {
+    // Index loops are deliberate: each arm reads and writes different
+    // rows of one `Vec<Vec<_>>`, which iterator zips can't split-borrow.
+    #[allow(clippy::needless_range_loop)]
+    fn run(&self, batch: &[Value]) -> ColOutcome {
+        let n = batch.len();
+        let mut ints: Vec<Vec<i64>> = (0..self.n_int).map(|_| vec![0; n]).collect();
+        let mut bools: Vec<Vec<bool>> = (0..self.n_bool).map(|_| vec![false; n]).collect();
+        for inst in &self.insts {
+            match inst {
+                ColInst::GatherInt { dst, field } => {
+                    let col = &mut ints[*dst];
+                    for (r, t) in batch.iter().enumerate() {
+                        let Value::Tuple(fs) = t else {
+                            return ColOutcome::Bail;
+                        };
+                        match fs.get(*field) {
+                            Some(Value::Int(v)) => col[r] = *v,
+                            _ => return ColOutcome::Bail,
+                        }
+                    }
+                }
+                ColInst::GatherBool { dst, field } => {
+                    let col = &mut bools[*dst];
+                    for (r, t) in batch.iter().enumerate() {
+                        let Value::Tuple(fs) = t else {
+                            return ColOutcome::Bail;
+                        };
+                        match fs.get(*field) {
+                            Some(Value::Bool(v)) => col[r] = *v,
+                            _ => return ColOutcome::Bail,
+                        }
+                    }
+                }
+                ColInst::BroadcastInt { dst, v } => ints[*dst].fill(*v),
+                ColInst::BroadcastBool { dst, v } => bools[*dst].fill(*v),
+                ColInst::Arith { op, dst, a, b } => {
+                    // Split-borrow via raw index juggling: dst is always a
+                    // fresh register (postorder SSA), never equal to a/b.
+                    for r in 0..n {
+                        let (x, y) = (ints[*a][r], ints[*b][r]);
+                        let v = match op {
+                            BinOp::Add => x.checked_add(y),
+                            BinOp::Sub => x.checked_sub(y),
+                            BinOp::Mul => x.checked_mul(y),
+                            BinOp::DivInt => (y != 0).then(|| x.div_euclid(y)),
+                            BinOp::Mod => (y != 0).then(|| x.rem_euclid(y)),
+                            _ => unreachable!("non-arith op in Arith"),
+                        };
+                        match v {
+                            Some(v) => ints[*dst][r] = v,
+                            None => return ColOutcome::Bail,
+                        }
+                    }
+                }
+                ColInst::Cmp { op, dst, a, b } => {
+                    for r in 0..n {
+                        let (x, y) = (ints[*a][r], ints[*b][r]);
+                        bools[*dst][r] = match op {
+                            BinOp::Eq => x == y,
+                            BinOp::Ne => x != y,
+                            BinOp::Lt => x < y,
+                            BinOp::Le => x <= y,
+                            BinOp::Gt => x > y,
+                            BinOp::Ge => x >= y,
+                            _ => unreachable!("non-compare op in Cmp"),
+                        };
+                    }
+                }
+                ColInst::And { dst, a, b } => {
+                    for r in 0..n {
+                        bools[*dst][r] = bools[*a][r] && bools[*b][r];
+                    }
+                }
+                ColInst::Or { dst, a, b } => {
+                    for r in 0..n {
+                        bools[*dst][r] = bools[*a][r] || bools[*b][r];
+                    }
+                }
+                ColInst::Not { dst, a } => {
+                    for r in 0..n {
+                        bools[*dst][r] = !bools[*a][r];
+                    }
+                }
+            }
+        }
+        match self.out {
+            ColReg::I(i) => ColOutcome::Ints(std::mem::take(&mut ints[i])),
+            ColReg::B(i) => ColOutcome::Bools(std::mem::take(&mut bools[i])),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The compiled function.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Shared register scratch: compiled programs never nest (the pure
+    /// subset has no function calls), so one register file per thread
+    /// suffices and per-row evaluation allocates nothing.
+    static REGS: RefCell<Vec<Value>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A closure lowered to register bytecode (and, when the body is
+/// int/bool typed throughout, a columnar batch kernel).
+#[derive(Debug)]
+pub struct CompiledFun {
+    arity: usize,
+    insts: Box<[Inst]>,
+    out: usize,
+    n_regs: usize,
+    col: Option<ColProgram>,
+}
+
+impl CompiledFun {
+    /// Lower `closure`'s body, or report why the interpreter must keep
+    /// it. Captured variables are frozen into the program as constants
+    /// (a closure's captured environment never changes after capture).
+    pub fn compile(engine: &ExecEngine, closure: &Closure) -> Result<CompiledFun, Fallback> {
+        let mut c = Lowering {
+            engine,
+            params: &closure.params,
+            captured: &closure.captured,
+            insts: Vec::new(),
+            next: 0,
+        };
+        let out = c.lower(&closure.body)?;
+        let n_regs = c.next;
+        let insts = c.insts.into_boxed_slice();
+        let col = lower_columnar(engine, closure);
+        Ok(CompiledFun {
+            arity: closure.params.len(),
+            insts,
+            out,
+            n_regs,
+            col,
+        })
+    }
+
+    /// Whether the tier-B columnar kernel applies (observable for tests).
+    pub fn is_columnar(&self) -> bool {
+        self.col.is_some()
+    }
+
+    /// Apply to argument values: tier A, one row. Arity errors match
+    /// `EvalCtx::call_bound` exactly.
+    pub fn call(&self, args: &[Value]) -> ExecResult<Value> {
+        if self.arity != args.len() {
+            return Err(ExecError::Other(format!(
+                "function expects {} argument(s), got {}",
+                self.arity,
+                args.len()
+            )));
+        }
+        REGS.with(|cell| {
+            let mut regs = cell.borrow_mut();
+            if regs.len() < self.n_regs {
+                regs.resize(self.n_regs, Value::Undefined);
+            }
+            self.exec(&mut regs, args)
+        })
+    }
+
+    /// Evaluate as a predicate over a whole batch, returning the keep
+    /// mask. Columnar when possible; otherwise row-by-row, surfacing the
+    /// first error in row order (the interpreter's order).
+    pub fn eval_mask(&self, batch: &[Value], op: &'static str) -> ExecResult<Vec<bool>> {
+        if let Some(col) = &self.col {
+            if let ColOutcome::Bools(mask) = col.run(batch) {
+                return Ok(mask);
+            }
+        }
+        let mut mask = Vec::with_capacity(batch.len());
+        for t in batch {
+            mask.push(self.call(std::slice::from_ref(t))?.as_bool(op)?);
+        }
+        Ok(mask)
+    }
+
+    /// Evaluate over a whole batch, returning one value per row.
+    /// Columnar when possible; otherwise row-by-row.
+    pub fn eval_column(&self, batch: &[Value]) -> ExecResult<Vec<Value>> {
+        if let Some(vs) = self.try_columnar(batch) {
+            return Ok(vs);
+        }
+        batch
+            .iter()
+            .map(|t| self.call(std::slice::from_ref(t)))
+            .collect()
+    }
+
+    /// Run the tier-B kernel alone: `Some(values)` only when the whole
+    /// batch evaluated columnar with no bail-out. Callers that interleave
+    /// the per-row result with other fallible work (`replace` rebuilds
+    /// the tuple per row) use this so that on `None` they can fall back
+    /// to fully interleaved per-row evaluation, keeping the
+    /// interpreter's error order exactly.
+    pub fn try_columnar(&self, batch: &[Value]) -> Option<Vec<Value>> {
+        match self.col.as_ref()?.run(batch) {
+            ColOutcome::Ints(vs) => Some(vs.into_iter().map(Value::Int).collect()),
+            ColOutcome::Bools(vs) => Some(vs.into_iter().map(Value::Bool).collect()),
+            ColOutcome::Bail => None,
+        }
+    }
+
+    fn exec(&self, regs: &mut [Value], args: &[Value]) -> ExecResult<Value> {
+        for inst in self.insts.iter() {
+            match inst {
+                Inst::Const(dst, v) => regs[*dst] = v.clone(),
+                Inst::Input(dst, slot) => regs[*dst] = args[*slot].clone(),
+                Inst::Field(dst, src, idx, attr) => {
+                    let tuple = regs[*src].as_tuple(attr.as_str())?;
+                    regs[*dst] = tuple.get(*idx).cloned().ok_or_else(|| {
+                        ExecError::Other(format!("tuple too short for attribute `{attr}`"))
+                    })?;
+                }
+                Inst::Bin(dst, op, a, b) => {
+                    regs[*dst] = bin_op(*op, &regs[*a], &regs[*b])?;
+                }
+                Inst::Not(dst, a) => {
+                    regs[*dst] = match &regs[*a] {
+                        Value::Bool(b) => Value::Bool(!b),
+                        other => basic::eval_atomic("not", std::slice::from_ref(other))
+                            .expect("not is atomic")?,
+                    };
+                }
+                Inst::Atomic(dst, name, arg_regs) => {
+                    let argv: Vec<Value> = arg_regs.iter().map(|&r| regs[r].clone()).collect();
+                    regs[*dst] = basic::eval_atomic(name, &argv).expect("op is atomic")?;
+                }
+                Inst::MakeList(dst, arg_regs) => {
+                    regs[*dst] = Value::List(arg_regs.iter().map(|&r| regs[r].clone()).collect());
+                }
+                Inst::MakePair(dst, arg_regs) => {
+                    regs[*dst] = Value::Pair(arg_regs.iter().map(|&r| regs[r].clone()).collect());
+                }
+            }
+        }
+        Ok(std::mem::replace(&mut regs[self.out], Value::Undefined))
+    }
+}
+
+/// One binary opcode: integer (and boolean) fast paths, everything else
+/// through the shared atomic implementation for identical promotion and
+/// identical errors.
+fn bin_op(op: BinOp, a: &Value, b: &Value) -> ExecResult<Value> {
+    match (op, a, b) {
+        (BinOp::Add, Value::Int(x), Value::Int(y)) => x
+            .checked_add(*y)
+            .map(Value::Int)
+            .ok_or_else(|| ExecError::Arithmetic("integer overflow in `+`".into())),
+        (BinOp::Sub, Value::Int(x), Value::Int(y)) => x
+            .checked_sub(*y)
+            .map(Value::Int)
+            .ok_or_else(|| ExecError::Arithmetic("integer overflow in `-`".into())),
+        (BinOp::Mul, Value::Int(x), Value::Int(y)) => x
+            .checked_mul(*y)
+            .map(Value::Int)
+            .ok_or_else(|| ExecError::Arithmetic("integer overflow in `*`".into())),
+        (BinOp::DivInt, Value::Int(x), Value::Int(y)) => {
+            if *y == 0 {
+                Err(ExecError::Arithmetic("division by zero".into()))
+            } else {
+                Ok(Value::Int(x.div_euclid(*y)))
+            }
+        }
+        (BinOp::Mod, Value::Int(x), Value::Int(y)) => {
+            if *y == 0 {
+                Err(ExecError::Arithmetic("modulo by zero".into()))
+            } else {
+                Ok(Value::Int(x.rem_euclid(*y)))
+            }
+        }
+        (BinOp::Eq, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x == y)),
+        (BinOp::Ne, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x != y)),
+        (BinOp::Lt, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x < y)),
+        (BinOp::Le, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x <= y)),
+        (BinOp::Gt, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x > y)),
+        (BinOp::Ge, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x >= y)),
+        (BinOp::And, Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(*x && *y)),
+        (BinOp::Or, Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(*x || *y)),
+        _ => basic::eval_atomic(op.name(), &[a.clone(), b.clone()]).expect("op is atomic"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lowering: TypedExpr -> bytecode.
+// ---------------------------------------------------------------------
+
+struct Lowering<'a> {
+    engine: &'a ExecEngine,
+    params: &'a [(Symbol, DataType)],
+    captured: &'a [(Symbol, Value)],
+    insts: Vec<Inst>,
+    next: usize,
+}
+
+impl Lowering<'_> {
+    fn fresh(&mut self) -> usize {
+        let r = self.next;
+        self.next += 1;
+        r
+    }
+
+    fn lower(&mut self, te: &TypedExpr) -> Result<usize, Fallback> {
+        match &te.node {
+            TypedNode::Const(c) => {
+                let dst = self.fresh();
+                self.insts.push(Inst::Const(dst, Value::from_const(c)));
+                Ok(dst)
+            }
+            TypedNode::Object(name) => Err(Fallback::Object(name.clone())),
+            TypedNode::Lambda { .. } | TypedNode::ApplyFun { .. } => Err(Fallback::Function),
+            TypedNode::Var(name) => {
+                let dst = self.fresh();
+                // The interpreter's environment is captured ++ params,
+                // searched innermost-first: parameters shadow captures.
+                if let Some(slot) = self.params.iter().rposition(|(n, _)| n == name) {
+                    self.insts.push(Inst::Input(dst, slot));
+                } else if let Some((_, v)) = self.captured.iter().rev().find(|(n, _)| n == name) {
+                    self.insts.push(Inst::Const(dst, v.clone()));
+                } else {
+                    return Err(Fallback::UnboundVar(name.clone()));
+                }
+                Ok(dst)
+            }
+            TypedNode::List(items) => {
+                let regs = self.lower_all(items)?;
+                let dst = self.fresh();
+                self.insts.push(Inst::MakeList(dst, regs));
+                Ok(dst)
+            }
+            TypedNode::Tuple(items) => {
+                let regs = self.lower_all(items)?;
+                let dst = self.fresh();
+                self.insts.push(Inst::MakePair(dst, regs));
+                Ok(dst)
+            }
+            TypedNode::Apply { op, args, .. } => {
+                // Same dispatch order as `EvalCtx::eval` / `is_pure_expr`:
+                // a registered operator wins over attribute access, and
+                // only the unoverridden atomic built-ins compile.
+                if self.engine.is_atomic_op(op) {
+                    let regs = self.lower_all(args)?;
+                    let dst = self.fresh();
+                    match (BinOp::of(op.as_str()), regs.as_ref()) {
+                        (Some(b), [a, bb]) => self.insts.push(Inst::Bin(dst, b, *a, *bb)),
+                        _ if op.as_str() == "not" && regs.len() == 1 => {
+                            self.insts.push(Inst::Not(dst, regs[0]))
+                        }
+                        _ => {
+                            let name = basic::ATOMIC_OPS
+                                .iter()
+                                .find(|s| **s == op.as_str())
+                                .copied()
+                                .expect("atomic op is listed");
+                            self.insts.push(Inst::Atomic(dst, name, regs));
+                        }
+                    }
+                    return Ok(dst);
+                }
+                if !self.engine.has_op(op) && args.len() == 1 {
+                    if let Some(idx) = attr_index(&args[0].ty, op) {
+                        let src = self.lower(&args[0])?;
+                        let dst = self.fresh();
+                        self.insts.push(Inst::Field(dst, src, idx, op.clone()));
+                        return Ok(dst);
+                    }
+                }
+                Err(Fallback::ImpureOp(op.clone()))
+            }
+        }
+    }
+
+    fn lower_all(&mut self, items: &[TypedExpr]) -> Result<Box<[usize]>, Fallback> {
+        items.iter().map(|i| self.lower(i)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Columnar lowering.
+// ---------------------------------------------------------------------
+
+fn is_atom(ty: &DataType, name: &str) -> bool {
+    matches!(ty, DataType::Cons(n, args) if n.as_str() == name && args.is_empty())
+}
+
+/// Try to lower the body to the int/bool columnar kernel. `None` keeps
+/// tier A only — never an error, since tier A already compiled.
+fn lower_columnar(engine: &ExecEngine, closure: &Closure) -> Option<ColProgram> {
+    let [(param, _)] = closure.params.as_slice() else {
+        return None;
+    };
+    let mut c = ColLowering {
+        engine,
+        param,
+        captured: &closure.captured,
+        insts: Vec::new(),
+        n_int: 0,
+        n_bool: 0,
+    };
+    let out = c.lower(&closure.body)?;
+    Some(ColProgram {
+        insts: c.insts,
+        n_int: c.n_int,
+        n_bool: c.n_bool,
+        out,
+    })
+}
+
+struct ColLowering<'a> {
+    engine: &'a ExecEngine,
+    param: &'a Symbol,
+    captured: &'a [(Symbol, Value)],
+    insts: Vec<ColInst>,
+    n_int: usize,
+    n_bool: usize,
+}
+
+impl ColLowering<'_> {
+    fn fresh_int(&mut self) -> usize {
+        self.n_int += 1;
+        self.n_int - 1
+    }
+
+    fn fresh_bool(&mut self) -> usize {
+        self.n_bool += 1;
+        self.n_bool - 1
+    }
+
+    fn lower(&mut self, te: &TypedExpr) -> Option<ColReg> {
+        match &te.node {
+            TypedNode::Const(sos_core::Const::Int(v)) => {
+                let dst = self.fresh_int();
+                self.insts.push(ColInst::BroadcastInt { dst, v: *v });
+                Some(ColReg::I(dst))
+            }
+            TypedNode::Const(sos_core::Const::Bool(v)) => {
+                let dst = self.fresh_bool();
+                self.insts.push(ColInst::BroadcastBool { dst, v: *v });
+                Some(ColReg::B(dst))
+            }
+            TypedNode::Var(name) => {
+                // The tuple parameter itself is not a column; captured
+                // int/bool values broadcast (parameters shadow captures,
+                // so a captured value under the parameter's name is
+                // unreachable and must not broadcast).
+                if name == self.param {
+                    return None;
+                }
+                match self.captured.iter().rev().find(|(n, _)| n == name)? {
+                    (_, Value::Int(v)) => {
+                        let dst = self.fresh_int();
+                        self.insts.push(ColInst::BroadcastInt { dst, v: *v });
+                        Some(ColReg::I(dst))
+                    }
+                    (_, Value::Bool(v)) => {
+                        let dst = self.fresh_bool();
+                        self.insts.push(ColInst::BroadcastBool { dst, v: *v });
+                        Some(ColReg::B(dst))
+                    }
+                    _ => None,
+                }
+            }
+            TypedNode::Apply { op, args, .. } => {
+                if self.engine.is_atomic_op(op) {
+                    return self.lower_atomic(op.as_str(), args);
+                }
+                // Attribute access directly on the tuple parameter, for
+                // int- and bool-typed fields.
+                if !self.engine.has_op(op) && args.len() == 1 {
+                    if !matches!(&args[0].node, TypedNode::Var(n) if n == self.param) {
+                        return None;
+                    }
+                    let field = attr_index(&args[0].ty, op)?;
+                    if is_atom(&te.ty, "int") {
+                        let dst = self.fresh_int();
+                        self.insts.push(ColInst::GatherInt { dst, field });
+                        return Some(ColReg::I(dst));
+                    }
+                    if is_atom(&te.ty, "bool") {
+                        let dst = self.fresh_bool();
+                        self.insts.push(ColInst::GatherBool { dst, field });
+                        return Some(ColReg::B(dst));
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn lower_atomic(&mut self, op: &str, args: &[TypedExpr]) -> Option<ColReg> {
+        if op == "not" {
+            let [arg] = args else { return None };
+            let ColReg::B(a) = self.lower(arg)? else {
+                return None;
+            };
+            let dst = self.fresh_bool();
+            self.insts.push(ColInst::Not { dst, a });
+            return Some(ColReg::B(dst));
+        }
+        let b = BinOp::of(op)?;
+        let [x, y] = args else { return None };
+        let (ra, rb) = (self.lower(x)?, self.lower(y)?);
+        match (b, ra, rb) {
+            (
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::DivInt | BinOp::Mod,
+                ColReg::I(a),
+                ColReg::I(bb),
+            ) => {
+                let dst = self.fresh_int();
+                self.insts.push(ColInst::Arith {
+                    op: b,
+                    dst,
+                    a,
+                    b: bb,
+                });
+                Some(ColReg::I(dst))
+            }
+            (
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge,
+                ColReg::I(a),
+                ColReg::I(bb),
+            ) => {
+                let dst = self.fresh_bool();
+                self.insts.push(ColInst::Cmp {
+                    op: b,
+                    dst,
+                    a,
+                    b: bb,
+                });
+                Some(ColReg::B(dst))
+            }
+            (BinOp::And, ColReg::B(a), ColReg::B(bb)) => {
+                let dst = self.fresh_bool();
+                self.insts.push(ColInst::And { dst, a, b: bb });
+                Some(ColReg::B(dst))
+            }
+            (BinOp::Or, ColReg::B(a), ColReg::B(bb)) => {
+                let dst = self.fresh_bool();
+                self.insts.push(ColInst::Or { dst, a, b: bb });
+                Some(ColReg::B(dst))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Compile a shared closure through the engine's knob and counters:
+/// `None` (interpreter) when compilation is disabled or the body falls
+/// outside the pure subset, recording the outcome either way.
+pub fn compile_gated(engine: &ExecEngine, closure: &Arc<Closure>) -> Option<Arc<CompiledFun>> {
+    if !engine.compile_exprs_enabled() {
+        return None;
+    }
+    match CompiledFun::compile(engine, closure) {
+        Ok(cf) => {
+            engine.stats.record_compiled();
+            Some(Arc::new(cf))
+        }
+        Err(f) => {
+            engine.stats.record_fallback(f.reason());
+            None
+        }
+    }
+}
+
+/// [`compile_gated`] without the counters: for transient per-call
+/// lowerings (the parallel executor's [`crate::parallel::PureFun`]) that
+/// would otherwise inflate the per-plan compile statistics.
+pub fn compile_silent(engine: &ExecEngine, closure: &Arc<Closure>) -> Option<Arc<CompiledFun>> {
+    if !engine.compile_exprs_enabled() {
+        return None;
+    }
+    CompiledFun::compile(engine, closure).ok().map(Arc::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_core::{Const, TypeArg};
+
+    fn ty(name: &str) -> DataType {
+        DataType::atom(name)
+    }
+
+    /// tuple(<(k, int), (g, int), (s, string), (b, bool)>)
+    fn item_ty() -> DataType {
+        let attr = |name: &str, t: &str| {
+            TypeArg::Pair(vec![
+                TypeArg::Expr(sos_core::Expr::Const(Const::Ident(Symbol::new(name)))),
+                TypeArg::Type(ty(t)),
+            ])
+        };
+        DataType::Cons(
+            Symbol::new("tuple"),
+            vec![TypeArg::List(vec![
+                attr("k", "int"),
+                attr("g", "int"),
+                attr("s", "string"),
+                attr("b", "bool"),
+            ])],
+        )
+    }
+
+    fn cint(v: i64) -> TypedExpr {
+        TypedExpr::new(TypedNode::Const(Const::Int(v)), ty("int"))
+    }
+
+    fn var(name: &str, t: DataType) -> TypedExpr {
+        TypedExpr::new(TypedNode::Var(Symbol::new(name)), t)
+    }
+
+    fn apply(op: &str, args: Vec<TypedExpr>, t: DataType) -> TypedExpr {
+        TypedExpr::new(
+            TypedNode::Apply {
+                op: Symbol::new(op),
+                spec: 0,
+                args,
+            },
+            t,
+        )
+    }
+
+    /// `attr(t)` — attribute access on the tuple parameter.
+    fn field(attr: &str, result: &str) -> TypedExpr {
+        apply(attr, vec![var("t", item_ty())], ty(result))
+    }
+
+    fn closure1(body: TypedExpr) -> Closure {
+        Closure {
+            params: vec![(Symbol::new("t"), item_ty())],
+            body,
+            captured: vec![],
+        }
+    }
+
+    fn engine() -> ExecEngine {
+        ExecEngine::new(sos_storage::mem_pool(16))
+    }
+
+    fn item(k: i64, g: i64, s: &str, b: bool) -> Value {
+        Value::tuple(vec![
+            Value::Int(k),
+            Value::Int(g),
+            Value::Str(s.into()),
+            Value::Bool(b),
+        ])
+    }
+
+    fn compile1(body: TypedExpr) -> CompiledFun {
+        CompiledFun::compile(&engine(), &closure1(body)).expect("compiles")
+    }
+
+    #[test]
+    fn const_input_and_field_opcodes() {
+        let e = engine();
+        // Const
+        let cf = compile1(cint(42));
+        assert_eq!(cf.call(&[item(0, 0, "x", false)]).unwrap(), Value::Int(42));
+        // Input: the identity closure returns the tuple itself.
+        let cf = compile1(var("t", item_ty()));
+        let t = item(7, 1, "x", true);
+        assert_eq!(cf.call(std::slice::from_ref(&t)).unwrap(), t);
+        // Field
+        let cf = compile1(field("k", "int"));
+        assert_eq!(cf.call(&[item(9, 1, "x", true)]).unwrap(), Value::Int(9));
+        // Field on a too-short tuple: identical error to the interpreter.
+        let cf = compile1(field("b", "bool"));
+        let short = Value::tuple(vec![Value::Int(1)]);
+        assert_eq!(
+            cf.call(&[short]).unwrap_err().to_string(),
+            "tuple too short for attribute `b`"
+        );
+        // Captured variables freeze as constants; parameters shadow them.
+        let c = Closure {
+            params: vec![(Symbol::new("t"), item_ty())],
+            body: var("n", ty("int")),
+            captured: vec![(Symbol::new("n"), Value::Int(5))],
+        };
+        let cf = CompiledFun::compile(&e, &c).unwrap();
+        assert_eq!(cf.call(&[item(0, 0, "", false)]).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn arithmetic_opcodes_match_interpreter_errors() {
+        let k = || field("k", "int");
+        for (op, lhs, rhs, want) in [
+            ("+", 40, 2, 42i64),
+            ("-", 40, 2, 38),
+            ("*", 6, 7, 42),
+            ("div", 45, 7, 6),
+            ("mod", 45, 7, 3),
+        ] {
+            let cf = compile1(apply(op, vec![k(), cint(rhs)], ty("int")));
+            assert_eq!(
+                cf.call(&[item(lhs, 0, "", false)]).unwrap(),
+                Value::Int(want),
+                "{op}"
+            );
+        }
+        // Overflow and zero divisors carry the interpreter's messages.
+        let cf = compile1(apply("+", vec![k(), cint(1)], ty("int")));
+        assert_eq!(
+            cf.call(&[item(i64::MAX, 0, "", false)])
+                .unwrap_err()
+                .to_string(),
+            "arithmetic error: integer overflow in `+`"
+        );
+        let cf = compile1(apply("div", vec![cint(1), k()], ty("int")));
+        assert_eq!(
+            cf.call(&[item(0, 0, "", false)]).unwrap_err().to_string(),
+            "arithmetic error: division by zero"
+        );
+        let cf = compile1(apply("mod", vec![cint(1), k()], ty("int")));
+        assert_eq!(
+            cf.call(&[item(0, 0, "", false)]).unwrap_err().to_string(),
+            "arithmetic error: modulo by zero"
+        );
+        // `/` has no int fast path: it is real division, via the shared
+        // atomic implementation.
+        let cf = compile1(apply("/", vec![k(), cint(2)], ty("real")));
+        assert_eq!(cf.call(&[item(5, 0, "", false)]).unwrap(), Value::Real(2.5));
+    }
+
+    #[test]
+    fn comparison_logic_and_not_opcodes() {
+        let k = || field("k", "int");
+        for (op, lhs, want) in [
+            ("=", 7, true),
+            ("!=", 7, false),
+            ("<", 6, true),
+            ("<=", 7, true),
+            (">", 8, true),
+            (">=", 6, false),
+        ] {
+            let cf = compile1(apply(op, vec![k(), cint(7)], ty("bool")));
+            assert_eq!(
+                cf.call(&[item(lhs, 0, "", false)]).unwrap(),
+                Value::Bool(want),
+                "{op} {lhs} 7"
+            );
+        }
+        let both = apply(
+            "and",
+            vec![
+                apply(">", vec![k(), cint(0)], ty("bool")),
+                field("b", "bool"),
+            ],
+            ty("bool"),
+        );
+        let cf = compile1(both);
+        assert_eq!(cf.call(&[item(1, 0, "", true)]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            cf.call(&[item(1, 0, "", false)]).unwrap(),
+            Value::Bool(false)
+        );
+        let cf = compile1(apply(
+            "or",
+            vec![field("b", "bool"), field("b", "bool")],
+            ty("bool"),
+        ));
+        assert_eq!(
+            cf.call(&[item(0, 0, "", false)]).unwrap(),
+            Value::Bool(false)
+        );
+        let cf = compile1(apply("not", vec![field("b", "bool")], ty("bool")));
+        assert_eq!(
+            cf.call(&[item(0, 0, "", false)]).unwrap(),
+            Value::Bool(true)
+        );
+        // Mismatched operands route through the shared atomic
+        // implementation: identical error text.
+        let cf = compile1(apply("and", vec![k(), k()], ty("bool")));
+        assert_eq!(
+            cf.call(&[item(1, 0, "", false)]).unwrap_err().to_string(),
+            "`and` expected bool, found \"int\""
+        );
+    }
+
+    #[test]
+    fn atomic_list_and_pair_opcodes() {
+        // Geometry goes through the generic Atomic opcode.
+        let cf = compile1(apply(
+            "makepoint",
+            vec![field("k", "int"), field("g", "int")],
+            ty("point"),
+        ));
+        assert_eq!(
+            cf.call(&[item(3, 4, "", false)]).unwrap(),
+            Value::Point(sos_geom::Point::new(3.0, 4.0))
+        );
+        let dist = apply(
+            "distance",
+            vec![
+                apply("makepoint", vec![cint(0), cint(0)], ty("point")),
+                apply(
+                    "makepoint",
+                    vec![field("k", "int"), field("g", "int")],
+                    ty("point"),
+                ),
+            ],
+            ty("real"),
+        );
+        let cf = compile1(dist);
+        assert_eq!(cf.call(&[item(3, 4, "", false)]).unwrap(), Value::Real(5.0));
+        // MakeList / MakePair.
+        let cf = compile1(TypedExpr::new(
+            TypedNode::List(vec![cint(1), field("k", "int")]),
+            ty("list"),
+        ));
+        assert_eq!(
+            cf.call(&[item(2, 0, "", false)]).unwrap(),
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+        let cf = compile1(TypedExpr::new(
+            TypedNode::Tuple(vec![cint(1), field("k", "int")]),
+            ty("pair"),
+        ));
+        assert_eq!(
+            cf.call(&[item(2, 0, "", false)]).unwrap(),
+            Value::Pair(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn arity_error_matches_interpreter() {
+        let cf = compile1(cint(1));
+        assert_eq!(
+            cf.call(&[]).unwrap_err().to_string(),
+            "function expects 1 argument(s), got 0"
+        );
+    }
+
+    #[test]
+    fn every_fallback_reason_is_reported() {
+        let mut e = engine();
+        // object-ref
+        let c = closure1(TypedExpr::new(
+            TypedNode::Object(Symbol::new("cities")),
+            ty("int"),
+        ));
+        let f = CompiledFun::compile(&e, &c).unwrap_err();
+        assert_eq!(f.reason(), "object-ref");
+        // nested-function (both lambda construction and application)
+        let lam = TypedExpr::new(
+            TypedNode::Lambda {
+                params: vec![(Symbol::new("x"), ty("int"))],
+                body: Box::new(cint(1)),
+            },
+            ty("fun"),
+        );
+        let f = CompiledFun::compile(&e, &closure1(lam.clone())).unwrap_err();
+        assert_eq!(f.reason(), "nested-function");
+        let appf = TypedExpr::new(
+            TypedNode::ApplyFun {
+                fun: Box::new(lam),
+                args: vec![cint(1)],
+            },
+            ty("int"),
+        );
+        let f = CompiledFun::compile(&e, &closure1(appf)).unwrap_err();
+        assert_eq!(f.reason(), "nested-function");
+        // impure-op: a non-atomic operator...
+        let c = closure1(apply("count", vec![var("t", item_ty())], ty("int")));
+        let f = CompiledFun::compile(&e, &c).unwrap_err();
+        assert_eq!(f.reason(), "impure-op");
+        // ...and an overridden atomic one.
+        let plus = closure1(apply("+", vec![cint(1), cint(2)], ty("int")));
+        assert!(CompiledFun::compile(&e, &plus).is_ok());
+        e.add_op("+", |_, _, _| Ok(Value::Int(0)));
+        let f = CompiledFun::compile(&e, &plus).unwrap_err();
+        assert_eq!(f.reason(), "impure-op");
+        // unbound-variable
+        let c = closure1(var("nowhere", ty("int")));
+        let f = CompiledFun::compile(&e, &c).unwrap_err();
+        assert_eq!(f.reason(), "unbound-variable");
+    }
+
+    #[test]
+    fn gating_respects_the_engine_knob_and_counts() {
+        let mut e = engine();
+        let pred = Arc::new(closure1(apply(
+            "=",
+            vec![field("k", "int"), cint(0)],
+            ty("bool"),
+        )));
+        assert!(compile_gated(&e, &pred).is_some());
+        assert_eq!(e.stats.compile_snapshot().compiled, 1);
+        let impure = Arc::new(closure1(TypedExpr::new(
+            TypedNode::Object(Symbol::new("r")),
+            ty("int"),
+        )));
+        assert!(compile_gated(&e, &impure).is_none());
+        assert_eq!(e.stats.compile_snapshot().fallback("object-ref"), 1);
+        e.set_compile_exprs(false);
+        assert!(!e.compile_exprs_enabled());
+        assert!(compile_gated(&e, &pred).is_none());
+        // Disabled is not a fallback: the counters are untouched.
+        let snap = e.stats.compile_snapshot();
+        assert_eq!((snap.compiled, snap.total_fallbacks()), (1, 1));
+    }
+
+    #[test]
+    fn columnar_kernel_masks_and_columns_match_tier_a() {
+        // k mod 7 = 0 and g < 3 — all int/bool: tier B applies.
+        let body = apply(
+            "and",
+            vec![
+                apply(
+                    "=",
+                    vec![
+                        apply("mod", vec![field("k", "int"), cint(7)], ty("int")),
+                        cint(0),
+                    ],
+                    ty("bool"),
+                ),
+                apply("<", vec![field("g", "int"), cint(3)], ty("bool")),
+            ],
+            ty("bool"),
+        );
+        let cf = compile1(body);
+        assert!(cf.is_columnar());
+        let batch: Vec<Value> = (0..100).map(|i| item(i, i % 10, "p", false)).collect();
+        let mask = cf.eval_mask(&batch, "filter").unwrap();
+        for (t, got) in batch.iter().zip(&mask) {
+            assert_eq!(cf.call(std::slice::from_ref(t)).unwrap(), Value::Bool(*got));
+        }
+        // A string comparison keeps tier A only.
+        let cf = compile1(apply(
+            "!=",
+            vec![
+                field("s", "string"),
+                TypedExpr::new(TypedNode::Const(Const::Str("x".into())), ty("string")),
+            ],
+            ty("bool"),
+        ));
+        assert!(!cf.is_columnar());
+        assert_eq!(cf.eval_mask(&batch, "filter").unwrap(), vec![true; 100]);
+        // Int columns for project/replace-shaped programs.
+        let cf = compile1(apply("*", vec![field("k", "int"), cint(2)], ty("int")));
+        assert!(cf.is_columnar());
+        assert_eq!(
+            cf.eval_column(&batch[..3]).unwrap(),
+            vec![Value::Int(0), Value::Int(2), Value::Int(4)]
+        );
+    }
+
+    #[test]
+    fn columnar_bailout_reruns_tier_a_with_identical_errors() {
+        // Overflow in the middle of a batch: the columnar attempt bails
+        // and the row-order first error surfaces, as the interpreter
+        // would.
+        let cf = compile1(apply("*", vec![field("k", "int"), cint(2)], ty("int")));
+        assert!(cf.is_columnar());
+        let batch = vec![
+            item(1, 0, "", false),
+            item(i64::MAX, 0, "", false),
+            item(2, 0, "", false),
+        ];
+        assert_eq!(
+            cf.eval_column(&batch).unwrap_err().to_string(),
+            "arithmetic error: integer overflow in `*`"
+        );
+        // A division by zero bails the mask path the same way.
+        let cf = compile1(apply(
+            "=",
+            vec![
+                apply("div", vec![cint(100), field("k", "int")], ty("int")),
+                cint(1),
+            ],
+            ty("bool"),
+        ));
+        assert!(cf.is_columnar());
+        let batch = vec![item(100, 0, "", false), item(0, 0, "", false)];
+        assert_eq!(
+            cf.eval_mask(&batch, "filter").unwrap_err().to_string(),
+            "arithmetic error: division by zero"
+        );
+        // A non-int runtime value in an int-typed field bails to tier A
+        // *successfully* (the interpreter promotes int/real compares).
+        let cf = compile1(apply("<", vec![field("k", "int"), cint(10)], ty("bool")));
+        assert!(cf.is_columnar());
+        let odd = vec![Value::tuple(vec![
+            Value::Real(2.5),
+            Value::Int(0),
+            Value::Str("".into()),
+            Value::Bool(false),
+        ])];
+        assert_eq!(cf.eval_mask(&odd, "filter").unwrap(), vec![true]);
+    }
+}

@@ -41,6 +41,9 @@ pub struct ExecEngine {
     /// Tuples pulled per `next_batch` call; `1` selects the exact legacy
     /// tuple-at-a-time drains (see [`crate::stream::Cursor::next_batch`]).
     batch: usize,
+    /// Whether closures are lowered to bytecode where possible (see
+    /// [`crate::compile`]); `false` keeps the interpreter everywhere.
+    compile: bool,
     /// Per-operator execution counters.
     pub stats: Arc<crate::stats::ExecStats>,
 }
@@ -62,6 +65,7 @@ impl ExecEngine {
                 .map(|n| n.get())
                 .unwrap_or(1),
             batch: DEFAULT_BATCH,
+            compile: true,
             stats: Arc::new(crate::stats::ExecStats::default()),
         };
         crate::ops::register_builtins(&mut e);
@@ -113,6 +117,18 @@ impl ExecEngine {
     /// The current vectorized batch width.
     pub fn batch_size(&self) -> usize {
         self.batch
+    }
+
+    /// Enable or disable expression compilation. `false` keeps the
+    /// interpreter on every path (the A/B switch for the differential
+    /// compiled-vs-interpreted harness).
+    pub fn set_compile_exprs(&mut self, on: bool) {
+        self.compile = on;
+    }
+
+    /// Whether closures are currently lowered to bytecode.
+    pub fn compile_exprs_enabled(&self) -> bool {
+        self.compile
     }
 
     /// Create the initial value for a freshly created object of `ty`

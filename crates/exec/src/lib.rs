@@ -12,6 +12,7 @@ mod error;
 mod handles;
 mod value;
 
+pub mod compile;
 pub mod engine;
 pub mod ops;
 pub mod parallel;
@@ -20,9 +21,10 @@ pub mod stored;
 pub mod stream;
 pub mod txn;
 
+pub use compile::{CompiledFun, Fallback};
 pub use engine::{EvalCtx, ExecEngine};
 pub use error::{ExecError, ExecResult};
 pub use handles::{BTreeHandle, KeyExtractor, LsdHandle};
-pub use stats::{ExecStats, OpStats};
+pub use stats::{CompileStats, ExecStats, OpStats};
 pub use txn::StatementTx;
 pub use value::{compare, render, Closure, Value};

@@ -49,6 +49,20 @@ pub fn register(e: &mut ExecEngine) {
             return Ok(Value::Rel(res?));
         }
         let n_in = tuples.len();
+        // Serial path: compiled mask when the predicate lowers (same
+        // per-row order and errors as the interpreted loop below).
+        if let Ok(closure) = args[1].as_closure("select") {
+            if let Some(cf) = crate::compile::compile_gated(ctx.engine, closure) {
+                let mask = cf.eval_mask(&tuples, "select")?;
+                let out: Vec<Value> = tuples
+                    .into_iter()
+                    .zip(mask)
+                    .filter_map(|(t, keep)| keep.then_some(t))
+                    .collect();
+                ctx.engine.stats.record("select", 1, n_in, out.len(), 0);
+                return Ok(Value::Rel(out));
+            }
+        }
         let out = filter_tuples(ctx, tuples, &args[1], "select")?;
         ctx.engine.stats.record("select", 1, n_in, out.len(), 0);
         Ok(Value::Rel(out))

@@ -129,18 +129,15 @@ pub fn register(e: &mut ExecEngine) {
         other => Ok(Value::Stream(feed_value(other)?)),
     });
 
-    e.add_op("filter", |_, _, args| {
+    e.add_op("filter", |ctx, _, args| {
         let pred = args[1].as_closure("filter")?.clone();
         let input = into_cursor(args[0].clone())?;
-        Ok(cursor_value(Cursor::Filter {
-            input: Box::new(input),
-            pred,
-        }))
+        Ok(cursor_value(Cursor::filter(ctx.engine, input, pred)))
     });
 
     // project[(name, fun-or-attr), ...] — generalized projection; the
     // result schema comes from the type operator at check time.
-    e.add_op("project", |_, _, args| {
+    e.add_op("project", |ctx, _, args| {
         let Value::List(pairs) = &args[1] else {
             return Err(mismatch("project", "list of pairs", &args[1].kind_name()));
         };
@@ -151,24 +148,19 @@ pub fn register(e: &mut ExecEngine) {
             };
             funs.push(comps[1].as_closure("project")?.clone());
         }
-        Ok(cursor_value(Cursor::Project {
-            input: Box::new(into_cursor(args[0].clone())?),
-            funs,
-        }))
+        let input = into_cursor(args[0].clone())?;
+        Ok(cursor_value(Cursor::project(ctx.engine, input, funs)))
     });
 
     // replace[attr, fun] — replace one attribute value per tuple.
-    e.add_op("replace", |_, node, args| {
+    e.add_op("replace", |ctx, node, args| {
         let Value::Ident(attr) = &args[1] else {
             return Err(mismatch("replace", "attribute name", &args[1].kind_name()));
         };
         let idx = crate::ops::relational::attr_index_of_node(node, attr)?;
         let fun = args[2].as_closure("replace")?.clone();
-        Ok(cursor_value(Cursor::Replace {
-            input: Box::new(into_cursor(args[0].clone())?),
-            idx,
-            fun,
-        }))
+        let input = into_cursor(args[0].clone())?;
+        Ok(cursor_value(Cursor::replace(ctx.engine, input, idx, fun)))
     });
 
     // collect — materialize a stream into a temporary relation (srel).

@@ -35,25 +35,51 @@ pub const PAR_MIN_TUPLES: usize = 64;
 /// object, applies only atomic operators and attribute access, and
 /// contains no nested function values. Such a closure can be evaluated
 /// on any thread without an [`crate::engine::EvalCtx`].
+///
+/// When the engine's expression compiler is on, a `PureFun` also carries
+/// the closure lowered to bytecode ([`crate::compile`]) and workers run
+/// that instead of the tree walker — the pure subset is a superset of
+/// the compilable one except for unbound variables, and the bytecode is
+/// extensionally equal where it exists, so the parallel result is
+/// unchanged either way.
 pub struct PureFun {
     closure: Arc<Closure>,
+    compiled: Option<Arc<crate::compile::CompiledFun>>,
 }
 
 impl PureFun {
     /// Verify purity; `None` means the closure needs the serial engine.
+    /// Lowers to bytecode as a side benefit (without touching the
+    /// engine's compile counters — these are transient per-call
+    /// programs, not plan construction).
     pub fn compile(engine: &ExecEngine, closure: &Arc<Closure>) -> Option<PureFun> {
-        if is_pure_expr(engine, &closure.body) {
-            Some(PureFun {
-                closure: closure.clone(),
-            })
-        } else {
-            None
+        Self::with_program(engine, closure, None)
+    }
+
+    /// Like [`PureFun::compile`], but reuses an already-lowered program
+    /// (e.g. the one attached to the cursor being parallelized) instead
+    /// of lowering the closure again.
+    pub fn with_program(
+        engine: &ExecEngine,
+        closure: &Arc<Closure>,
+        program: Option<Arc<crate::compile::CompiledFun>>,
+    ) -> Option<PureFun> {
+        if !is_pure_expr(engine, &closure.body) {
+            return None;
         }
+        let compiled = program.or_else(|| crate::compile::compile_silent(engine, closure));
+        Some(PureFun {
+            closure: closure.clone(),
+            compiled,
+        })
     }
 
     /// Apply to argument values. Mirrors `EvalCtx::call` exactly
     /// (environment layout, arity errors) for the pure subset.
     pub fn call(&self, engine: &ExecEngine, args: &[Value]) -> ExecResult<Value> {
+        if let Some(cf) = &self.compiled {
+            return cf.call(args);
+        }
         if self.closure.params.len() != args.len() {
             return Err(ExecError::Other(format!(
                 "function expects {} argument(s), got {}",
@@ -182,26 +208,43 @@ impl HeapPlan {
                     steps: Vec::new(),
                 })
             }
-            Cursor::Filter { input, pred } => {
+            Cursor::Filter {
+                input,
+                pred,
+                compiled,
+            } => {
                 let mut plan = Self::from_cursor(engine, input)?;
-                plan.steps
-                    .push(Step::Filter(PureFun::compile(engine, pred)?));
+                plan.steps.push(Step::Filter(PureFun::with_program(
+                    engine,
+                    pred,
+                    compiled.clone(),
+                )?));
                 Some(plan)
             }
-            Cursor::Project { input, funs } => {
+            Cursor::Project {
+                input,
+                funs,
+                compiled,
+            } => {
                 let mut plan = Self::from_cursor(engine, input)?;
-                let compiled = funs
+                let pure = funs
                     .iter()
-                    .map(|f| PureFun::compile(engine, f))
+                    .zip(compiled)
+                    .map(|(f, c)| PureFun::with_program(engine, f, c.clone()))
                     .collect::<Option<Vec<_>>>()?;
-                plan.steps.push(Step::Project(compiled));
+                plan.steps.push(Step::Project(pure));
                 Some(plan)
             }
-            Cursor::Replace { input, idx, fun } => {
+            Cursor::Replace {
+                input,
+                idx,
+                fun,
+                compiled,
+            } => {
                 let mut plan = Self::from_cursor(engine, input)?;
                 plan.steps.push(Step::Replace {
                     idx: *idx,
-                    fun: PureFun::compile(engine, fun)?,
+                    fun: PureFun::with_program(engine, fun, compiled.clone())?,
                 });
                 Some(plan)
             }

@@ -53,10 +53,61 @@ impl OpStats {
     }
 }
 
+/// Expression-compiler counters: how many closures were lowered to
+/// bytecode and how many fell back to the interpreter, keyed by the
+/// fallback reason (see [`crate::compile::Fallback`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Closures lowered to bytecode (one per compilation event; a
+    /// `search_join` whose inner predicate recompiles per outer tuple
+    /// counts each instance).
+    pub compiled: u64,
+    /// Interpreter fallbacks as `(reason, count)`, sorted by reason.
+    pub fallbacks: Vec<(String, u64)>,
+}
+
+impl CompileStats {
+    /// Total fallbacks across every reason.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.fallbacks.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The count for one fallback reason (0 if it never occurred).
+    pub fn fallback(&self, reason: &str) -> u64 {
+        self.fallbacks
+            .iter()
+            .find_map(|(r, n)| (r == reason).then_some(*n))
+            .unwrap_or(0)
+    }
+
+    /// Whether nothing was compiled and nothing fell back.
+    pub fn is_empty(&self) -> bool {
+        self.compiled == 0 && self.fallbacks.is_empty()
+    }
+
+    /// Counter difference `self - before`: the compilation events
+    /// attributable to one run.
+    pub fn delta(&self, before: &CompileStats) -> CompileStats {
+        let fallbacks = self
+            .fallbacks
+            .iter()
+            .filter_map(|(r, n)| {
+                let d = n - before.fallback(r);
+                (d > 0).then(|| (r.clone(), d))
+            })
+            .collect();
+        CompileStats {
+            compiled: self.compiled - before.compiled,
+            fallbacks,
+        }
+    }
+}
+
 /// Engine-wide per-operator counters, shared behind the engine.
 #[derive(Default)]
 pub struct ExecStats {
     ops: Mutex<HashMap<&'static str, OpStats>>,
+    compile: Mutex<(u64, HashMap<&'static str, u64>)>,
 }
 
 impl ExecStats {
@@ -112,9 +163,34 @@ impl ExecStats {
         out
     }
 
+    /// Record one closure lowered to bytecode.
+    pub fn record_compiled(&self) {
+        self.compile.lock().0 += 1;
+    }
+
+    /// Record one interpreter fallback under `reason`.
+    pub fn record_fallback(&self, reason: &'static str) {
+        *self.compile.lock().1.entry(reason).or_default() += 1;
+    }
+
+    /// The expression-compiler counters, fallbacks sorted by reason.
+    pub fn compile_snapshot(&self) -> CompileStats {
+        let guard = self.compile.lock();
+        let mut fallbacks: Vec<(String, u64)> =
+            guard.1.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        fallbacks.sort_by(|a, b| a.0.cmp(&b.0));
+        CompileStats {
+            compiled: guard.0,
+            fallbacks,
+        }
+    }
+
     /// Reset every counter (e.g. between benchmark phases).
     pub fn reset(&self) {
         self.ops.lock().clear();
+        let mut c = self.compile.lock();
+        c.0 = 0;
+        c.1.clear();
     }
 }
 
@@ -140,5 +216,31 @@ mod tests {
         assert_eq!(s.snapshot().len(), 1);
         s.reset();
         assert_eq!(s.op("count"), OpStats::default());
+    }
+
+    #[test]
+    fn compile_counters_accumulate_delta_and_reset() {
+        let s = ExecStats::default();
+        assert!(s.compile_snapshot().is_empty());
+        s.record_compiled();
+        s.record_compiled();
+        s.record_fallback("object-ref");
+        s.record_fallback("impure-op");
+        s.record_fallback("impure-op");
+        let snap = s.compile_snapshot();
+        assert_eq!(snap.compiled, 2);
+        assert_eq!(snap.total_fallbacks(), 3);
+        assert_eq!(snap.fallback("impure-op"), 2);
+        assert_eq!(snap.fallback("object-ref"), 1);
+        assert_eq!(snap.fallback("never"), 0);
+        // Fallbacks come back sorted by reason for stable rendering.
+        assert_eq!(snap.fallbacks[0].0, "impure-op");
+        s.record_compiled();
+        s.record_fallback("object-ref");
+        let d = s.compile_snapshot().delta(&snap);
+        assert_eq!(d.compiled, 1);
+        assert_eq!(d.fallbacks, vec![("object-ref".to_string(), 1)]);
+        s.reset();
+        assert!(s.compile_snapshot().is_empty());
     }
 }

@@ -14,7 +14,8 @@
 //! drained stream stays drained). Crossing the statement boundary, the
 //! system materializes cursors into plain [`Value::Stream`] results.
 
-use crate::engine::EvalCtx;
+use crate::compile::{compile_gated, CompiledFun};
+use crate::engine::{EvalCtx, ExecEngine};
 use crate::error::{ExecError, ExecResult};
 use crate::handles::BTreeHandle;
 use crate::value::{Closure, Value};
@@ -45,10 +46,12 @@ pub enum Cursor {
         done: bool,
         buf: VecDeque<Value>,
     },
-    /// Pipelined selection.
+    /// Pipelined selection. `compiled` holds the predicate lowered to
+    /// bytecode (see [`crate::compile`]); `None` keeps the interpreter.
     Filter {
         input: Box<Cursor>,
         pred: Arc<Closure>,
+        compiled: Option<Arc<CompiledFun>>,
     },
     /// Pipelined prefix (stops pulling once exhausted).
     Head {
@@ -56,16 +59,19 @@ pub enum Cursor {
         remaining: usize,
     },
     /// Pipelined generalized projection: each output tuple is built by
-    /// applying the attribute functions to the input tuple.
+    /// applying the attribute functions to the input tuple. `compiled`
+    /// parallels `funs` (compilation is per attribute function).
     Project {
         input: Box<Cursor>,
         funs: Vec<Arc<Closure>>,
+        compiled: Vec<Option<Arc<CompiledFun>>>,
     },
     /// Pipelined attribute replacement.
     Replace {
         input: Box<Cursor>,
         idx: usize,
         fun: Arc<Closure>,
+        compiled: Option<Arc<CompiledFun>>,
     },
     /// Pipelined search join: for each outer tuple, the parameter
     /// function produces the matching inner stream (Section 4).
@@ -103,6 +109,40 @@ impl Cursor {
             primed: false,
             done: false,
             buf: VecDeque::new(),
+        }
+    }
+
+    /// A filter step, compiling the predicate when the engine allows
+    /// (recording the compile/fallback either way).
+    pub fn filter(engine: &ExecEngine, input: Cursor, pred: Arc<Closure>) -> Cursor {
+        let compiled = compile_gated(engine, &pred);
+        Cursor::Filter {
+            input: Box::new(input),
+            pred,
+            compiled,
+        }
+    }
+
+    /// A projection step; each attribute function compiles independently
+    /// (a mix of compiled and interpreted columns is fine).
+    pub fn project(engine: &ExecEngine, input: Cursor, funs: Vec<Arc<Closure>>) -> Cursor {
+        let compiled = funs.iter().map(|f| compile_gated(engine, f)).collect();
+        Cursor::Project {
+            input: Box::new(input),
+            funs,
+            compiled,
+        }
+    }
+
+    /// An attribute-replacement step, compiling the field function when
+    /// the engine allows.
+    pub fn replace(engine: &ExecEngine, input: Cursor, idx: usize, fun: Arc<Closure>) -> Cursor {
+        let compiled = compile_gated(engine, &fun);
+        Cursor::Replace {
+            input: Box::new(input),
+            idx,
+            fun,
+            compiled,
         }
     }
 
@@ -175,33 +215,58 @@ impl Cursor {
                     *done = true;
                 }
             },
-            Cursor::Filter { input, pred } => loop {
+            Cursor::Filter {
+                input,
+                pred,
+                compiled,
+            } => loop {
                 let Some(t) = input.next(ctx)? else {
                     return Ok(None);
                 };
-                let pred = pred.clone();
-                if ctx.call(&pred, vec![t.clone()])?.as_bool("filter")? {
+                let keep = if let Some(cf) = compiled {
+                    cf.call(std::slice::from_ref(&t))?.as_bool("filter")?
+                } else {
+                    let pred = pred.clone();
+                    ctx.call(&pred, vec![t.clone()])?.as_bool("filter")?
+                };
+                if keep {
                     return Ok(Some(t));
                 }
             },
-            Cursor::Project { input, funs } => {
+            Cursor::Project {
+                input,
+                funs,
+                compiled,
+            } => {
                 let Some(t) = input.next(ctx)? else {
                     return Ok(None);
                 };
                 let funs = funs.clone();
+                let compiled = compiled.clone();
                 let mut fields = Vec::with_capacity(funs.len());
-                for f in &funs {
-                    fields.push(ctx.call(f, vec![t.clone()])?);
+                for (f, cf) in funs.iter().zip(&compiled) {
+                    fields.push(match cf {
+                        Some(cf) => cf.call(std::slice::from_ref(&t))?,
+                        None => ctx.call(f, vec![t.clone()])?,
+                    });
                 }
                 Ok(Some(Value::tuple(fields)))
             }
-            Cursor::Replace { input, idx, fun } => {
+            Cursor::Replace {
+                input,
+                idx,
+                fun,
+                compiled,
+            } => {
                 let Some(t) = input.next(ctx)? else {
                     return Ok(None);
                 };
-                let (idx, fun) = (*idx, fun.clone());
+                let (idx, fun, compiled) = (*idx, fun.clone(), compiled.clone());
                 let mut fields = t.as_tuple("replace")?.to_vec();
-                fields[idx] = ctx.call(&fun, vec![t.clone()])?;
+                fields[idx] = match &compiled {
+                    Some(cf) => cf.call(std::slice::from_ref(&t))?,
+                    None => ctx.call(&fun, vec![t.clone()])?,
+                };
                 Ok(Some(Value::tuple(fields)))
             }
             Cursor::SearchJoin {
@@ -368,42 +433,70 @@ impl Cursor {
                     }
                 }
             }
-            Cursor::Filter { input, pred } => {
+            Cursor::Filter {
+                input,
+                pred,
+                compiled,
+            } => {
                 let pred = pred.clone();
+                let compiled = compiled.clone();
                 let mut scratch = Vec::with_capacity(n.min(4096));
                 loop {
                     scratch.clear();
                     if input.next_batch_into(ctx, n, &mut scratch)? == 0 {
                         break;
                     }
-                    let frame = ctx.begin_call(&pred);
-                    let mut res = Ok(());
-                    for t in scratch.drain(..) {
-                        match ctx
-                            .call_bound1(&pred, &frame, t.clone())
-                            .and_then(|v| v.as_bool("filter"))
-                        {
-                            Ok(true) => out.push(t),
-                            Ok(false) => {}
-                            Err(e) => {
-                                res = Err(e);
-                                break;
+                    if let Some(cf) = &compiled {
+                        // Compiled path: the whole batch through the
+                        // bytecode (columnar when the predicate is
+                        // int/bool throughout), then push by mask.
+                        let mask = cf.eval_mask(&scratch, "filter")?;
+                        for (t, keep) in scratch.drain(..).zip(mask) {
+                            if keep {
+                                out.push(t);
                             }
                         }
+                    } else {
+                        let frame = ctx.begin_call(&pred);
+                        let mut res = Ok(());
+                        for t in scratch.drain(..) {
+                            match ctx
+                                .call_bound1(&pred, &frame, t.clone())
+                                .and_then(|v| v.as_bool("filter"))
+                            {
+                                Ok(true) => out.push(t),
+                                Ok(false) => {}
+                                Err(e) => {
+                                    res = Err(e);
+                                    break;
+                                }
+                            }
+                        }
+                        ctx.end_call(frame);
+                        res?;
                     }
-                    ctx.end_call(frame);
-                    res?;
                     if out.len() > start {
                         break;
                     }
                 }
             }
-            Cursor::Project { input, funs } => {
+            Cursor::Project {
+                input,
+                funs,
+                compiled,
+            } => {
                 let mut batch = Vec::with_capacity(n.min(4096));
                 if input.next_batch_into(ctx, n, &mut batch)? > 0 {
                     let funs = funs.clone();
+                    let compiled = compiled.clone();
                     let mut cols: Vec<Vec<Value>> = Vec::with_capacity(funs.len());
-                    for f in &funs {
+                    for (f, cf) in funs.iter().zip(&compiled) {
+                        if let Some(cf) = cf {
+                            // Compiled column: same (function, row) error
+                            // order as the interpreted batch loop below.
+                            cols.push(cf.eval_column(&batch)?);
+                            continue;
+                        }
                         let frame = ctx.begin_call(f);
                         let mut col = Vec::with_capacity(batch.len());
                         let mut res = Ok(());
@@ -431,28 +524,51 @@ impl Cursor {
                     }
                 }
             }
-            Cursor::Replace { input, idx, fun } => {
+            Cursor::Replace {
+                input,
+                idx,
+                fun,
+                compiled,
+            } => {
                 let mut batch = Vec::with_capacity(n.min(4096));
                 if input.next_batch_into(ctx, n, &mut batch)? > 0 {
-                    let (idx, fun) = (*idx, fun.clone());
-                    let frame = ctx.begin_call(&fun);
-                    let mut res = Ok(());
-                    for t in &batch {
-                        let built = ctx.call_bound1(&fun, &frame, t.clone()).and_then(|v| {
+                    let (idx, fun, compiled) = (*idx, fun.clone(), compiled.clone());
+                    if let Some(cf) = &compiled {
+                        // Columnar only when the whole batch evaluates
+                        // clean (`try_columnar`); otherwise interleave
+                        // call-then-rebuild per row like the interpreted
+                        // loop, so the first error (function vs. tuple
+                        // rebuild) lands in the same place.
+                        let vals = cf.try_columnar(&batch);
+                        for (r, t) in batch.iter().enumerate() {
+                            let v = match &vals {
+                                Some(vs) => vs[r].clone(),
+                                None => cf.call(std::slice::from_ref(t))?,
+                            };
                             let mut fields = t.as_tuple("replace")?.to_vec();
                             fields[idx] = v;
-                            Ok(Value::tuple(fields))
-                        });
-                        match built {
-                            Ok(v) => out.push(v),
-                            Err(e) => {
-                                res = Err(e);
-                                break;
+                            out.push(Value::tuple(fields));
+                        }
+                    } else {
+                        let frame = ctx.begin_call(&fun);
+                        let mut res = Ok(());
+                        for t in &batch {
+                            let built = ctx.call_bound1(&fun, &frame, t.clone()).and_then(|v| {
+                                let mut fields = t.as_tuple("replace")?.to_vec();
+                                fields[idx] = v;
+                                Ok(Value::tuple(fields))
+                            });
+                            match built {
+                                Ok(v) => out.push(v),
+                                Err(e) => {
+                                    res = Err(e);
+                                    break;
+                                }
                             }
                         }
+                        ctx.end_call(frame);
+                        res?;
                     }
-                    ctx.end_call(frame);
-                    res?;
                 }
             }
             Cursor::Head { input, remaining } => {

@@ -91,3 +91,41 @@ fn materialize_accepts_all_stream_shapes() {
     let _ = sym("x");
     let _ = DataType::atom("int");
 }
+
+#[test]
+fn head_batch_arm_is_exact_when_limit_falls_mid_batch() {
+    // Regression guard for the vectorized `Head` arm: when the limit
+    // falls inside a batch, the cursor must clamp the pull to the
+    // remaining budget (never over-pull from the input) and report
+    // exhaustion exactly at the limit — across widths that land before,
+    // on, and past the boundary.
+    let (engine, heap) = engine_with_heap(100);
+    for width in [1usize, 3, 5, 7, 64] {
+        let mut store = HashMap::new();
+        let mut cat = Catalog::new();
+        let mut ctx = EvalCtx::new(&engine, &mut store, &mut cat);
+        let mut head = Cursor::Head {
+            input: Box::new(Cursor::heap_scan(heap.clone())),
+            remaining: 5,
+        };
+        let mut out = Vec::new();
+        let mut pulls = Vec::new();
+        loop {
+            let got = head.next_batch_into(&mut ctx, width, &mut out).unwrap();
+            if got == 0 {
+                break;
+            }
+            pulls.push(got);
+        }
+        assert_eq!(out.len(), 5, "width {width} over- or under-delivered");
+        assert!(
+            pulls.iter().all(|&g| g <= width.max(1)),
+            "width {width} pulls {pulls:?}"
+        );
+        // The Head cursor left the un-consumed remainder in the input:
+        // a fresh scan of the same heap still sees all 100 tuples, and
+        // the head itself stays exhausted.
+        assert_eq!(head.next_batch_into(&mut ctx, width, &mut out).unwrap(), 0);
+        assert!(head.next(&mut ctx).unwrap().is_none());
+    }
+}

@@ -8,10 +8,10 @@
 //! of the run. It renders via `Display` and serializes to JSON.
 
 use crate::json::{array, Obj};
-use crate::metrics::{op_json, op_line, pool_json, wal_json, wal_line};
+use crate::metrics::{compile_json, compile_line, op_json, op_line, pool_json, wal_json, wal_line};
 use crate::trace::{fmt_nanos, Phase};
 use sos_core::typed::{TypedExpr, TypedNode};
-use sos_exec::OpStats;
+use sos_exec::{CompileStats, OpStats};
 use sos_optimizer::RuleApplication;
 use sos_storage::{PoolStats, WalStats};
 
@@ -38,6 +38,9 @@ pub struct ExplainAnalysis {
     /// WAL traffic attributable to this run (zero for queries and for
     /// non-durable databases: only committed updates write the log).
     pub wal: WalStats,
+    /// Expression-compiler events attributable to this run: closures
+    /// lowered to batch bytecode and interpreter fallbacks by reason.
+    pub compile: CompileStats,
     /// A short summary of the produced value (kind and cardinality).
     pub result: String,
 }
@@ -138,6 +141,9 @@ impl Explain {
             if !a.wal.is_empty() {
                 let _ = writeln!(out, "  wal: {}", wal_line(&a.wal));
             }
+            if !a.compile.is_empty() {
+                let _ = writeln!(out, "  compile: {}", compile_line(&a.compile));
+            }
         }
         out
     }
@@ -185,6 +191,7 @@ impl Explain {
                     .str("result", &a.result)
                     .raw("pool", &pool_json(&a.pool))
                     .raw("wal", &wal_json(&a.wal))
+                    .raw("compile", &compile_json(&a.compile))
                     .raw("ops", &array(a.ops.iter().map(|(n, s)| op_json(n, s))))
                     .finish(),
             );

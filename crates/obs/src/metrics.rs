@@ -9,7 +9,7 @@
 
 use crate::json::{array, Obj};
 use crate::trace::{Phase, PhaseTimings};
-use sos_exec::OpStats;
+use sos_exec::{CompileStats, OpStats};
 use sos_optimizer::OptimizerStats;
 use sos_storage::{PoolStats, WalStats};
 
@@ -27,6 +27,9 @@ pub struct MetricsSnapshot {
     pub phases: PhaseTimings,
     /// Write-ahead log traffic (all zero for a non-durable database).
     pub wal: WalStats,
+    /// Expression-compiler counters: closures lowered to bytecode and
+    /// interpreter fallbacks keyed by reason (empty with `.compile off`).
+    pub compile: CompileStats,
 }
 
 impl MetricsSnapshot {
@@ -52,6 +55,7 @@ impl MetricsSnapshot {
         );
         o.raw("phases", &phases_json(&self.phases));
         o.raw("wal", &wal_json(&self.wal));
+        o.raw("compile", &compile_json(&self.compile));
         o.finish()
     }
 }
@@ -80,6 +84,9 @@ impl std::fmt::Display for MetricsSnapshot {
         }
         if !self.wal.is_empty() {
             writeln!(f, "wal: {}", wal_line(&self.wal))?;
+        }
+        if !self.compile.is_empty() {
+            writeln!(f, "compile: {}", compile_line(&self.compile))?;
         }
         write!(f, "{}", self.phases)
     }
@@ -118,6 +125,39 @@ pub fn wal_line(w: &WalStats) -> String {
         line.push_str(&format!(", {} checkpoint(s)", w.checkpoints));
     }
     line
+}
+
+/// The one-line rendering of expression-compiler counters shared by
+/// `.metrics` and EXPLAIN ANALYZE output.
+pub fn compile_line(c: &CompileStats) -> String {
+    let mut line = format!("{} expr(s) compiled", c.compiled);
+    if c.total_fallbacks() > 0 {
+        let reasons: Vec<String> = c
+            .fallbacks
+            .iter()
+            .map(|(r, n)| format!("{n} {r}"))
+            .collect();
+        line.push_str(&format!(
+            ", {} interpreter fallback(s): {}",
+            c.total_fallbacks(),
+            reasons.join(", ")
+        ));
+    }
+    line
+}
+
+pub(crate) fn compile_json(c: &CompileStats) -> String {
+    Obj::new()
+        .u64("compiled", c.compiled)
+        .raw(
+            "fallbacks",
+            &array(
+                c.fallbacks
+                    .iter()
+                    .map(|(r, n)| Obj::new().str("reason", r).u64("count", *n).finish()),
+            ),
+        )
+        .finish()
 }
 
 pub(crate) fn wal_json(w: &WalStats) -> String {
@@ -247,6 +287,10 @@ mod tests {
                 syncs: 1,
                 ..WalStats::default()
             },
+            compile: CompileStats {
+                compiled: 5,
+                fallbacks: vec![("impure-op".into(), 2)],
+            },
         };
         let text = snap.to_string();
         assert!(text.contains("pool: 10 logical reads"));
@@ -255,15 +299,22 @@ mod tests {
         assert_eq!(snap.op("filter").unwrap().tuples_in, 100);
         assert!(snap.op("feed").is_none());
         assert!(text.contains("wal: 4 record(s) (2 page image(s), 1 commit(s)"));
+        assert!(
+            text.contains("compile: 5 expr(s) compiled, 2 interpreter fallback(s): 2 impure-op")
+        );
         let json = snap.to_json();
         assert!(json.contains(r#""logical_reads":10"#));
         assert!(json.contains(r#""op":"filter""#));
         assert!(json.contains(r#""page_images":2"#));
-        // A zeroed WAL stays out of the human rendering but keeps its
-        // JSON shape.
+        assert!(json.contains(r#""compiled":5"#));
+        assert!(json.contains(r#""reason":"impure-op","count":2"#));
+        // A zeroed WAL and an idle compiler stay out of the human
+        // rendering but keep their JSON shape.
         let quiet = MetricsSnapshot::default();
         assert!(!quiet.to_string().contains("wal:"));
+        assert!(!quiet.to_string().contains("compile:"));
         assert!(quiet.to_json().contains(r#""wal""#));
+        assert!(quiet.to_json().contains(r#""compile""#));
     }
 
     #[test]

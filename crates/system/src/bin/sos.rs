@@ -19,6 +19,7 @@
 //!   `Database::checkpoint`)
 //! * `.stats [op]`   — per-operator counters (one operator, or all)
 //! * `.workers [n]`  — show or set the intra-operator worker count
+//! * `.compile [on|off]` — show or toggle the expression compiler
 //! * `.objects`      — list catalog objects
 //! * `.quit`
 //!
@@ -207,7 +208,7 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
     match head {
         ".quit" | ".exit" => return false,
         ".help" => {
-            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .checkpoint | .stats [op] | .workers [n] | .batch [n] | .objects | .quit");
+            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .checkpoint | .stats [op] | .workers [n] | .batch [n] | .compile [on|off] | .objects | .quit");
         }
         ".checkpoint" => {
             if !db.is_durable() {
@@ -279,6 +280,25 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
                 }
             }
         }
+        ".compile" => match rest.trim() {
+            "on" => {
+                db.set_compile_exprs(true);
+                println!("expression compiler on");
+            }
+            "off" => {
+                db.set_compile_exprs(false);
+                println!("expression compiler off");
+            }
+            "" => println!(
+                "expression compiler {}",
+                if db.compile_exprs_enabled() {
+                    "on"
+                } else {
+                    "off"
+                }
+            ),
+            _ => println!("error: `.compile` takes `on` or `off`"),
+        },
         ".objects" => {
             let mut entries: Vec<String> = db
                 .catalog()

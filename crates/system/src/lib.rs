@@ -191,6 +191,7 @@ pub struct DatabaseBuilder {
     frame_capacity: Option<usize>,
     workers: Option<usize>,
     batch_size: Option<usize>,
+    compile_exprs: Option<bool>,
     optimize: Option<bool>,
     trace: bool,
     strict_lint: bool,
@@ -263,6 +264,15 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Enable or disable the expression compiler (default: enabled).
+    /// When on, checked predicate and map closures lower to flat batch
+    /// bytecode; when off, every closure runs through the tree-walking
+    /// interpreter. The two modes compute identical results and errors.
+    pub fn compile_exprs(mut self, on: bool) -> DatabaseBuilder {
+        self.compile_exprs = Some(on);
+        self
+    }
+
     /// Enable or disable the rule optimizer (default: enabled).
     pub fn optimize(mut self, enabled: bool) -> DatabaseBuilder {
         self.optimize = Some(enabled);
@@ -332,6 +342,9 @@ impl DatabaseBuilder {
         }
         if let Some(n) = self.batch_size {
             engine.set_batch_size(n);
+        }
+        if let Some(on) = self.compile_exprs {
+            engine.set_compile_exprs(on);
         }
         let mut db = Database {
             sig: builtin::builtin_signature(),
@@ -429,6 +442,7 @@ impl Database {
             ops: self.engine.stats.snapshot(),
             phases: self.tracer.timings(),
             wal: self.engine.pool.wal_stats(),
+            compile: self.engine.stats.compile_snapshot(),
         }
     }
 
@@ -484,6 +498,19 @@ impl Database {
     /// The current vectorized batch width.
     pub fn batch_size(&self) -> usize {
         self.engine.batch_size()
+    }
+
+    /// Turn the expression compiler on or off at runtime. `false`
+    /// forces every closure through the tree-walking interpreter; the
+    /// differential suite runs both modes over the same statements.
+    /// (Initial value: [`DatabaseBuilder::compile_exprs`], default on.)
+    pub fn set_compile_exprs(&mut self, on: bool) {
+        self.engine.set_compile_exprs(on);
+    }
+
+    /// Whether closures are compiled to batch bytecode when possible.
+    pub fn compile_exprs_enabled(&self) -> bool {
+        self.engine.compile_exprs_enabled()
     }
 
     /// Turn the rule optimizer off/on at runtime (benchmarks compare
@@ -727,6 +754,7 @@ impl Database {
             let pool_before = self.engine.pool.stats();
             let ops_before = self.engine.stats.snapshot();
             let wal_before = self.engine.pool.wal_stats();
+            let compile_before = self.engine.stats.compile_snapshot();
             let started = Instant::now();
             let value = self.eval(&optimized)?;
             phases.push((Phase::Execute, started.elapsed().as_nanos() as u64));
@@ -735,6 +763,7 @@ impl Database {
                 pool: pool_delta(&pool_before, &self.engine.pool.stats()),
                 result: value_summary(&value),
                 wal: self.engine.pool.wal_stats().delta(&wal_before),
+                compile: self.engine.stats.compile_snapshot().delta(&compile_before),
             })
         } else {
             None
