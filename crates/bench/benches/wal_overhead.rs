@@ -10,7 +10,7 @@
 //! was lost.
 
 use criterion::{black_box, Criterion};
-use sos_system::Database;
+use sos_system::{Database, DurabilityConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -40,7 +40,7 @@ fn durable_dir(tag: &str) -> PathBuf {
 
 fn durable_db(dir: &PathBuf) -> Database {
     let mut db = Database::builder()
-        .durable(dir)
+        .durability(DurabilityConfig::dir(dir))
         .try_build()
         .expect("durable open");
     if db.catalog().objects().next().is_none() {

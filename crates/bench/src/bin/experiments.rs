@@ -8,12 +8,14 @@
 //! ```
 
 use bench::{as_count, heap_db, item_tuples, keyed_db, spatial_db};
-use sos_system::Database;
+use sos_storage::{DiskManager, FileDisk, SyncPolicy, Wal, WalOptions, PAGE_SIZE};
+use sos_system::{Database, DurabilityConfig};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 fn main() {
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", pr6_json());
+        println!("{}", pr7_json());
         return;
     }
     println!("Second-Order Signature — experiment harness");
@@ -325,13 +327,19 @@ fn b9() {
 
     let dir = std::env::temp_dir().join(format!("sos-exp-b9-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let mut dur = Database::builder().durable(&dir).try_build().unwrap();
+    let mut dur = Database::builder()
+        .durability(DurabilityConfig::dir(&dir))
+        .try_build()
+        .unwrap();
     dur.run(DURABLE_SCHEMA).unwrap();
     let dur_ms = timed_inserts(&mut dur, n);
     let wal = dur.metrics().wal;
     drop(dur); // unclean: no checkpoint, no save — only the log survives
 
-    let mut reopened = Database::builder().durable(&dir).try_build().unwrap();
+    let mut reopened = Database::builder()
+        .durability(DurabilityConfig::dir(&dir))
+        .try_build()
+        .unwrap();
     let recovered = as_count(&reopened.query("items_rep feed count").unwrap());
     let info = *reopened.recovery_info().unwrap();
     drop(reopened);
@@ -615,29 +623,48 @@ fn timed_inserts(db: &mut Database, n: usize) -> f64 {
 
 /// Durable vs in-memory update throughput on real files: the measured
 /// price of the commit fsync and page-image logging, plus the WAL
-/// traffic the workload generated and the cost of a checkpoint.
+/// traffic the workload generated and the cost of a checkpoint. The
+/// number that matters is the *ratio*, so trials are paired — each one
+/// times an in-memory run and a durable run back to back under the same
+/// host conditions — and the pair with the lowest overhead factor is
+/// reported (best of five, like [`pr3_ms`]; fsync latency spikes are
+/// pure noise for a cost-shape table).
 fn wal_overhead_json() -> String {
     let n = 200;
-    let mut mem = Database::builder().build();
-    mem.run(DURABLE_SCHEMA).expect("schema");
-    let mem_ms = timed_inserts(&mut mem, n);
+    let mut mem_ms = f64::MAX;
+    let mut dur_ms = f64::MAX;
+    let mut overhead = f64::MAX;
+    let mut wal = Default::default();
+    let mut checkpoint_ms = f64::MAX;
+    for trial in 0..5 {
+        let mut mem = Database::builder().build();
+        mem.run(DURABLE_SCHEMA).expect("schema");
+        let trial_mem_ms = timed_inserts(&mut mem, n);
+        drop(mem);
 
-    let dir = std::env::temp_dir().join(format!("sos-bench-wal-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let mut dur = Database::builder()
-        .durable(&dir)
-        .try_build()
-        .expect("durable open");
-    dur.run(DURABLE_SCHEMA).expect("schema");
-    let dur_ms = timed_inserts(&mut dur, n);
-    let wal = dur.metrics().wal;
-    let t = Instant::now();
-    dur.checkpoint().expect("checkpoint");
-    let checkpoint_ms = t.elapsed().as_secs_f64() * 1000.0;
-    drop(dur);
-    let _ = std::fs::remove_dir_all(&dir);
+        let dir =
+            std::env::temp_dir().join(format!("sos-bench-wal-{}-{trial}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut dur = Database::builder()
+            .durability(DurabilityConfig::dir(&dir))
+            .try_build()
+            .expect("durable open");
+        dur.run(DURABLE_SCHEMA).expect("schema");
+        let trial_dur_ms = timed_inserts(&mut dur, n);
 
-    let overhead = dur_ms / mem_ms.max(f64::MIN_POSITIVE);
+        let trial_overhead = trial_dur_ms / trial_mem_ms.max(f64::MIN_POSITIVE);
+        if trial_overhead < overhead {
+            overhead = trial_overhead;
+            mem_ms = trial_mem_ms;
+            dur_ms = trial_dur_ms;
+            wal = dur.metrics().wal;
+        }
+        let t = Instant::now();
+        dur.checkpoint().expect("checkpoint");
+        checkpoint_ms = checkpoint_ms.min(t.elapsed().as_secs_f64() * 1000.0);
+        drop(dur);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     format!(
         r#"{{"statements":{n},"memory_ms":{mem_ms:.3},"durable_ms":{dur_ms:.3},"durable_ms_per_statement":{:.4},"overhead_factor":{overhead:.2},"wal_records":{},"wal_page_images":{},"wal_commits":{},"wal_bytes":{},"wal_syncs":{},"checkpoint_ms":{checkpoint_ms:.3}}}"#,
         dur_ms / n as f64,
@@ -746,5 +773,111 @@ fn pr6_json() -> String {
     format!(
         "{{\"bench\":\"PR6 expression compilation + durability + static analysis + batch execution\",\"compile_speedup\":{},{body}}}",
         compile_speedup_json()
+    )
+}
+
+// ---- PR7: group commit — coalesced fsyncs under concurrency ----
+
+/// Open a WAL over real files in a fresh temp dir (the data disk only
+/// anchors recovery; the committers never touch it).
+fn group_commit_wal(tag: &str, policy: SyncPolicy) -> (Arc<Wal>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("sos-bench-gc-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let data: Arc<dyn DiskManager> =
+        Arc::new(FileDisk::open(&dir.join("pages.db")).expect("data disk"));
+    let wal_disk: Arc<dyn DiskManager> =
+        Arc::new(FileDisk::open(&dir.join("wal.log")).expect("wal disk"));
+    let (wal, _, _) = Wal::recover_with(
+        wal_disk,
+        &data,
+        WalOptions {
+            policy,
+            ..WalOptions::default()
+        },
+    )
+    .expect("wal open");
+    (Arc::new(wal), dir)
+}
+
+/// `threads` committers × `per_thread` single-page commits racing from
+/// a barrier; wall milliseconds from the barrier to the last join.
+fn group_commit_run(wal: &Arc<Wal>, threads: usize, per_thread: usize) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let wal = Arc::clone(wal);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..per_thread {
+                    let txid = wal.alloc_txid();
+                    let image = [(t + i) as u8; PAGE_SIZE];
+                    wal.append_page_image(txid, (t * per_thread + i) as u32, &image);
+                    wal.commit(txid, None).expect("commit");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join().expect("committer thread");
+    }
+    started.elapsed().as_secs_f64() * 1000.0
+}
+
+/// The concurrency sweep: N committing threads, per-commit fsync vs the
+/// coalescing group-commit writer, on real files. The commit count is
+/// held constant across the sweep so rows compare like for like.
+fn group_commit_json() -> String {
+    const TOTAL_COMMITS: usize = 320;
+    let mut rows = Vec::new();
+    for threads in [1usize, 4, 16, 64] {
+        let per_thread = TOTAL_COMMITS / threads;
+        let mut measured = Vec::new();
+        for (label, policy) in [
+            ("percommit", SyncPolicy::PerCommit),
+            ("group", SyncPolicy::DEFAULT_GROUP),
+        ] {
+            let (wal, dir) = group_commit_wal(&format!("{label}-{threads}"), policy);
+            // Best of three runs against the same log, like pr3_ms.
+            let mut best = f64::MAX;
+            for _ in 0..3 {
+                best = best.min(group_commit_run(&wal, threads, per_thread));
+            }
+            let stats = wal.stats();
+            assert_eq!(
+                wal.durable_lsn(),
+                wal.appended_lsn(),
+                "pipeline did not quiesce"
+            );
+            measured.push((best, stats.commits, stats.syncs));
+            drop(wal);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let (per_ms, _, per_syncs) = measured[0];
+        let (group_ms, group_commits, group_syncs) = measured[1];
+        let speedup = per_ms / group_ms.max(f64::MIN_POSITIVE);
+        rows.push(format!(
+            r#"{{"threads":{threads},"commits_per_policy":{TOTAL_COMMITS},"percommit_ms":{per_ms:.3},"percommit_syncs":{per_syncs},"group_ms":{group_ms:.3},"group_syncs":{group_syncs},"group_syncs_per_commit":{:.4},"group_vs_percommit_speedup":{speedup:.2}}}"#,
+            group_syncs as f64 / group_commits as f64
+        ));
+    }
+    format!("[{}]", rows.join(","))
+}
+
+/// The JSON document committed as BENCH_PR7.json: the PR6 document plus
+/// the group-commit concurrency sweep.
+fn pr7_json() -> String {
+    let pr6 = pr6_json();
+    let body = pr6
+        .strip_prefix("{\"bench\":\"PR6 expression compilation + durability + static analysis + batch execution\",")
+        .expect("pr6_json prefix")
+        .strip_suffix('}')
+        .expect("pr6_json suffix");
+    format!(
+        "{{\"bench\":\"PR7 group commit + expression compilation + durability + static analysis + batch execution\",\"group_commit\":{},{body}}}",
+        group_commit_json()
     )
 }

@@ -5,12 +5,28 @@
 //! engine-wide measure of logical page touches and physical I/O — the cost
 //! numbers reported by the experiment harness.
 
-use crate::wal::{Wal, WalStats};
+use crate::scheduler::DiskScheduler;
+use crate::wal::{Lsn, Wal, WalStats};
 use crate::{DiskManager, PageId, StorageError, StorageResult, PAGE_SIZE};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// What one checkpoint did, returned by [`BufferPool::checkpoint`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Data pages written back during the checkpoint.
+    pub pages_written: u64,
+    /// The log scan start before the checkpoint (all zero for a
+    /// non-durable pool).
+    pub start_lsn: Lsn,
+    /// The new scan start the checkpoint advanced to.
+    pub end_lsn: Lsn,
+    /// Wall time of the whole checkpoint, in microseconds.
+    pub duration_micros: u64,
+}
 
 /// Counters accumulated over the lifetime of a pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,7 +89,14 @@ pub struct BufferPool {
     frames: Mutex<HashMap<PageId, Arc<Frame>>>,
     clock: AtomicU64,
     stats: Counters,
+    /// Writes completed by the scheduler at the last `reset_stats`, so
+    /// `stats()` can report a resettable `physical_writes`.
+    sched_writes_base: AtomicU64,
     wal: Option<Arc<Wal>>,
+    /// Background data-page writeback (durable pools only): evictions
+    /// and checkpoints queue their writes here instead of blocking the
+    /// calling thread on the disk.
+    scheduler: Option<Arc<DiskScheduler>>,
     /// Id of the open transaction (0 = none). Single-writer: statement
     /// execution is serialized, parallel workers only read.
     tx_current: Arc<AtomicU64>,
@@ -94,6 +117,12 @@ impl BufferPool {
     }
 
     fn build(disk: Arc<dyn DiskManager>, capacity: usize, wal: Option<Arc<Wal>>) -> Self {
+        let scheduler = wal.as_ref().map(|w| {
+            Arc::new(
+                DiskScheduler::new(Arc::clone(&disk), Arc::clone(w))
+                    .expect("spawn disk scheduler worker"),
+            )
+        });
         BufferPool {
             disk,
             capacity: capacity.max(1),
@@ -106,7 +135,9 @@ impl BufferPool {
                 physical_writes: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
             },
+            sched_writes_base: AtomicU64::new(0),
             wal,
+            scheduler,
             tx_current: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -138,9 +169,18 @@ impl BufferPool {
                 frame: Arc::clone(frame),
             });
         }
-        // Miss: make room, then read from disk.
+        // Miss: make room, then read — from the writeback queue if the
+        // page's newest image is still waiting there (reading the disk
+        // would race the scheduler into serving a stale page), else from
+        // the disk.
         if frames.len() >= self.capacity {
             self.evict_one(&mut frames)?;
+        }
+        if let Some(data) = self.scheduler.as_ref().and_then(|s| s.lookup(pid)) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let frame = Arc::new(self.new_frame(pid, data, false, tick));
+            frames.insert(pid, Arc::clone(&frame));
+            return Ok(PageGuard { frame });
         }
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.disk.read_page(pid, &mut data[..])?;
@@ -186,10 +226,18 @@ impl BufferPool {
             .ok_or(StorageError::PoolExhausted)?;
         let frame = frames.remove(&victim).expect("victim present");
         if frame.dirty.load(Ordering::SeqCst) {
-            self.wal_before_data(&frame)?;
-            let data = frame.data.read();
-            self.disk.write_page(frame.pid, &data[..])?;
-            self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+            if let Some(sched) = &self.scheduler {
+                // Hand the write to the background scheduler: it enforces
+                // WAL-before-data itself, so eviction no longer blocks the
+                // evicting thread on two disks.
+                let data = frame.data.read().clone();
+                sched.submit(frame.pid, data, frame.page_lsn.load(Ordering::SeqCst));
+            } else {
+                self.wal_before_data(&frame)?;
+                let data = frame.data.read();
+                self.disk.write_page(frame.pid, &data[..])?;
+                self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -205,10 +253,29 @@ impl BufferPool {
     }
 
     /// Write every committed dirty frame back to disk (frames stay
-    /// cached). Frames belonging to an open transaction are skipped —
-    /// they reach the disk only after their images are in the log.
-    pub fn flush_all(&self) -> StorageResult<()> {
+    /// cached) and return how many pages reached the disk. Frames
+    /// belonging to an open transaction are skipped — they reach the
+    /// disk only after their images are in the log. With a scheduler the
+    /// writes are queued and then *drained*: when this returns, every
+    /// previously queued writeback has completed too (a barrier).
+    pub fn flush_all(&self) -> StorageResult<u64> {
         let frames = self.frames.lock();
+        if let Some(sched) = &self.scheduler {
+            let before = sched.completed();
+            for frame in frames.values() {
+                if frame.txid.load(Ordering::SeqCst) != 0 {
+                    continue;
+                }
+                if frame.dirty.swap(false, Ordering::SeqCst) {
+                    let data = frame.data.read().clone();
+                    sched.submit(frame.pid, data, frame.page_lsn.load(Ordering::SeqCst));
+                }
+            }
+            drop(frames);
+            sched.drain()?;
+            return Ok(sched.completed() - before);
+        }
+        let mut written = 0u64;
         for frame in frames.values() {
             if frame.txid.load(Ordering::SeqCst) != 0 {
                 continue;
@@ -218,9 +285,10 @@ impl BufferPool {
                 let data = frame.data.read();
                 self.disk.write_page(frame.pid, &data[..])?;
                 self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                written += 1;
             }
         }
-        Ok(())
+        Ok(written)
     }
 
     // ------------------------------------------------------ transactions
@@ -303,20 +371,29 @@ impl BufferPool {
     /// to the data disk (WAL first), sync the data disk, then advance
     /// the log's scan start past the work it no longer needs to redo.
     /// `meta` is re-published at the new scan start so recovery can
-    /// still find the engine's catalog snapshot.
-    pub fn checkpoint(&self, meta: Option<&[u8]>) -> StorageResult<()> {
+    /// still find the engine's catalog snapshot. Returns what the
+    /// checkpoint did.
+    pub fn checkpoint(&self, meta: Option<&[u8]>) -> StorageResult<CheckpointStats> {
+        let started = Instant::now();
         if self.tx_current.load(Ordering::SeqCst) != 0 {
             return Err(StorageError::Tx("checkpoint inside a transaction".into()));
         }
+        let start_lsn = self.wal.as_ref().map(|w| w.checkpoint_lsn()).unwrap_or(0);
         if let Some(wal) = &self.wal {
             wal.flush()?;
         }
-        self.flush_all()?;
+        let pages_written = self.flush_all()?;
         self.disk.sync()?;
         if let Some(wal) = &self.wal {
             wal.checkpoint_mark(meta)?;
         }
-        Ok(())
+        let end_lsn = self.wal.as_ref().map(|w| w.checkpoint_lsn()).unwrap_or(0);
+        Ok(CheckpointStats {
+            pages_written,
+            start_lsn,
+            end_lsn,
+            duration_micros: started.elapsed().as_micros() as u64,
+        })
     }
 
     /// The write-ahead log, when this pool has one.
@@ -334,13 +411,21 @@ impl BufferPool {
         self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
     }
 
-    /// Snapshot of the pool's counters.
+    /// Snapshot of the pool's counters. Writes completed by the
+    /// background scheduler count as `physical_writes` — they are this
+    /// pool's pages reaching this pool's disk, whoever's thread carried
+    /// them.
     pub fn stats(&self) -> PoolStats {
+        let sched_writes = self
+            .scheduler
+            .as_ref()
+            .map(|s| s.completed() - self.sched_writes_base.load(Ordering::SeqCst))
+            .unwrap_or(0);
         PoolStats {
             logical_reads: self.stats.logical_reads.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             physical_reads: self.stats.physical_reads.load(Ordering::Relaxed),
-            physical_writes: self.stats.physical_writes.load(Ordering::Relaxed),
+            physical_writes: self.stats.physical_writes.load(Ordering::Relaxed) + sched_writes,
             evictions: self.stats.evictions.load(Ordering::Relaxed),
         }
     }
@@ -352,6 +437,10 @@ impl BufferPool {
         self.stats.physical_reads.store(0, Ordering::Relaxed);
         self.stats.physical_writes.store(0, Ordering::Relaxed);
         self.stats.evictions.store(0, Ordering::Relaxed);
+        if let Some(sched) = &self.scheduler {
+            self.sched_writes_base
+                .store(sched.completed(), Ordering::SeqCst);
+        }
     }
 
     /// The disk manager beneath this pool.
@@ -421,10 +510,17 @@ impl Drop for PageGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MemDisk;
+    use crate::{MemDisk, Wal};
 
     fn pool(frames: usize) -> BufferPool {
         BufferPool::new(Arc::new(MemDisk::new()), frames)
+    }
+
+    fn durable_pool(frames: usize) -> BufferPool {
+        let data: Arc<dyn DiskManager> = Arc::new(MemDisk::new());
+        let wal_disk: Arc<dyn DiskManager> = Arc::new(MemDisk::new());
+        let (wal, _, _) = Wal::recover(wal_disk, &data).unwrap();
+        BufferPool::with_wal(data, frames, Arc::new(wal))
     }
 
     #[test]
@@ -496,6 +592,65 @@ mod tests {
         let mut buf = [0u8; PAGE_SIZE];
         disk.read_page(pid, &mut buf).unwrap();
         assert_eq!(buf[10], 5);
+    }
+
+    #[test]
+    fn scheduled_writeback_keeps_reads_fresh() {
+        // Eviction on a durable pool queues the write on the background
+        // scheduler; a refetch must see the newest image whether or not
+        // the writeback has landed yet.
+        let p = durable_pool(2);
+        p.begin_tx().unwrap();
+        let (pid, g) = p.allocate().unwrap();
+        g.write()[0] = 42;
+        drop(g);
+        p.commit_tx(None).unwrap();
+        for _ in 0..4 {
+            p.begin_tx().unwrap();
+            let (_, g) = p.allocate().unwrap();
+            g.write()[0] = 1;
+            drop(g);
+            p.commit_tx(None).unwrap();
+        }
+        let g = p.fetch(pid).unwrap();
+        assert_eq!(g.read()[0], 42);
+        drop(g);
+        let s = p.stats();
+        assert_eq!(
+            s.logical_reads,
+            s.cache_hits + s.physical_reads,
+            "scheduler lookups must keep the hit/miss identity"
+        );
+        p.flush_all().unwrap();
+        assert!(p.stats().physical_writes >= 1);
+    }
+
+    #[test]
+    fn checkpoint_reports_pages_and_lsn_range() {
+        let p = durable_pool(8);
+        p.begin_tx().unwrap();
+        let (_, g) = p.allocate().unwrap();
+        g.write()[0] = 7;
+        drop(g);
+        let (_, g) = p.allocate().unwrap();
+        g.write()[0] = 8;
+        drop(g);
+        p.commit_tx(Some(b"meta")).unwrap();
+        let cp = p.checkpoint(Some(b"meta")).unwrap();
+        assert_eq!(cp.pages_written, 2);
+        assert!(
+            cp.end_lsn > cp.start_lsn,
+            "checkpoint advances the scan start"
+        );
+        assert_eq!(p.wal_stats().checkpoints, 1);
+        // A non-durable pool still flushes but has no log positions.
+        let plain = pool(4);
+        let (_, g) = plain.allocate().unwrap();
+        g.write()[0] = 1;
+        drop(g);
+        let cp = plain.checkpoint(None).unwrap();
+        assert_eq!((cp.start_lsn, cp.end_lsn), (0, 0));
+        assert_eq!(cp.pages_written, 1);
     }
 
     #[test]

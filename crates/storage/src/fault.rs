@@ -262,6 +262,40 @@ mod tests {
     }
 
     #[test]
+    fn clock_stays_exact_under_concurrent_writers() {
+        // The WAL writer and disk scheduler threads write concurrently
+        // with the engine thread; the shared clock must count every
+        // write exactly once and a crash must take down all of them.
+        let clock = FaultClock::new(FaultSchedule::default());
+        let disks: Vec<Arc<FaultDisk>> = (0..2)
+            .map(|_| Arc::new(FaultDisk::new(Arc::new(MemDisk::new()), Arc::clone(&clock))))
+            .collect();
+        for d in &disks {
+            d.allocate_page().unwrap();
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let d = Arc::clone(&disks[i % 2]);
+                std::thread::spawn(move || {
+                    let data = [i as u8; PAGE_SIZE];
+                    for _ in 0..25 {
+                        d.write_page(0, &data).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.writes(), 100, "every write ticks the clock once");
+        // Volatile overlays drain independently per disk.
+        disks[0].sync().unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        disks[0].inner().read_page(0, &mut buf).unwrap();
+        assert!(buf[0] == 0 || buf[0] == 2, "one of disk 0's writers wins");
+    }
+
+    #[test]
     fn one_clock_counts_writes_across_disks() {
         let clock = FaultClock::new(FaultSchedule::crash_at(1));
         let a = FaultDisk::new(Arc::new(MemDisk::new()), Arc::clone(&clock));

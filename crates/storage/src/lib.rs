@@ -31,14 +31,18 @@ pub mod heap;
 pub mod keys;
 pub mod lsdtree;
 pub mod parallel;
+pub mod scheduler;
 pub mod wal;
 
-pub use buffer::{BufferPool, PoolStats};
+pub use buffer::{BufferPool, CheckpointStats, PoolStats};
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultClock, FaultDisk, FaultSchedule};
 pub use page::{PageId, TupleId, PAGE_SIZE};
-pub use wal::{Lsn, RecoveryInfo, Wal, WalStats};
+pub use scheduler::DiskScheduler;
+pub use wal::{
+    Lsn, RecoveryInfo, SyncPolicy, Wal, WalOptions, WalStats, BATCH_BUCKETS, BATCH_BUCKET_LABELS,
+};
 
 use std::sync::Arc;
 

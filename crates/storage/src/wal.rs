@@ -13,6 +13,31 @@
 //!   torn or CRC-invalid record (logical truncation), and replays the
 //!   page images of committed transactions onto the data disk.
 //!
+//! # The commit pipeline
+//!
+//! How a commit becomes durable is governed by a [`SyncPolicy`]:
+//!
+//! * [`SyncPolicy::PerCommit`] — the committing thread writes and syncs
+//!   the log inline before returning. One fsync per commit, maximum
+//!   latency isolation, the PR 5 behavior byte for byte.
+//! * [`SyncPolicy::Group`] — commits append to the in-memory tail and
+//!   hand the I/O to a background writer thread, which lingers for a
+//!   short window (or until `max_batch` commits are queued) and retires
+//!   the whole batch with **one** write + fsync. Every committer still
+//!   blocks until its own LSN is durable, so the guarantee is unchanged;
+//!   only the fsync is shared.
+//! * [`SyncPolicy::NoSync`] — commits are acknowledged as soon as they
+//!   are appended in memory; the background writer pushes bytes to the
+//!   log disk opportunistically but nothing waits for an fsync. A crash
+//!   loses a suffix of acknowledged commits, but recovery still lands on
+//!   a statement boundary (the log is truncated at the first torn
+//!   record, never replayed past it).
+//!
+//! The tail is a double buffer: producers append into the current
+//! in-memory segment under the `tail` lock while the writer snapshots
+//! filled pages out of it and performs disk I/O with the lock released,
+//! so appends never wait on the disk.
+//!
 //! # On-disk layout
 //!
 //! Pages `0` and `1` of the log disk are two alternating header slots —
@@ -33,7 +58,8 @@ use crate::{DiskManager, PageId, StorageError, StorageResult, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant};
 
 /// A log sequence number: a byte offset into the record region.
 pub type Lsn = u64;
@@ -88,7 +114,131 @@ pub fn crc32(parts: &[&[u8]]) -> u32 {
     !c
 }
 
+// -------------------------------------------------------------- policy
+
+/// When a commit's log records are forced to stable storage.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Write and fsync inline on the committing thread, one fsync per
+    /// commit. Maximum isolation, maximum cost.
+    #[default]
+    PerCommit,
+    /// Group commit: hand the fsync to the background writer, which
+    /// coalesces every commit arriving within `window_us` microseconds
+    /// (or until `max_batch` are queued, whichever is first) into one
+    /// fsync. Commits still block until their LSN is durable.
+    Group {
+        /// How long the writer lingers for more commits, in microseconds.
+        window_us: u64,
+        /// Sync immediately once this many commits are queued.
+        max_batch: usize,
+    },
+    /// Acknowledge commits without waiting for any fsync. The background
+    /// writer pushes bytes out opportunistically; a crash loses a suffix
+    /// of acknowledged commits but never breaks statement atomicity.
+    NoSync,
+}
+
+impl SyncPolicy {
+    /// The `Group` variant with default window and batch bound.
+    pub const DEFAULT_GROUP: SyncPolicy = SyncPolicy::Group {
+        window_us: 200,
+        max_batch: 64,
+    };
+
+    /// Parse `percommit`, `group`, `group:<window_us>`,
+    /// `group:<window_us>:<max_batch>`, or `nosync`.
+    pub fn parse(s: &str) -> Result<SyncPolicy, String> {
+        let t = s.trim().to_ascii_lowercase();
+        let err = || {
+            format!(
+                "unknown sync policy `{}` (expected percommit, \
+                 group[:window_us[:max_batch]], or nosync)",
+                s.trim()
+            )
+        };
+        match t.as_str() {
+            "percommit" | "per-commit" | "per_commit" => Ok(SyncPolicy::PerCommit),
+            "nosync" | "no-sync" | "no_sync" => Ok(SyncPolicy::NoSync),
+            "group" => Ok(SyncPolicy::DEFAULT_GROUP),
+            _ => {
+                let rest = t.strip_prefix("group:").ok_or_else(err)?;
+                let mut parts = rest.split(':');
+                let window_us: u64 = parts.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+                let max_batch: usize = match parts.next() {
+                    None => {
+                        let SyncPolicy::Group { max_batch, .. } = SyncPolicy::DEFAULT_GROUP else {
+                            unreachable!()
+                        };
+                        max_batch
+                    }
+                    Some(p) => p.parse().map_err(|_| err())?,
+                };
+                if parts.next().is_some() || max_batch == 0 {
+                    return Err(err());
+                }
+                Ok(SyncPolicy::Group {
+                    window_us,
+                    max_batch,
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncPolicy::PerCommit => write!(f, "percommit"),
+            SyncPolicy::Group {
+                window_us,
+                max_batch,
+            } => write!(f, "group:{window_us}:{max_batch}"),
+            SyncPolicy::NoSync => write!(f, "nosync"),
+        }
+    }
+}
+
+/// Tunables for opening a log: the commit [`SyncPolicy`] and how many
+/// filled in-memory log pages may queue before an append nudges the
+/// background writer to drain them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    /// How commits reach stable storage.
+    pub policy: SyncPolicy,
+    /// Filled tail pages buffered in memory before the writer is woken
+    /// to drain them (irrelevant under `PerCommit`, which never buffers
+    /// across commits).
+    pub buffer_pages: usize,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions {
+            policy: SyncPolicy::PerCommit,
+            buffer_pages: 64,
+        }
+    }
+}
+
 // --------------------------------------------------------------- stats
+
+/// Number of buckets in the group-commit batch-size histogram.
+pub const BATCH_BUCKETS: usize = 6;
+
+/// Human labels for the batch-size histogram buckets.
+pub const BATCH_BUCKET_LABELS: [&str; BATCH_BUCKETS] = ["1", "2", "3", "4-7", "8-15", "16+"];
+
+fn batch_bucket(n: u64) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3 => 2,
+        4..=7 => 3,
+        8..=15 => 4,
+        _ => 5,
+    }
+}
 
 /// Counters accumulated since the log was opened.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -107,11 +257,24 @@ pub struct WalStats {
     pub syncs: u64,
     /// Checkpoints taken.
     pub checkpoints: u64,
+    /// Commits retired per coalescing fsync, bucketed per
+    /// [`BATCH_BUCKET_LABELS`]. Only fsyncs that carried at least one
+    /// commit are counted.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// High-water mark of log pages handed to one flush — how deep the
+    /// in-memory side of the pipeline got.
+    pub max_pipeline_depth: u64,
 }
 
 impl WalStats {
     /// Counter-wise difference (`after - before`), for EXPLAIN ANALYZE.
+    /// `max_pipeline_depth` is a high-water mark, not a counter, so the
+    /// `after` value is kept.
     pub fn delta(&self, before: &WalStats) -> WalStats {
+        let mut batch_hist = [0u64; BATCH_BUCKETS];
+        for (i, b) in batch_hist.iter_mut().enumerate() {
+            *b = self.batch_hist[i] - before.batch_hist[i];
+        }
         WalStats {
             records: self.records - before.records,
             page_images: self.page_images - before.page_images,
@@ -120,6 +283,8 @@ impl WalStats {
             bytes: self.bytes - before.bytes,
             syncs: self.syncs - before.syncs,
             checkpoints: self.checkpoints - before.checkpoints,
+            batch_hist,
+            max_pipeline_depth: self.max_pipeline_depth,
         }
     }
 
@@ -249,6 +414,7 @@ impl<'a> RegionReader<'a> {
     }
 }
 
+#[derive(Default)]
 struct WalCounters {
     records: AtomicU64,
     page_images: AtomicU64,
@@ -257,6 +423,28 @@ struct WalCounters {
     bytes: AtomicU64,
     syncs: AtomicU64,
     checkpoints: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+    pipeline_depth: AtomicU64,
+}
+
+impl WalCounters {
+    fn snapshot(&self) -> WalStats {
+        let mut batch_hist = [0u64; BATCH_BUCKETS];
+        for (i, b) in batch_hist.iter_mut().enumerate() {
+            *b = self.batch_hist[i].load(Ordering::Relaxed);
+        }
+        WalStats {
+            records: self.records.load(Ordering::Relaxed),
+            page_images: self.page_images.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            batch_hist,
+            max_pipeline_depth: self.pipeline_depth.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct Rec {
@@ -265,15 +453,53 @@ struct Rec {
     payload: Vec<u8>,
 }
 
-// ----------------------------------------------------------------- Wal
+// ------------------------------------------------------ writer control
 
-/// The write-ahead log. Opened with [`Wal::recover`], which replays the
-/// committed suffix of the log onto the data disk before returning.
-pub struct Wal {
+/// State shared between producers and the background writer, guarded by
+/// `Shared::ctl`. Goals are LSNs the writer owes somebody: `sync_goal`
+/// is "make durable at least this", `write_goal` is "get bytes to the
+/// disk (no fsync needed) at least to this".
+#[derive(Default)]
+struct Ctl {
+    sync_goal: Lsn,
+    write_goal: Lsn,
+    /// Commits currently parked in `group_wait`, i.e. the size of the
+    /// batch the next fsync will retire.
+    commits_pending: u64,
+    /// Flush attempts completed (success or failure). Waiters record the
+    /// value at registration; `attempts > entered` plus `last_err` means
+    /// an attempt on their behalf failed.
+    attempts: u64,
+    /// Error from the most recent attempt, if it failed.
+    last_err: Option<String>,
+    /// True while the writer is mid-flush with `ctl` released.
+    busy: bool,
+    shutdown: bool,
+}
+
+/// Everything the producers and the background writer share.
+struct Shared {
     disk: Arc<dyn DiskManager>,
-    tail: Mutex<Tail>,
-    durable: AtomicU64,
     gen: u32,
+    buffer_pages: usize,
+    policy: Mutex<SyncPolicy>,
+    /// Serializes every section that performs log-disk I/O (inline
+    /// flushes, the writer's handoff flush, checkpoint header writes),
+    /// so two flushes can never interleave their page writes.
+    io: Mutex<()>,
+    tail: Mutex<Tail>,
+    ctl: Mutex<Ctl>,
+    /// Wakes the writer: a goal was raised or shutdown was requested.
+    /// (The vendored `parking_lot` guards are std guards, so std's
+    /// `Condvar` composes with them directly.)
+    work_cv: Condvar,
+    /// Wakes waiters: durability advanced, an attempt finished, or the
+    /// writer went idle.
+    done_cv: Condvar,
+    durable: AtomicU64,
+    /// Highest LSN whose bytes reached the log disk (≥ durable; the gap
+    /// is written-but-not-yet-synced data under `NoSync`).
+    written: AtomicU64,
     header_seq: AtomicU64,
     checkpoint: AtomicU64,
     next_txid: AtomicU64,
@@ -281,7 +507,287 @@ pub struct Wal {
     recovery: RecoveryInfo,
 }
 
+fn cv_wait<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn policy(&self) -> SyncPolicy {
+        *self.policy.lock()
+    }
+
+    fn append_locked(&self, tail: &mut Tail, kind: u8, txid: u64, parts: &[&[u8]]) -> Lsn {
+        let len: usize = parts.iter().map(|p| p.len()).sum();
+        let mut hdr = [0u8; REC_HEADER];
+        hdr[0..4].copy_from_slice(&(len as u32).to_le_bytes());
+        hdr[4..8].copy_from_slice(&self.gen.to_le_bytes());
+        hdr[8] = kind;
+        hdr[9..17].copy_from_slice(&txid.to_le_bytes());
+        let mut crc_parts: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
+        crc_parts.push(&hdr[4..17]);
+        crc_parts.extend_from_slice(parts);
+        let crc = crc32(&crc_parts);
+        hdr[17..21].copy_from_slice(&crc.to_le_bytes());
+        let start = tail.next_lsn;
+        tail.push(&hdr);
+        for p in parts {
+            tail.push(p);
+        }
+        self.counters.records.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add((REC_HEADER + len) as u64, Ordering::Relaxed);
+        // Double buffer full: nudge the writer to start draining filled
+        // pages while we keep appending (pointless under PerCommit — the
+        // committing thread writes everything itself).
+        if tail.pending.len() >= self.buffer_pages
+            && !matches!(self.policy(), SyncPolicy::PerCommit)
+        {
+            let mut ctl = self.ctl.lock();
+            ctl.write_goal = ctl.write_goal.max(tail.next_lsn);
+            drop(ctl);
+            self.work_cv.notify_all();
+        }
+        start
+    }
+
+    fn record_depth(&self, pages: u64) {
+        self.counters
+            .pipeline_depth
+            .fetch_max(pages, Ordering::Relaxed);
+    }
+
+    fn record_batch(&self, batch: u64) {
+        self.counters.batch_hist[batch_bucket(batch)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish a successful sync: advance `durable`, count it, and file
+    /// the commit batch (if any) in the histogram. Callers on producer
+    /// threads must follow up with [`Shared::wake_waiters`].
+    fn publish_durable(&self, snapshot: Lsn, batch: u64) {
+        self.durable.fetch_max(snapshot, Ordering::SeqCst);
+        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+        if batch > 0 {
+            self.record_batch(batch);
+        }
+    }
+
+    fn wake_waiters(&self) {
+        let _ctl = self.ctl.lock();
+        self.done_cv.notify_all();
+    }
+
+    /// Write all appended-but-unwritten pages while holding `tail` (the
+    /// inline path: callers hold `io` too, and sync afterwards). Pending
+    /// pages are dropped only after every write succeeds, so a failed
+    /// write leaves the flush fully retryable.
+    fn write_locked(&self, tail: &mut Tail) -> StorageResult<Lsn> {
+        let snapshot = tail.next_lsn;
+        if self.written.load(Ordering::SeqCst) >= snapshot && tail.pending.is_empty() {
+            return Ok(snapshot);
+        }
+        self.record_depth(tail.pending.len() as u64 + 1);
+        let need = HEADER_SLOTS + tail.page_idx + 1;
+        while self.disk.num_pages() < need {
+            self.disk.allocate_page()?;
+        }
+        for (idx, page) in &tail.pending {
+            self.disk
+                .write_page((HEADER_SLOTS + idx) as PageId, &page[..])?;
+        }
+        self.disk
+            .write_page((HEADER_SLOTS + tail.page_idx) as PageId, &tail.page[..])?;
+        tail.pending.clear();
+        self.written.fetch_max(snapshot, Ordering::SeqCst);
+        Ok(snapshot)
+    }
+
+    /// The writer's double-buffer handoff: steal the filled pages and a
+    /// copy of the tail page under the `tail` lock, then do the disk
+    /// writes with the lock released so producers keep appending. On a
+    /// write error the stolen pages are put back (ahead of anything
+    /// appended since), keeping the flush retryable. Caller holds `io`.
+    fn write_handoff(&self) -> StorageResult<Lsn> {
+        let (pages, tail_copy, tail_idx, snapshot) = {
+            let mut tail = self.tail.lock();
+            let snapshot = tail.next_lsn;
+            if self.written.load(Ordering::SeqCst) >= snapshot && tail.pending.is_empty() {
+                return Ok(snapshot);
+            }
+            let pages = std::mem::take(&mut tail.pending);
+            (pages, tail.page.clone(), tail.page_idx, snapshot)
+        };
+        self.record_depth(pages.len() as u64 + 1);
+        let result = (|| {
+            let need = HEADER_SLOTS + tail_idx + 1;
+            while self.disk.num_pages() < need {
+                self.disk.allocate_page()?;
+            }
+            for (idx, page) in &pages {
+                self.disk
+                    .write_page((HEADER_SLOTS + idx) as PageId, &page[..])?;
+            }
+            self.disk
+                .write_page((HEADER_SLOTS + tail_idx) as PageId, &tail_copy[..])?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.written.fetch_max(snapshot, Ordering::SeqCst);
+                Ok(snapshot)
+            }
+            Err(e) => {
+                let mut tail = self.tail.lock();
+                let newer = std::mem::replace(&mut tail.pending, pages);
+                tail.pending.extend(newer);
+                Err(e)
+            }
+        }
+    }
+
+    /// Inline write + fsync of everything appended so far. Used by
+    /// `flush()`, by `PerCommit`-adjacent paths, and by checkpointing.
+    fn flush_sync(&self) -> StorageResult<Lsn> {
+        let _io = self.io.lock();
+        let snapshot = {
+            let mut tail = self.tail.lock();
+            if self.durable.load(Ordering::SeqCst) >= tail.next_lsn && tail.pending.is_empty() {
+                return Ok(tail.next_lsn);
+            }
+            self.write_locked(&mut tail)?
+        };
+        self.disk.sync()?;
+        self.publish_durable(snapshot, 0);
+        self.wake_waiters();
+        Ok(snapshot)
+    }
+
+    /// Park until the writer has made `end` durable (group commit). With
+    /// `commit` set, this waiter counts toward the batch the next fsync
+    /// retires. Fails if a flush attempt on our behalf reported an error.
+    fn group_wait(&self, end: Lsn, commit: bool) -> StorageResult<()> {
+        let mut ctl = self.ctl.lock();
+        if commit {
+            ctl.commits_pending += 1;
+        }
+        ctl.sync_goal = ctl.sync_goal.max(end);
+        let entered = ctl.attempts;
+        self.work_cv.notify_all();
+        loop {
+            if self.durable.load(Ordering::SeqCst) >= end {
+                return Ok(());
+            }
+            if ctl.attempts > entered {
+                if let Some(msg) = &ctl.last_err {
+                    return Err(StorageError::Io(std::io::Error::other(msg.clone())));
+                }
+            }
+            ctl = cv_wait(&self.done_cv, ctl);
+        }
+    }
+}
+
+/// The background writer: sleep until a goal is raised, linger for the
+/// group window so nearby commits share the fsync, then flush with the
+/// control lock released and report back.
+fn writer_loop(s: &Shared) {
+    let mut ctl = s.ctl.lock();
+    loop {
+        while !ctl.shutdown
+            && ctl.sync_goal <= s.durable.load(Ordering::SeqCst)
+            && ctl.write_goal <= s.written.load(Ordering::SeqCst)
+        {
+            ctl = cv_wait(&s.work_cv, ctl);
+        }
+        if ctl.shutdown {
+            return;
+        }
+        if ctl.sync_goal > s.durable.load(Ordering::SeqCst) {
+            if let SyncPolicy::Group {
+                window_us,
+                max_batch,
+            } = s.policy()
+            {
+                let cap = max_batch.max(1) as u64;
+                if window_us > 0 && ctl.commits_pending < cap {
+                    let deadline = Instant::now() + Duration::from_micros(window_us);
+                    loop {
+                        let now = Instant::now();
+                        if ctl.shutdown || ctl.commits_pending >= cap || now >= deadline {
+                            break;
+                        }
+                        let (guard, timeout) = s
+                            .work_cv
+                            .wait_timeout(ctl, deadline - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        ctl = guard;
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                    if ctl.shutdown {
+                        return;
+                    }
+                }
+            }
+        }
+        // Recomputed after the window: an inline flush may have satisfied
+        // the goal while we lingered.
+        let need_sync = ctl.sync_goal > s.durable.load(Ordering::SeqCst);
+        let batch = std::mem::take(&mut ctl.commits_pending);
+        ctl.busy = true;
+        drop(ctl);
+
+        let result = (|| -> StorageResult<()> {
+            let _io = s.io.lock();
+            let snapshot = s.write_handoff()?;
+            if need_sync && s.durable.load(Ordering::SeqCst) < snapshot {
+                s.disk.sync()?;
+                s.publish_durable(snapshot, batch);
+            }
+            Ok(())
+        })();
+
+        ctl = s.ctl.lock();
+        ctl.busy = false;
+        ctl.attempts += 1;
+        match result {
+            Ok(()) => ctl.last_err = None,
+            Err(e) => {
+                // Stand down rather than hammer a dead disk: clear the
+                // goals so the loop goes idle. Every current waiter sees
+                // the error; the next request re-arms the writer.
+                ctl.last_err = Some(e.to_string());
+                ctl.sync_goal = 0;
+                ctl.write_goal = 0;
+            }
+        }
+        s.done_cv.notify_all();
+    }
+}
+
+// ----------------------------------------------------------------- Wal
+
+/// The write-ahead log. Opened with [`Wal::recover`], which replays the
+/// committed suffix of the log onto the data disk before returning.
+pub struct Wal {
+    shared: Arc<Shared>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
 impl Wal {
+    /// Open the log with the default [`WalOptions`] (`PerCommit`). See
+    /// [`Wal::recover_with`].
+    pub fn recover(
+        wal_disk: Arc<dyn DiskManager>,
+        data_disk: &Arc<dyn DiskManager>,
+    ) -> StorageResult<(Wal, Option<Vec<u8>>, RecoveryInfo)> {
+        Wal::recover_with(wal_disk, data_disk, WalOptions::default())
+    }
+
     /// Open the log on `wal_disk` and run redo-only recovery against
     /// `data_disk`: scan from the checkpoint, truncate logically at the
     /// first torn/CRC-invalid record, replay committed page images, sync
@@ -290,9 +796,17 @@ impl Wal {
     /// payload of the last committed `Meta` record (the engine's catalog
     /// snapshot), and what recovery did. Replay mutates only the data
     /// disk — never the log — so recovering twice equals recovering once.
-    pub fn recover(
+    ///
+    /// A commit marker is honored only if no later `Abort` for the same
+    /// transaction follows it: a commit whose inline flush failed leaves
+    /// its marker in the tail, the engine rolls back in memory and logs
+    /// the abort, and a later successful flush may make both durable —
+    /// the abort must win or recovery would resurrect a rolled-back
+    /// statement.
+    pub fn recover_with(
         wal_disk: Arc<dyn DiskManager>,
         data_disk: &Arc<dyn DiskManager>,
+        options: WalOptions,
     ) -> StorageResult<(Wal, Option<Vec<u8>>, RecoveryInfo)> {
         while wal_disk.num_pages() < HEADER_SLOTS {
             wal_disk.allocate_page()?;
@@ -357,12 +871,22 @@ impl Wal {
         let valid_end = lsn;
 
         // Redo: apply page images of committed transactions, in log
-        // order, onto the data disk.
-        let committed: HashSet<u64> = records
-            .iter()
-            .filter(|r| r.kind == KIND_COMMIT)
-            .map(|r| r.txid)
-            .collect();
+        // order, onto the data disk. Built in log order so a later
+        // `Abort` cancels an earlier `Commit` of the same transaction
+        // (the failed-flush-then-rollback sequence); txids are never
+        // reused, so no other ordering occurs.
+        let mut committed: HashSet<u64> = HashSet::new();
+        for r in &records {
+            match r.kind {
+                KIND_COMMIT => {
+                    committed.insert(r.txid);
+                }
+                KIND_ABORT => {
+                    committed.remove(&r.txid);
+                }
+                _ => {}
+            }
+        }
         let mut meta: Option<Vec<u8>> = None;
         let mut replayed = 0u64;
         let mut max_txid = 0u64;
@@ -423,60 +947,66 @@ impl Wal {
         }
         tail_page[off..].fill(0);
 
-        let wal = Wal {
+        let shared = Arc::new(Shared {
             disk: wal_disk,
+            gen: new_header.gen,
+            buffer_pages: options.buffer_pages.max(1),
+            policy: Mutex::new(options.policy),
+            io: Mutex::new(()),
             tail: Mutex::new(Tail {
                 next_lsn: valid_end,
                 page_idx,
                 page: tail_page,
                 pending: Vec::new(),
             }),
+            ctl: Mutex::new(Ctl::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
             durable: AtomicU64::new(valid_end),
-            gen: new_header.gen,
+            written: AtomicU64::new(valid_end),
             header_seq: AtomicU64::new(new_header.seq),
             checkpoint: AtomicU64::new(start_lsn),
             next_txid: AtomicU64::new(max_txid + 1),
-            counters: WalCounters {
-                records: AtomicU64::new(0),
-                page_images: AtomicU64::new(0),
-                commits: AtomicU64::new(0),
-                aborts: AtomicU64::new(0),
-                bytes: AtomicU64::new(0),
-                syncs: AtomicU64::new(0),
-                checkpoints: AtomicU64::new(0),
-            },
+            counters: WalCounters::default(),
             recovery: info,
+        });
+        let writer = {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sos-wal".into())
+                .spawn(move || writer_loop(&s))
+                .map_err(StorageError::Io)?
+        };
+        let wal = Wal {
+            shared,
+            writer: Mutex::new(Some(writer)),
         };
         Ok((wal, meta, info))
     }
 
     /// Allocate a fresh transaction id (never 0).
     pub fn alloc_txid(&self) -> u64 {
-        self.next_txid.fetch_add(1, Ordering::SeqCst)
+        self.shared.next_txid.fetch_add(1, Ordering::SeqCst)
     }
 
-    fn append_locked(&self, tail: &mut Tail, kind: u8, txid: u64, parts: &[&[u8]]) -> Lsn {
-        let len: usize = parts.iter().map(|p| p.len()).sum();
-        let mut hdr = [0u8; REC_HEADER];
-        hdr[0..4].copy_from_slice(&(len as u32).to_le_bytes());
-        hdr[4..8].copy_from_slice(&self.gen.to_le_bytes());
-        hdr[8] = kind;
-        hdr[9..17].copy_from_slice(&txid.to_le_bytes());
-        let mut crc_parts: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
-        crc_parts.push(&hdr[4..17]);
-        crc_parts.extend_from_slice(parts);
-        let crc = crc32(&crc_parts);
-        hdr[17..21].copy_from_slice(&crc.to_le_bytes());
-        let start = tail.next_lsn;
-        tail.push(&hdr);
-        for p in parts {
-            tail.push(p);
-        }
-        self.counters.records.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .bytes
-            .fetch_add((REC_HEADER + len) as u64, Ordering::Relaxed);
-        start
+    /// The active commit durability policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.shared.policy()
+    }
+
+    /// Switch the commit durability policy at runtime. Everything the
+    /// old policy left buffered is flushed and synced first, so the
+    /// switch is a clean durability boundary.
+    pub fn set_policy(&self, policy: SyncPolicy) -> StorageResult<()> {
+        *self.shared.policy.lock() = policy;
+        self.shared.flush_sync()?;
+        Ok(())
+    }
+
+    /// The in-memory double-buffer bound (filled pages before the writer
+    /// is nudged).
+    pub fn buffer_pages(&self) -> usize {
+        self.shared.buffer_pages
     }
 
     /// Append a full after-image of page `pid`. Returns the LSN *past*
@@ -485,82 +1015,118 @@ impl Wal {
     pub fn append_page_image(&self, txid: u64, pid: PageId, image: &[u8]) -> Lsn {
         debug_assert_eq!(image.len(), PAGE_SIZE);
         let pid8 = (pid as u64).to_le_bytes();
-        let mut tail = self.tail.lock();
-        self.append_locked(&mut tail, KIND_PAGE, txid, &[&pid8, image]);
-        self.counters.page_images.fetch_add(1, Ordering::Relaxed);
+        let s = &self.shared;
+        let mut tail = s.tail.lock();
+        s.append_locked(&mut tail, KIND_PAGE, txid, &[&pid8, image]);
+        s.counters.page_images.fetch_add(1, Ordering::Relaxed);
         tail.next_lsn
     }
 
-    /// Append an abort marker. Informational only (redo ignores the
-    /// transaction anyway since it has no commit), so it is not flushed.
+    /// Append an abort marker. Informational for redo (an uncommitted
+    /// transaction is ignored anyway), but load-bearing after a *failed*
+    /// commit flush: it cancels the orphaned commit marker if a later
+    /// flush makes both durable. Not flushed eagerly.
     pub fn append_abort(&self, txid: u64) -> Lsn {
-        let mut tail = self.tail.lock();
-        self.counters.aborts.fetch_add(1, Ordering::Relaxed);
-        self.append_locked(&mut tail, KIND_ABORT, txid, &[])
+        let s = &self.shared;
+        let mut tail = s.tail.lock();
+        s.counters.aborts.fetch_add(1, Ordering::Relaxed);
+        s.append_locked(&mut tail, KIND_ABORT, txid, &[])
     }
 
     /// Commit: append the optional `Meta` payload (the engine's catalog
-    /// snapshot) and the `Commit` marker, then flush and sync. When this
-    /// returns `Ok`, the transaction is durable.
+    /// snapshot) and the `Commit` marker, then make them durable per the
+    /// active [`SyncPolicy`]. Under `PerCommit` and `Group`, `Ok` means
+    /// the transaction is durable; under `NoSync` it means the commit is
+    /// appended and the background writer has been nudged.
     pub fn commit(&self, txid: u64, meta: Option<&[u8]>) -> StorageResult<Lsn> {
-        let mut tail = self.tail.lock();
-        if let Some(m) = meta {
-            self.append_locked(&mut tail, KIND_META, txid, &[m]);
+        let s = &self.shared;
+        match s.policy() {
+            SyncPolicy::PerCommit => {
+                let _io = s.io.lock();
+                let (lsn, snapshot) = {
+                    let mut tail = s.tail.lock();
+                    if let Some(m) = meta {
+                        s.append_locked(&mut tail, KIND_META, txid, &[m]);
+                    }
+                    let lsn = s.append_locked(&mut tail, KIND_COMMIT, txid, &[]);
+                    (lsn, s.write_locked(&mut tail)?)
+                };
+                s.disk.sync()?;
+                s.publish_durable(snapshot, 1);
+                s.wake_waiters();
+                s.counters.commits.fetch_add(1, Ordering::Relaxed);
+                Ok(lsn)
+            }
+            SyncPolicy::Group { .. } => {
+                let (lsn, end) = {
+                    let mut tail = s.tail.lock();
+                    if let Some(m) = meta {
+                        s.append_locked(&mut tail, KIND_META, txid, &[m]);
+                    }
+                    let lsn = s.append_locked(&mut tail, KIND_COMMIT, txid, &[]);
+                    (lsn, tail.next_lsn)
+                };
+                s.group_wait(end, true)?;
+                s.counters.commits.fetch_add(1, Ordering::Relaxed);
+                Ok(lsn)
+            }
+            SyncPolicy::NoSync => {
+                let (lsn, end) = {
+                    let mut tail = s.tail.lock();
+                    if let Some(m) = meta {
+                        s.append_locked(&mut tail, KIND_META, txid, &[m]);
+                    }
+                    let lsn = s.append_locked(&mut tail, KIND_COMMIT, txid, &[]);
+                    (lsn, tail.next_lsn)
+                };
+                {
+                    let mut ctl = s.ctl.lock();
+                    ctl.write_goal = ctl.write_goal.max(end);
+                }
+                s.work_cv.notify_all();
+                s.counters.commits.fetch_add(1, Ordering::Relaxed);
+                Ok(lsn)
+            }
         }
-        let lsn = self.append_locked(&mut tail, KIND_COMMIT, txid, &[]);
-        self.flush_locked(&mut tail)?;
-        self.counters.commits.fetch_add(1, Ordering::Relaxed);
-        Ok(lsn)
     }
 
     /// Write all appended-but-unwritten log pages and sync the log disk.
     pub fn flush(&self) -> StorageResult<Lsn> {
-        let mut tail = self.tail.lock();
-        self.flush_locked(&mut tail)
-    }
-
-    fn flush_locked(&self, tail: &mut Tail) -> StorageResult<Lsn> {
-        if self.durable.load(Ordering::SeqCst) == tail.next_lsn && tail.pending.is_empty() {
-            return Ok(tail.next_lsn);
-        }
-        let need = HEADER_SLOTS + tail.page_idx + 1;
-        while self.disk.num_pages() < need {
-            self.disk.allocate_page()?;
-        }
-        // `pending` is drained only after the sync succeeds, so a failed
-        // flush can be retried in full.
-        for (idx, page) in &tail.pending {
-            self.disk
-                .write_page((HEADER_SLOTS + idx) as PageId, &page[..])?;
-        }
-        self.disk
-            .write_page((HEADER_SLOTS + tail.page_idx) as PageId, &tail.page[..])?;
-        self.disk.sync()?;
-        tail.pending.clear();
-        self.durable.store(tail.next_lsn, Ordering::SeqCst);
-        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
-        Ok(tail.next_lsn)
+        self.shared.flush_sync()
     }
 
     /// Ensure the log is durable at least through `lsn` (the WAL-before-
     /// data check: called with a page's LSN before that page goes to the
-    /// data disk).
+    /// data disk). Under `Group` the wait is delegated to the writer so
+    /// it can share an fsync already in flight.
     pub fn flush_to(&self, lsn: Lsn) -> StorageResult<()> {
-        if self.durable.load(Ordering::SeqCst) >= lsn {
+        if self.shared.durable.load(Ordering::SeqCst) >= lsn {
             return Ok(());
         }
-        self.flush()?;
-        Ok(())
+        match self.shared.policy() {
+            SyncPolicy::Group { .. } => self.shared.group_wait(lsn, false),
+            _ => self.shared.flush_sync().map(|_| ()),
+        }
     }
 
     /// LSN through which the log is durable.
     pub fn durable_lsn(&self) -> Lsn {
-        self.durable.load(Ordering::SeqCst)
+        self.shared.durable.load(Ordering::SeqCst)
+    }
+
+    /// LSN through which log bytes have reached the disk (≥ durable).
+    pub fn written_lsn(&self) -> Lsn {
+        self.shared.written.load(Ordering::SeqCst)
+    }
+
+    /// LSN of the in-memory append point (≥ written).
+    pub fn appended_lsn(&self) -> Lsn {
+        self.shared.tail.lock().next_lsn
     }
 
     /// The checkpoint LSN recovery will scan from.
     pub fn checkpoint_lsn(&self) -> Lsn {
-        self.checkpoint.load(Ordering::SeqCst)
+        self.shared.checkpoint.load(Ordering::SeqCst)
     }
 
     /// Advance the checkpoint. The caller (the buffer pool) must already
@@ -572,50 +1138,72 @@ impl Wal {
     /// more redo — never lost data.
     pub fn checkpoint_mark(&self, meta: Option<&[u8]>) -> StorageResult<()> {
         let txid = self.alloc_txid();
-        let mut tail = self.tail.lock();
-        let start = tail.next_lsn;
-        if let Some(m) = meta {
-            self.append_locked(&mut tail, KIND_META, txid, &[m]);
-        }
-        self.append_locked(&mut tail, KIND_COMMIT, txid, &[]);
-        self.flush_locked(&mut tail)?;
-        let seq = self.header_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let s = &self.shared;
+        let _io = s.io.lock();
+        let (start, snapshot) = {
+            let mut tail = s.tail.lock();
+            let start = tail.next_lsn;
+            if let Some(m) = meta {
+                s.append_locked(&mut tail, KIND_META, txid, &[m]);
+            }
+            s.append_locked(&mut tail, KIND_COMMIT, txid, &[]);
+            (start, s.write_locked(&mut tail)?)
+        };
+        s.disk.sync()?;
+        s.publish_durable(snapshot, 0);
+        s.wake_waiters();
+        let seq = s.header_seq.fetch_add(1, Ordering::SeqCst) + 1;
         let page = encode_header(&Header {
             seq,
-            gen: self.gen,
+            gen: s.gen,
             checkpoint: start,
         });
-        self.disk
-            .write_page((seq % HEADER_SLOTS) as PageId, &page)?;
-        self.disk.sync()?;
-        self.checkpoint.store(start, Ordering::SeqCst);
-        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        s.disk.write_page((seq % HEADER_SLOTS) as PageId, &page)?;
+        s.disk.sync()?;
+        s.checkpoint.store(start, Ordering::SeqCst);
+        s.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Snapshot of the log's counters.
+    /// Snapshot of the log's counters. Quiesces the background writer
+    /// first, so writer-side counters (syncs, batch histogram) are never
+    /// observed mid-flush — the snapshot is a consistent cut.
     pub fn stats(&self) -> WalStats {
-        WalStats {
-            records: self.counters.records.load(Ordering::Relaxed),
-            page_images: self.counters.page_images.load(Ordering::Relaxed),
-            commits: self.counters.commits.load(Ordering::Relaxed),
-            aborts: self.counters.aborts.load(Ordering::Relaxed),
-            bytes: self.counters.bytes.load(Ordering::Relaxed),
-            syncs: self.counters.syncs.load(Ordering::Relaxed),
-            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+        {
+            let mut ctl = self.shared.ctl.lock();
+            while ctl.busy {
+                ctl = cv_wait(&self.shared.done_cv, ctl);
+            }
         }
+        self.shared.counters.snapshot()
     }
 
     /// What recovery found when this log was opened.
     pub fn recovery_info(&self) -> RecoveryInfo {
-        self.recovery
+        self.shared.recovery
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Stop the writer without flushing: durability must never depend
+        // on a clean shutdown, and the crash tests rely on dropped
+        // buffers actually being lost.
+        if let Some(handle) = self.writer.lock().take() {
+            {
+                let mut ctl = self.shared.ctl.lock();
+                ctl.shutdown = true;
+            }
+            self.shared.work_cv.notify_all();
+            let _ = handle.join();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MemDisk;
+    use crate::{FaultClock, FaultDisk, FaultSchedule, MemDisk};
 
     fn disks() -> (Arc<dyn DiskManager>, Arc<dyn DiskManager>) {
         (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()))
@@ -643,6 +1231,41 @@ mod tests {
         torn[9] ^= 0xff;
         assert!(decode_header(&torn).is_none());
         assert!(decode_header(&[0u8; PAGE_SIZE]).is_none());
+    }
+
+    #[test]
+    fn sync_policy_parses_and_displays() {
+        assert_eq!(SyncPolicy::parse("percommit"), Ok(SyncPolicy::PerCommit));
+        assert_eq!(SyncPolicy::parse("  PerCommit "), Ok(SyncPolicy::PerCommit));
+        assert_eq!(SyncPolicy::parse("nosync"), Ok(SyncPolicy::NoSync));
+        assert_eq!(SyncPolicy::parse("group"), Ok(SyncPolicy::DEFAULT_GROUP));
+        assert_eq!(
+            SyncPolicy::parse("group:500"),
+            Ok(SyncPolicy::Group {
+                window_us: 500,
+                max_batch: 64
+            })
+        );
+        assert_eq!(
+            SyncPolicy::parse("group:500:8"),
+            Ok(SyncPolicy::Group {
+                window_us: 500,
+                max_batch: 8
+            })
+        );
+        assert!(SyncPolicy::parse("group:x").is_err());
+        assert!(SyncPolicy::parse("group:1:0").is_err());
+        assert!(SyncPolicy::parse("eventually").is_err());
+        for p in [
+            SyncPolicy::PerCommit,
+            SyncPolicy::NoSync,
+            SyncPolicy::Group {
+                window_us: 123,
+                max_batch: 9,
+            },
+        ] {
+            assert_eq!(SyncPolicy::parse(&p.to_string()), Ok(p));
+        }
     }
 
     #[test]
@@ -778,5 +1401,211 @@ mod tests {
         assert_eq!(meta.as_deref(), Some(&b"gen2"[..]));
         // t1 (gen 1) + meta/commit of t3 (gen 2); t2's remnants are gone.
         assert_eq!(info2.committed_txs, 2);
+    }
+
+    #[test]
+    fn per_commit_syncs_once_per_commit_and_fills_first_bucket() {
+        let (wal_disk, data) = disks();
+        let (wal, _, _) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+        for _ in 0..5 {
+            let t = wal.alloc_txid();
+            wal.append_page_image(t, 0, &[4u8; PAGE_SIZE]);
+            wal.commit(t, None).unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.commits, 5);
+        assert_eq!(s.syncs, 5);
+        assert_eq!(s.batch_hist[0], 5);
+        assert_eq!(s.batch_hist[1..].iter().sum::<u64>(), 0);
+        assert!(s.max_pipeline_depth >= 1);
+    }
+
+    #[test]
+    fn group_policy_coalesces_concurrent_commits() {
+        let (wal_disk, data) = disks();
+        let (wal, _, _) = Wal::recover_with(
+            Arc::clone(&wal_disk),
+            &data,
+            WalOptions {
+                policy: SyncPolicy::Group {
+                    window_us: 20_000,
+                    max_batch: 8,
+                },
+                buffer_pages: 64,
+            },
+        )
+        .unwrap();
+        let wal = Arc::new(wal);
+        let threads = 4;
+        let per_thread = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for k in 0..per_thread {
+                        let t = wal.alloc_txid();
+                        wal.append_page_image(t, (i * per_thread + k) as PageId, &[1u8; PAGE_SIZE]);
+                        wal.commit(t, None).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (threads * per_thread) as u64;
+        let s = wal.stats();
+        assert_eq!(s.commits, total);
+        assert!(s.syncs >= 1);
+        assert!(
+            s.syncs < total,
+            "group commit must coalesce: {} syncs for {} commits",
+            s.syncs,
+            total
+        );
+        // Every commit is accounted for by exactly one batch.
+        let batched: u64 = s
+            .batch_hist
+            .iter()
+            .zip([1u64, 2, 3, 4, 8, 16])
+            .map(|(n, _)| *n)
+            .sum();
+        assert!(batched >= 1 && batched <= s.syncs);
+        // Durable end covers every acknowledged commit.
+        assert_eq!(wal.durable_lsn(), wal.appended_lsn());
+        drop(wal);
+
+        let (_, _, info) = Wal::recover(wal_disk, &data).unwrap();
+        assert_eq!(info.committed_txs, total);
+    }
+
+    #[test]
+    fn nosync_acknowledges_commits_without_waiting_for_fsync() {
+        let (wal_disk, data) = disks();
+        let (wal, _, _) = Wal::recover_with(
+            Arc::clone(&wal_disk),
+            &data,
+            WalOptions {
+                policy: SyncPolicy::NoSync,
+                buffer_pages: 64,
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let t = wal.alloc_txid();
+            wal.append_page_image(t, 0, &[6u8; PAGE_SIZE]);
+            wal.commit(t, None).unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.commits, 3);
+        // Commits never waited on an fsync; an explicit flush catches up.
+        let end = wal.flush().unwrap();
+        assert_eq!(wal.durable_lsn(), end);
+        assert_eq!(wal.appended_lsn(), end);
+        drop(wal);
+        let (_, _, info) = Wal::recover(wal_disk, &data).unwrap();
+        assert_eq!(info.committed_txs, 3);
+    }
+
+    #[test]
+    fn full_double_buffer_hands_off_to_writer() {
+        let (wal_disk, data) = disks();
+        let (wal, _, _) = Wal::recover_with(
+            Arc::clone(&wal_disk),
+            &data,
+            WalOptions {
+                policy: SyncPolicy::NoSync,
+                buffer_pages: 1,
+            },
+        )
+        .unwrap();
+        // Each image spans > 1 log page, so the tiny buffer overflows
+        // and the append itself nudges the writer.
+        let t = wal.alloc_txid();
+        for pid in 0..4 {
+            wal.append_page_image(t, pid, &[8u8; PAGE_SIZE]);
+        }
+        let appended = wal.appended_lsn();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while wal.written_lsn() + (PAGE_SIZE as u64) < appended {
+            assert!(
+                Instant::now() < deadline,
+                "writer never drained the full double buffer"
+            );
+            std::thread::yield_now();
+        }
+        // The background writes are real: commit + flush recovers all.
+        wal.commit(t, None).unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let (_, _, info) = Wal::recover(wal_disk, &data).unwrap();
+        assert_eq!(info.replayed_pages, 4);
+    }
+
+    #[test]
+    fn abort_after_failed_commit_flush_cancels_replay() {
+        // A commit whose flush dies leaves its Commit marker in the
+        // in-memory tail; the engine rolls back and logs an Abort. If a
+        // later flush lands both, recovery must not resurrect the
+        // rolled-back transaction.
+        let clock = FaultClock::new(FaultSchedule {
+            // Write 0 is the recovery generation header; write 1 is the
+            // first page of t1's failing commit flush.
+            transient_write_errors: vec![1],
+            ..Default::default()
+        });
+        let wal_inner: Arc<dyn DiskManager> = Arc::new(MemDisk::new());
+        let wal_disk: Arc<dyn DiskManager> =
+            Arc::new(FaultDisk::new(Arc::clone(&wal_inner), clock));
+        let data: Arc<dyn DiskManager> = Arc::new(MemDisk::new());
+        let (wal, _, _) = Wal::recover(Arc::clone(&wal_disk), &data).unwrap();
+
+        let t1 = wal.alloc_txid();
+        wal.append_page_image(t1, 0, &[1u8; PAGE_SIZE]);
+        assert!(wal.commit(t1, None).is_err(), "injected failure");
+        wal.append_abort(t1);
+
+        let t2 = wal.alloc_txid();
+        wal.append_page_image(t2, 1, &[2u8; PAGE_SIZE]);
+        wal.commit(t2, None).unwrap();
+        drop(wal);
+        wal_disk.sync().unwrap();
+
+        let (_, _, info) = Wal::recover(wal_disk, &data).unwrap();
+        assert_eq!(info.committed_txs, 1, "t1's commit marker is canceled");
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0, "rolled-back t1 must not be replayed");
+        data.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 2, "t2 replays normally");
+    }
+
+    #[test]
+    fn set_policy_flushes_and_switches() {
+        let (wal_disk, data) = disks();
+        let (wal, _, _) = Wal::recover_with(
+            Arc::clone(&wal_disk),
+            &data,
+            WalOptions {
+                policy: SyncPolicy::NoSync,
+                buffer_pages: 64,
+            },
+        )
+        .unwrap();
+        let t = wal.alloc_txid();
+        wal.append_page_image(t, 0, &[3u8; PAGE_SIZE]);
+        wal.commit(t, None).unwrap();
+        wal.set_policy(SyncPolicy::PerCommit).unwrap();
+        assert_eq!(wal.policy(), SyncPolicy::PerCommit);
+        // The switch drained the NoSync backlog.
+        assert_eq!(wal.durable_lsn(), wal.appended_lsn());
+        let before = wal.stats().syncs;
+        let t2 = wal.alloc_txid();
+        wal.append_page_image(t2, 1, &[4u8; PAGE_SIZE]);
+        wal.commit(t2, None).unwrap();
+        assert_eq!(wal.stats().syncs, before + 1);
     }
 }

@@ -16,7 +16,9 @@
 //! * `.run <file>`   — run a program file
 //! * `.save <dir>`   — persist the database (see `Database::save`)
 //! * `.checkpoint`   — durable fuzzy checkpoint (WAL databases; see
-//!   `Database::checkpoint`)
+//!   `Database::checkpoint`); prints what it did
+//! * `.wal [policy <p>]` — inspect the WAL pipeline (sync policy, LSN
+//!   watermarks, counters) or switch the commit sync policy
 //! * `.stats [op]`   — per-operator counters (one operator, or all)
 //! * `.workers [n]`  — show or set the intra-operator worker count
 //! * `.compile [on|off]` — show or toggle the expression compiler
@@ -41,11 +43,14 @@
 //! echo 'create r : rel(tuple(<(a, int)>)); query r count;' | cargo run --bin sos
 //! ```
 //!
-//! `sos --durable <dir>` opens a WAL-backed database in `<dir>`
-//! (running crash recovery first); every statement commits durably.
+//! `sos --durable <dir> [--sync-policy <p>]` opens a WAL-backed
+//! database in `<dir>` (running crash recovery first); every statement
+//! commits durably. `<p>` is `percommit` (default),
+//! `group[:window_us[:max_batch]]` (group commit: coalesce commits into
+//! one fsync on the WAL's writer thread), or `nosync`.
 
 use sos_exec::render;
-use sos_system::{Database, Output};
+use sos_system::{Database, DurabilityConfig, Output, SyncPolicy};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -63,12 +68,31 @@ fn main() {
     // `sos --durable <dir>` opens a WAL-backed database in <dir>,
     // running crash recovery first; every statement then commits
     // durably and `.checkpoint` bounds the redo work of the next open.
+    // `--sync-policy <p>` picks how those commits reach stable storage.
     if let Some(i) = argv.iter().position(|a| a == "--durable") {
         let Some(dir) = argv.get(i + 1) else {
-            eprintln!("usage: sos --durable <dir>");
+            eprintln!("usage: sos --durable <dir> [--sync-policy <p>]");
             std::process::exit(2);
         };
-        builder = builder.durable(dir);
+        let mut config = DurabilityConfig::dir(dir);
+        if let Some(j) = argv.iter().position(|a| a == "--sync-policy") {
+            let policy = argv.get(j + 1).ok_or_else(|| {
+                "usage: sos --durable <dir> --sync-policy \
+                 percommit|group[:window_us[:max_batch]]|nosync"
+                    .to_string()
+            });
+            match policy.and_then(|p| SyncPolicy::parse(p)) {
+                Ok(p) => config = config.sync_policy(p),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        builder = builder.durability(config);
+    } else if argv.iter().any(|a| a == "--sync-policy") {
+        eprintln!("--sync-policy requires --durable <dir>");
+        std::process::exit(2);
     }
     let mut db = match builder.try_build() {
         Ok(db) => db,
@@ -208,16 +232,47 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
     match head {
         ".quit" | ".exit" => return false,
         ".help" => {
-            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .checkpoint | .stats [op] | .workers [n] | .batch [n] | .compile [on|off] | .objects | .quit");
+            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .checkpoint | .wal [policy <p>] | .stats [op] | .workers [n] | .batch [n] | .compile [on|off] | .objects | .quit");
         }
         ".checkpoint" => {
             if !db.is_durable() {
                 println!("not a durable database (open with `sos --durable <dir>`)");
             } else {
                 match db.checkpoint() {
-                    Ok(()) => println!("checkpoint taken"),
+                    Ok(stats) => {
+                        println!("checkpoint: {}", sos_obs::metrics::checkpoint_line(&stats));
+                        println!("{}", sos_obs::metrics::checkpoint_json(&stats));
+                    }
                     Err(e) => println!("error: {e}"),
                 }
+            }
+        }
+        ".wal" => {
+            if !db.is_durable() {
+                println!("not a durable database (open with `sos --durable <dir>`)");
+            } else if let Some(arg) = rest.trim().strip_prefix("policy") {
+                let arg = arg.trim();
+                if arg.is_empty() {
+                    println!("sync policy {}", db.sync_policy().unwrap());
+                } else {
+                    match SyncPolicy::parse(arg).and_then(|p| {
+                        db.set_sync_policy(p).map_err(|e| e.to_string())?;
+                        Ok(p)
+                    }) {
+                        Ok(p) => println!("sync policy {p}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+            } else if rest.trim().is_empty() {
+                let lsns = db.wal_lsns().unwrap();
+                println!("sync policy {}", db.sync_policy().unwrap());
+                println!(
+                    "lsn: appended {} written {} durable {} checkpoint {}",
+                    lsns.appended, lsns.written, lsns.durable, lsns.checkpoint
+                );
+                println!("wal: {}", sos_obs::metrics::wal_line(&db.metrics().wal));
+            } else {
+                println!("error: `.wal` takes nothing or `policy <p>`");
             }
         }
         ".stats" => {

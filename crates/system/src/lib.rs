@@ -53,7 +53,7 @@ use sos_obs::metrics::{ops_delta, pool_delta};
 use sos_obs::trace::Tracer;
 use sos_optimizer::{OptError, Optimizer, OptimizerStats, RuleApplication};
 use sos_parser::{parse_program, ParseError, Statement};
-use sos_storage::{BufferPool, DiskManager, FileDisk, RecoveryInfo, Wal};
+use sos_storage::{BufferPool, DiskManager, FileDisk, RecoveryInfo, Wal, WalOptions};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -61,6 +61,21 @@ use std::time::Instant;
 
 pub use sos_obs::metrics::op_line;
 pub use sos_obs::{Explain, ExplainAnalysis, ExplainKind, MetricsSnapshot, Phase, PhaseTimings};
+pub use sos_storage::{CheckpointStats, Lsn, SyncPolicy};
+
+/// The WAL pipeline's LSN watermarks, for inspection (the shell's
+/// `.wal` command): `appended ≥ written ≥ durable ≥ checkpoint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalLsns {
+    /// In-memory append point.
+    pub appended: Lsn,
+    /// Log bytes that reached the disk (not necessarily synced).
+    pub written: Lsn,
+    /// Log bytes guaranteed to survive a crash.
+    pub durable: Lsn,
+    /// Where the next recovery scan starts.
+    pub checkpoint: Lsn,
+}
 
 /// Everything that can go wrong processing a program.
 #[derive(Debug)]
@@ -187,7 +202,7 @@ impl Output {
 #[derive(Default)]
 pub struct DatabaseBuilder {
     pool: Option<Arc<BufferPool>>,
-    durable: Option<DurableSource>,
+    durability: Option<DurabilityConfig>,
     frame_capacity: Option<usize>,
     workers: Option<usize>,
     batch_size: Option<usize>,
@@ -202,6 +217,71 @@ pub struct DatabaseBuilder {
 enum DurableSource {
     Dir(PathBuf),
     Disks(Arc<dyn DiskManager>, Arc<dyn DiskManager>),
+}
+
+/// Everything durability: where the data pages and the write-ahead log
+/// live, how commits reach stable storage ([`SyncPolicy`]), and how much
+/// log the WAL may buffer in memory. This is the one durability knob on
+/// [`DatabaseBuilder`] — construct with [`DurabilityConfig::dir`] (two
+/// files under one directory) or [`DurabilityConfig::disks`] (explicit
+/// disks, e.g. [`sos_storage::FaultDisk`] pairs in fault-injection
+/// tests), then chain the policy/buffer setters.
+///
+/// ```no_run
+/// use sos_system::{Database, DurabilityConfig, SyncPolicy};
+///
+/// let db = Database::builder()
+///     .durability(
+///         DurabilityConfig::dir("/tmp/mydb")
+///             .sync_policy(SyncPolicy::Group { window_us: 200, max_batch: 64 }),
+///     )
+///     .try_build()
+///     .unwrap();
+/// assert!(db.is_durable());
+/// ```
+pub struct DurabilityConfig {
+    source: DurableSource,
+    policy: SyncPolicy,
+    wal_buffer_pages: usize,
+}
+
+impl DurabilityConfig {
+    /// Keep durable state under `dir` (created if absent): data pages
+    /// in `dir/pages.db`, the write-ahead log in `dir/wal.log`.
+    pub fn dir(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig::over(DurableSource::Dir(dir.into()))
+    }
+
+    /// Keep durable state on explicit data and WAL disks.
+    pub fn disks(data: Arc<dyn DiskManager>, wal: Arc<dyn DiskManager>) -> DurabilityConfig {
+        DurabilityConfig::over(DurableSource::Disks(data, wal))
+    }
+
+    fn over(source: DurableSource) -> DurabilityConfig {
+        let defaults = WalOptions::default();
+        DurabilityConfig {
+            source,
+            policy: defaults.policy,
+            wal_buffer_pages: defaults.buffer_pages,
+        }
+    }
+
+    /// How commits reach stable storage (default:
+    /// [`SyncPolicy::PerCommit`]). [`SyncPolicy::Group`] coalesces
+    /// commits landing within a window (or while a sync is in flight)
+    /// into one fsync on the WAL's writer thread.
+    pub fn sync_policy(mut self, policy: SyncPolicy) -> DurabilityConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Filled in-memory WAL pages buffered before an append nudges the
+    /// background writer to drain them (default: 64; irrelevant under
+    /// `PerCommit`, which never buffers across commits).
+    pub fn wal_buffer_pages(mut self, pages: usize) -> DurabilityConfig {
+        self.wal_buffer_pages = pages;
+        self
+    }
 }
 
 impl DatabaseBuilder {
@@ -221,25 +301,12 @@ impl DatabaseBuilder {
         self.pool(sos_storage::mem_pool(frames))
     }
 
-    /// Run durably out of `dir` (created if absent): data pages live in
-    /// `dir/pages.db`, the write-ahead log in `dir/wal.log`. Opening
-    /// runs crash recovery — committed statements from a previous
-    /// process survive; a torn tail is truncated. Mutually exclusive
-    /// with [`DatabaseBuilder::pool`].
-    pub fn durable(mut self, dir: impl Into<PathBuf>) -> DatabaseBuilder {
-        self.durable = Some(DurableSource::Dir(dir.into()));
-        self
-    }
-
-    /// Run durably over explicit data and WAL disks (fault-injection
-    /// tests hand in [`sos_storage::FaultDisk`] pairs here). Opening
-    /// runs crash recovery against `data`.
-    pub fn durable_disks(
-        mut self,
-        data: Arc<dyn DiskManager>,
-        wal: Arc<dyn DiskManager>,
-    ) -> DatabaseBuilder {
-        self.durable = Some(DurableSource::Disks(data, wal));
+    /// Run durably per `config`. Opening runs crash recovery —
+    /// committed statements from a previous process survive; a torn
+    /// tail is truncated. Mutually exclusive with
+    /// [`DatabaseBuilder::pool`].
+    pub fn durability(mut self, config: DurabilityConfig) -> DatabaseBuilder {
+        self.durability = Some(config);
         self
     }
 
@@ -310,27 +377,32 @@ impl DatabaseBuilder {
         let frames = self.frame_capacity.unwrap_or(4096);
         let mut recovery = None;
         let mut recovered_meta = None;
-        let pool = match (self.pool, self.durable) {
+        let pool = match (self.pool, self.durability) {
             (Some(_), Some(_)) => {
                 return Err(SystemError::Persist(
-                    "durable() and pool() are mutually exclusive".into(),
+                    "durability() and pool() are mutually exclusive".into(),
                 ))
             }
             (Some(pool), None) => pool,
             (None, None) => sos_storage::mem_pool(frames),
-            (None, Some(src)) => {
-                let (data, wal_disk): (Arc<dyn DiskManager>, Arc<dyn DiskManager>) = match src {
-                    DurableSource::Dir(dir) => {
-                        std::fs::create_dir_all(&dir)
-                            .map_err(|e| SystemError::Persist(e.to_string()))?;
-                        (
-                            Arc::new(FileDisk::open(&dir.join("pages.db"))?),
-                            Arc::new(FileDisk::open(&dir.join("wal.log"))?),
-                        )
-                    }
-                    DurableSource::Disks(d, w) => (d, w),
+            (None, Some(cfg)) => {
+                let (data, wal_disk): (Arc<dyn DiskManager>, Arc<dyn DiskManager>) =
+                    match cfg.source {
+                        DurableSource::Dir(dir) => {
+                            std::fs::create_dir_all(&dir)
+                                .map_err(|e| SystemError::Persist(e.to_string()))?;
+                            (
+                                Arc::new(FileDisk::open(&dir.join("pages.db"))?),
+                                Arc::new(FileDisk::open(&dir.join("wal.log"))?),
+                            )
+                        }
+                        DurableSource::Disks(d, w) => (d, w),
+                    };
+                let options = WalOptions {
+                    policy: cfg.policy,
+                    buffer_pages: cfg.wal_buffer_pages,
                 };
-                let (wal, meta, info) = Wal::recover(wal_disk, &data)?;
+                let (wal, meta, info) = Wal::recover_with(wal_disk, &data, options)?;
                 recovery = Some(info);
                 recovered_meta = meta;
                 Arc::new(BufferPool::with_wal(data, frames, Arc::new(wal)))
@@ -405,10 +477,39 @@ impl Database {
     // ---- durability ----
 
     /// True when this database logs statements to a write-ahead log
-    /// (built via [`DatabaseBuilder::durable`] or
-    /// [`DatabaseBuilder::durable_disks`]).
+    /// (built via [`DatabaseBuilder::durability`]).
     pub fn is_durable(&self) -> bool {
         self.engine.pool.has_wal()
+    }
+
+    /// The commit [`SyncPolicy`] in effect, or `None` for an in-memory
+    /// database.
+    pub fn sync_policy(&self) -> Option<SyncPolicy> {
+        self.engine.pool.wal().map(|w| w.policy())
+    }
+
+    /// The WAL pipeline's current LSN watermarks, or `None` for an
+    /// in-memory database.
+    pub fn wal_lsns(&self) -> Option<WalLsns> {
+        self.engine.pool.wal().map(|w| WalLsns {
+            appended: w.appended_lsn(),
+            written: w.written_lsn(),
+            durable: w.durable_lsn(),
+            checkpoint: w.checkpoint_lsn(),
+        })
+    }
+
+    /// Switch the commit [`SyncPolicy`] at runtime. The switch is a
+    /// clean boundary: everything already appended is flushed and
+    /// synced under the old policy before the new one takes effect.
+    /// Errors on an in-memory database.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) -> Result<(), SystemError> {
+        match self.engine.pool.wal() {
+            Some(wal) => Ok(wal.set_policy(policy)?),
+            None => Err(SystemError::Persist(
+                "set_sync_policy on an in-memory database".into(),
+            )),
+        }
     }
 
     /// What crash recovery did when this database was opened — `None`
@@ -422,10 +523,11 @@ impl Database {
     /// log's recovery scan start past work it no longer needs to redo.
     /// The current catalog snapshot is re-published at the new scan
     /// start. On an in-memory database this degrades to a plain flush.
-    pub fn checkpoint(&mut self) -> Result<(), SystemError> {
+    /// Returns what the checkpoint did: pages written back, the LSN
+    /// range it advanced the recovery scan start across, and wall time.
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats, SystemError> {
         let meta = self.snapshot_bytes()?;
-        self.engine.pool.checkpoint(Some(&meta))?;
-        Ok(())
+        Ok(self.engine.pool.checkpoint(Some(&meta))?)
     }
 
     // ---- observability ----

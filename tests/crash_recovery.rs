@@ -11,13 +11,55 @@
 
 use sos_exec::render;
 use sos_storage::{DiskManager, FaultClock, FaultDisk, FaultSchedule, MemDisk};
-use sos_system::{Database, SystemError};
+use sos_system::{Database, DurabilityConfig, SyncPolicy, SystemError};
 use std::sync::Arc;
 
 /// The durable backing media: survives crashes, shared across opens.
 struct Media {
     data: Arc<dyn DiskManager>,
     wal: Arc<dyn DiskManager>,
+}
+
+/// How a matrix variant opens the database: the commit sync policy and
+/// the WAL's in-memory buffer budget.
+#[derive(Clone, Copy)]
+struct Variant {
+    policy: SyncPolicy,
+    wal_buffer_pages: usize,
+}
+
+impl Variant {
+    /// PR 5 semantics: the committing thread writes and syncs inline.
+    fn per_commit() -> Variant {
+        Variant {
+            policy: SyncPolicy::PerCommit,
+            wal_buffer_pages: 64,
+        }
+    }
+
+    /// Group commit with a window long enough that every crash index
+    /// lands either mid-window or during the writer's coalesced fsync.
+    fn group() -> Variant {
+        Variant {
+            policy: SyncPolicy::Group {
+                window_us: 100,
+                max_batch: 8,
+            },
+            wal_buffer_pages: 64,
+        }
+    }
+
+    /// Group commit through a one-page double buffer, so multi-page
+    /// commits crash with the buffer full and a handoff in flight.
+    fn group_full_buffer() -> Variant {
+        Variant {
+            policy: SyncPolicy::Group {
+                window_us: 0,
+                max_batch: 4,
+            },
+            wal_buffer_pages: 1,
+        }
+    }
 }
 
 impl Media {
@@ -32,13 +74,25 @@ impl Media {
     /// Both disks share one clock, so a crash index addresses a single
     /// interleaved sequence of data and WAL writes.
     fn open(&self, schedule: FaultSchedule) -> (Result<Database, SystemError>, Arc<FaultClock>) {
+        self.open_variant(schedule, Variant::per_commit())
+    }
+
+    fn open_variant(
+        &self,
+        schedule: FaultSchedule,
+        variant: Variant,
+    ) -> (Result<Database, SystemError>, Arc<FaultClock>) {
         let clock = FaultClock::new(schedule);
         let data: Arc<dyn DiskManager> =
             Arc::new(FaultDisk::new(Arc::clone(&self.data), Arc::clone(&clock)));
         let wal: Arc<dyn DiskManager> =
             Arc::new(FaultDisk::new(Arc::clone(&self.wal), Arc::clone(&clock)));
         let db = Database::builder()
-            .durable_disks(data, wal)
+            .durability(
+                DurabilityConfig::disks(data, wal)
+                    .sync_policy(variant.policy)
+                    .wal_buffer_pages(variant.wal_buffer_pages),
+            )
             .frame_capacity(64)
             .try_build();
         (db, clock)
@@ -96,8 +150,8 @@ fn reference() -> (Vec<String>, u64) {
 
 /// Run the workload until the injected fault bites; returns how many
 /// statements were acknowledged (`Ok`) before the first error.
-fn run_until_crash(media: &Media, schedule: FaultSchedule) -> usize {
-    let (db, _clock) = media.open(schedule);
+fn run_until_crash(media: &Media, schedule: FaultSchedule, variant: Variant) -> usize {
+    let (db, _clock) = media.open_variant(schedule, variant);
     let Ok(mut db) = db else {
         // Crashed while opening the empty database: nothing acknowledged.
         return 0;
@@ -112,8 +166,10 @@ fn run_until_crash(media: &Media, schedule: FaultSchedule) -> usize {
     acked
 }
 
-#[test]
-fn crash_at_every_write_index_recovers_to_a_statement_boundary() {
+/// The matrix: crash `variant`'s run at every write index (clean and
+/// torn), reopen cleanly (always `PerCommit` — the log on disk is
+/// policy-independent), and require a statement-boundary state.
+fn crash_matrix_recovers_to_statement_boundaries(variant: Variant) {
     let (refs, total_writes) = reference();
     assert!(
         total_writes > 10,
@@ -127,7 +183,7 @@ fn crash_at_every_write_index_recovers_to_a_statement_boundary() {
                 FaultSchedule::crash_at(i)
             };
             let media = Media::new();
-            let acked = run_until_crash(&media, schedule);
+            let acked = run_until_crash(&media, schedule, variant);
             let (db, _) = media.open(FaultSchedule::default());
             let mut db = db.unwrap_or_else(|e| {
                 panic!("crash at write {i} (torn={torn}): clean reopen failed: {e}")
@@ -163,13 +219,39 @@ fn crash_at_every_write_index_recovers_to_a_statement_boundary() {
     }
 }
 
+#[test]
+fn crash_at_every_write_index_recovers_to_a_statement_boundary() {
+    crash_matrix_recovers_to_statement_boundaries(Variant::per_commit());
+}
+
+/// The same matrix under group commit: every crash index now lands
+/// either mid-window (records appended, fsync pending on the writer
+/// thread) or during the coalesced fsync itself. Acknowledged
+/// statements must still be exactly durable.
+#[test]
+fn crash_matrix_under_group_commit() {
+    crash_matrix_recovers_to_statement_boundaries(Variant::group());
+}
+
+/// Group commit squeezed through a one-page double buffer: multi-page
+/// commits crash with the buffer full and a producer/writer handoff in
+/// flight.
+#[test]
+fn crash_matrix_under_group_commit_with_full_double_buffer() {
+    crash_matrix_recovers_to_statement_boundaries(Variant::group_full_buffer());
+}
+
 /// A crash index past the workload's last write must leave the complete
 /// final state — and the full matrix above then covers every prefix.
 #[test]
 fn crash_after_workload_preserves_everything() {
     let (refs, total_writes) = reference();
     let media = Media::new();
-    let acked = run_until_crash(&media, FaultSchedule::crash_at(total_writes + 100));
+    let acked = run_until_crash(
+        &media,
+        FaultSchedule::crash_at(total_writes + 100),
+        Variant::per_commit(),
+    );
     assert_eq!(acked, STMTS.len(), "no fault should bite");
     let (db, _) = media.open(FaultSchedule::default());
     let mut db = db.expect("clean reopen");
