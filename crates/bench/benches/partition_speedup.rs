@@ -1,0 +1,112 @@
+//! Partition-wise parallel execution gate.
+//!
+//! Feeding a partitioned relation hands the parallel drain one scan
+//! unit per partition, so a selection over a hash(8) layout at 4
+//! workers must beat the same pipeline run serially. This bench times
+//! the selection across layouts (single vs hash8) and worker counts,
+//! and one CI smoke gates regressions:
+//!
+//! * `PARTITION_SPEEDUP_SMOKE=1` — on a host with >= 4 cores the
+//!   partitioned 4-worker selection must run at least 2x faster than
+//!   the serial drain; on smaller hosts (where parallel workers just
+//!   time-slice one CPU) it only asserts the parallel path is not a
+//!   pathological regression over the serial one.
+
+use bench::{as_count, heap_db};
+use criterion::{black_box, Criterion};
+use sos_system::{Database, PartMethod, PartSpec};
+use std::time::Instant;
+
+const QUERY: &str = "hitems feed filter[k mod 7 = 0] count";
+
+fn partitioned_heap_db(n: usize, parts: usize) -> Database {
+    let mut db = heap_db(n);
+    db.partition_object(
+        "hitems",
+        PartSpec {
+            attr: sos_core::Symbol::new("k"),
+            method: PartMethod::Hash { parts },
+        },
+    )
+    .expect("partition hitems");
+    db
+}
+
+fn bench_partition_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition-speedup");
+    for parts in [0usize, 8] {
+        let mut db = if parts == 0 {
+            heap_db(100_000)
+        } else {
+            partitioned_heap_db(100_000, parts)
+        };
+        db.set_batch_size(1024);
+        let layout = if parts == 0 { "single" } else { "hash8" };
+        for workers in [1usize, 2, 4] {
+            db.set_parallelism(workers);
+            group.bench_function(format!("selection-{layout}-workers-{workers}"), |b| {
+                b.iter(|| db.query(QUERY).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Median per-iteration nanoseconds over `samples` batches.
+fn median_nanos(db: &mut Database, query: &str, samples: usize, iters: usize) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(db.query(query).unwrap());
+            }
+            (start.elapsed().as_nanos() as u64) / iters as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn smoke() {
+    let mut db = partitioned_heap_db(60_000, 8);
+    db.set_batch_size(1024);
+    // Warm the pool and the plan path before timing anything.
+    assert_eq!(as_count(&db.query(QUERY).unwrap()), 8572);
+
+    db.set_parallelism(1);
+    let serial = median_nanos(&mut db, QUERY, 7, 3);
+    db.set_parallelism(4);
+    let parallel = median_nanos(&mut db, QUERY, 7, 3);
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "partition-speedup smoke: serial {serial}ns/iter, parallel {parallel}ns/iter ({cores} core(s))"
+    );
+    if cores >= 4 {
+        // The acceptance floor: one scan unit per partition must buy at
+        // least 2x on a host that can actually run 4 workers at once.
+        let limit = serial / 2 + 200_000;
+        assert!(
+            parallel <= limit,
+            "partitioned 4-worker selection {parallel}ns misses the 2x gate {limit}ns (serial: {serial}ns)"
+        );
+    } else {
+        // Workers time-slice one CPU: spawning them costs real
+        // scheduling overhead, so only gate against a pathological
+        // regression.
+        let limit = serial + serial / 4 + 500_000;
+        assert!(
+            parallel <= limit,
+            "partitioned 4-worker selection {parallel}ns regresses past the serial drain {limit}ns (serial: {serial}ns)"
+        );
+    }
+}
+
+fn main() {
+    if std::env::var("PARTITION_SPEEDUP_SMOKE").is_ok() {
+        smoke();
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_partition_speedup(&mut c);
+}

@@ -1,13 +1,22 @@
 //! Index search operators (Section 4): B-tree range queries (with
 //! halfrange variants standing in for the paper's `bottom`/`top`
 //! constants) and LSD-tree point/overlap searches.
+//!
+//! Every operator also accepts a *partitioned* index (a `Value::Part`
+//! whose partitions are per-partition trees): the probe fans out to the
+//! partitions, pruning the ones the partitioning spec proves cannot
+//! hold matches — equality and range conditions on the routing
+//! attribute for B-trees, root-cover containment/overlap for LSD-trees.
+//! Pruned counts land in `ExecStats` for EXPLAIN ANALYZE.
 
 use crate::engine::ExecEngine;
-use crate::error::mismatch;
-use crate::handles::encode_key;
+use crate::error::{mismatch, ExecError, ExecResult};
+use crate::handles::{encode_key, KeyExtractor};
+use crate::partition::{KeyCond, PartHandle};
 use crate::stream::Cursor;
 use crate::value::Value;
 use sos_storage::keys;
+use std::sync::Arc;
 
 /// A pipelined range cursor over a clustered B-tree.
 fn range_cursor(
@@ -20,99 +29,254 @@ fn range_cursor(
     )))
 }
 
+/// Whether key-level pruning is sound for a partitioned B-tree: the
+/// routing attribute must be what the trees index. With `prefix_ok` the
+/// probe fixes only the first key attribute, so a composite key whose
+/// first attribute is the routing attribute also qualifies.
+fn key_aligned(h: &PartHandle, prefix_ok: bool) -> bool {
+    let Some(attr_idx) = h.attr_idx else {
+        return false;
+    };
+    h.parts.iter().all(|p| match p {
+        Value::BTree(bh) => match &bh.key {
+            KeyExtractor::Attr(i) => *i == attr_idx,
+            KeyExtractor::Attrs(is) => prefix_ok && is.first() == Some(&attr_idx),
+            KeyExtractor::Fun(_) => false,
+        },
+        _ => false,
+    })
+}
+
+/// The same range probe against every surviving partition of a
+/// partitioned B-tree, as a partition scan over pipelined range
+/// cursors (so downstream partition-parallel drains still apply).
+fn part_range_cursor(
+    op: &'static str,
+    engine: &ExecEngine,
+    h: &Arc<PartHandle>,
+    mask: Vec<bool>,
+    lo: Vec<u8>,
+    hi: Vec<u8>,
+) -> ExecResult<Value> {
+    let total = h.part_count();
+    let mut cursors = Vec::new();
+    for (p, keep) in h.parts.iter().zip(&mask) {
+        if !*keep {
+            continue;
+        }
+        let Value::BTree(bh) = p else {
+            return Err(mismatch(op, "btree", &p.kind_name()));
+        };
+        cursors.push(Cursor::btree_range(bh.clone(), lo.clone(), hi.clone()));
+    }
+    engine
+        .stats
+        .record_partitions(op, total as u64, (total - cursors.len()) as u64);
+    Ok(Value::Cursor(Arc::new(parking_lot::Mutex::new(
+        Cursor::PartScan {
+            handle: h.clone(),
+            cursors,
+            idx: 0,
+        },
+    ))))
+}
+
+/// All-true mask (no pruning applies).
+fn keep_all(h: &PartHandle) -> Vec<bool> {
+    vec![true; h.part_count()]
+}
+
 pub fn register(e: &mut ExecEngine) {
     // range[lo, hi] — inclusive range query on a clustering B-tree.
-    e.add_op("range", |_, _, args| {
-        let Value::BTree(h) = &args[0] else {
-            return Err(mismatch("range", "btree", &args[0].kind_name()));
-        };
+    e.add_op("range", |ctx, _, args| {
         let lo = encode_key("range", &args[1])?;
         let hi = encode_key("range", &args[2])?;
-        Ok(range_cursor(h, lo, hi))
+        match &args[0] {
+            Value::BTree(h) => Ok(range_cursor(h, lo, hi)),
+            Value::Part(h) => {
+                let mask = if key_aligned(h, false) {
+                    h.range_mask(Some(&args[1]), Some(&args[2]))
+                } else {
+                    keep_all(h)
+                };
+                part_range_cursor("range", ctx.engine, h, mask, lo, hi)
+            }
+            other => Err(mismatch("range", "btree", &other.kind_name())),
+        }
     });
 
     // range_from[lo] — halfrange `lo..top` (the paper's `top` constant).
-    e.add_op("range_from", |_, _, args| {
-        let Value::BTree(h) = &args[0] else {
-            return Err(mismatch("range_from", "btree", &args[0].kind_name()));
-        };
+    e.add_op("range_from", |ctx, _, args| {
         let lo = encode_key("range_from", &args[1])?;
-        Ok(range_cursor(h, lo, keys::top()))
+        match &args[0] {
+            Value::BTree(h) => Ok(range_cursor(h, lo, keys::top())),
+            Value::Part(h) => {
+                let mask = if key_aligned(h, false) {
+                    h.range_mask(Some(&args[1]), None)
+                } else {
+                    keep_all(h)
+                };
+                part_range_cursor("range_from", ctx.engine, h, mask, lo, keys::top())
+            }
+            other => Err(mismatch("range_from", "btree", &other.kind_name())),
+        }
     });
 
     // range_to[hi] — halfrange `bottom..hi` (the paper's `bottom`).
-    e.add_op("range_to", |_, _, args| {
-        let Value::BTree(h) = &args[0] else {
-            return Err(mismatch("range_to", "btree", &args[0].kind_name()));
-        };
+    e.add_op("range_to", |ctx, _, args| {
         let hi = encode_key("range_to", &args[1])?;
-        Ok(range_cursor(h, keys::bottom(), hi))
+        match &args[0] {
+            Value::BTree(h) => Ok(range_cursor(h, keys::bottom(), hi)),
+            Value::Part(h) => {
+                let mask = if key_aligned(h, false) {
+                    h.range_mask(None, Some(&args[1]))
+                } else {
+                    keep_all(h)
+                };
+                part_range_cursor("range_to", ctx.engine, h, mask, keys::bottom(), hi)
+            }
+            other => Err(mismatch("range_to", "btree", &other.kind_name())),
+        }
     });
 
     // exactmatch[k] — all tuples with key exactly k.
-    e.add_op("exactmatch", |_, _, args| {
-        let Value::BTree(h) = &args[0] else {
-            return Err(mismatch("exactmatch", "btree", &args[0].kind_name()));
-        };
+    e.add_op("exactmatch", |ctx, _, args| {
         let k = encode_key("exactmatch", &args[1])?;
-        Ok(range_cursor(h, k.clone(), k))
+        match &args[0] {
+            Value::BTree(h) => Ok(range_cursor(h, k.clone(), k)),
+            Value::Part(h) => {
+                let mask = if key_aligned(h, false) {
+                    h.candidate_mask(&[KeyCond::Eq(args[1].clone())])
+                } else {
+                    keep_all(h)
+                };
+                part_range_cursor("exactmatch", ctx.engine, h, mask, k.clone(), k)
+            }
+            other => Err(mismatch("exactmatch", "btree", &other.kind_name())),
+        }
     });
 
     // prefixmatch[v] — multi-attribute B-tree: all tuples whose first
     // key attribute equals v (Section 4's "query operator specifying
     // values for a prefix of the attributes used for indexing").
-    e.add_op("prefixmatch", |_, _, args| {
-        let Value::BTree(h) = &args[0] else {
-            return Err(mismatch("prefixmatch", "mbtree", &args[0].kind_name()));
-        };
+    e.add_op("prefixmatch", |ctx, _, args| {
         let prefix = encode_key("prefixmatch", &args[1])?;
         let mut hi = prefix.clone();
         hi.extend_from_slice(&keys::top());
-        Ok(range_cursor(h, prefix, hi))
+        match &args[0] {
+            Value::BTree(h) => Ok(range_cursor(h, prefix, hi)),
+            Value::Part(h) => {
+                // The probe fixes the first key attribute, so equality
+                // pruning applies when that attribute routes.
+                let mask = if key_aligned(h, true) {
+                    h.candidate_mask(&[KeyCond::Eq(args[1].clone())])
+                } else {
+                    keep_all(h)
+                };
+                part_range_cursor("prefixmatch", ctx.engine, h, mask, prefix, hi)
+            }
+            other => Err(mismatch("prefixmatch", "mbtree", &other.kind_name())),
+        }
     });
 
     // prefixrange[v, lo, hi] — first attribute fixed, second attribute
     // in an inclusive range.
-    e.add_op("prefixrange", |_, _, args| {
-        let Value::BTree(h) = &args[0] else {
-            return Err(mismatch("prefixrange", "mbtree", &args[0].kind_name()));
-        };
+    e.add_op("prefixrange", |ctx, _, args| {
         let prefix = encode_key("prefixrange", &args[1])?;
         let mut lo = prefix.clone();
         lo.extend_from_slice(&encode_key("prefixrange", &args[2])?);
         let mut hi = prefix;
         hi.extend_from_slice(&encode_key("prefixrange", &args[3])?);
         hi.extend_from_slice(&keys::top());
-        Ok(range_cursor(h, lo, hi))
+        match &args[0] {
+            Value::BTree(h) => Ok(range_cursor(h, lo, hi)),
+            Value::Part(h) => {
+                let mask = if key_aligned(h, true) {
+                    h.candidate_mask(&[KeyCond::Eq(args[1].clone())])
+                } else {
+                    keep_all(h)
+                };
+                part_range_cursor("prefixrange", ctx.engine, h, mask, lo, hi)
+            }
+            other => Err(mismatch("prefixrange", "mbtree", &other.kind_name())),
+        }
     });
 
     // point_search — all tuples whose indexed rectangle contains the point.
-    e.add_op("point_search", |_, _, args| {
-        let Value::LsdTree(h) = &args[0] else {
-            return Err(mismatch("point_search", "lsdtree", &args[0].kind_name()));
-        };
+    e.add_op("point_search", |ctx, _, args| {
         let Value::Point(p) = &args[1] else {
             return Err(mismatch("point_search", "point", &args[1].kind_name()));
         };
-        let mut out = Vec::new();
-        for entry in h.tree.point_search(*p)? {
-            out.push(Value::decode_tuple(&entry.payload)?);
+        match &args[0] {
+            Value::LsdTree(h) => {
+                let mut out = Vec::new();
+                for entry in h.tree.point_search(*p)? {
+                    out.push(Value::decode_tuple(&entry.payload)?);
+                }
+                Ok(Value::Stream(out))
+            }
+            Value::Part(h) => {
+                let mask = h.cover_mask(|c| c.contains_point(p));
+                let out = part_spatial_search("point_search", ctx.engine, h, &mask, |t| {
+                    t.point_search(*p)
+                })?;
+                Ok(Value::Stream(out))
+            }
+            other => Err(mismatch("point_search", "lsdtree", &other.kind_name())),
         }
-        Ok(Value::Stream(out))
     });
 
     // overlap_search — all tuples whose rectangle overlaps the query rect.
-    e.add_op("overlap_search", |_, _, args| {
-        let Value::LsdTree(h) = &args[0] else {
-            return Err(mismatch("overlap_search", "lsdtree", &args[0].kind_name()));
-        };
+    e.add_op("overlap_search", |ctx, _, args| {
         let Value::Rect(r) = &args[1] else {
             return Err(mismatch("overlap_search", "rect", &args[1].kind_name()));
         };
-        let mut out = Vec::new();
-        for entry in h.tree.overlap_search(*r)? {
+        match &args[0] {
+            Value::LsdTree(h) => {
+                let mut out = Vec::new();
+                for entry in h.tree.overlap_search(*r)? {
+                    out.push(Value::decode_tuple(&entry.payload)?);
+                }
+                Ok(Value::Stream(out))
+            }
+            Value::Part(h) => {
+                let mask = h.cover_mask(|c| c.intersects(r));
+                let out = part_spatial_search("overlap_search", ctx.engine, h, &mask, |t| {
+                    t.overlap_search(*r)
+                })?;
+                Ok(Value::Stream(out))
+            }
+            other => Err(mismatch("overlap_search", "lsdtree", &other.kind_name())),
+        }
+    });
+}
+
+/// The same spatial probe against every surviving LSD-tree partition,
+/// concatenated in partition order.
+fn part_spatial_search(
+    op: &'static str,
+    engine: &ExecEngine,
+    h: &Arc<PartHandle>,
+    mask: &[bool],
+    search: impl Fn(
+        &sos_storage::lsdtree::LsdTree,
+    ) -> sos_storage::StorageResult<Vec<sos_storage::lsdtree::Entry>>,
+) -> ExecResult<Vec<Value>> {
+    let total = h.part_count() as u64;
+    let mut pruned = 0u64;
+    let mut out = Vec::new();
+    for (p, keep) in h.parts.iter().zip(mask) {
+        if !*keep {
+            pruned += 1;
+            continue;
+        }
+        let Value::LsdTree(lh) = p else {
+            return Err(mismatch(op, "lsdtree", &p.kind_name()));
+        };
+        for entry in search(&lh.tree).map_err(ExecError::Storage)? {
             out.push(Value::decode_tuple(&entry.payload)?);
         }
-        Ok(Value::Stream(out))
-    });
+    }
+    engine.stats.record_partitions(op, total, pruned);
+    Ok(out)
 }

@@ -169,6 +169,18 @@ pub fn register(e: &mut ExecEngine) {
         }
         Value::BTree(h) => Ok(Value::Int(h.tree.len() as i64)),
         Value::LsdTree(h) => Ok(Value::Int(h.tree.len() as i64)),
+        Value::Part(h) => {
+            // Heap partitions walk their pages; tree partitions answer
+            // from their stored length. Cheap enough to stay serial —
+            // a `feed ... count` pipeline takes the partition-parallel
+            // scan path instead.
+            let n = h.len()?;
+            ctx.engine.stats.record("count", 1, n, 1, 0);
+            ctx.engine
+                .stats
+                .record_partitions("count", h.part_count() as u64, 0);
+            Ok(Value::Int(n as i64))
+        }
         Value::Undefined => Ok(Value::Int(0)),
         other => Err(mismatch("count", "collection", &other.kind_name())),
     });

@@ -100,6 +100,14 @@ pub fn feed_value(v: &Value) -> ExecResult<Vec<Value>> {
             }
             Ok(out)
         }
+        // A partitioned object feeds its partitions in order.
+        Value::Part(h) => {
+            let mut out = Vec::new();
+            for p in &h.parts {
+                out.extend(feed_value(p)?);
+            }
+            Ok(out)
+        }
         // Hybrid convenience: an in-memory relation also feeds.
         Value::Rel(ts) | Value::Stream(ts) => Ok(ts.clone()),
         Value::Undefined => Ok(Vec::new()),
@@ -115,23 +123,71 @@ fn cursor_value(c: Cursor) -> Value {
     Value::Cursor(std::sync::Arc::new(parking_lot::Mutex::new(c)))
 }
 
+/// Partition pruning for `filter` over a fresh partition scan: key
+/// conditions the predicate imposes on the routing attribute drop the
+/// partitions they exclude before any page is touched. Pruning is
+/// conservative — surviving partitions still evaluate the full
+/// predicate per tuple, so the result is identical to the unpruned
+/// scan. Records partition counts under the `filter` operator.
+fn prune_part_scan(
+    engine: &ExecEngine,
+    input: &mut Cursor,
+    pred: &std::sync::Arc<crate::value::Closure>,
+) {
+    let Cursor::PartScan {
+        handle,
+        cursors,
+        idx,
+    } = input
+    else {
+        return;
+    };
+    // Only a fresh, complete scan is pruned (a partially drained or
+    // already-pruned scan keeps its remaining partitions).
+    if *idx != 0 || cursors.len() != handle.part_count() {
+        return;
+    }
+    let total = cursors.len() as u64;
+    let conds = crate::partition::key_conds(engine, pred, &handle.spec.attr);
+    if conds.is_empty() {
+        engine.stats.record_partitions("filter", total, 0);
+        return;
+    }
+    let mask = handle.candidate_mask(&conds);
+    let kept: Vec<Cursor> = std::mem::take(cursors)
+        .into_iter()
+        .zip(&mask)
+        .filter_map(|(c, keep)| keep.then_some(c))
+        .collect();
+    let pruned = total - kept.len() as u64;
+    *cursors = kept;
+    engine.stats.record_partitions("filter", total, pruned);
+}
+
 pub fn register(e: &mut ExecEngine) {
     // feed produces a *pipelined* cursor for page-backed structures
     // (Section 4's pipelined processing); in-memory relations and
     // LSD-trees come back materialized.
-    e.add_op("feed", |_, _, args| match &args[0] {
+    e.add_op("feed", |ctx, _, args| match &args[0] {
         Value::SRel(h) | Value::TidRel(h) => Ok(cursor_value(Cursor::heap_scan(h.clone()))),
         Value::BTree(h) => Ok(cursor_value(Cursor::btree_range(
             h.clone(),
             sos_storage::keys::bottom(),
             sos_storage::keys::top(),
         ))),
+        Value::Part(h) => {
+            ctx.engine
+                .stats
+                .record_partitions("feed", h.part_count() as u64, 0);
+            Ok(cursor_value(Cursor::part_scan(h.clone())?))
+        }
         other => Ok(Value::Stream(feed_value(other)?)),
     });
 
     e.add_op("filter", |ctx, _, args| {
         let pred = args[1].as_closure("filter")?.clone();
-        let input = into_cursor(args[0].clone())?;
+        let mut input = into_cursor(args[0].clone())?;
+        prune_part_scan(ctx.engine, &mut input, &pred);
         Ok(cursor_value(Cursor::filter(ctx.engine, input, pred)))
     });
 
@@ -198,8 +254,6 @@ pub fn register(e: &mut ExecEngine) {
     // the paper's motivating "special join algorithms" an extensible
     // system must be able to add.
     e.add_op("hashjoin", |ctx, node, args| {
-        let outer = &materialize(ctx, args[0].clone())?;
-        let inner = &materialize(ctx, args[1].clone())?;
         let (Value::Ident(a1), Value::Ident(a2)) = (&args[2], &args[3]) else {
             return Err(mismatch(
                 "hashjoin",
@@ -227,6 +281,15 @@ pub fn register(e: &mut ExecEngine) {
             a2,
         )
         .ok_or_else(|| crate::error::ExecError::Other(format!("attribute `{a2}` missing")))?;
+        // Co-partitioned fast path: when both sides are fresh scans of
+        // objects partitioned the same way on the join attributes, the
+        // global repartition is unnecessary — equal keys can only meet
+        // within the same partition index.
+        if let Some(out) = try_copart_hashjoin(ctx, &args, a1, a2, i1, i2)? {
+            return Ok(Value::Stream(out));
+        }
+        let outer = &materialize(ctx, args[0].clone())?;
+        let inner = &materialize(ctx, args[1].clone())?;
         // Build on the inner side, keyed by the memcomparable encoding.
         // With several workers, each builds a table over a contiguous
         // inner chunk; merging in chunk order keeps every key's match
@@ -367,4 +430,113 @@ pub fn register(e: &mut ExecEngine) {
     e.add_op("consume", |ctx, _, args| {
         Ok(Value::Rel(materialize(ctx, args[0].clone())?))
     });
+}
+
+/// The co-partitioned hash join: both inputs are fresh partition scans
+/// whose objects share one partitioning method, and the join attributes
+/// are the routing attributes. Tuples with equal (encoded) join keys
+/// route to the same partition index on both sides, so the join runs
+/// partition-against-partition — one build + probe per pair, scheduled
+/// across workers — with no global repartition. Output is grouped by
+/// partition (outer scan order within each); hash join output order is
+/// bag semantics either way.
+///
+/// Returns `Ok(None)` when the fast path does not apply; on `Some` both
+/// input cursors are consumed, exactly as the materializing path would.
+fn try_copart_hashjoin(
+    ctx: &mut crate::engine::EvalCtx,
+    args: &[Value],
+    a1: &sos_core::Symbol,
+    a2: &sos_core::Symbol,
+    i1: usize,
+    i2: usize,
+) -> ExecResult<Option<Vec<Value>>> {
+    let (Value::Cursor(ca), Value::Cursor(cb)) = (&args[0], &args[1]) else {
+        return Ok(None);
+    };
+    // A self-join over one shared cursor stays serial (and the second
+    // drain sees the stream already consumed, as ever).
+    if Arc::ptr_eq(ca, cb) {
+        return Ok(None);
+    }
+    let mut ga = ca.lock();
+    let mut gb = cb.lock();
+    let (ha, hb) = match (&*ga, &*gb) {
+        (
+            Cursor::PartScan {
+                handle: ha,
+                cursors: csa,
+                idx: 0,
+            },
+            Cursor::PartScan {
+                handle: hb,
+                cursors: csb,
+                idx: 0,
+            },
+        ) if csa.len() == ha.part_count() && csb.len() == hb.part_count() => {
+            (ha.clone(), hb.clone())
+        }
+        _ => return Ok(None),
+    };
+    if ha.spec.method != hb.spec.method || ha.spec.attr != *a1 || hb.spec.attr != *a2 {
+        return Ok(None);
+    }
+    // Both scans are consumed by this join, like any drained stream.
+    *ga = Cursor::Mat(Default::default());
+    *gb = Cursor::Mat(Default::default());
+    drop(ga);
+    drop(gb);
+    let n = ha.part_count();
+    let workers = ctx.engine.workers();
+    let join_one = |i: usize| -> ExecResult<(Vec<Value>, usize)> {
+        let inner = feed_value(&hb.parts[i])?;
+        let outer = feed_value(&ha.parts[i])?;
+        let mut table: std::collections::HashMap<Vec<u8>, Vec<usize>> = Default::default();
+        for (j, tup) in inner.iter().enumerate() {
+            let key = crate::handles::encode_key("hashjoin", &tup.as_tuple("hashjoin")?[i2])?;
+            table.entry(key).or_default().push(j);
+        }
+        let mut out = Vec::new();
+        for o in &outer {
+            let key = crate::handles::encode_key("hashjoin", &o.as_tuple("hashjoin")?[i1])?;
+            if let Some(matches) = table.get(&key) {
+                for &m in matches {
+                    out.push(concat_tuples(o, &inner[m], "hashjoin")?);
+                }
+            }
+        }
+        Ok((out, inner.len() + outer.len()))
+    };
+    let idxs: Vec<usize> = (0..n).collect();
+    let par = workers > 1 && n >= 2;
+    let chunks: Vec<ExecResult<(Vec<Value>, usize)>> = if par {
+        crate::parallel::par_chunks(&idxs, workers, |_, part| {
+            let mut out = Vec::new();
+            let mut read = 0;
+            for &i in part {
+                let (rows, r) = join_one(i)?;
+                out.extend(rows);
+                read += r;
+            }
+            Ok((out, read))
+        })
+    } else {
+        idxs.iter().map(|&i| join_one(i)).collect()
+    };
+    let mut out = Vec::new();
+    let mut read = 0;
+    for c in chunks {
+        let (mut rows, r) = c?;
+        out.append(&mut rows);
+        read += r;
+    }
+    ctx.engine.stats.record(
+        "hashjoin",
+        if par { workers } else { 1 },
+        read,
+        out.len(),
+        0,
+    );
+    ctx.engine.stats.record_partitions("hashjoin", n as u64, 0);
+    Ok(Some(out))
 }

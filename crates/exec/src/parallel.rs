@@ -19,6 +19,7 @@ use crate::stream::Cursor;
 use crate::value::{Closure, Value};
 use sos_core::typed::{TypedExpr, TypedNode};
 use sos_storage::heap::HeapFile;
+use sos_storage::keys::KeyBytes;
 use sos_storage::PageId;
 use std::sync::Arc;
 
@@ -92,6 +93,42 @@ impl PureFun {
             env.push((name.clone(), v.clone()));
         }
         eval_pure(engine, &self.closure.body, &env)
+    }
+
+    /// Evaluate as a predicate over a whole batch: the columnar kernel
+    /// when the program has one, else per-row calls. Mirrors
+    /// `CompiledFun::eval_mask` so batched parallel chunks keep the
+    /// serial vectorized path's evaluation strategy.
+    fn eval_mask(
+        &self,
+        engine: &ExecEngine,
+        batch: &[Value],
+        op: &'static str,
+    ) -> ExecResult<Vec<bool>> {
+        if let Some(cf) = &self.compiled {
+            return cf.eval_mask(batch, op);
+        }
+        let mut mask = Vec::with_capacity(batch.len());
+        for t in batch {
+            mask.push(self.call(engine, std::slice::from_ref(t))?.as_bool(op)?);
+        }
+        Ok(mask)
+    }
+
+    /// Evaluate as a column over a whole batch (see [`PureFun::eval_mask`]).
+    fn eval_column(&self, engine: &ExecEngine, batch: &[Value]) -> ExecResult<Vec<Value>> {
+        if let Some(cf) = &self.compiled {
+            return cf.eval_column(batch);
+        }
+        batch
+            .iter()
+            .map(|t| self.call(engine, std::slice::from_ref(t)))
+            .collect()
+    }
+
+    /// Columnar evaluation if the whole batch runs clean, else `None`.
+    fn try_columnar(&self, batch: &[Value]) -> Option<Vec<Value>> {
+        self.compiled.as_ref()?.try_columnar(batch)
     }
 }
 
@@ -168,7 +205,7 @@ fn eval_pure(
 }
 
 // ---------------------------------------------------------------------
-// Heap plans: a cursor spine rewritten as scan + pure pipeline steps.
+// Scan plans: a cursor spine rewritten as scan units + pure steps.
 // ---------------------------------------------------------------------
 
 enum Step {
@@ -177,18 +214,32 @@ enum Step {
     Replace { idx: usize, fun: PureFun },
 }
 
-/// An undrained heap scan plus the pure pipeline steps stacked on it —
-/// the fragment of a cursor spine that can run data-parallel.
+/// One independently scannable fragment of a source: a single heap page,
+/// a B-tree leaf-chain range (one partition of a partitioned B-tree), or
+/// an already-materialized partition (LSD-trees materialize on scan).
+/// Units are listed in serial scan order, so concatenating per-unit
+/// results reproduces the serial drain.
+enum ScanUnit {
+    HeapPage(Arc<HeapFile>, PageId),
+    BTreeRange(Arc<crate::handles::BTreeHandle>, KeyBytes, KeyBytes),
+    Mem(Vec<Value>),
+}
+
+/// An undrained scan plus the pure pipeline steps stacked on it — the
+/// fragment of a cursor spine that can run data-parallel. Sources are a
+/// plain heap scan (one unit per page, as in the original heap plan) or
+/// a partition scan (heap partitions contribute per-page units, B-tree
+/// partitions one leaf-walk unit each, LSD partitions their
+/// materialized tuples).
 pub struct HeapPlan {
-    heap: Arc<HeapFile>,
-    pages: Vec<PageId>,
+    units: Vec<ScanUnit>,
     /// Applied innermost-first, exactly as the serial cursor would.
     steps: Vec<Step>,
 }
 
 impl HeapPlan {
     /// Extract a plan from a cursor spine. `None` whenever any part of
-    /// the spine must stay serial: a partially drained or non-heap
+    /// the spine must stay serial: a partially drained or non-scannable
     /// source, an impure function, a `head` (early termination is the
     /// point of pipelining), or a shared link another value still holds.
     fn from_cursor(engine: &ExecEngine, cursor: &Cursor) -> Option<HeapPlan> {
@@ -203,8 +254,58 @@ impl HeapPlan {
                     return None;
                 }
                 Some(HeapPlan {
-                    heap: heap.clone(),
-                    pages: pages.clone(),
+                    units: pages
+                        .iter()
+                        .map(|p| ScanUnit::HeapPage(heap.clone(), *p))
+                        .collect(),
+                    steps: Vec::new(),
+                })
+            }
+            Cursor::PartScan { cursors, idx, .. } => {
+                if *idx != 0 {
+                    return None;
+                }
+                let mut units = Vec::new();
+                for c in cursors {
+                    match c {
+                        Cursor::Heap {
+                            heap,
+                            pages,
+                            page_idx,
+                            buf,
+                        } => {
+                            if *page_idx != 0 || !buf.is_empty() {
+                                return None;
+                            }
+                            units
+                                .extend(pages.iter().map(|p| ScanUnit::HeapPage(heap.clone(), *p)));
+                        }
+                        Cursor::BTreeRange {
+                            handle,
+                            lo,
+                            hi,
+                            primed,
+                            done,
+                            buf,
+                            ..
+                        } => {
+                            if *primed || *done || !buf.is_empty() {
+                                return None;
+                            }
+                            units.push(ScanUnit::BTreeRange(
+                                handle.clone(),
+                                lo.clone(),
+                                hi.clone(),
+                            ));
+                        }
+                        Cursor::Mat(buf) => {
+                            units.push(ScanUnit::Mem(buf.iter().cloned().collect()));
+                        }
+                        _ => return None,
+                    }
+                }
+                Some(HeapPlan {
+                    units,
                     steps: Vec::new(),
                 })
             }
@@ -265,73 +366,167 @@ impl HeapPlan {
         }
     }
 
-    /// Run `fold` over every record of a contiguous page chunk on each
-    /// worker: one accumulator per chunk (no per-record allocation or
-    /// reduce), records decoded in place via `HeapFile::visit_page`.
-    /// Chunk results come back in page order, so concatenation matches
-    /// the serial scan; the first error in page order wins.
-    fn fold_page_chunks<T, F>(&self, workers: usize, fold: F) -> ExecResult<Vec<(T, usize)>>
+    /// Run the plan's steps over every record of a contiguous unit chunk
+    /// on each worker: one accumulator per chunk (no per-record
+    /// allocation or reduce), records decoded in place via the storage
+    /// `visit_page`/`visit_leaf` helpers. When the engine's batch width
+    /// is above 1, decoded rows are accumulated into width-sized batches
+    /// and pushed through the steps batch-at-a-time — the same
+    /// mask/column evaluation the serial vectorized path uses (columnar
+    /// kernels included) — instead of tuple-at-a-time. Chunk results
+    /// come back in unit order, so concatenation matches the serial
+    /// scan; the first error in unit order wins.
+    fn scan_chunks<T, F>(
+        &self,
+        engine: &ExecEngine,
+        workers: usize,
+        emit: F,
+    ) -> ExecResult<Vec<(T, ChunkStats)>>
     where
         T: Default + Send,
-        F: Fn(&mut T, Value) -> ExecResult<()> + Sync,
+        F: Fn(&mut T, Vec<Value>) + Sync,
     {
-        let chunks = par_chunks(&self.pages, workers, |_, part| -> ExecResult<(T, usize)> {
-            let mut acc = T::default();
-            let mut read = 0usize;
-            for &pid in part {
-                self.heap.visit_page::<ExecError, _>(pid, |_, rec| {
-                    read += 1;
-                    fold(&mut acc, Value::decode_tuple(rec)?)
-                })?;
-            }
-            Ok((acc, read))
-        });
+        let width = engine.batch_size().max(1);
+        let chunks = par_chunks(
+            &self.units,
+            workers,
+            |_, part| -> ExecResult<(T, ChunkStats)> {
+                let mut acc = T::default();
+                let mut cs = ChunkStats::default();
+                let mut batch: Vec<Value> = Vec::with_capacity(width.min(4096));
+                let flush =
+                    |rows: Vec<Value>, acc: &mut T, cs: &mut ChunkStats| -> ExecResult<()> {
+                        if rows.is_empty() {
+                            return Ok(());
+                        }
+                        let kept = if width > 1 {
+                            cs.batches += 1;
+                            cs.batched_rows += rows.len() as u64;
+                            apply_steps_batch(engine, &self.steps, rows)?
+                        } else {
+                            let mut out = Vec::with_capacity(rows.len());
+                            for t in rows {
+                                if let Some(t) = apply_steps(engine, &self.steps, t)? {
+                                    out.push(t);
+                                }
+                            }
+                            out
+                        };
+                        emit(acc, kept);
+                        Ok(())
+                    };
+                for unit in part {
+                    match unit {
+                        ScanUnit::HeapPage(heap, pid) => {
+                            cs.pages += 1;
+                            heap.visit_page::<ExecError, _>(*pid, |_, rec| {
+                                cs.read += 1;
+                                batch.push(Value::decode_tuple(rec)?);
+                                Ok(())
+                            })?;
+                        }
+                        ScanUnit::BTreeRange(handle, lo, hi) => {
+                            let mut pid = Some(handle.tree.find_leaf(lo)?);
+                            let mut past_hi = false;
+                            while let Some(p) = pid {
+                                if past_hi {
+                                    break;
+                                }
+                                cs.pages += 1;
+                                let next =
+                                    handle.tree.visit_leaf::<ExecError, _>(p, |k, bytes| {
+                                        if past_hi || k < lo.as_slice() {
+                                            return Ok(());
+                                        }
+                                        if k > hi.as_slice() {
+                                            past_hi = true;
+                                            return Ok(());
+                                        }
+                                        cs.read += 1;
+                                        batch.push(Value::decode_tuple(bytes)?);
+                                        Ok(())
+                                    })?;
+                                pid = next;
+                                while batch.len() >= width {
+                                    let rest = batch.split_off(width);
+                                    flush(std::mem::replace(&mut batch, rest), &mut acc, &mut cs)?;
+                                }
+                            }
+                        }
+                        ScanUnit::Mem(rows) => {
+                            cs.read += rows.len();
+                            batch.extend(rows.iter().cloned());
+                        }
+                    }
+                    while batch.len() >= width {
+                        let rest = batch.split_off(width);
+                        flush(std::mem::replace(&mut batch, rest), &mut acc, &mut cs)?;
+                    }
+                }
+                flush(batch, &mut acc, &mut cs)?;
+                Ok((acc, cs))
+            },
+        );
         chunks.into_iter().collect()
     }
 
     fn collect(&self, engine: &ExecEngine, workers: usize) -> ExecResult<Vec<Value>> {
-        let chunks = self.fold_page_chunks(workers, |rows: &mut Vec<Value>, t| {
-            if let Some(t) = apply_steps(engine, &self.steps, t)? {
-                rows.push(t);
-            }
-            Ok(())
+        let chunks = self.scan_chunks(engine, workers, |rows: &mut Vec<Value>, kept| {
+            rows.extend(kept);
         })?;
-        let mut read = 0;
+        let mut cs = ChunkStats::default();
         let mut out = Vec::new();
-        for (mut rows, r) in chunks {
-            read += r;
+        for (mut rows, c) in chunks {
+            cs.merge(&c);
             out.append(&mut rows);
         }
         engine
             .stats
-            .record("feed", workers, read, out.len(), self.pages.len());
-        engine
-            .stats
-            .record_batches("feed", self.pages.len() as u64, read as u64);
+            .record("feed", workers, cs.read, out.len(), cs.pages);
+        engine.stats.record_batches(
+            "feed",
+            cs.pages.max(cs.batches as usize) as u64,
+            cs.read as u64,
+        );
         Ok(out)
     }
 
     fn count(&self, engine: &ExecEngine, workers: usize) -> ExecResult<i64> {
-        let chunks = self.fold_page_chunks(workers, |n: &mut i64, t| {
-            if apply_steps(engine, &self.steps, t)?.is_some() {
-                *n += 1;
-            }
-            Ok(())
+        let chunks = self.scan_chunks(engine, workers, |n: &mut i64, kept| {
+            *n += kept.len() as i64;
         })?;
-        let mut read = 0;
+        let mut cs = ChunkStats::default();
         let mut total = 0i64;
-        for (n, r) in chunks {
-            read += r;
+        for (n, c) in chunks {
+            cs.merge(&c);
             total += n;
         }
         // `count` emits one value; tuples_out = 1 matches the serial path.
-        engine
-            .stats
-            .record("count", workers, read, 1, self.pages.len());
-        engine
-            .stats
-            .record_batches("count", self.pages.len() as u64, read as u64);
+        engine.stats.record("count", workers, cs.read, 1, cs.pages);
+        engine.stats.record_batches(
+            "count",
+            cs.pages.max(cs.batches as usize) as u64,
+            cs.read as u64,
+        );
         Ok(total)
+    }
+}
+
+/// Per-chunk scan accounting, merged in unit order.
+#[derive(Default)]
+struct ChunkStats {
+    read: usize,
+    pages: usize,
+    batches: u64,
+    batched_rows: u64,
+}
+
+impl ChunkStats {
+    fn merge(&mut self, other: &ChunkStats) {
+        self.read += other.read;
+        self.pages += other.pages;
+        self.batches += other.batches;
+        self.batched_rows += other.batched_rows;
     }
 }
 
@@ -363,6 +558,67 @@ fn apply_steps(engine: &ExecEngine, steps: &[Step], mut t: Value) -> ExecResult<
     Ok(Some(t))
 }
 
+/// Batched counterpart of [`apply_steps`]: each step consumes the whole
+/// batch via mask/column evaluation — the identical strategy (columnar
+/// kernels first, per-row bytecode otherwise) the serial vectorized
+/// cursor path uses in `Cursor::next_batch_into`.
+fn apply_steps_batch(
+    engine: &ExecEngine,
+    steps: &[Step],
+    mut batch: Vec<Value>,
+) -> ExecResult<Vec<Value>> {
+    for step in steps {
+        if batch.is_empty() {
+            break;
+        }
+        match step {
+            Step::Filter(pred) => {
+                let mask = pred.eval_mask(engine, &batch, "filter")?;
+                let mut kept = Vec::with_capacity(batch.len());
+                for (t, keep) in batch.into_iter().zip(mask) {
+                    if keep {
+                        kept.push(t);
+                    }
+                }
+                batch = kept;
+            }
+            Step::Project(funs) => {
+                let rows = batch.len();
+                let mut cols = Vec::with_capacity(funs.len());
+                for f in funs {
+                    cols.push(f.eval_column(engine, &batch)?);
+                }
+                let mut iters: Vec<_> = cols.into_iter().map(|c| c.into_iter()).collect();
+                batch = (0..rows)
+                    .map(|_| {
+                        Value::tuple(
+                            iters
+                                .iter_mut()
+                                .map(|it| it.next().expect("column length matches batch"))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+            }
+            Step::Replace { idx, fun } => {
+                let vals = fun.try_columnar(&batch);
+                let mut out = Vec::with_capacity(batch.len());
+                for (r, t) in batch.iter().enumerate() {
+                    let v = match &vals {
+                        Some(vs) => vs[r].clone(),
+                        None => fun.call(engine, std::slice::from_ref(t))?,
+                    };
+                    let mut fields = t.as_tuple("replace")?.to_vec();
+                    fields[*idx] = v;
+                    out.push(Value::tuple(fields));
+                }
+                batch = out;
+            }
+        }
+    }
+    Ok(batch)
+}
+
 // ---------------------------------------------------------------------
 // Drain hooks: entry points called by the serial operators.
 // ---------------------------------------------------------------------
@@ -381,7 +637,7 @@ pub fn try_par_drain(engine: &ExecEngine, cursor: &mut Cursor) -> Option<ExecRes
         return None;
     }
     let plan = HeapPlan::from_cursor(engine, cursor)?;
-    if plan.pages.len() < PAR_MIN_PAGES {
+    if plan.units.len() < PAR_MIN_PAGES {
         return None;
     }
     let result = plan.collect(engine, workers);
@@ -404,7 +660,7 @@ pub fn try_par_count(engine: &ExecEngine, cursor: &mut Cursor) -> Option<ExecRes
         return None;
     }
     let plan = HeapPlan::from_cursor(engine, cursor)?;
-    if plan.pages.len() < PAR_MIN_PAGES {
+    if plan.units.len() < PAR_MIN_PAGES {
         return None;
     }
     let result = plan.count(engine, workers);
@@ -412,6 +668,339 @@ pub fn try_par_count(engine: &ExecEngine, cursor: &mut Cursor) -> Option<ExecRes
         *cursor = Cursor::Mat(Default::default());
     }
     Some(result)
+}
+
+// ---------------------------------------------------------------------
+// Parallel search join.
+// ---------------------------------------------------------------------
+
+/// The recognized shapes of a `search_join` parameter function whose
+/// inner side is *outer-invariant* (references no outer-tuple variable):
+///
+/// * `fun (o) SRC filter[fun (d) PRED]` — the inner source evaluates
+///   once, `PRED(o, d)` must be pure; workers then join outer chunks
+///   against the materialized inner side.
+/// * `fun (o) SRC exactmatch[K] / point_search[K] / overlap_search[K]`
+///   — the index handle evaluates once, the key expression `K(o)` must
+///   be pure; workers probe the index (partition-pruned for partitioned
+///   indexes) per outer tuple.
+enum SjInner {
+    FilterMat { pred: PureFun },
+    Probe { op: ProbeOp, key: PureFun },
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ProbeOp {
+    Exact,
+    Point,
+    Overlap,
+}
+
+impl ProbeOp {
+    fn name(self) -> &'static str {
+        match self {
+            ProbeOp::Exact => "exactmatch",
+            ProbeOp::Point => "point_search",
+            ProbeOp::Overlap => "overlap_search",
+        }
+    }
+}
+
+/// Whether `attr` occurs as a variable anywhere in `te`. Conservative:
+/// shadowing is ignored, so a shadowed occurrence still counts as a use
+/// (which only ever disables the rewrite).
+fn expr_refs_var(te: &TypedExpr, name: &sos_core::Symbol) -> bool {
+    match &te.node {
+        TypedNode::Var(v) => v == name,
+        TypedNode::Const(_) | TypedNode::Object(_) => false,
+        TypedNode::Lambda { body, .. } => expr_refs_var(body, name),
+        TypedNode::List(items) | TypedNode::Tuple(items) => {
+            items.iter().any(|i| expr_refs_var(i, name))
+        }
+        TypedNode::Apply { args, .. } => args.iter().any(|a| expr_refs_var(a, name)),
+        TypedNode::ApplyFun { fun, args } => {
+            expr_refs_var(fun, name) || args.iter().any(|a| expr_refs_var(a, name))
+        }
+    }
+}
+
+/// Try to run a `search_join` cursor data-parallel. `None` falls back to
+/// the serial nested-loop drain; `Some` returns the joined tuples in
+/// serial order and leaves the cursor consumed.
+///
+/// The rewrite applies when the parameter function's inner source is
+/// outer-invariant (see [`SjInner`]): the source is evaluated *once*
+/// under the closure's captured environment instead of once per outer
+/// tuple, and the per-tuple work (pure predicate or pure key + index
+/// probe) runs on worker threads over outer chunks. Per-tuple probe
+/// results keep the serial operator's order, so concatenation in chunk
+/// order reproduces the serial join exactly.
+pub fn try_par_search_join(
+    ctx: &mut crate::engine::EvalCtx,
+    cursor: &mut Cursor,
+) -> Option<ExecResult<Vec<Value>>> {
+    if let Cursor::Shared(arc) = cursor {
+        let arc = arc.clone();
+        let mut guard = arc.lock();
+        return try_par_search_join(ctx, &mut guard);
+    }
+    let engine = ctx.engine;
+    let workers = engine.workers();
+    if workers <= 1 {
+        return None;
+    }
+    let Cursor::SearchJoin {
+        outer,
+        fun,
+        current_outer: None,
+        inner,
+    } = cursor
+    else {
+        return None;
+    };
+    if !inner.is_empty() {
+        return None;
+    }
+    let [(outer_param, outer_ty)] = fun.params.as_slice() else {
+        return None;
+    };
+    let TypedNode::Apply { op, args, .. } = &fun.body.node else {
+        return None;
+    };
+    let [src, second] = args.as_slice() else {
+        return None;
+    };
+    if expr_refs_var(src, outer_param) {
+        return None;
+    }
+    let plan = match op.as_str() {
+        "filter" => {
+            let TypedNode::Lambda { params, body } = &second.node else {
+                return None;
+            };
+            let [inner_param] = params.as_slice() else {
+                return None;
+            };
+            let pred = Arc::new(Closure {
+                params: vec![(outer_param.clone(), outer_ty.clone()), inner_param.clone()],
+                body: (**body).clone(),
+                captured: fun.captured.clone(),
+            });
+            SjInner::FilterMat {
+                pred: PureFun::compile(engine, &pred)?,
+            }
+        }
+        probe @ ("exactmatch" | "point_search" | "overlap_search") => {
+            let op = match probe {
+                "exactmatch" => ProbeOp::Exact,
+                "point_search" => ProbeOp::Point,
+                _ => ProbeOp::Overlap,
+            };
+            let key = Arc::new(Closure {
+                params: vec![(outer_param.clone(), outer_ty.clone())],
+                body: second.clone(),
+                captured: fun.captured.clone(),
+            });
+            SjInner::Probe {
+                op,
+                key: PureFun::compile(engine, &key)?,
+            }
+        }
+        _ => return None,
+    };
+    // Evaluate the outer-invariant inner source once, under the closure's
+    // captured environment (exactly the environment the serial per-tuple
+    // evaluation would see, minus the unused outer binding).
+    let src_closure = Closure {
+        params: Vec::new(),
+        body: src.clone(),
+        captured: fun.captured.clone(),
+    };
+    let mut run = || -> ExecResult<Vec<Value>> {
+        let src_value = ctx.call(&src_closure, Vec::new())?;
+        let outer_tuples = match try_par_drain(engine, outer) {
+            Some(r) => r?,
+            None => outer.drain(ctx)?,
+        };
+        let (out, inner_len) = match &plan {
+            SjInner::FilterMat { pred } => {
+                let inner_tuples = crate::stream::materialize(ctx, src_value)?;
+                let chunks = par_chunks(
+                    &outer_tuples,
+                    workers,
+                    |_, part| -> ExecResult<Vec<Value>> {
+                        let mut out = Vec::new();
+                        for o in part {
+                            for i in &inner_tuples {
+                                if pred
+                                    .call(engine, &[o.clone(), i.clone()])?
+                                    .as_bool("filter")?
+                                {
+                                    out.push(crate::ops::relational::concat_tuples(
+                                        o,
+                                        i,
+                                        "search_join",
+                                    )?);
+                                }
+                            }
+                        }
+                        Ok(out)
+                    },
+                );
+                (merge_chunks(chunks)?, inner_tuples.len())
+            }
+            SjInner::Probe { op, key } => {
+                let chunks = par_chunks(
+                    &outer_tuples,
+                    workers,
+                    |_, part| -> ExecResult<(Vec<Value>, u64, u64)> {
+                        let mut out = Vec::new();
+                        let (mut total, mut pruned) = (0u64, 0u64);
+                        for o in part {
+                            let k = key.call(engine, std::slice::from_ref(o))?;
+                            let matches =
+                                probe_index(&src_value, *op, &k, &mut total, &mut pruned)?;
+                            for m in &matches {
+                                out.push(crate::ops::relational::concat_tuples(
+                                    o,
+                                    m,
+                                    "search_join",
+                                )?);
+                            }
+                        }
+                        Ok((out, total, pruned))
+                    },
+                );
+                let mut out = Vec::new();
+                let (mut total, mut pruned) = (0u64, 0u64);
+                for c in chunks {
+                    let (mut rows, t, p) = c?;
+                    out.append(&mut rows);
+                    total += t;
+                    pruned += p;
+                }
+                engine.stats.record_partitions("search_join", total, pruned);
+                (out, 0)
+            }
+        };
+        engine.stats.record(
+            "search_join",
+            workers,
+            outer_tuples.len() + inner_len,
+            out.len(),
+            0,
+        );
+        Ok(out)
+    };
+    let result = run();
+    if result.is_ok() {
+        *cursor = Cursor::Mat(Default::default());
+    }
+    Some(result)
+}
+
+/// Probe one index value with a key — the operator semantics of
+/// `exactmatch`/`point_search`/`overlap_search` evaluated directly
+/// against storage (safe on worker threads: no engine context). For
+/// partitioned indexes the probe is pruned to candidate partitions
+/// (equality routing for B-trees, cover intersection for LSD-trees) and
+/// surviving partitions are probed in partition order.
+fn probe_index(
+    target: &Value,
+    op: ProbeOp,
+    key: &Value,
+    total: &mut u64,
+    pruned: &mut u64,
+) -> ExecResult<Vec<Value>> {
+    match (target, op) {
+        (Value::BTree(h), ProbeOp::Exact) => {
+            let k = crate::handles::encode_key("exactmatch", key)?;
+            btree_range_collect(h, &k, &k)
+        }
+        (Value::LsdTree(h), ProbeOp::Point) => {
+            let Value::Point(p) = key else {
+                return Err(ExecError::TypeMismatch {
+                    op: "point_search".into(),
+                    expected: "point".into(),
+                    found: key.kind_name().into(),
+                });
+            };
+            let mut out = Vec::new();
+            for e in h.tree.point_search(*p)? {
+                out.push(Value::decode_tuple(&e.payload)?);
+            }
+            Ok(out)
+        }
+        (Value::LsdTree(h), ProbeOp::Overlap) => {
+            let Value::Rect(r) = key else {
+                return Err(ExecError::TypeMismatch {
+                    op: "overlap_search".into(),
+                    expected: "rect".into(),
+                    found: key.kind_name().into(),
+                });
+            };
+            let mut out = Vec::new();
+            for e in h.tree.overlap_search(*r)? {
+                out.push(Value::decode_tuple(&e.payload)?);
+            }
+            Ok(out)
+        }
+        (Value::Part(h), _) => {
+            *total += h.part_count() as u64;
+            let mask = match (op, key) {
+                (ProbeOp::Exact, _) => {
+                    h.candidate_mask(&[crate::partition::KeyCond::Eq(key.clone())])
+                }
+                (ProbeOp::Point, Value::Point(p)) => h.cover_mask(|c| c.contains_point(p)),
+                (ProbeOp::Overlap, Value::Rect(r)) => h.cover_mask(|c| c.intersects(r)),
+                _ => vec![true; h.part_count()],
+            };
+            let mut out = Vec::new();
+            for (p, keep) in h.parts.iter().zip(&mask) {
+                if !keep {
+                    *pruned += 1;
+                    continue;
+                }
+                out.extend(probe_index(p, op, key, total, pruned)?);
+            }
+            Ok(out)
+        }
+        (other, op) => Err(ExecError::TypeMismatch {
+            op: op.name().into(),
+            expected: "index representation".into(),
+            found: other.kind_name().into(),
+        }),
+    }
+}
+
+/// Collect a B-tree's `[lo, hi]` leaf range without an engine context
+/// (the worker-thread counterpart of the `BTreeRange` cursor).
+fn btree_range_collect(
+    h: &Arc<crate::handles::BTreeHandle>,
+    lo: &[u8],
+    hi: &[u8],
+) -> ExecResult<Vec<Value>> {
+    let mut out = Vec::new();
+    let mut pid = Some(h.tree.find_leaf(lo)?);
+    let mut past_hi = false;
+    while let Some(p) = pid {
+        if past_hi {
+            break;
+        }
+        let next = h.tree.visit_leaf::<ExecError, _>(p, |k, bytes| {
+            if past_hi || k < lo {
+                return Ok(());
+            }
+            if k > hi {
+                past_hi = true;
+                return Ok(());
+            }
+            out.push(Value::decode_tuple(bytes)?);
+            Ok(())
+        })?;
+        pid = next;
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------

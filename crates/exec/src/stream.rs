@@ -81,6 +81,15 @@ pub enum Cursor {
         current_outer: Option<Value>,
         inner: VecDeque<Value>,
     },
+    /// Scan of a partitioned object: the per-partition sub-cursors are
+    /// drained in partition order. Partition pruning (the `filter` and
+    /// index operators) may drop sub-cursors before the first pull;
+    /// the parallel executor schedules the survivors one per worker.
+    PartScan {
+        handle: Arc<crate::partition::PartHandle>,
+        cursors: Vec<Cursor>,
+        idx: usize,
+    },
     /// A cursor shared through a cloned stream value.
     Shared(Arc<parking_lot::Mutex<Cursor>>),
 }
@@ -109,6 +118,47 @@ impl Cursor {
             primed: false,
             done: false,
             buf: VecDeque::new(),
+        }
+    }
+
+    /// Full scan of a partitioned object: one sub-cursor per partition,
+    /// drained in order. Heap and B-tree partitions stay pipelined;
+    /// LSD-tree partitions materialize (their `scan` is bulk, exactly
+    /// like `feed` over an unpartitioned lsdtree).
+    pub fn part_scan(handle: Arc<crate::partition::PartHandle>) -> ExecResult<Cursor> {
+        let cursors = handle
+            .parts
+            .iter()
+            .map(Cursor::part_cursor)
+            .collect::<ExecResult<Vec<_>>>()?;
+        Ok(Cursor::PartScan {
+            handle,
+            cursors,
+            idx: 0,
+        })
+    }
+
+    /// The scan cursor of one partition's value.
+    fn part_cursor(part: &Value) -> ExecResult<Cursor> {
+        match part {
+            Value::SRel(h) | Value::TidRel(h) => Ok(Cursor::heap_scan(h.clone())),
+            Value::BTree(h) => Ok(Cursor::btree_range(
+                h.clone(),
+                sos_storage::keys::bottom(),
+                sos_storage::keys::top(),
+            )),
+            Value::LsdTree(h) => {
+                let entries = h.tree.scan().map_err(ExecError::Storage)?;
+                let tuples = entries
+                    .iter()
+                    .map(|e| Value::decode_tuple(&e.payload))
+                    .collect::<ExecResult<Vec<_>>>()?;
+                Ok(Cursor::materialized(tuples))
+            }
+            other => Err(ExecError::Other(format!(
+                "cannot scan a {} partition",
+                other.kind_name()
+            ))),
         }
     }
 
@@ -290,6 +340,15 @@ impl Cursor {
                 let produced = ctx.call(&fun, vec![o.clone()])?;
                 *inner = materialize(ctx, produced)?.into();
                 *current_outer = Some(o);
+            },
+            Cursor::PartScan { cursors, idx, .. } => loop {
+                let Some(c) = cursors.get_mut(*idx) else {
+                    return Ok(None);
+                };
+                if let Some(t) = c.next(ctx)? {
+                    return Ok(Some(t));
+                }
+                *idx += 1;
             },
             Cursor::Shared(c) => {
                 let mut guard = c.lock();
@@ -578,6 +637,16 @@ impl Cursor {
                     *remaining = if got == 0 { 0 } else { *remaining - got };
                 }
             }
+            Cursor::PartScan { cursors, idx, .. } => {
+                while out.len() < target {
+                    let Some(c) = cursors.get_mut(*idx) else {
+                        break;
+                    };
+                    if c.next_batch_into(ctx, target - out.len(), out)? == 0 {
+                        *idx += 1;
+                    }
+                }
+            }
             Cursor::Shared(c) => {
                 let c = c.clone();
                 let mut guard = c.lock();
@@ -632,6 +701,9 @@ impl std::fmt::Debug for Cursor {
             Cursor::Project { .. } => "project",
             Cursor::Replace { .. } => "replace",
             Cursor::SearchJoin { .. } => "search-join",
+            Cursor::PartScan { cursors, idx, .. } => {
+                return write!(f, "cursor[part-scan, {}/{} parts]", idx, cursors.len())
+            }
             Cursor::Shared(_) => "shared",
         };
         write!(f, "cursor[{kind}]")
@@ -650,6 +722,9 @@ pub fn materialize(ctx: &mut EvalCtx, v: Value) -> ExecResult<Vec<Value>> {
         Value::Cursor(c) => {
             let mut guard = c.lock();
             if let Some(res) = crate::parallel::try_par_drain(ctx.engine, &mut guard) {
+                return res;
+            }
+            if let Some(res) = crate::parallel::try_par_search_join(ctx, &mut guard) {
                 return res;
             }
             guard.drain(ctx)

@@ -111,6 +111,12 @@ pub fn op_line(s: &OpStats) -> String {
             s.rows_per_batch()
         ));
     }
+    if s.partitions > 0 {
+        line.push_str(&format!(
+            ", {} partition(s) ({} pruned)",
+            s.partitions, s.partitions_pruned
+        ));
+    }
     line
 }
 
@@ -238,6 +244,8 @@ pub(crate) fn op_json(name: &str, s: &OpStats) -> String {
         .u64("max_workers", s.max_workers)
         .u64("batches", s.batches)
         .u64("batched_rows", s.batched_rows)
+        .u64("partitions", s.partitions)
+        .u64("partitions_pruned", s.partitions_pruned)
         .finish()
 }
 
@@ -277,10 +285,14 @@ pub fn ops_delta(
                 max_workers: a.max_workers,
                 batches: a.batches - b.batches,
                 batched_rows: a.batched_rows - b.batched_rows,
+                partitions: a.partitions - b.partitions,
+                partitions_pruned: a.partitions_pruned - b.partitions_pruned,
             };
-            // `materialize` records only batch traffic, so batches alone
-            // also keep a row alive in the delta.
-            (d.invocations > 0 || d.batches > 0).then(|| (name.clone(), d))
+            // `materialize` records only batch traffic, and index probes
+            // over partitioned objects record only partition traffic (the
+            // drain is counted downstream), so either alone also keeps a
+            // row alive in the delta.
+            (d.invocations > 0 || d.batches > 0 || d.partitions > 0).then(|| (name.clone(), d))
         })
         .collect()
 }

@@ -470,6 +470,46 @@ impl BTree {
     pub fn rebuild(&self) -> StorageResult<()> {
         // Collect all entries in key order.
         let entries: Vec<(KeyBytes, Vec<u8>)> = self.scan()?.collect::<StorageResult<Vec<_>>>()?;
+        self.build_from_entries(entries)
+    }
+
+    /// Bulk-load a sorted entry set into an empty tree: the leaves are
+    /// packed left to right in one pass (no per-insert root-to-leaf
+    /// descent or splits), then the inner levels are built bottom-up —
+    /// the classic sorted B-tree build. The tree must be empty and
+    /// `entries` sorted by key; both are checked.
+    pub fn bulk_load(&self, entries: Vec<(KeyBytes, Vec<u8>)>) -> StorageResult<()> {
+        if !self.is_empty() {
+            return Err(StorageError::Corrupt(
+                "bulk_load requires an empty B-tree".into(),
+            ));
+        }
+        for w in entries.windows(2) {
+            if w[0].0 > w[1].0 {
+                return Err(StorageError::Corrupt(
+                    "bulk_load requires entries sorted by key".into(),
+                ));
+            }
+        }
+        for (k, v) in &entries {
+            if 4 + k.len() + v.len() > MAX_ENTRY {
+                return Err(StorageError::RecordTooLarge {
+                    size: k.len() + v.len(),
+                    max: MAX_ENTRY,
+                });
+            }
+        }
+        let n = entries.len();
+        self.build_from_entries(entries)?;
+        *self.len.lock() = n;
+        Ok(())
+    }
+
+    /// Shared packing pass behind [`BTree::rebuild`] and
+    /// [`BTree::bulk_load`]: write `entries` (already in key order) into
+    /// fresh, densely packed pages and point the root at them. Does not
+    /// touch `len` — rebuild preserves it, bulk_load sets it.
+    fn build_from_entries(&self, entries: Vec<(KeyBytes, Vec<u8>)>) -> StorageResult<()> {
         // Build leaves left to right, filling each page.
         type Entries = Vec<(KeyBytes, Vec<u8>)>;
         let mut leaves: Vec<(KeyBytes, PageId)> = Vec::new(); // (first key, page)
@@ -876,6 +916,54 @@ mod rebuild_tests {
         assert_eq!(t.lookup(&int_key(3)).unwrap().len(), 30);
         let keys: Vec<KeyBytes> = t.scan().unwrap().map(|r| r.unwrap().0).collect();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bulk_load_matches_per_insert() {
+        let bulk = BTree::create(mem_pool(512)).unwrap();
+        let serial = BTree::create(mem_pool(512)).unwrap();
+        let entries: Vec<(KeyBytes, Vec<u8>)> = (0..4000i64)
+            .map(|i| (int_key(i), format!("payload {i}").into_bytes()))
+            .collect();
+        for (k, v) in &entries {
+            serial.insert(k, v).unwrap();
+        }
+        bulk.bulk_load(entries.clone()).unwrap();
+        assert_eq!(bulk.len(), 4000);
+        let from_bulk: Vec<_> = bulk.scan().unwrap().map(|r| r.unwrap()).collect();
+        let from_serial: Vec<_> = serial.scan().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(from_bulk, from_serial);
+        // Sorted build packs densely: no worse than the split-grown tree.
+        assert!(bulk.page_count().unwrap() <= serial.page_count().unwrap());
+        // Still usable for point queries and further inserts.
+        assert_eq!(bulk.lookup(&int_key(1234)).unwrap().len(), 1);
+        bulk.insert(&int_key(4000), b"more").unwrap();
+        assert_eq!(bulk.len(), 4001);
+    }
+
+    #[test]
+    fn bulk_load_rejects_nonempty_and_unsorted() {
+        let t = BTree::create(mem_pool(64)).unwrap();
+        t.insert(&int_key(1), b"x").unwrap();
+        assert!(t.bulk_load(vec![(int_key(2), b"y".to_vec())]).is_err());
+        let t2 = BTree::create(mem_pool(64)).unwrap();
+        assert!(t2
+            .bulk_load(vec![
+                (int_key(5), b"a".to_vec()),
+                (int_key(3), b"b".to_vec())
+            ])
+            .is_err());
+        // Order unaffected by the failed loads.
+        assert_eq!(t2.len(), 0);
+    }
+
+    #[test]
+    fn bulk_load_empty_is_a_noop() {
+        let t = BTree::create(mem_pool(64)).unwrap();
+        t.bulk_load(Vec::new()).unwrap();
+        assert_eq!(t.len(), 0);
+        t.insert(&int_key(1), b"one").unwrap();
+        assert_eq!(t.lookup(&int_key(1)).unwrap().len(), 1);
     }
 }
 

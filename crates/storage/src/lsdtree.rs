@@ -166,6 +166,91 @@ impl LsdTree {
         }
         Ok(removed)
     }
+
+    /// Bounding box of every stored entry (the root cover). `None` for an
+    /// empty tree. Partition pruning consults this to skip partitions
+    /// whose contents cannot intersect a query point or rectangle.
+    pub fn cover(&self) -> Option<Rect> {
+        match &self.inner.lock().root {
+            DirNode::Inner { cover, .. } | DirNode::Leaf { cover, .. } => *cover,
+        }
+    }
+
+    /// Bulk-pack `entries` into an empty tree in one top-down pass: the
+    /// entry set is recursively median-split (the same local split
+    /// decision `insert` uses) until each piece fits a bucket page, then
+    /// buckets are written once and the directory assembled with exact
+    /// covers — no per-insert descent, no incremental splits rewriting
+    /// half-full pages. The tree must be empty.
+    pub fn bulk_load(&self, entries: Vec<Entry>) -> StorageResult<()> {
+        for e in &entries {
+            if e.payload.len() > MAX_PAYLOAD {
+                return Err(StorageError::RecordTooLarge {
+                    size: e.payload.len(),
+                    max: MAX_PAYLOAD,
+                });
+            }
+        }
+        let mut inner = self.inner.lock();
+        if inner.len != 0 {
+            return Err(StorageError::Corrupt(
+                "bulk_load requires an empty LSD-tree".into(),
+            ));
+        }
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let n = entries.len();
+        let mut nodes = 0usize;
+        // The empty bucket `create` allocated is abandoned, like the old
+        // pages after a B-tree rebuild.
+        inner.root = bulk_rec(&self.pool, entries, &mut nodes)?;
+        inner.len = n;
+        inner.directory_nodes = nodes;
+        Ok(())
+    }
+}
+
+fn bulk_rec(
+    pool: &Arc<BufferPool>,
+    entries: Vec<Entry>,
+    nodes: &mut usize,
+) -> StorageResult<DirNode> {
+    *nodes += 1;
+    let cover = entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b));
+    if bucket_size(&entries) <= PAGE_SIZE {
+        let (page, guard) = pool.allocate()?;
+        write_bucket(&mut guard.write()[..], &entries);
+        drop(guard);
+        return Ok(DirNode::Leaf {
+            page,
+            cover,
+            count: entries.len(),
+        });
+    }
+    let (dim, pos) = choose_split(&entries);
+    let (mut left_e, mut right_e): (Vec<Entry>, Vec<Entry>) = entries
+        .into_iter()
+        .partition(|e| !center_side(dim, pos, &e.rect));
+    // Degenerate case (all centers identical): split by index, as insert
+    // does, so recursion terminates.
+    if left_e.is_empty() || right_e.is_empty() {
+        let mut all = Vec::new();
+        all.append(&mut left_e);
+        all.append(&mut right_e);
+        let mid = all.len() / 2;
+        right_e = all.split_off(mid);
+        left_e = all;
+    }
+    let left = bulk_rec(pool, left_e, nodes)?;
+    let right = bulk_rec(pool, right_e, nodes)?;
+    Ok(DirNode::Inner {
+        dim,
+        pos,
+        cover,
+        left: Box::new(left),
+        right: Box::new(right),
+    })
 }
 
 fn center_side(dim: u8, pos: f64, rect: &Rect) -> bool {
@@ -547,6 +632,77 @@ mod tests {
         let t = tree();
         let huge = vec![0u8; MAX_PAYLOAD + 1];
         assert!(t.insert(Rect::new(0.0, 0.0, 1.0, 1.0), &huge).is_err());
+    }
+
+    #[test]
+    fn bulk_load_matches_per_insert_queries() {
+        let rects: Vec<Rect> = gen::query_rects(1500, 0.001, 41);
+        let serial = tree();
+        let bulk = tree();
+        for (i, r) in rects.iter().enumerate() {
+            serial.insert(*r, &(i as u32).to_le_bytes()).unwrap();
+        }
+        bulk.bulk_load(
+            rects
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Entry {
+                    rect: *r,
+                    payload: (i as u32).to_le_bytes().to_vec(),
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(bulk.len(), 1500);
+        assert_eq!(bulk.cover(), serial.cover());
+        for p in gen::uniform_points(40, 42) {
+            let norm = |mut v: Vec<Entry>| {
+                v.sort_by(|a, b| a.payload.cmp(&b.payload));
+                v
+            };
+            assert_eq!(
+                norm(bulk.point_search(p).unwrap()),
+                norm(serial.point_search(p).unwrap()),
+                "point {p}"
+            );
+        }
+        for q in gen::query_rects(20, 0.01, 43) {
+            assert_eq!(
+                bulk.overlap_search(q).unwrap().len(),
+                serial.overlap_search(q).unwrap().len(),
+                "query {q}"
+            );
+        }
+        // A bulk-loaded tree stays writable.
+        bulk.insert(Rect::new(0.0, 0.0, 1.0, 1.0), b"x").unwrap();
+        assert_eq!(bulk.len(), 1501);
+    }
+
+    #[test]
+    fn bulk_load_requires_empty_tree() {
+        let t = tree();
+        t.insert(Rect::new(0.0, 0.0, 1.0, 1.0), b"a").unwrap();
+        assert!(t
+            .bulk_load(vec![Entry {
+                rect: Rect::new(2.0, 2.0, 3.0, 3.0),
+                payload: b"b".to_vec(),
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn bulk_load_identical_centers_terminates() {
+        let t = tree();
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let entries: Vec<Entry> = (0..1000u32)
+            .map(|i| Entry {
+                rect: r,
+                payload: i.to_le_bytes().to_vec(),
+            })
+            .collect();
+        t.bulk_load(entries).unwrap();
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.point_search(Point::new(0.5, 0.5)).unwrap().len(), 1000);
     }
 }
 

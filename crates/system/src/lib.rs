@@ -39,6 +39,7 @@
 //! return a structured [`Explain`] with the ordered rewrite trace.
 
 pub mod builtin;
+pub mod bulk;
 pub mod persist;
 pub mod rules;
 
@@ -59,6 +60,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
+pub use sos_catalog::{PartMethod, PartSpec};
 pub use sos_obs::metrics::op_line;
 pub use sos_obs::{Explain, ExplainAnalysis, ExplainKind, MetricsSnapshot, Phase, PhaseTimings};
 pub use sos_storage::{CheckpointStats, Lsn, SyncPolicy};
@@ -210,6 +212,7 @@ pub struct DatabaseBuilder {
     optimize: Option<bool>,
     trace: bool,
     strict_lint: bool,
+    bulk_nosync: Option<bool>,
 }
 
 /// Where a durable database keeps its two files (or disks): the data
@@ -362,6 +365,15 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Whether [`Database::bulk_load`] on a durable database relaxes
+    /// the commit policy to [`SyncPolicy::NoSync`] for the duration of
+    /// the load, closing with one checkpoint (default: on). Disable to
+    /// bulk load under the configured per-commit policy.
+    pub fn bulk_nosync(mut self, enabled: bool) -> DatabaseBuilder {
+        self.bulk_nosync = Some(enabled);
+        self
+    }
+
     /// Build, panicking on construction failure. In-memory databases
     /// cannot fail to construct; durable ones go through
     /// [`DatabaseBuilder::try_build`] when the caller wants the error.
@@ -429,6 +441,7 @@ impl DatabaseBuilder {
             total_opt_stats: OptimizerStats::default(),
             tracer: Tracer::new(self.trace),
             strict_lint: self.strict_lint,
+            bulk_nosync: self.bulk_nosync.unwrap_or(true),
             recovery,
         };
         if let Some(bytes) = recovered_meta {
@@ -454,6 +467,9 @@ pub struct Database {
     tracer: Tracer,
     /// Reject spec/rule registrations with error-severity diagnostics.
     strict_lint: bool,
+    /// `bulk_load` relaxes a durable commit policy to `NoSync` + one
+    /// closing checkpoint (see [`DatabaseBuilder::bulk_nosync`]).
+    bulk_nosync: bool,
     /// What crash recovery did at open (durable databases only).
     recovery: Option<RecoveryInfo>,
 }
