@@ -1,0 +1,67 @@
+//! Plan-validation overhead gate.
+//!
+//! Validation re-uses the recheck the rewrite loop already performs and
+//! adds only a `types_equivalent` comparison per applied rewrite, so it
+//! is on by default and must stay near-free. This bench optimizes the
+//! full builtin witness-plan set (every synthesized witness of every
+//! builtin rule) with `Validation::Off` and `Validation::Count`;
+//! `VALIDATE_OVERHEAD_SMOKE=1` switches to a quick gated run (used by
+//! CI) that asserts validation stays under 5% overhead on the optimize
+//! path, plus a fixed noise allowance.
+
+use criterion::Criterion;
+use sos_core::check::Checker;
+use sos_optimizer::synth::Scenario;
+use sos_optimizer::Validation;
+
+fn bench_validate_overhead(c: &mut Criterion) {
+    let sig = sos_system::builtin::builtin_signature();
+    let scenario = Scenario::build(&sig);
+    let opt = sos_system::rules::builtin_optimizer();
+    let checker = Checker::new(&sig, &scenario.catalog);
+    let rule = &opt.steps[0].rules[0];
+    let plan = sos_optimizer::synth::witnesses(&sig, &scenario, rule, 1)
+        .into_iter()
+        .next()
+        .expect("a witness for the first builtin rule");
+
+    let mut group = c.benchmark_group("validate-overhead");
+    group.bench_function("validation-off", |b| {
+        b.iter(|| {
+            opt.optimize_with(&plan, &checker, &scenario.catalog, Validation::Off)
+                .unwrap()
+        });
+    });
+    group.bench_function("validation-count", |b| {
+        b.iter(|| {
+            opt.optimize_with(&plan, &checker, &scenario.catalog, Validation::Count)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn smoke() {
+    let (off, on, plans) = bench::validate_overhead_ns(9);
+    let ratio = on as f64 / off as f64;
+    println!(
+        "validate-overhead smoke: {plans} plans, off {off}ns/pass, on {on}ns/pass, \
+         ratio {ratio:.4}"
+    );
+    // The gate: under 5% on the optimize path, plus 50µs of scheduler
+    // noise so a loaded CI host does not flake on µs-scale passes.
+    let limit = off + off / 20 + 50_000;
+    assert!(
+        on <= limit,
+        "validation-on pass {on}ns exceeds the 5% gate {limit}ns (off: {off}ns)"
+    );
+}
+
+fn main() {
+    if std::env::var("VALIDATE_OVERHEAD_SMOKE").is_ok() {
+        smoke();
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_validate_overhead(&mut c);
+}

@@ -16,7 +16,7 @@ use std::time::Instant;
 fn main() {
     let large = std::env::args().any(|a| a == "--large");
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", pr8_json(large));
+        println!("{}", pr9_json(large));
         return;
     }
     println!("Second-Order Signature — experiment harness");
@@ -1249,5 +1249,49 @@ fn pr8_json(large: bool) -> String {
         search_join_parallel_json(),
         bulk_load_json(),
         overlap_join_json(n, grid)
+    )
+}
+
+/// The plan-validation overhead on the optimize path: one full pass over
+/// the builtin witness-plan set per mode, median of 9 paired samples
+/// (the `VALIDATE_OVERHEAD_SMOKE` CI gate asserts ratio < 1.05).
+fn validate_overhead_json() -> String {
+    let (off, on, plans) = bench::validate_overhead_ns(9);
+    format!(
+        "{{\"plans\":{plans},\"off_ns_per_pass\":{off},\"on_ns_per_pass\":{on},\"ratio\":{:.4}}}",
+        on as f64 / off as f64
+    )
+}
+
+/// The rule fuzzer's differential sweep over the builtin rule set at its
+/// fixed seed: every rule's witnesses executed before and after rewrite
+/// and bag-compared.
+fn rule_fuzzer_json() -> String {
+    let report = sos_system::fuzz::fuzz_builtin_rules(&sos_system::fuzz::FuzzConfig::default())
+        .expect("the builtin rule fuzzer runs");
+    format!(
+        "{{\"rules\":{},\"rules_fired\":{},\"witnesses_run\":{},\"skipped_updates\":{},\"mismatches\":{}}}",
+        report.rules,
+        report.rules_fired,
+        report.witnesses_run,
+        report.skipped_updates,
+        report.mismatches.len()
+    )
+}
+
+/// The JSON document committed as BENCH_PR9.json: the PR8 document plus
+/// the rule-soundness sections — plan-validation overhead and the rule
+/// fuzzer's differential sweep.
+fn pr9_json(large: bool) -> String {
+    let pr8 = pr8_json(large);
+    let body = pr8
+        .strip_prefix("{\"bench\":\"PR8 partitioned storage + group commit + expression compilation + durability + static analysis + batch execution\",")
+        .expect("pr8_json prefix")
+        .strip_suffix('}')
+        .expect("pr8_json suffix");
+    format!(
+        "{{\"bench\":\"PR9 rule-soundness verification + partitioned storage + group commit + expression compilation + durability + static analysis + batch execution\",\"validate_overhead\":{},\"rule_fuzzer\":{},{body}}}",
+        validate_overhead_json(),
+        rule_fuzzer_json()
     )
 }

@@ -1,8 +1,11 @@
 //! Shared workload builders for the benchmark harness and the
 //! `experiments` binary (see EXPERIMENTS.md for the experiment index).
 
+use sos_core::check::Checker;
 use sos_exec::Value;
 use sos_geom::gen;
+use sos_optimizer::synth::{self, Scenario};
+use sos_optimizer::Validation;
 use sos_system::Database;
 
 /// The spatial schema of Sections 4–6: model `cities`/`states`, a B-tree
@@ -126,6 +129,52 @@ pub fn filter_chain(depth: usize) -> String {
     }
     q.push_str(" count");
     q
+}
+
+/// Measure the plan-validation overhead on the optimize path: every
+/// synthesized witness of every builtin rule (deduplicated) is optimized
+/// by the full builtin optimizer under `Validation::Off` and
+/// `Validation::Count`, alternating per sample so clock drift cancels.
+/// Returns `(off_ns, on_ns, plans)` — median nanoseconds for one full
+/// pass over the witness set in each mode, and the witness count.
+pub fn validate_overhead_ns(samples: usize) -> (u64, u64, usize) {
+    use std::time::Instant;
+    let sig = sos_system::builtin::builtin_signature();
+    let scenario = Scenario::build(&sig);
+    let opt = sos_system::rules::builtin_optimizer();
+    let checker = Checker::new(&sig, &scenario.catalog);
+
+    let mut seen = std::collections::HashSet::new();
+    let mut plans = Vec::new();
+    for step in &opt.steps {
+        for rule in &step.rules {
+            for w in synth::witnesses(&sig, &scenario, rule, synth::DEFAULT_WITNESSES) {
+                if seen.insert(w.to_string()) {
+                    plans.push(w);
+                }
+            }
+        }
+    }
+    assert!(!plans.is_empty(), "the scenario yields witness plans");
+
+    let run = |mode: Validation| -> u64 {
+        let start = Instant::now();
+        for p in &plans {
+            let _ = std::hint::black_box(opt.optimize_with(p, &checker, &scenario.catalog, mode));
+        }
+        start.elapsed().as_nanos() as u64
+    };
+    // Warm both paths before timing anything.
+    run(Validation::Off);
+    run(Validation::Count);
+    let (mut offs, mut ons) = (Vec::new(), Vec::new());
+    for _ in 0..samples {
+        offs.push(run(Validation::Off));
+        ons.push(run(Validation::Count));
+    }
+    offs.sort_unstable();
+    ons.sort_unstable();
+    (offs[offs.len() / 2], ons[ons.len() / 2], plans.len())
 }
 
 #[cfg(test)]

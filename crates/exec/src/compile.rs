@@ -40,6 +40,15 @@
 //! caller keeps the interpreter path and the engine counts the fallback
 //! (surfaced through `.metrics` and EXPLAIN ANALYZE).
 //!
+//! Every lowered program additionally passes the **bytecode verifier**
+//! ([`CompiledFun::verify`]) before it is accepted: a static pass that
+//! proves single assignment, read-after-write, in-bounds register and
+//! input-slot indices, and opcode-kind consistency — the invariants the
+//! dirty-register-file executor and the split-borrowing columnar kernel
+//! rely on. A program that fails verification is rejected with
+//! [`Fallback::Rejected`] (`verifier-reject` in the compile counters)
+//! and the interpreter keeps the closure.
+//!
 //! `tests/prop_compiled_vs_interp.rs` checks compiled ≡ interpreted
 //! differentially over random expressions, batch widths, and worker
 //! counts.
@@ -69,6 +78,12 @@ pub enum Fallback {
     /// A variable bound neither by the parameters nor the captured
     /// environment; the interpreter owns the error.
     UnboundVar(Symbol),
+    /// The lowered program failed the bytecode verifier (see
+    /// [`CompiledFun::verify`]); the payload is the verifier's finding.
+    /// Under a correct lowering this is unreachable, but the verifier
+    /// keeps the single-assignment invariants the executor relies on
+    /// checked rather than assumed.
+    Rejected(String),
 }
 
 impl Fallback {
@@ -79,6 +94,7 @@ impl Fallback {
             Fallback::Function => "nested-function",
             Fallback::ImpureOp(_) => "impure-op",
             Fallback::UnboundVar(_) => "unbound-variable",
+            Fallback::Rejected(_) => "verifier-reject",
         }
     }
 }
@@ -337,6 +353,102 @@ impl ColProgram {
             ColReg::B(i) => ColOutcome::Bools(std::mem::take(&mut bools[i])),
         }
     }
+
+    /// Verify the columnar kernel: the same single-assignment and
+    /// read-after-write discipline as tier A, per register file, plus
+    /// opcode-kind consistency (`Arith` must carry an arithmetic opcode
+    /// and `Cmp` a comparison — `run` panics otherwise).
+    fn verify(&self) -> Result<(), String> {
+        let mut ints = vec![false; self.n_int];
+        let mut bools = vec![false; self.n_bool];
+        for (pc, inst) in self.insts.iter().enumerate() {
+            match inst {
+                ColInst::GatherInt { dst, .. } | ColInst::BroadcastInt { dst, .. } => {
+                    reg_write(&mut ints, *dst, pc)?;
+                }
+                ColInst::GatherBool { dst, .. } | ColInst::BroadcastBool { dst, .. } => {
+                    reg_write(&mut bools, *dst, pc)?;
+                }
+                ColInst::Arith { op, dst, a, b } => {
+                    if !matches!(
+                        op,
+                        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::DivInt | BinOp::Mod
+                    ) {
+                        return Err(format!(
+                            "columnar inst {pc}: `{}` is not an arithmetic opcode",
+                            op.name()
+                        ));
+                    }
+                    reg_read(&ints, *a, pc)?;
+                    reg_read(&ints, *b, pc)?;
+                    reg_write(&mut ints, *dst, pc)?;
+                }
+                ColInst::Cmp { op, dst, a, b } => {
+                    if !matches!(
+                        op,
+                        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                    ) {
+                        return Err(format!(
+                            "columnar inst {pc}: `{}` is not a comparison opcode",
+                            op.name()
+                        ));
+                    }
+                    reg_read(&ints, *a, pc)?;
+                    reg_read(&ints, *b, pc)?;
+                    reg_write(&mut bools, *dst, pc)?;
+                }
+                ColInst::And { dst, a, b } | ColInst::Or { dst, a, b } => {
+                    reg_read(&bools, *a, pc)?;
+                    reg_read(&bools, *b, pc)?;
+                    reg_write(&mut bools, *dst, pc)?;
+                }
+                ColInst::Not { dst, a } => {
+                    reg_read(&bools, *a, pc)?;
+                    reg_write(&mut bools, *dst, pc)?;
+                }
+            }
+        }
+        let (init, i) = match self.out {
+            ColReg::I(i) => (&ints, i),
+            ColReg::B(i) => (&bools, i),
+        };
+        reg_read(init, i, self.insts.len()).map_err(|e| format!("columnar output register: {e}"))
+    }
+}
+
+/// Shared verifier step: a read of register `r` at instruction `pc` is
+/// legal when `r` is in bounds and already written.
+fn reg_read(init: &[bool], r: usize, pc: usize) -> Result<(), String> {
+    if r >= init.len() {
+        Err(format!(
+            "inst {pc} reads out-of-bounds register r{r} (register file holds {})",
+            init.len()
+        ))
+    } else if !init[r] {
+        Err(format!(
+            "inst {pc} reads register r{r} before any instruction writes it"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Shared verifier step: a write of register `r` at instruction `pc` is
+/// legal when `r` is in bounds and not yet written (single assignment).
+fn reg_write(init: &mut [bool], r: usize, pc: usize) -> Result<(), String> {
+    if r >= init.len() {
+        Err(format!(
+            "inst {pc} writes out-of-bounds register r{r} (register file holds {})",
+            init.len()
+        ))
+    } else if init[r] {
+        Err(format!(
+            "inst {pc} writes register r{r} twice (programs are single-assignment)"
+        ))
+    } else {
+        init[r] = true;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -377,13 +489,88 @@ impl CompiledFun {
         let n_regs = c.next;
         let insts = c.insts.into_boxed_slice();
         let col = lower_columnar(engine, closure);
-        Ok(CompiledFun {
+        let cf = CompiledFun {
             arity: closure.params.len(),
             insts,
             out,
             n_regs,
             col,
-        })
+        };
+        cf.verify().map_err(Fallback::Rejected)?;
+        Ok(cf)
+    }
+
+    /// The bytecode verifier: a static pass over the lowered program,
+    /// run once at compile time before the program is ever executed.
+    ///
+    /// The executor reuses a dirty per-thread register file without
+    /// clearing and the columnar kernel split-borrows its column
+    /// vectors; both are sound only if programs are single-assignment
+    /// and every read happens after the (unique) write. The verifier
+    /// checks those invariants instead of assuming them:
+    ///
+    /// * every register is written exactly once, read only afterwards,
+    ///   and in bounds for its register file;
+    /// * input slots are within the closure's arity;
+    /// * `Atomic` names a listed atomic operator, `Arith`/`Cmp` carry
+    ///   an opcode of the right kind (the executor would panic on a
+    ///   mismatch);
+    /// * the output register is defined.
+    ///
+    /// A rejected program falls back to the interpreter and counts as
+    /// `verifier-reject` in the compile statistics.
+    pub fn verify(&self) -> Result<(), String> {
+        let mut init = vec![false; self.n_regs];
+        for (pc, inst) in self.insts.iter().enumerate() {
+            match inst {
+                Inst::Const(dst, _) => reg_write(&mut init, *dst, pc)?,
+                Inst::Input(dst, slot) => {
+                    if *slot >= self.arity {
+                        return Err(format!(
+                            "inst {pc} reads input slot {slot}, but the function \
+                             takes {} argument(s)",
+                            self.arity
+                        ));
+                    }
+                    reg_write(&mut init, *dst, pc)?;
+                }
+                Inst::Field(dst, src, _, _) => {
+                    reg_read(&init, *src, pc)?;
+                    reg_write(&mut init, *dst, pc)?;
+                }
+                Inst::Bin(dst, _, a, b) => {
+                    reg_read(&init, *a, pc)?;
+                    reg_read(&init, *b, pc)?;
+                    reg_write(&mut init, *dst, pc)?;
+                }
+                Inst::Not(dst, a) => {
+                    reg_read(&init, *a, pc)?;
+                    reg_write(&mut init, *dst, pc)?;
+                }
+                Inst::Atomic(dst, name, arg_regs) => {
+                    if !basic::ATOMIC_OPS.contains(name) {
+                        return Err(format!(
+                            "inst {pc} calls `{name}`, which is not an atomic operator"
+                        ));
+                    }
+                    for r in arg_regs.iter() {
+                        reg_read(&init, *r, pc)?;
+                    }
+                    reg_write(&mut init, *dst, pc)?;
+                }
+                Inst::MakeList(dst, arg_regs) | Inst::MakePair(dst, arg_regs) => {
+                    for r in arg_regs.iter() {
+                        reg_read(&init, *r, pc)?;
+                    }
+                    reg_write(&mut init, *dst, pc)?;
+                }
+            }
+        }
+        reg_read(&init, self.out, self.insts.len()).map_err(|e| format!("output register: {e}"))?;
+        if let Some(col) = &self.col {
+            col.verify()?;
+        }
+        Ok(())
     }
 
     /// Whether the tier-B columnar kernel applies (observable for tests).
@@ -1238,5 +1425,124 @@ mod tests {
             Value::Bool(false),
         ])];
         assert_eq!(cf.eval_mask(&odd, "filter").unwrap(), vec![true]);
+    }
+
+    /// Hand-built malformed programs trip each verifier check. The
+    /// lowering never produces these; the verifier exists so that claim
+    /// is checked once per program instead of assumed per row.
+    #[test]
+    fn verifier_rejects_malformed_programs() {
+        let tier_a = |insts: Vec<Inst>, out: usize, n_regs: usize| CompiledFun {
+            arity: 1,
+            insts: insts.into_boxed_slice(),
+            out,
+            n_regs,
+            col: None,
+        };
+
+        // Read before write (also covers the dst == operand aliasing the
+        // executor's register reuse forbids).
+        let cf = tier_a(vec![Inst::Bin(1, BinOp::Add, 0, 0)], 1, 2);
+        let err = cf.verify().unwrap_err();
+        assert!(err.contains("before any instruction writes it"), "{err}");
+
+        // Out-of-bounds register and input slot.
+        let cf = tier_a(vec![Inst::Const(5, Value::Int(1))], 0, 1);
+        assert!(cf.verify().unwrap_err().contains("out-of-bounds register"));
+        let cf = tier_a(vec![Inst::Input(0, 3)], 0, 1);
+        let err = cf.verify().unwrap_err();
+        assert!(err.contains("input slot 3"), "{err}");
+
+        // Double write breaks single assignment.
+        let cf = tier_a(
+            vec![Inst::Const(0, Value::Int(1)), Inst::Const(0, Value::Int(2))],
+            0,
+            1,
+        );
+        assert!(cf.verify().unwrap_err().contains("twice"));
+
+        // Undefined output register.
+        let cf = tier_a(vec![], 0, 1);
+        assert!(cf.verify().unwrap_err().contains("output register"));
+
+        // A non-atomic name in an Atomic slot would panic the executor.
+        let cf = tier_a(
+            vec![
+                Inst::Const(0, Value::Int(1)),
+                Inst::Atomic(1, "feed", vec![0].into_boxed_slice()),
+            ],
+            1,
+            2,
+        );
+        assert!(cf.verify().unwrap_err().contains("not an atomic operator"));
+
+        // Columnar kernel: an opcode of the wrong kind in Arith/Cmp.
+        let col = ColProgram {
+            insts: vec![
+                ColInst::BroadcastInt { dst: 0, v: 1 },
+                ColInst::BroadcastInt { dst: 1, v: 2 },
+                ColInst::Arith {
+                    op: BinOp::Eq,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                },
+            ],
+            n_int: 3,
+            n_bool: 0,
+            out: ColReg::I(2),
+        };
+        assert!(col
+            .verify()
+            .unwrap_err()
+            .contains("not an arithmetic opcode"));
+
+        // Columnar kernel: output register never written.
+        let col = ColProgram {
+            insts: vec![ColInst::BroadcastInt { dst: 0, v: 1 }],
+            n_int: 1,
+            n_bool: 1,
+            out: ColReg::B(0),
+        };
+        let err = col.verify().unwrap_err();
+        assert!(err.contains("columnar output register"), "{err}");
+
+        // The counter key for a verifier rejection.
+        assert_eq!(Fallback::Rejected("r0".into()).reason(), "verifier-reject");
+    }
+
+    /// Every program the lowering produces passes the verifier (it runs
+    /// inside `compile`, so a failure would surface as a fallback; this
+    /// pins the property explicitly on representative shapes, columnar
+    /// kernels included).
+    #[test]
+    fn lowered_programs_verify_clean() {
+        let bodies = [
+            cint(42),
+            field("k", "int"),
+            apply(
+                "and",
+                vec![
+                    apply("<", vec![field("k", "int"), cint(10)], ty("bool")),
+                    apply(
+                        "=",
+                        vec![
+                            apply("mod", vec![field("g", "int"), cint(7)], ty("int")),
+                            cint(0),
+                        ],
+                        ty("bool"),
+                    ),
+                ],
+                ty("bool"),
+            ),
+            apply(
+                "makepoint",
+                vec![field("k", "int"), field("g", "int")],
+                ty("point"),
+            ),
+        ];
+        for body in bodies {
+            compile1(body).verify().expect("lowered program verifies");
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! type constructors, kind-quantified operator patterns, and
 //! optimization rules as typed term rewrites. That makes whole classes
 //! of spec bugs statically decidable before anything executes. This
-//! crate implements five analyses (see DESIGN.md §7):
+//! crate implements seven analyses (see DESIGN.md §7 and §12):
 //!
 //! * **L001** — pattern overlap: two alternatives of the same operator
 //!   whose argument patterns unify, so dispatch order silently decides.
@@ -19,6 +19,12 @@
 //!   decreasing term measure.
 //! * **L005** — condition sanity: conditions referencing variables no
 //!   pattern variable binds.
+//! * **L006** — rule type-preservation: synthesized well-typed plans
+//!   matching the rule's LHS rewrite to an ill-typed term, or to a type
+//!   that is not representation-equivalent to the original plan's.
+//! * **L007** — unsuppliable conditions: a condition references a
+//!   binding whose pattern position (constant, function, ...) can never
+//!   produce the kind of value the condition needs, so it never holds.
 //!
 //! Entry points are [`lint_spec`] (over a [`Signature`]) and
 //! [`lint_rules`] (over an [`Optimizer`] against a signature).
@@ -67,7 +73,7 @@ pub enum Anchor {
     Global,
 }
 
-/// One finding. The code (`L001`..`L005`) and rendered text are stable:
+/// One finding. The code (`L001`..`L007`) and rendered text are stable:
 /// golden tests pin them byte-for-byte.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -149,7 +155,8 @@ pub fn lint_spec(sig: &Signature) -> Vec<Diagnostic> {
 }
 
 /// Lint a rule set against the signature its terms are written over:
-/// the rule side of L003, plus L004 and L005.
+/// the rule side of L003, plus L004, L005, L006 (type preservation on
+/// synthesized witnesses) and L007 (unsuppliable conditions).
 pub fn lint_rules(opt: &Optimizer, sig: &Signature) -> Vec<Diagnostic> {
     let mut diags = rules::lint_optimizer(opt, sig);
     sort(&mut diags);

@@ -1,11 +1,12 @@
 //! Rule-set analyses: the rule side of L003 (RHS references the LHS
-//! cannot bind), L004 (rewrite-termination heuristic), and L005
-//! (condition sanity).
+//! cannot bind), L004 (rewrite-termination heuristic), L005 (condition
+//! sanity), L006 (type preservation on synthesized witnesses) and L007
+//! (unsuppliable conditions).
 
 use crate::{Anchor, Diagnostic, Severity};
 use sos_core::{DataType, Expr, SeqAtom, Signature, Symbol, TypeArg};
 use sos_optimizer::{Condition, OpPat, Optimizer, Rule, RuleStep, TermPattern};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 pub(crate) fn lint_optimizer(opt: &Optimizer, sig: &Signature) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -15,6 +16,7 @@ pub(crate) fn lint_optimizer(opt: &Optimizer, sig: &Signature) -> Vec<Diagnostic
         }
         lint_termination(step, &mut out);
     }
+    lint_soundness(opt, sig, &mut out);
     out
 }
 
@@ -130,6 +132,194 @@ fn check_condition_refs(
             require_term(lsd, out);
             require_term(fvar, out);
         }
+    }
+}
+
+// --------------------------------------------------------------- L007
+
+/// Capability bits: what kind of term a pattern position can bind.
+/// Matching is structural, so an `ObjectVar` can only ever hold an
+/// object node, a `ConstVar` a constant, a `FunApp` a lambda
+/// abstraction — and a condition that needs a different kind from its
+/// binding can never be satisfied.
+const CAP_OBJ: u8 = 1;
+const CAP_CONST: u8 = 2;
+const CAP_FUN: u8 = 4;
+const CAP_OTHER: u8 = 8;
+const CAP_ANY: u8 = CAP_OBJ | CAP_CONST | CAP_FUN | CAP_OTHER;
+
+/// What kind of node a pattern shape can match.
+fn shape_cap(p: &TermPattern) -> u8 {
+    match p {
+        TermPattern::Var(_) => CAP_ANY,
+        TermPattern::ObjectVar(_) => CAP_OBJ,
+        TermPattern::Const(_) | TermPattern::ConstVar(_) => CAP_CONST,
+        TermPattern::Lambda { .. } | TermPattern::FunApp { .. } | TermPattern::AsFun { .. } => {
+            CAP_FUN
+        }
+        TermPattern::Apply { .. } | TermPattern::Param(_) => CAP_OTHER,
+        TermPattern::As(_, inner) => shape_cap(inner),
+    }
+}
+
+/// Capabilities of every term variable the LHS binds. Bindings at
+/// several positions are merged optimistically (union): the condition
+/// is only flagged when *no* binding position could ever supply it.
+fn collect_caps(p: &TermPattern, caps: &mut HashMap<Symbol, u8>) {
+    let add = |v: &Symbol, c: u8, caps: &mut HashMap<Symbol, u8>| {
+        *caps.entry(v.clone()).or_insert(0) |= c;
+    };
+    match p {
+        TermPattern::Var(v) => add(v, CAP_ANY, caps),
+        TermPattern::ObjectVar(v) => add(v, CAP_OBJ, caps),
+        TermPattern::ConstVar(v) => add(v, CAP_CONST, caps),
+        TermPattern::FunApp { fvar, .. } => add(fvar, CAP_FUN, caps),
+        TermPattern::AsFun { fvar, inner, .. } => {
+            add(fvar, CAP_FUN, caps);
+            collect_caps(inner, caps);
+        }
+        TermPattern::As(v, inner) => {
+            add(v, shape_cap(inner), caps);
+            collect_caps(inner, caps);
+        }
+        TermPattern::Apply { args, .. } => {
+            for a in args {
+                collect_caps(a, caps);
+            }
+        }
+        TermPattern::Lambda { body, .. } => collect_caps(body, caps),
+        TermPattern::Param(_) | TermPattern::Const(_) => {}
+    }
+}
+
+/// L007: a condition that references a binding whose pattern position
+/// can never produce the kind of value the condition inspects. Unbound
+/// variables are L005's business and are skipped here; negated
+/// conditions are skipped because an unsatisfiable inner condition
+/// makes the negation vacuously true, which may be intended.
+fn check_condition_caps(
+    cond: &Condition,
+    caps: &HashMap<Symbol, u8>,
+    bound: &RuleBound,
+    anchor: &Anchor,
+    loc: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let need = |v: &Symbol, mask: u8, what: &str, hint: &str, out: &mut Vec<Diagnostic>| {
+        if let Some(&c) = caps.get(v) {
+            if c & mask == 0 {
+                out.push(
+                    Diagnostic::new(
+                        "L007",
+                        Severity::Warning,
+                        anchor.clone(),
+                        loc.to_string(),
+                        format!(
+                            "condition `{cond}` can never hold: the pattern binds `{v}` in \
+                             a position that can never be {what}"
+                        ),
+                    )
+                    .suggest(format!("{hint}, or drop the condition")),
+                );
+            }
+        }
+    };
+    match cond {
+        Condition::CatalogLink { model, .. } => need(
+            model,
+            CAP_OBJ,
+            "a database object",
+            &format!("bind `{model}` as an object variable (`vars {model} obj`)"),
+            out,
+        ),
+        Condition::IsConst(v) => need(
+            v,
+            CAP_CONST,
+            "a constant",
+            &format!("bind `{v}` as a constant variable (`vars {v} const`)"),
+            out,
+        ),
+        Condition::BTreeKeyIs { rep, attr } => {
+            need(
+                rep,
+                CAP_OBJ,
+                "a database object",
+                &format!("bind `{rep}` as an object variable or via `rep(model, {rep})`"),
+                out,
+            );
+            if !bound.ops.contains(attr) {
+                need(
+                    attr,
+                    CAP_CONST,
+                    "an attribute name",
+                    &format!("bind `{attr}` as an operator variable or constant"),
+                    out,
+                );
+            }
+        }
+        Condition::LsdIndexesBBoxOf { lsd, fvar } => {
+            need(
+                lsd,
+                CAP_OBJ,
+                "a database object",
+                &format!("bind `{lsd}` as an object variable or via `rep(model, {lsd})`"),
+                out,
+            );
+            need(
+                fvar,
+                CAP_FUN,
+                "a function",
+                &format!("bind `{fvar}` as a function variable (`funvars {fvar}(...)`)"),
+                out,
+            );
+        }
+        Condition::TypeIs { .. } | Condition::Not(_) => {}
+    }
+}
+
+// --------------------------------------------------------------- L006
+
+/// L006: rule type preservation, checked semantically — synthesize
+/// well-typed plans matching each rule's LHS against the canonical
+/// scenario, fire the rule, and require the rewritten plan to re-check
+/// at a representation-equivalent type (`sos_optimizer::synth`).
+fn lint_soundness(opt: &Optimizer, sig: &Signature, out: &mut Vec<Diagnostic>) {
+    // A rule with unbindable RHS names or conditions (L003/L005) fails
+    // every witness for that root cause; repeating it as L006 is noise.
+    let already_broken: HashSet<String> = out
+        .iter()
+        .filter(|d| d.code == "L003" || d.code == "L005")
+        .map(|d| d.location.clone())
+        .collect();
+    for report in sos_optimizer::synth::verify_optimizer(sig, opt) {
+        if already_broken.contains(&format!("rule `{}/{}`", report.step, report.rule)) {
+            continue;
+        }
+        let message = match &report.verdict {
+            sos_optimizer::synth::Verdict::IllTyped { witness, error } => format!(
+                "rule rewrites the well-typed plan `{witness}` to an ill-typed term: {error}"
+            ),
+            sos_optimizer::synth::Verdict::TypeChanged { witness, detail } => {
+                format!("rule does not preserve plan types: on `{witness}`, {detail}")
+            }
+            _ => continue,
+        };
+        out.push(
+            Diagnostic::new(
+                "L006",
+                Severity::Error,
+                Anchor::Rule {
+                    step: report.step.clone(),
+                    rule: report.rule.clone(),
+                },
+                format!("rule `{}/{}`", report.step, report.rule),
+                message,
+            )
+            .suggest(
+                "make the RHS produce the same (representation-equivalent) result type \
+                 as the LHS",
+            ),
+        );
     }
 }
 
@@ -314,12 +504,16 @@ fn lint_rule(step: &RuleStep, rule: &Rule, sig: &Signature, out: &mut Vec<Diagno
 
     // Conditions run in declared order, each seeing what the previous
     // ones bound (L005), and may bind new variables the RHS uses.
+    let mut caps: HashMap<Symbol, u8> = HashMap::new();
+    collect_caps(&rule.lhs, &mut caps);
     let mut type_binders: HashSet<Symbol> = HashSet::new();
     for cond in &rule.conditions {
         check_condition_refs(cond, cond, &bound, &anchor, &loc, out);
+        check_condition_caps(cond, &caps, &bound, &anchor, &loc, out);
         match cond {
             Condition::CatalogLink { rep, .. } => {
                 bound.terms.insert(rep.clone());
+                caps.insert(rep.clone(), CAP_OBJ);
             }
             Condition::TypeIs { pattern, .. } => {
                 let mut vs = Vec::new();

@@ -321,9 +321,17 @@ fn scan_type_pattern(p: &TypePattern, sig: &Signature, u: &mut Unknowns) {
     }
 }
 
+/// A kind is inhabited if a declared constructor lives in it, or if some
+/// operator's type-operator result (`-> s : KIND`) mints types into it —
+/// partition-wise plans, for example, pass streams of a kind no
+/// constructor produces directly (partscan's per-partition output).
 fn kind_inhabited(kind: &Symbol, sig: &Signature) -> bool {
     sig.constructors()
         .any(|c| sig.constructor_in_kind(&c.name, kind))
+        || sig
+            .specs()
+            .iter()
+            .any(|s| matches!(&s.result, ResultSpec::TypeOperator { kind: k, .. } if k == kind))
 }
 
 /// Emit the L002 findings for one declaration's collected unknowns and
@@ -360,7 +368,8 @@ fn report_decl_reachability(
                         loc.to_string(),
                         format!(
                             "quantifies over kind `{kind}`, which no declared constructor \
-                             inhabits; no ground type can ever instantiate it"
+                             or type-operator result inhabits; no ground type can ever \
+                             instantiate it"
                         ),
                     )
                     .suggest(format!(

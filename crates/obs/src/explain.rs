@@ -107,6 +107,9 @@ impl Explain {
                 }
                 let _ = writeln!(out, "     before {}", r.before);
                 let _ = writeln!(out, "     after  {}", r.after);
+                if let Some(v) = &r.validation_failure {
+                    let _ = writeln!(out, "     !! plan validation: {v}");
+                }
             }
         }
         if let ExplainKind::Update { target } = &self.kind {
@@ -167,20 +170,20 @@ impl Explain {
         o.raw(
             "rewrites",
             &array(self.rewrites.iter().map(|r| {
-                Obj::new()
-                    .str("step", &r.step)
-                    .str("rule", &r.rule)
-                    .raw(
-                        "conditions",
-                        &array(r.conditions.iter().map(|c| {
-                            let mut s = String::new();
-                            crate::json::write_json_str(&mut s, c);
-                            s
-                        })),
-                    )
-                    .str("before", &r.before)
-                    .str("after", &r.after)
-                    .finish()
+                let mut o = Obj::new();
+                o.str("step", &r.step).str("rule", &r.rule).raw(
+                    "conditions",
+                    &array(r.conditions.iter().map(|c| {
+                        let mut s = String::new();
+                        crate::json::write_json_str(&mut s, c);
+                        s
+                    })),
+                );
+                o.str("before", &r.before).str("after", &r.after);
+                if let Some(v) = &r.validation_failure {
+                    o.str("validation_failure", v);
+                }
+                o.finish()
             })),
         );
         o.str("plan", &self.plan);
@@ -340,6 +343,7 @@ mod tests {
                 conditions: vec!["rep(rel1, rep1)".into()],
                 before: "select(r, p)".into(),
                 after: "consume(filter(feed(r_rep), p))".into(),
+                validation_failure: None,
             }],
             plan: "consume(filter(feed(r_rep), p))".into(),
             plan_tree: "consume\n  filter".into(),

@@ -47,6 +47,10 @@ impl MetricsSnapshot {
             &Obj::new()
                 .u64("rewrites", self.optimizer.rewrites as u64)
                 .u64("rule_attempts", self.optimizer.rule_attempts as u64)
+                .u64(
+                    "plan_validation_failures",
+                    self.optimizer.plan_validation_failures as u64,
+                )
                 .finish(),
         );
         o.raw(
@@ -71,11 +75,19 @@ impl std::fmt::Display for MetricsSnapshot {
             self.pool.physical_writes,
             self.pool.evictions
         )?;
-        writeln!(
+        write!(
             f,
             "optimizer: {} rewrite(s) from {} rule attempt(s)",
             self.optimizer.rewrites, self.optimizer.rule_attempts
         )?;
+        if self.optimizer.plan_validation_failures > 0 {
+            write!(
+                f,
+                ", {} plan validation failure(s)",
+                self.optimizer.plan_validation_failures
+            )?;
+        }
+        writeln!(f)?;
         if self.ops.is_empty() {
             writeln!(f, "operators: (none run yet)")?;
         }
@@ -333,6 +345,7 @@ mod tests {
             optimizer: OptimizerStats {
                 rewrites: 3,
                 rule_attempts: 17,
+                plan_validation_failures: 0,
             },
             ops: vec![("filter".into(), row(2, 100))],
             phases: PhaseTimings::default(),

@@ -19,11 +19,14 @@ mod condition;
 mod pattern;
 mod rewrite;
 mod ruleparse;
+pub mod synth;
+mod validate;
 
 pub use condition::Condition;
 pub use pattern::{OpPat, TermPattern};
 pub use rewrite::{Optimizer, OptimizerStats, Rule, RuleApplication, RuleStep, Strategy};
 pub use ruleparse::parse_rules;
+pub use validate::{types_equivalent, Validation};
 
 /// Errors raised during optimization.
 #[derive(Debug)]
@@ -36,6 +39,13 @@ pub enum OptError {
     },
     /// The rewrite loop failed to terminate within the step's budget.
     NoFixpoint { step: usize, budget: usize },
+    /// A rewrite changed the plan's result type and strict plan
+    /// validation is on (see [`Validation::Strict`]).
+    PlanTypeChanged {
+        rule: String,
+        before: String,
+        after: String,
+    },
 }
 
 impl std::fmt::Display for OptError {
@@ -48,6 +58,15 @@ impl std::fmt::Display for OptError {
             OptError::NoFixpoint { step, budget } => write!(
                 f,
                 "optimization step {step} did not reach a fixpoint within {budget} rewrites"
+            ),
+            OptError::PlanTypeChanged {
+                rule,
+                before,
+                after,
+            } => write!(
+                f,
+                "rule `{rule}` changed the plan's result type from {before} to {after} \
+                 (rejected by strict plan validation)"
             ),
         }
     }

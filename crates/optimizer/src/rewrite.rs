@@ -3,6 +3,7 @@
 
 use crate::condition::Condition;
 use crate::pattern::{match_term, RuleBindings, TermPattern};
+use crate::validate::{types_equivalent, Validation};
 use crate::OptError;
 use sos_catalog::Catalog;
 use sos_core::check::Checker;
@@ -60,6 +61,10 @@ impl RuleStep {
 pub struct OptimizerStats {
     pub rewrites: usize,
     pub rule_attempts: usize,
+    /// Rewrites whose result type was not equivalent to the type before
+    /// the rewrite (counted under [`Validation::Count`]; under
+    /// [`Validation::Strict`] the first violation aborts instead).
+    pub plan_validation_failures: usize,
 }
 
 impl OptimizerStats {
@@ -68,6 +73,7 @@ impl OptimizerStats {
     pub fn absorb(&mut self, other: OptimizerStats) {
         self.rewrites += other.rewrites;
         self.rule_attempts += other.rule_attempts;
+        self.plan_validation_failures += other.plan_validation_failures;
     }
 }
 
@@ -87,6 +93,10 @@ pub struct RuleApplication {
     pub before: String,
     /// The whole (re-checked) term after the rewrite.
     pub after: String,
+    /// `Some(reason)` when plan validation found the rewrite changed
+    /// the term's result type (recorded under [`Validation::Count`];
+    /// `EXPLAIN` marks the step with it).
+    pub validation_failure: Option<String>,
 }
 
 /// A sequence of rule steps.
@@ -101,25 +111,55 @@ impl Optimizer {
     }
 
     /// Optimize a closed, checked term. Every rewrite is re-checked.
+    /// No plan validation (see [`Optimizer::optimize_with`]).
     pub fn optimize(
         &self,
         term: &TypedExpr,
         checker: &Checker,
         catalog: &Catalog,
     ) -> Result<(TypedExpr, OptimizerStats), OptError> {
-        self.drive(term, checker, catalog, None)
+        self.drive(term, checker, catalog, Validation::Off, None)
             .map(|(t, s, _)| (t, s))
     }
 
     /// Optimize and additionally record every applied rewrite in
     /// application order — the trace behind `EXPLAIN`'s rewrite section.
+    /// No plan validation (see [`Optimizer::optimize_traced_with`]).
     pub fn optimize_traced(
         &self,
         term: &TypedExpr,
         checker: &Checker,
         catalog: &Catalog,
     ) -> Result<(TypedExpr, OptimizerStats, Vec<RuleApplication>), OptError> {
-        self.drive(term, checker, catalog, Some(Vec::new()))
+        self.drive(term, checker, catalog, Validation::Off, Some(Vec::new()))
+            .map(|(t, s, trace)| (t, s, trace.unwrap_or_default()))
+    }
+
+    /// Optimize under a plan-validation mode: every rewrite's result
+    /// type is compared (modulo representation) with the type before
+    /// the rewrite. [`Validation::Count`] records violations in the
+    /// stats; [`Validation::Strict`] rejects the plan on the first one.
+    pub fn optimize_with(
+        &self,
+        term: &TypedExpr,
+        checker: &Checker,
+        catalog: &Catalog,
+        validation: Validation,
+    ) -> Result<(TypedExpr, OptimizerStats), OptError> {
+        self.drive(term, checker, catalog, validation, None)
+            .map(|(t, s, _)| (t, s))
+    }
+
+    /// [`Optimizer::optimize_with`] plus the rewrite trace; violating
+    /// applications carry [`RuleApplication::validation_failure`].
+    pub fn optimize_traced_with(
+        &self,
+        term: &TypedExpr,
+        checker: &Checker,
+        catalog: &Catalog,
+        validation: Validation,
+    ) -> Result<(TypedExpr, OptimizerStats, Vec<RuleApplication>), OptError> {
+        self.drive(term, checker, catalog, validation, Some(Vec::new()))
             .map(|(t, s, trace)| (t, s, trace.unwrap_or_default()))
     }
 
@@ -130,6 +170,7 @@ impl Optimizer {
         term: &TypedExpr,
         checker: &Checker,
         catalog: &Catalog,
+        validation: Validation,
         mut trace: Option<Vec<RuleApplication>>,
     ) -> Result<(TypedExpr, OptimizerStats, Option<Vec<RuleApplication>>), OptError> {
         let mut stats = OptimizerStats::default();
@@ -143,11 +184,25 @@ impl Optimizer {
                     break;
                 };
                 let before = trace.is_some().then(|| current.to_string());
+                let prev_ty = current.ty.clone();
                 current = checker.check_expr(&raw).map_err(|e| OptError::Recheck {
                     rule: rule.name.clone(),
                     error: e,
                     term: format!("{raw}"),
                 })?;
+                let validation_failure = (validation != Validation::Off
+                    && !types_equivalent(checker.sig, &prev_ty, &current.ty))
+                .then(|| format!("result type changed from {prev_ty} to {}", current.ty));
+                if validation_failure.is_some() {
+                    if validation == Validation::Strict {
+                        return Err(OptError::PlanTypeChanged {
+                            rule: rule.name.clone(),
+                            before: prev_ty.to_string(),
+                            after: current.ty.to_string(),
+                        });
+                    }
+                    stats.plan_validation_failures += 1;
+                }
                 if let (Some(trace), Some(before)) = (trace.as_mut(), before) {
                     trace.push(RuleApplication {
                         step: step.name.clone(),
@@ -155,6 +210,7 @@ impl Optimizer {
                         conditions: rule.conditions.iter().map(|c| c.to_string()).collect(),
                         before,
                         after: current.to_string(),
+                        validation_failure,
                     });
                 }
                 stats.rewrites += 1;

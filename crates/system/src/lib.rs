@@ -40,6 +40,7 @@
 
 pub mod builtin;
 pub mod bulk;
+pub mod fuzz;
 pub mod persist;
 pub mod rules;
 
@@ -52,7 +53,7 @@ use sos_exec::{EvalCtx, ExecEngine, ExecError, StatementTx, Value};
 use sos_obs::explain::plan_tree;
 use sos_obs::metrics::{ops_delta, pool_delta};
 use sos_obs::trace::Tracer;
-use sos_optimizer::{OptError, Optimizer, OptimizerStats, RuleApplication};
+use sos_optimizer::{OptError, Optimizer, OptimizerStats, RuleApplication, Validation};
 use sos_parser::{parse_program, ParseError, Statement};
 use sos_storage::{BufferPool, DiskManager, FileDisk, RecoveryInfo, Wal, WalOptions};
 use std::collections::HashMap;
@@ -213,6 +214,7 @@ pub struct DatabaseBuilder {
     trace: bool,
     strict_lint: bool,
     bulk_nosync: Option<bool>,
+    validate_plans: Option<bool>,
 }
 
 /// Where a durable database keeps its two files (or disks): the data
@@ -374,6 +376,17 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Validate rewritten plans (default: on): after every rewrite the
+    /// optimizer compares the plan's result type with the type before
+    /// the rewrite (modulo representation). With `strict_lint` on, a
+    /// violating rewrite rejects the plan; otherwise violations are
+    /// counted in `plan_validation_failures` (see `.metrics`) and the
+    /// offending step is marked in the EXPLAIN rewrite trace.
+    pub fn validate_plans(mut self, enabled: bool) -> DatabaseBuilder {
+        self.validate_plans = Some(enabled);
+        self
+    }
+
     /// Build, panicking on construction failure. In-memory databases
     /// cannot fail to construct; durable ones go through
     /// [`DatabaseBuilder::try_build`] when the caller wants the error.
@@ -442,6 +455,7 @@ impl DatabaseBuilder {
             tracer: Tracer::new(self.trace),
             strict_lint: self.strict_lint,
             bulk_nosync: self.bulk_nosync.unwrap_or(true),
+            validate_plans: self.validate_plans.unwrap_or(true),
             recovery,
         };
         if let Some(bytes) = recovered_meta {
@@ -470,6 +484,9 @@ pub struct Database {
     /// `bulk_load` relaxes a durable commit policy to `NoSync` + one
     /// closing checkpoint (see [`DatabaseBuilder::bulk_nosync`]).
     bulk_nosync: bool,
+    /// Re-typecheck rewritten plans against the pre-rewrite result type
+    /// (see [`DatabaseBuilder::validate_plans`]).
+    validate_plans: bool,
     /// What crash recovery did at open (durable databases only).
     recovery: Option<RecoveryInfo>,
 }
@@ -640,6 +657,17 @@ impl Database {
     /// Whether the rule optimizer is applied to statements.
     pub fn optimizer_enabled(&self) -> bool {
         self.optimize_enabled
+    }
+
+    /// Turn plan validation off/on at runtime (initial value:
+    /// [`DatabaseBuilder::validate_plans`], default on).
+    pub fn set_validate_plans(&mut self, enabled: bool) {
+        self.validate_plans = enabled;
+    }
+
+    /// Whether rewritten plans are re-typechecked per rewrite.
+    pub fn validate_plans_enabled(&self) -> bool {
+        self.validate_plans
     }
 
     // ---- extensibility ----
@@ -1093,13 +1121,28 @@ impl Database {
         Ok(self.checker().check_expr(e)?)
     }
 
+    /// Plan-validation level for the optimizer: off when disabled via
+    /// the builder, `Strict` (reject violating plans) under strict
+    /// lint, counting + trace-marking otherwise.
+    fn validation(&self) -> Validation {
+        if !self.validate_plans {
+            Validation::Off
+        } else if self.strict_lint {
+            Validation::Strict
+        } else {
+            Validation::Count
+        }
+    }
+
     fn optimize(&mut self, t: &TypedExpr) -> Result<TypedExpr, SystemError> {
         if !self.optimize_enabled {
             return Ok(t.clone());
         }
         let span = self.tracer.start();
         let checker = Checker::new(&self.sig, &self.catalog);
-        let result = self.optimizer.optimize(t, &checker, &self.catalog);
+        let result = self
+            .optimizer
+            .optimize_with(t, &checker, &self.catalog, self.validation());
         self.tracer.finish(Phase::Optimize, span);
         let (optimized, stats) = result?;
         self.last_opt_stats = stats;
@@ -1118,7 +1161,8 @@ impl Database {
         }
         let checker = Checker::new(&self.sig, &self.catalog);
         let (optimized, stats, trace) =
-            self.optimizer.optimize_traced(t, &checker, &self.catalog)?;
+            self.optimizer
+                .optimize_traced_with(t, &checker, &self.catalog, self.validation())?;
         self.last_opt_stats = stats;
         self.total_opt_stats.absorb(stats);
         Ok((optimized, trace))

@@ -497,12 +497,27 @@ fn generic_rules() -> Vec<Rule> {
     });
 
     // modify(rel1, pred, a, f) on a non-key attribute -> in-situ modify.
+    // The `b1 : btree(...)` guard is load-bearing: the in-situ `modify`
+    // operator only exists for B-trees, and without the guard the
+    // negated key condition holds vacuously for any non-btree
+    // representation, rewriting to an ill-typed plan (caught by L006).
     rules.push(Rule {
         name: "modify-model-to-rep".into(),
         lhs: modify_lhs(),
         conditions: vec![
             Condition::type_is("rel1", rel_pattern("tuple1")),
             Condition::catalog_link("rep", "rel1", "b1"),
+            Condition::type_is(
+                "b1",
+                TypePattern::cons(
+                    "btree",
+                    vec![
+                        TypePattern::var("btuple"),
+                        TypePattern::var("bkey"),
+                        TypePattern::var("bdtype"),
+                    ],
+                ),
+            ),
             Condition::negated(Condition::btree_key_is("b1", "a")),
         ],
         rhs: app(
@@ -534,4 +549,32 @@ fn modify_lhs() -> TermPattern {
             TermPattern::var("f"),
         ],
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::builtin_optimizer;
+    use crate::builtin::builtin_signature;
+    use sos_optimizer::synth::{verify_optimizer, Verdict};
+
+    /// Every builtin rule must fire on at least one synthesized witness
+    /// and preserve the plan's (representation-equivalent) type — the
+    /// soundness property L006 enforces for user rules.
+    #[test]
+    fn builtin_rules_fire_and_preserve_types() {
+        let sig = builtin_signature();
+        let opt = builtin_optimizer();
+        let mut failures = Vec::new();
+        for r in verify_optimizer(&sig, &opt) {
+            match r.verdict {
+                Verdict::Preserves { fired } if fired > 0 => {}
+                other => failures.push(format!("{}/{}: {:?}", r.step, r.rule, other)),
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "builtin rules failed verification:\n{}",
+            failures.join("\n")
+        );
+    }
 }

@@ -1,0 +1,117 @@
+//! The `sos lint <file>` batch interface, pinned: exit code 1 for
+//! error-severity findings, 0 for clean files and warnings-only
+//! reports, and `--json` emitting exactly one valid JSON document on
+//! stdout (an array of diagnostics) — nothing before or after it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(rel: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/lint_fixtures")
+        .join(rel)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn lint(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sos"))
+        .arg("lint")
+        .args(args)
+        .output()
+        .expect("sos lint runs");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn exit_codes_distinguish_errors_from_warnings() {
+    // Error-severity findings: exit 1.
+    let (code, stdout, _) = lint(&[&fixture("l002_unreachable.spec")]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("error[L002]"), "{stdout}");
+
+    // A clean file: exit 0, empty report.
+    let (code, stdout, _) = lint(&[&fixture("clean/nested_rel.spec")]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("no diagnostics"), "{stdout}");
+
+    // Warnings only (an unused quantifier is L003 at warning severity):
+    // reported, but exit 0.
+    let dir = std::env::temp_dir().join("sos_lint_cli_warn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let warn = dir.join("warn_only.spec");
+    std::fs::write(
+        &warn,
+        "op bulk : forall r in REL . forall d in DATA . r -> int\n",
+    )
+    .unwrap();
+    let (code, stdout, _) = lint(&[warn.to_str().unwrap()]);
+    assert_eq!(code, 0, "warnings-only must exit 0:\n{stdout}");
+    assert!(stdout.contains("warning["), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+
+    // A missing file is a usage error, not a crash.
+    let (code, _, stderr) = lint(&[&fixture("does_not_exist.spec")]);
+    assert_eq!(code, 2);
+    assert!(!stderr.is_empty());
+}
+
+/// A diagnostic field value: strings everywhere, a number for `line`.
+#[derive(Debug)]
+enum Field {
+    Str(String),
+    Num(u64),
+}
+
+impl<'de> serde::Deserialize<'de> for Field {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_json()? {
+            serde::Json::Str(s) => Ok(Field::Str(s)),
+            serde::Json::U64(n) => Ok(Field::Num(n)),
+            serde::Json::I64(n) => Ok(Field::Num(n as u64)),
+            other => Err(serde::de::Error::custom(format!(
+                "unexpected field value: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[test]
+fn json_output_is_a_single_valid_document() {
+    use std::collections::HashMap;
+    for file in ["l002_unreachable.spec", "clean/nested_rel.spec"] {
+        let (_, stdout, _) = lint(&[&fixture(file), "--json"]);
+        // One valid JSON document — an array of diagnostic objects —
+        // and nothing else on stdout.
+        let diags: Vec<HashMap<String, Field>> = serde_json::from_str(&stdout)
+            .unwrap_or_else(|e| panic!("{file}: stdout is not one JSON document: {e}\n{stdout}"));
+        if file.starts_with("clean/") {
+            assert!(diags.is_empty(), "{file}: {stdout}");
+        } else {
+            assert!(!diags.is_empty(), "{file}: {stdout}");
+            for d in &diags {
+                assert!(
+                    matches!(d.get("code"), Some(Field::Str(c)) if c.starts_with('L')),
+                    "{d:?}"
+                );
+                assert!(
+                    d.contains_key("severity") && d.contains_key("message"),
+                    "{d:?}"
+                );
+                let Some(Field::Num(line)) = d.get("line") else {
+                    panic!("spec diagnostic without a source line: {d:?}");
+                };
+                assert!(*line > 0, "{d:?}");
+            }
+        }
+        let trailing = stdout.trim_end();
+        assert!(
+            trailing.starts_with('[') && trailing.ends_with(']'),
+            "{file}: extra output around the JSON array:\n{stdout}"
+        );
+    }
+}

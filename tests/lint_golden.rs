@@ -1,7 +1,7 @@
 //! Golden-file tests for the `sos-lint` static analyzer.
 //!
 //! Each broken fixture under `tests/lint_fixtures/` exercises one
-//! diagnostic code (L001..L005); its rendered report is pinned
+//! diagnostic code (L001..L007); its rendered report is pinned
 //! byte-for-byte under `tests/golden/lint/`. The `clean/` corpus and
 //! the built-in signature/rule set are negative tests: they must lint
 //! with no diagnostics at all.
@@ -58,6 +58,8 @@ fn broken_fixtures_match_goldens() {
         ("l003_rhs_unbound.rules", "L003"),
         ("l004_loop.rules", "L004"),
         ("l005_unbound_condition.rules", "L005"),
+        ("l006_type_breaking.rules", "L006"),
+        ("l007_unsuppliable_condition.rules", "L007"),
     ];
     for (file, code) in cases {
         let (diags, report) = lint_fixture(file);
@@ -92,6 +94,7 @@ fn spec_diagnostics_have_lines_and_json_is_stable() {
 fn clean_corpus_and_builtins_lint_clean() {
     for file in [
         "clean/nested_rel.spec",
+        "clean/partitioned.spec",
         "clean/select_rules.rules",
         "clean/spatial_join.rules",
     ] {
