@@ -1,0 +1,81 @@
+//! Plan-cache benefit under skewed query traffic.
+//!
+//! Real query traffic is shape-skewed: a handful of statement shapes
+//! dominate, with a long tail of rare ones. This bench replays a
+//! Zipf-distributed sequence over distinct model-level query shapes
+//! (conjunctive selections of different widths — each width is its own
+//! normalized shape, and each takes the full translation-rule search)
+//! against the same database with the plan cache off and on, and
+//! compares the accumulated optimizer time. `PLAN_CACHE_SMOKE=1`
+//! switches to a quick gated run (used by CI) that asserts the cache-on
+//! optimize time is at least 3x lower and that both configurations
+//! return identical results.
+
+use bench::{plan_cache_db, plan_cache_replay, zipf_ranks};
+use criterion::Criterion;
+
+/// Distinct query shapes: model selections with 1..=SHAPES conjuncts.
+/// Each conjunct count normalizes to its own shape, so the cache holds
+/// one entry per width.
+const SHAPES: usize = 24;
+/// Statements in the replayed sequence.
+const STATEMENTS: usize = 400;
+/// Zipf skew exponent: rank r is drawn with weight 1/r^s.
+const ZIPF_S: f64 = 1.2;
+const ROWS: usize = 2_000;
+const SEED: u64 = 0xC0FFEE;
+
+fn smoke() {
+    let ranks = zipf_ranks(SHAPES, ZIPF_S, STATEMENTS, SEED);
+
+    let mut off = plan_cache_db(false, ROWS);
+    let (off_ns, off_results) = plan_cache_replay(&mut off, &ranks);
+
+    let mut on = plan_cache_db(true, ROWS);
+    // Warm: the first occurrence of each shape misses by construction.
+    plan_cache_replay(&mut on, &ranks);
+    let (on_ns, on_results) = plan_cache_replay(&mut on, &ranks);
+    let planner = on.metrics().planner;
+
+    assert_eq!(off_results, on_results, "cached plans diverged");
+    assert!(
+        planner.cache_hits > 0 && planner.cache_entries as usize <= SHAPES,
+        "cache did not engage: {planner:?}"
+    );
+    let speedup = off_ns as f64 / (on_ns as f64).max(1.0);
+    println!(
+        "plan-cache smoke: {STATEMENTS} statements over {SHAPES} shapes (zipf s={ZIPF_S}), \
+         optimize off {off_ns}ns, on {on_ns}ns, speedup {speedup:.1}x, \
+         {} hits / {} misses",
+        planner.cache_hits, planner.cache_misses
+    );
+    // The gate: a warmed cache must cut total optimize time by at least
+    // 3x on skewed traffic (the hit path skips the rewriter entirely).
+    assert!(
+        speedup >= 3.0,
+        "plan-cache speedup {speedup:.2}x under the 3x gate (off {off_ns}ns, on {on_ns}ns)"
+    );
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let ranks = zipf_ranks(SHAPES, ZIPF_S, STATEMENTS, SEED);
+    let mut group = c.benchmark_group("plan-cache");
+    group.sample_size(10);
+    for (label, cached) in [("cache-off", false), ("cache-on", true)] {
+        let mut db = plan_cache_db(cached, ROWS);
+        plan_cache_replay(&mut db, &ranks); // warm pool and cache
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(plan_cache_replay(&mut db, &ranks)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    if std::env::var("PLAN_CACHE_SMOKE").is_ok() {
+        smoke();
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_plan_cache(&mut c);
+}

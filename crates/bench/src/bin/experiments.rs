@@ -16,7 +16,7 @@ use std::time::Instant;
 fn main() {
     let large = std::env::args().any(|a| a == "--large");
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", pr9_json(large));
+        println!("{}", pr10_json(large));
         return;
     }
     println!("Second-Order Signature — experiment harness");
@@ -1293,5 +1293,166 @@ fn pr9_json(large: bool) -> String {
         "{{\"bench\":\"PR9 rule-soundness verification + partitioned storage + group commit + expression compilation + durability + static analysis + batch execution\",\"validate_overhead\":{},\"rule_fuzzer\":{},{body}}}",
         validate_overhead_json(),
         rule_fuzzer_json()
+    )
+}
+
+// ---- PR10: cost-based optimization — catalog statistics, the
+// page-touch cost model, and the normalized-shape plan cache ----
+
+/// The differential suite's schema with both plan flips in play: a keyed
+/// relation whose clustering B-tree covers nearly every row of the
+/// non-selective selection, and a small `picks` outer against a wide
+/// indexed `mates` inner for the join flip.
+fn cost_flip_db(cost: bool) -> Database {
+    let mut db = Database::builder().cost_based(cost).build();
+    db.run(
+        r#"
+        type item = tuple(<(k, int), (grp, int), (pad, string)>);
+        type mate = tuple(<(j, int), (tag, string)>);
+        create items : rel(item);
+        create picks : rel(item);
+        create mates : rel(mate);
+        create bt_rep : btree(item, k, int);
+        create picks_heap : tidrel(item);
+        create mate_bt : btree(mate, j, int);
+        create rep : catalog(<ident, ident>);
+        update rep := insert(rep, items, bt_rep);
+        update rep := insert(rep, picks, picks_heap);
+        update rep := insert(rep, mates, mate_bt);
+    "#,
+    )
+    .unwrap();
+    let items: Vec<sos_exec::Value> = (0..2000)
+        .map(|i| {
+            sos_exec::Value::tuple(vec![
+                sos_exec::Value::Int(i as i64),
+                sos_exec::Value::Int((i % 10) as i64),
+                sos_exec::Value::Str(format!("pad{i:06}")),
+            ])
+        })
+        .collect();
+    db.bulk_load("bt_rep", items).unwrap();
+    db.bulk_load(
+        "picks_heap",
+        (0..8)
+            .map(|i| {
+                sos_exec::Value::tuple(vec![
+                    sos_exec::Value::Int(i * 100),
+                    sos_exec::Value::Int(0),
+                    sos_exec::Value::Str(format!("pad{i:06}")),
+                ])
+            })
+            .collect(),
+    )
+    .unwrap();
+    // Wide payload so reading the inner whole (hash join) costs clearly
+    // more than a handful of index probes.
+    db.bulk_load(
+        "mate_bt",
+        (0..6400)
+            .map(|i| {
+                sos_exec::Value::tuple(vec![
+                    sos_exec::Value::Int(i),
+                    sos_exec::Value::Str(format!("m{i:0120}")),
+                ])
+            })
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+/// Pages touched by one execution of `query` after a warm-up run.
+fn pages_for(db: &mut Database, query: &str) -> (i64, u64) {
+    db.query(query).unwrap();
+    db.reset_metrics();
+    let n = as_count(&db.query(query).unwrap());
+    (n, db.metrics().pool.logical_reads)
+}
+
+/// The two statistics-driven plan flips, as page-touch rows: the
+/// non-selective keyed selection moved off the index onto a scan, and
+/// the small-outer equi-join moved from the hash join onto index
+/// probes — each with the rule the planner picked and the pages both
+/// choices actually touch. Plus the price of collecting the statistics
+/// and a measured estimate-vs-actual factor from `explain_analyze`.
+fn cost_model_json() -> String {
+    let mut off = cost_flip_db(false);
+    let mut on = cost_flip_db(true);
+    let t = Instant::now();
+    let analyzed = on.analyze_all().unwrap().len();
+    let analyze_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    let mut flips = Vec::new();
+    for (name, query) in [
+        ("nonselective-select", "items select[k >= 0] count"),
+        ("small-outer-join", "picks mates join[k = j] count"),
+    ] {
+        let rule_based = off.explain(query).unwrap().applied_rules().join(",");
+        let cost_based = on.explain(query).unwrap().applied_rules().join(",");
+        let (a, off_pages) = pages_for(&mut off, query);
+        let (b, on_pages) = pages_for(&mut on, query);
+        assert_eq!(a, b, "plan flip changed the answer for `{query}`");
+        flips.push(format!(
+            r#"{{"flip":"{name}","query":"{}","rows_out":{a},"rule_based":"{rule_based}","rule_based_pages":{off_pages},"cost_based":"{cost_based}","cost_based_pages":{on_pages},"pages_saved_factor":{:.2}}}"#,
+            query.replace('"', "\\\""),
+            off_pages as f64 / (on_pages as f64).max(1.0)
+        ));
+    }
+
+    let report = on.explain_analyze("items select[k < 250] count").unwrap();
+    let mis = report
+        .analysis
+        .as_ref()
+        .and_then(|a| a.misestimate_factor)
+        .expect("cost-based explain analyze carries a misestimate factor");
+    format!(
+        r#"{{"objects_analyzed":{analyzed},"analyze_ms":{analyze_ms:.3},"flips":[{}],"sample_misestimate_factor":{mis:.2}}}"#,
+        flips.join(",")
+    )
+}
+
+/// The plan-cache Zipf replay (the `plan_cache` bench's workload): the
+/// same skewed statement sequence against a cache-off database and a
+/// warmed cache-on one, compared on accumulated optimizer time.
+fn plan_cache_json() -> String {
+    const SHAPES: usize = 24;
+    const STATEMENTS: usize = 400;
+    const ZIPF_S: f64 = 1.2;
+    let ranks = bench::zipf_ranks(SHAPES, ZIPF_S, STATEMENTS, 0xC0FFEE);
+
+    let mut off = bench::plan_cache_db(false, 2_000);
+    let (off_ns, off_results) = bench::plan_cache_replay(&mut off, &ranks);
+
+    let mut on = bench::plan_cache_db(true, 2_000);
+    bench::plan_cache_replay(&mut on, &ranks); // warm: first occurrences miss
+    let (on_ns, on_results) = bench::plan_cache_replay(&mut on, &ranks);
+    assert_eq!(off_results, on_results, "cached plans diverged");
+    let planner = on.metrics().planner;
+    format!(
+        r#"{{"shapes":{SHAPES},"statements":{STATEMENTS},"zipf_s":{ZIPF_S},"cache_hits":{},"cache_misses":{},"cache_entries":{},"optimize_off_ms":{:.3},"optimize_on_ms":{:.3},"optimize_speedup":{:.2}}}"#,
+        planner.cache_hits,
+        planner.cache_misses,
+        planner.cache_entries,
+        off_ns as f64 / 1e6,
+        on_ns as f64 / 1e6,
+        off_ns as f64 / (on_ns as f64).max(1.0)
+    )
+}
+
+/// The JSON document committed as BENCH_PR10.json: the PR9 document plus
+/// the cost-based-optimization sections — the statistics-driven plan
+/// flips and the plan-cache Zipf replay.
+fn pr10_json(large: bool) -> String {
+    let pr9 = pr9_json(large);
+    let body = pr9
+        .strip_prefix("{\"bench\":\"PR9 rule-soundness verification + partitioned storage + group commit + expression compilation + durability + static analysis + batch execution\",")
+        .expect("pr9_json prefix")
+        .strip_suffix('}')
+        .expect("pr9_json suffix");
+    format!(
+        "{{\"bench\":\"PR10 cost-based optimization + rule-soundness verification + partitioned storage + group commit + expression compilation + durability + static analysis + batch execution\",\"cost_model\":{},\"plan_cache\":{},{body}}}",
+        cost_model_json(),
+        plan_cache_json()
     )
 }

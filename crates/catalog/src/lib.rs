@@ -20,6 +20,9 @@ use sos_core::spec::Level;
 use sos_core::{Const, DataType, Signature, Symbol, TypeArg};
 use std::collections::HashMap;
 
+pub mod stats;
+pub use stats::{BBox, Histogram, ObjectStats, HISTOGRAM_BUCKETS};
+
 /// Errors raised by catalog operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CatalogError {
@@ -142,11 +145,13 @@ pub struct Catalog {
     relations: HashMap<Symbol, CatalogRelation>,
     /// Partitioning specs by object name.
     partitions: HashMap<Symbol, PartSpec>,
+    /// Per-object statistics collected by `analyze`.
+    stats: HashMap<Symbol, ObjectStats>,
 }
 
-// Hand-written so `partitions` defaults to empty when absent: snapshots
-// written before partitioning existed stay loadable (the vendored serde
-// derive has no `#[serde(default)]`).
+// Hand-written so `partitions` and `stats` default to empty when absent:
+// snapshots written before partitioning / statistics existed stay
+// loadable (the vendored serde derive has no `#[serde(default)]`).
 impl<'de> serde::Deserialize<'de> for Catalog {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let json = deserializer.take_json()?;
@@ -156,6 +161,10 @@ impl<'de> serde::Deserialize<'de> for Catalog {
             objects: serde::field_of(obj, "objects", "Catalog")?,
             relations: serde::field_of(obj, "relations", "Catalog")?,
             partitions: match obj.iter().find(|(k, _)| k == "partitions") {
+                Some((_, v)) => serde::value_of::<_, D::Error>(v)?,
+                None => HashMap::new(),
+            },
+            stats: match obj.iter().find(|(k, _)| k == "stats") {
                 Some((_, v)) => serde::value_of::<_, D::Error>(v)?,
                 None => HashMap::new(),
             },
@@ -267,6 +276,7 @@ impl Catalog {
     pub fn delete_object(&mut self, name: &Symbol) -> Result<ObjectEntry, CatalogError> {
         self.relations.remove(name);
         self.partitions.remove(name);
+        self.stats.remove(name);
         self.objects
             .remove(name)
             .ok_or_else(|| CatalogError::UnknownObject(name.clone()))
@@ -285,6 +295,29 @@ impl Catalog {
 
     pub fn remove_partition_spec(&mut self, name: &Symbol) -> Option<PartSpec> {
         self.partitions.remove(name)
+    }
+
+    // ---- per-object statistics ----
+
+    /// Record statistics for object `name` (collected by `analyze`).
+    pub fn set_stats(&mut self, name: Symbol, stats: ObjectStats) {
+        self.stats.insert(name, stats);
+    }
+
+    pub fn stats(&self, name: &Symbol) -> Option<&ObjectStats> {
+        self.stats.get(name)
+    }
+
+    pub fn remove_stats(&mut self, name: &Symbol) -> Option<ObjectStats> {
+        self.stats.remove(name)
+    }
+
+    /// Names of objects with recorded statistics (sorted for
+    /// deterministic reporting).
+    pub fn analyzed_objects(&self) -> Vec<Symbol> {
+        let mut names: Vec<Symbol> = self.stats.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     // ---- catalog relations ----
@@ -516,6 +549,53 @@ mod tests {
         );
         cat.delete_object(&sym("cities")).unwrap();
         assert!(cat.partition_spec(&sym("cities")).is_none());
+    }
+
+    #[test]
+    fn stats_recorded_and_removed_with_object() {
+        let mut cat = Catalog::new();
+        let s = sig();
+        cat.create_object(&s, sym("cities"), DataType::rel(city()))
+            .unwrap();
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        cat.set_stats(
+            sym("cities"),
+            ObjectStats {
+                rows: 100,
+                pages: 4,
+                key_attr: Some(sym("pop")),
+                key_histogram: Histogram::build(&values, HISTOGRAM_BUCKETS),
+                partition_rows: vec![50, 50],
+                ..ObjectStats::default()
+            },
+        );
+        assert_eq!(cat.stats(&sym("cities")).unwrap().rows, 100);
+        assert_eq!(cat.analyzed_objects(), vec![sym("cities")]);
+        // Stats survive a serde round-trip (the snapshot path).
+        let json = serde_json::to_string(&cat).unwrap();
+        let back: Catalog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stats(&sym("cities")), cat.stats(&sym("cities")));
+        // And deleting the object drops them.
+        cat.delete_object(&sym("cities")).unwrap();
+        assert!(cat.stats(&sym("cities")).is_none());
+        assert!(cat.analyzed_objects().is_empty());
+    }
+
+    #[test]
+    fn snapshots_without_stats_field_still_load() {
+        let mut cat = Catalog::new();
+        let s = sig();
+        cat.create_object(&s, sym("cities"), DataType::rel(city()))
+            .unwrap();
+        let json = serde_json::to_string(&cat).unwrap();
+        // Simulate a pre-stats snapshot by stripping the field.
+        let stripped = json
+            .replace(",\"stats\":{}", "")
+            .replace("\"stats\":{},", "");
+        assert_ne!(json, stripped, "expected to strip a stats field");
+        let back: Catalog = serde_json::from_str(&stripped).unwrap();
+        assert!(back.object(&sym("cities")).is_some());
+        assert!(back.stats(&sym("cities")).is_none());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub enum ExplainKind {
 
 /// Runtime section of `explain_analyze`: what actually happened when
 /// the plan ran.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExplainAnalysis {
     /// Per-operator rows attributable to this run (reusing
     /// [`sos_exec::OpStats`]), sorted by operator name.
@@ -43,6 +43,9 @@ pub struct ExplainAnalysis {
     pub compile: CompileStats,
     /// A short summary of the produced value (kind and cardinality).
     pub result: String,
+    /// Worst estimated-vs-actual row ratio across operators with both
+    /// numbers (`None` when the cost model produced no estimates).
+    pub misestimate_factor: Option<f64>,
 }
 
 /// The structured result of `Database::explain` / `explain_update` /
@@ -61,6 +64,15 @@ pub struct Explain {
     pub plan: String,
     /// The final plan as an indented operator tree.
     pub plan_tree: String,
+    /// Plan-cache outcome for this statement: `Some(true)` when the
+    /// optimized template was served from the cache, `Some(false)` on a
+    /// miss, `None` when the cache was not consulted (disabled, or the
+    /// statement kind is never cached).
+    pub plan_cache: Option<bool>,
+    /// Cost-model estimated output rows per operator of the final plan
+    /// (summed across occurrences, in order of first appearance). Empty
+    /// when cost-based optimization is off.
+    pub estimates: Vec<(String, f64)>,
     /// Present only for `explain_analyze`.
     pub analysis: Option<ExplainAnalysis>,
 }
@@ -118,6 +130,29 @@ impl Explain {
         let _ = writeln!(out, "plan: {}", self.plan);
         for line in self.plan_tree.lines() {
             let _ = writeln!(out, "  {line}");
+        }
+        if let Some(hit) = self.plan_cache {
+            let _ = writeln!(out, "plan cache: {}", if hit { "hit" } else { "miss" });
+        }
+        if !self.estimates.is_empty() {
+            let _ = writeln!(out, "cardinality:");
+            for (name, est) in &self.estimates {
+                let act = self
+                    .analysis
+                    .as_ref()
+                    .and_then(|a| actual_rows(&a.ops, name));
+                match act {
+                    Some(act) => {
+                        let _ = writeln!(out, "  {name}: est={} act={act}", est.round() as u64);
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {name}: est={}", est.round() as u64);
+                    }
+                }
+            }
+            if let Some(f) = self.analysis.as_ref().and_then(|a| a.misestimate_factor) {
+                let _ = writeln!(out, "  misestimate: {f:.1}x");
+            }
         }
         if with_timings && !self.phases.is_empty() {
             let rendered: Vec<String> = self
@@ -187,20 +222,49 @@ impl Explain {
             })),
         );
         o.str("plan", &self.plan);
-        if let Some(a) = &self.analysis {
+        if let Some(hit) = self.plan_cache {
+            o.str("plan_cache", if hit { "hit" } else { "miss" });
+        }
+        if !self.estimates.is_empty() {
             o.raw(
-                "analysis",
-                &Obj::new()
-                    .str("result", &a.result)
-                    .raw("pool", &pool_json(&a.pool))
-                    .raw("wal", &wal_json(&a.wal))
-                    .raw("compile", &compile_json(&a.compile))
-                    .raw("ops", &array(a.ops.iter().map(|(n, s)| op_json(n, s))))
-                    .finish(),
+                "estimates",
+                &array(
+                    self.estimates.iter().map(|(n, est)| {
+                        Obj::new().str("op", n).f64("estimated_rows", *est).finish()
+                    }),
+                ),
             );
+        }
+        if let Some(a) = &self.analysis {
+            let mut ao = Obj::new();
+            ao.str("result", &a.result)
+                .raw("pool", &pool_json(&a.pool))
+                .raw("wal", &wal_json(&a.wal))
+                .raw("compile", &compile_json(&a.compile))
+                .raw("ops", &array(a.ops.iter().map(|(n, s)| op_json(n, s))));
+            if let Some(f) = a.misestimate_factor {
+                ao.f64("misestimate_factor", f);
+            }
+            o.raw("analysis", &ao.finish());
         }
         o.finish()
     }
+}
+
+/// The observed output rows for operator `op` in an analysis's recorded
+/// actuals. Pipelined cursors account their final drain under the
+/// `materialize` pseudo-operator (batch counters, not `tuples_out`), so
+/// a plan's `consume` joins against that when it has no entry of its own.
+pub fn actual_rows(ops: &[(String, OpStats)], op: &str) -> Option<u64> {
+    if let Some((_, s)) = ops.iter().find(|(n, _)| n == op) {
+        return Some(s.tuples_out);
+    }
+    if op == "consume" {
+        if let Some((_, s)) = ops.iter().find(|(n, _)| n == "materialize") {
+            return Some(s.tuples_out.max(s.batched_rows));
+        }
+    }
+    None
 }
 
 impl std::fmt::Display for Explain {
@@ -347,6 +411,8 @@ mod tests {
             }],
             plan: "consume(filter(feed(r_rep), p))".into(),
             plan_tree: "consume\n  filter".into(),
+            plan_cache: None,
+            estimates: Vec::new(),
             analysis: None,
         };
         let stable = e.render(false);
@@ -374,10 +440,56 @@ mod tests {
             rewrites: Vec::new(),
             plan: "insert(cities_rep, c)".into(),
             plan_tree: "insert(cities_rep, c)".into(),
+            plan_cache: None,
+            estimates: Vec::new(),
             analysis: None,
         };
         assert_eq!(e.statement(), "update cities_rep := insert(cities_rep, c)");
         assert!(e.render(false).contains("target: cities_rep"));
         assert!(e.to_json().contains(r#""target":"cities_rep""#));
+    }
+
+    #[test]
+    fn plan_cache_and_estimates_render_and_serialize() {
+        let mut e = Explain {
+            source: "r select[k > 0]".into(),
+            kind: ExplainKind::Query,
+            phases: Vec::new(),
+            rewrites: Vec::new(),
+            plan: "consume(filter(feed(r_rep), p))".into(),
+            plan_tree: "consume".into(),
+            plan_cache: Some(false),
+            estimates: vec![("feed".into(), 1000.0), ("filter".into(), 333.4)],
+            analysis: Some(ExplainAnalysis {
+                ops: vec![(
+                    "filter".into(),
+                    OpStats {
+                        invocations: 1,
+                        tuples_in: 1000,
+                        tuples_out: 340,
+                        ..OpStats::default()
+                    },
+                )],
+                pool: PoolStats::default(),
+                wal: WalStats::default(),
+                compile: CompileStats::default(),
+                result: "rel of 340 tuple(s)".into(),
+                misestimate_factor: Some(1.02),
+            }),
+        };
+        let text = e.render(false);
+        assert!(text.contains("plan cache: miss"));
+        assert!(text.contains("filter: est=333 act=340"));
+        assert!(text.contains("feed: est=1000"));
+        assert!(text.contains("misestimate: 1.0x"));
+        let json = e.to_json();
+        assert!(json.contains(r#""plan_cache":"miss""#));
+        assert!(json.contains(r#""estimated_rows":333.4"#));
+        assert!(json.contains(r#""misestimate_factor":1.02"#));
+
+        e.plan_cache = Some(true);
+        assert!(e.render(false).contains("plan cache: hit"));
+        e.plan_cache = None;
+        assert!(!e.render(false).contains("plan cache:"));
     }
 }

@@ -39,6 +39,18 @@ impl Obj {
         self
     }
 
+    /// Finite floats render via `Display` (a valid JSON number);
+    /// non-finite values have no JSON encoding and render as `null`.
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Obj {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&v.to_string());
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
     pub fn raw(&mut self, k: &str, v: &str) -> &mut Obj {
         self.key(k);
         self.buf.push_str(v);

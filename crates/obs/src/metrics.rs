@@ -30,6 +30,28 @@ pub struct MetricsSnapshot {
     /// Expression-compiler counters: closures lowered to bytecode and
     /// interpreter fallbacks keyed by reason (empty with `.compile off`).
     pub compile: CompileStats,
+    /// Plan-cache counters (all zero when the plan cache is off).
+    pub planner: PlannerStats,
+}
+
+/// Plan-cache traffic: hits re-bind a cached plan and skip the
+/// rewriter; misses optimize and populate the cache; invalidations are
+/// entries evicted by DDL, re-partitioning, bulk loads, or `analyze`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerStats {
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_invalidations: u64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+}
+
+impl PlannerStats {
+    /// True when the plan cache never saw traffic (rendering elides the
+    /// planner line so cache-off output is unchanged).
+    pub fn is_empty(&self) -> bool {
+        *self == PlannerStats::default()
+    }
 }
 
 impl MetricsSnapshot {
@@ -51,6 +73,19 @@ impl MetricsSnapshot {
                     "plan_validation_failures",
                     self.optimizer.plan_validation_failures as u64,
                 )
+                .u64("optimize_ns", self.optimizer.optimize_ns)
+                .u64("rewrite_ns", self.optimizer.rewrite_ns)
+                .u64("cost_ns", self.optimizer.cost_ns)
+                .u64("cache_lookup_ns", self.optimizer.cache_lookup_ns)
+                .finish(),
+        );
+        o.raw(
+            "planner",
+            &Obj::new()
+                .u64("cache_hits", self.planner.cache_hits)
+                .u64("cache_misses", self.planner.cache_misses)
+                .u64("cache_invalidations", self.planner.cache_invalidations)
+                .u64("cache_entries", self.planner.cache_entries)
                 .finish(),
         );
         o.raw(
@@ -88,6 +123,26 @@ impl std::fmt::Display for MetricsSnapshot {
             )?;
         }
         writeln!(f)?;
+        if self.optimizer.optimize_ns > 0 {
+            writeln!(
+                f,
+                "planner time: {} µs total ({} µs rewrite, {} µs cost, {} µs cache lookup)",
+                self.optimizer.optimize_ns / 1_000,
+                self.optimizer.rewrite_ns / 1_000,
+                self.optimizer.cost_ns / 1_000,
+                self.optimizer.cache_lookup_ns / 1_000
+            )?;
+        }
+        if !self.planner.is_empty() {
+            writeln!(
+                f,
+                "plan cache: {} hit(s), {} miss(es), {} invalidation(s), {} entrie(s)",
+                self.planner.cache_hits,
+                self.planner.cache_misses,
+                self.planner.cache_invalidations,
+                self.planner.cache_entries
+            )?;
+        }
         if self.ops.is_empty() {
             writeln!(f, "operators: (none run yet)")?;
         }
@@ -346,6 +401,7 @@ mod tests {
                 rewrites: 3,
                 rule_attempts: 17,
                 plan_validation_failures: 0,
+                ..OptimizerStats::default()
             },
             ops: vec![("filter".into(), row(2, 100))],
             phases: PhaseTimings::default(),
@@ -363,6 +419,12 @@ mod tests {
                 compiled: 5,
                 fallbacks: vec![("impure-op".into(), 2)],
             },
+            planner: PlannerStats {
+                cache_hits: 9,
+                cache_misses: 2,
+                cache_invalidations: 1,
+                cache_entries: 2,
+            },
         };
         let text = snap.to_string();
         assert!(text.contains("pool: 10 logical reads"));
@@ -376,7 +438,12 @@ mod tests {
         assert!(
             text.contains("compile: 5 expr(s) compiled, 2 interpreter fallback(s): 2 impure-op")
         );
+        assert!(text.contains("plan cache: 9 hit(s), 2 miss(es), 1 invalidation(s), 2 entrie(s)"));
+        // Timing split renders only once optimization actually ran.
+        assert!(!text.contains("planner time:"));
         let json = snap.to_json();
+        assert!(json.contains(r#""cache_hits":9"#));
+        assert!(json.contains(r#""optimize_ns":0"#));
         assert!(json.contains(r#""logical_reads":10"#));
         assert!(json.contains(r#""op":"filter""#));
         assert!(json.contains(r#""page_images":2"#));

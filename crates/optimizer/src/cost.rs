@@ -1,0 +1,746 @@
+//! A page-touch cost model over typed terms, fed by catalog statistics.
+//!
+//! The model walks a (typed) plan bottom-up and produces, per node, an
+//! estimated output cardinality and an estimated number of page touches.
+//! The rewrite driver uses the total page estimate to choose among rule
+//! alternatives (index access vs scan, hash join vs index-probe join);
+//! `EXPLAIN ANALYZE` renders the per-operator cardinalities next to the
+//! measured ones.
+//!
+//! Estimates are deliberately coarse: equi-width histograms on B-tree
+//! key attributes (and rect center-x for `lsdtree`) give selectivities
+//! for comparisons against known literals; everything else falls back to
+//! the classic System-R default fractions. When a plan comes out of the
+//! plan cache its literals are sentinel placeholders — those are passed
+//! in as `unknown` constants so the model uses the generic defaults
+//! instead of looking sentinels up in histograms.
+
+use sos_catalog::{Catalog, ObjectStats};
+use sos_core::typed::{TypedExpr, TypedNode};
+use sos_core::{Const, DataType, Symbol, TypeArg};
+
+/// Default row count assumed for objects without statistics.
+const DEFAULT_ROWS: f64 = 1000.0;
+/// Tuples assumed to fit on one page when the catalog has no page count.
+const TUPLES_PER_PAGE: f64 = 64.0;
+/// Default selectivity of an equality predicate.
+const SEL_EQ: f64 = 0.1;
+/// Default selectivity of a range predicate.
+const SEL_RANGE: f64 = 1.0 / 3.0;
+/// Default selectivity of an unknown predicate.
+const SEL_OTHER: f64 = 0.5;
+/// Default fraction of an lsdtree touched by a spatial probe.
+const SEL_SPATIAL: f64 = 0.1;
+
+/// Estimated cardinality and page touches for one (sub)term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated number of tuples the node produces.
+    pub rows: f64,
+    /// Estimated cumulative page touches to produce them.
+    pub pages: f64,
+}
+
+/// The page-touch cost model: a catalog (for statistics) plus the set of
+/// constants whose values must not be trusted (plan-cache sentinels).
+pub struct CostModel<'a> {
+    catalog: &'a Catalog,
+    unknown: Vec<Const>,
+}
+
+/// Internal per-node result: the estimate plus the storage object the
+/// stream (if any) originates from, so filters above a `feed` can consult
+/// that object's histogram.
+#[derive(Debug, Clone)]
+struct Flow {
+    est: Estimate,
+    /// The storage object whose tuples flow through this node.
+    source: Option<Symbol>,
+}
+
+impl<'a> CostModel<'a> {
+    pub fn new(catalog: &'a Catalog) -> CostModel<'a> {
+        CostModel {
+            catalog,
+            unknown: Vec::new(),
+        }
+    }
+
+    /// A model that treats the given constants as unknown parameters
+    /// (selectivity defaults instead of histogram lookups).
+    pub fn with_unknown(catalog: &'a Catalog, unknown: Vec<Const>) -> CostModel<'a> {
+        CostModel { catalog, unknown }
+    }
+
+    /// Total estimated page touches for a whole term — the quantity the
+    /// rewrite driver minimizes when choosing among rule alternatives.
+    pub fn page_cost(&self, term: &TypedExpr) -> f64 {
+        self.flow(term).est.pages
+    }
+
+    /// Estimated output cardinality of a term.
+    pub fn cardinality(&self, term: &TypedExpr) -> f64 {
+        self.flow(term).est.rows
+    }
+
+    /// Per-operator estimated cardinalities in visit (top-down) order:
+    /// `(operator, estimated rows)` for every plan-level `Apply` node.
+    /// `EXPLAIN ANALYZE` joins these with the measured `ExecStats` rows.
+    /// Lambda bodies are entered only when they produce a collection (a
+    /// `search_join`'s inner stream function) — scalar predicate code is
+    /// per-tuple arithmetic, not a plan operator.
+    pub fn op_estimates(&self, term: &TypedExpr) -> Vec<(Symbol, f64)> {
+        let mut out = Vec::new();
+        self.collect_estimates(term, &mut out);
+        out
+    }
+
+    fn collect_estimates(&self, t: &TypedExpr, out: &mut Vec<(Symbol, f64)>) {
+        match &t.node {
+            TypedNode::Apply { op, args, .. } => {
+                out.push((op.clone(), self.flow(t).est.rows));
+                for a in args {
+                    self.collect_estimates(a, out);
+                }
+            }
+            TypedNode::Lambda { body, .. } => {
+                if matches!(&body.ty, DataType::Cons(c, args) if !args.is_empty() && c.as_str() != "tuple")
+                {
+                    self.collect_estimates(body, out);
+                }
+            }
+            TypedNode::List(items) | TypedNode::Tuple(items) => {
+                for i in items {
+                    self.collect_estimates(i, out);
+                }
+            }
+            TypedNode::ApplyFun { fun, args } => {
+                self.collect_estimates(fun, out);
+                for a in args {
+                    self.collect_estimates(a, out);
+                }
+            }
+            TypedNode::Object(_) | TypedNode::Const(_) | TypedNode::Var(_) => {}
+        }
+    }
+
+    fn stats_of(&self, name: &Symbol) -> Option<&ObjectStats> {
+        self.catalog.stats(name)
+    }
+
+    fn object_flow(&self, name: &Symbol) -> Flow {
+        let est = match self.stats_of(name) {
+            Some(s) => Estimate {
+                rows: s.rows as f64,
+                pages: (s.pages as f64).max(1.0),
+            },
+            None => Estimate {
+                rows: DEFAULT_ROWS,
+                pages: (DEFAULT_ROWS / TUPLES_PER_PAGE).max(1.0),
+            },
+        };
+        Flow {
+            est,
+            source: Some(name.clone()),
+        }
+    }
+
+    /// Is `c` a plan-cache sentinel whose value must not be trusted?
+    fn is_unknown(&self, c: &Const) -> bool {
+        self.unknown.contains(c)
+    }
+
+    fn numeric(&self, t: &TypedExpr) -> Option<f64> {
+        match &t.node {
+            TypedNode::Const(c) if !self.is_unknown(c) => match c {
+                Const::Int(v) => Some(*v as f64),
+                Const::Real(v) => Some(*v),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Selectivity of comparing the histogrammed key attribute of
+    /// `source` with a known literal; `None` when no histogram applies.
+    fn histogram_fraction(
+        &self,
+        source: Option<&Symbol>,
+        attr: &Symbol,
+        cmp: &str,
+        v: f64,
+    ) -> Option<f64> {
+        let stats = self.stats_of(source?)?;
+        if stats.key_attr.as_ref() != Some(attr) {
+            return None;
+        }
+        let h = stats.key_histogram.as_ref()?;
+        Some(match cmp {
+            "=" => h.fraction_eq(v),
+            "<=" => h.fraction_le(v),
+            ">=" => h.fraction_ge(v),
+            "<" => (h.fraction_le(v) - h.fraction_eq(v)).max(0.0),
+            ">" => (h.fraction_ge(v) - h.fraction_eq(v)).max(0.0),
+            _ => return None,
+        })
+    }
+
+    /// Selectivity of a boolean predicate body over tuples of `source`.
+    /// `param` is the lambda's tuple parameter.
+    fn predicate_selectivity(
+        &self,
+        body: &TypedExpr,
+        param: Option<&Symbol>,
+        source: Option<&Symbol>,
+    ) -> f64 {
+        if let TypedNode::Apply { op, args, .. } = &body.node {
+            match op.as_str() {
+                "and" if args.len() == 2 => {
+                    return self.predicate_selectivity(&args[0], param, source)
+                        * self.predicate_selectivity(&args[1], param, source);
+                }
+                "or" if args.len() == 2 => {
+                    let a = self.predicate_selectivity(&args[0], param, source);
+                    let b = self.predicate_selectivity(&args[1], param, source);
+                    return (a + b - a * b).clamp(0.0, 1.0);
+                }
+                "not" if args.len() == 1 => {
+                    return (1.0 - self.predicate_selectivity(&args[0], param, source))
+                        .clamp(0.0, 1.0);
+                }
+                "=" | "<=" | ">=" | "<" | ">" if args.len() == 2 => {
+                    // `a(t) cmp const` (either side) with a histogram on a.
+                    for (lhs, rhs, cmp) in [
+                        (&args[0], &args[1], op.as_str()),
+                        (&args[1], &args[0], flipped(op.as_str())),
+                    ] {
+                        let (Some(attr), Some(v)) =
+                            (attr_projection(lhs, param), self.numeric(rhs))
+                        else {
+                            continue;
+                        };
+                        if let Some(fr) = self.histogram_fraction(source, &attr, cmp, v) {
+                            return fr.clamp(0.0, 1.0);
+                        }
+                    }
+                    return if op.as_str() == "=" {
+                        SEL_EQ
+                    } else {
+                        SEL_RANGE
+                    };
+                }
+                _ => {}
+            }
+        }
+        SEL_OTHER
+    }
+
+    fn flow(&self, term: &TypedExpr) -> Flow {
+        match &term.node {
+            TypedNode::Object(name) => self.object_flow(name),
+            TypedNode::Const(_) | TypedNode::Var(_) => Flow {
+                est: Estimate {
+                    rows: 1.0,
+                    pages: 0.0,
+                },
+                source: None,
+            },
+            TypedNode::Lambda { body, .. } => self.flow(body),
+            TypedNode::List(items) | TypedNode::Tuple(items) => {
+                let pages = items.iter().map(|i| self.flow(i).est.pages).sum();
+                Flow {
+                    est: Estimate { rows: 1.0, pages },
+                    source: None,
+                }
+            }
+            TypedNode::ApplyFun { fun, args } => {
+                // A view/lambda call: cost the body plus the arguments.
+                let mut f = self.flow(fun);
+                for a in args {
+                    f.est.pages += self.flow(a).est.pages;
+                }
+                f
+            }
+            TypedNode::Apply { op, args, .. } => self.apply_flow(op, args),
+        }
+    }
+
+    fn apply_flow(&self, op: &Symbol, args: &[TypedExpr]) -> Flow {
+        match (op.as_str(), args) {
+            // Stream sources.
+            ("feed", [rel]) => self.flow(rel),
+            // Filter / select keep the source, scale rows by predicate
+            // selectivity. Page touches: the input's (plus nothing — the
+            // predicate runs over tuples already read).
+            ("filter" | "select", [input, pred]) => {
+                let inf = self.flow(input);
+                let (param, body) = lambda_parts(pred);
+                let sel =
+                    self.predicate_selectivity(body.unwrap_or(pred), param, inf.source.as_ref());
+                Flow {
+                    est: Estimate {
+                        rows: (inf.est.rows * sel).max(0.0),
+                        pages: inf.est.pages,
+                    },
+                    source: inf.source,
+                }
+            }
+            // B-tree probes: descend the tree (≈ its height) then read
+            // the qualifying fraction.
+            ("exactmatch", [tree, key]) => self.btree_probe(tree, "=", self.numeric(key)),
+            ("range_from", [tree, key]) => self.btree_probe(tree, ">=", self.numeric(key)),
+            ("range_to", [tree, key]) => self.btree_probe(tree, "<=", self.numeric(key)),
+            ("range", [tree, lo, hi]) => self.btree_range(tree, self.numeric(lo), self.numeric(hi)),
+            // Spatial probes.
+            ("point_search" | "overlap_search", [tree, _probe]) => {
+                let tf = self.flow(tree);
+                let rows = (tf.est.rows * SEL_SPATIAL).max(0.0);
+                Flow {
+                    est: Estimate {
+                        rows,
+                        pages: probe_pages(tf.est.pages, rows),
+                    },
+                    source: tf.source,
+                }
+            }
+            // Hash join: read both inputs once; output via the classic
+            // containment assumption.
+            ("hashjoin", [left, right, _a1, _a2]) => {
+                let lf = self.flow(left);
+                let rf = self.flow(right);
+                let rows = join_rows(lf.est.rows, rf.est.rows);
+                Flow {
+                    est: Estimate {
+                        rows,
+                        pages: lf.est.pages + rf.est.pages,
+                    },
+                    source: None,
+                }
+            }
+            // Search join: the inner stream function runs once per outer
+            // tuple.
+            ("search_join", [outer, inner]) => {
+                let of = self.flow(outer);
+                let inner_f = self.flow(inner);
+                Flow {
+                    est: Estimate {
+                        rows: of.est.rows * inner_f.est.rows,
+                        pages: of.est.pages + of.est.rows * inner_f.est.pages,
+                    },
+                    source: None,
+                }
+            }
+            ("product" | "join", [left, right, ..]) => {
+                let lf = self.flow(left);
+                let rf = self.flow(right);
+                let rows = if op.as_str() == "join" {
+                    join_rows(lf.est.rows, rf.est.rows)
+                } else {
+                    lf.est.rows * rf.est.rows
+                };
+                Flow {
+                    est: Estimate {
+                        rows,
+                        pages: lf.est.pages + rf.est.pages,
+                    },
+                    source: None,
+                }
+            }
+            // Aggregates collapse to one row.
+            ("count" | "sum" | "min" | "max" | "avg", args2) => {
+                let pages = args2.iter().map(|a| self.flow(a).est.pages).sum();
+                Flow {
+                    est: Estimate { rows: 1.0, pages },
+                    source: None,
+                }
+            }
+            ("head", [input, n]) => {
+                let inf = self.flow(input);
+                let rows = match self.numeric(n) {
+                    Some(k) => inf.est.rows.min(k.max(0.0)),
+                    None => inf.est.rows,
+                };
+                Flow {
+                    est: Estimate {
+                        rows,
+                        pages: inf.est.pages,
+                    },
+                    source: inf.source,
+                }
+            }
+            // Materialization: write the output pages too.
+            ("consume", [input]) => {
+                let inf = self.flow(input);
+                Flow {
+                    est: Estimate {
+                        rows: inf.est.rows,
+                        pages: inf.est.pages + (inf.est.rows / TUPLES_PER_PAGE).ceil(),
+                    },
+                    source: inf.source,
+                }
+            }
+            ("project", [input, ..]) => self.flow(input),
+            ("union", all) if !all.is_empty() => {
+                let mut rows = 0.0;
+                let mut pages = 0.0;
+                for a in all {
+                    let f = self.flow(a);
+                    rows += f.est.rows;
+                    pages += f.est.pages;
+                }
+                Flow {
+                    est: Estimate { rows, pages },
+                    source: None,
+                }
+            }
+            // Unknown operator: sum children conservatively, keep the
+            // widest child cardinality, propagate a single source.
+            _ => {
+                let mut rows: f64 = 1.0;
+                let mut pages = 0.0;
+                let mut source = None;
+                for a in args {
+                    let f = self.flow(a);
+                    rows = rows.max(f.est.rows);
+                    pages += f.est.pages;
+                    if source.is_none() {
+                        source = f.source;
+                    }
+                }
+                Flow {
+                    est: Estimate { rows, pages },
+                    source,
+                }
+            }
+        }
+    }
+
+    /// A one-sided B-tree probe (`exactmatch`, `range_from`, `range_to`).
+    /// An equality probe with an unknown literal uses the unique-key
+    /// assumption (≈ one row) — B-tree probes are keyed access, not a
+    /// generic predicate.
+    fn btree_probe(&self, tree: &TypedExpr, cmp: &str, v: Option<f64>) -> Flow {
+        let tf = self.flow(tree);
+        let generic = if cmp == "=" {
+            1.0 / tf.est.rows.max(1.0)
+        } else {
+            SEL_RANGE
+        };
+        let frac = match (tf.source.as_ref(), v) {
+            (Some(src), Some(v)) => self
+                .stats_of(src)
+                .and_then(|s| {
+                    let h = s.key_histogram.as_ref()?;
+                    Some(match cmp {
+                        "=" => h.fraction_eq(v),
+                        ">=" => h.fraction_ge(v),
+                        "<=" => h.fraction_le(v),
+                        _ => SEL_RANGE,
+                    })
+                })
+                .unwrap_or(generic),
+            _ => generic,
+        };
+        let rows = (tf.est.rows * frac.clamp(0.0, 1.0)).max(0.0);
+        Flow {
+            est: Estimate {
+                rows,
+                pages: probe_pages(tf.est.pages, rows),
+            },
+            source: tf.source,
+        }
+    }
+
+    /// A two-sided B-tree `range` probe.
+    fn btree_range(&self, tree: &TypedExpr, lo: Option<f64>, hi: Option<f64>) -> Flow {
+        let tf = self.flow(tree);
+        let frac = match (tf.source.as_ref(), lo, hi) {
+            (Some(src), Some(lo), Some(hi)) => self
+                .stats_of(src)
+                .and_then(|s| Some(s.key_histogram.as_ref()?.fraction_range(lo, hi)))
+                .unwrap_or(SEL_RANGE),
+            _ => SEL_RANGE,
+        };
+        let rows = (tf.est.rows * frac.clamp(0.0, 1.0)).max(0.0);
+        Flow {
+            est: Estimate {
+                rows,
+                pages: probe_pages(tf.est.pages, rows),
+            },
+            source: tf.source,
+        }
+    }
+}
+
+/// Pages touched by an index probe that returns `rows` tuples out of a
+/// structure occupying `total_pages`: a logarithmic descent plus the
+/// leaf/data pages actually read.
+fn probe_pages(total_pages: f64, rows: f64) -> f64 {
+    let descent = total_pages.max(2.0).log2().ceil();
+    descent + (rows / TUPLES_PER_PAGE).ceil()
+}
+
+/// Join output cardinality under the containment assumption: the join
+/// key's distinct count is the larger side's cardinality.
+fn join_rows(l: f64, r: f64) -> f64 {
+    if l <= 0.0 || r <= 0.0 {
+        return 0.0;
+    }
+    (l * r / l.max(r)).max(1.0)
+}
+
+/// Flip a comparison for `const cmp a(t)` written as `a(t) cmp' const`.
+fn flipped(cmp: &str) -> &str {
+    match cmp {
+        "<=" => ">=",
+        ">=" => "<=",
+        "<" => ">",
+        ">" => "<",
+        other => other,
+    }
+}
+
+/// Split a lambda into its first parameter name and body.
+fn lambda_parts(t: &TypedExpr) -> (Option<&Symbol>, Option<&TypedExpr>) {
+    match &t.node {
+        TypedNode::Lambda { params, body } => (params.first().map(|(n, _)| n), Some(body)),
+        _ => (None, None),
+    }
+}
+
+/// `a(t)` for lambda parameter `t` → `Some(a)`.
+fn attr_projection(e: &TypedExpr, param: Option<&Symbol>) -> Option<Symbol> {
+    let TypedNode::Apply { op, args, .. } = &e.node else {
+        return None;
+    };
+    if args.len() != 1 {
+        return None;
+    }
+    match (&args[0].node, param) {
+        (TypedNode::Var(v), Some(p)) if v == p => Some(op.clone()),
+        (TypedNode::Var(_), None) => Some(op.clone()),
+        _ => None,
+    }
+}
+
+/// Extract the B-tree key attribute named in a `btree(tuple, attr, dt)`
+/// object type — used by `analyze` to know which attribute to histogram.
+pub fn btree_key_attr(ty: &DataType) -> Option<Symbol> {
+    let DataType::Cons(cons, args) = ty else {
+        return None;
+    };
+    if cons.as_str() != "btree" || args.len() != 3 {
+        return None;
+    }
+    match &args[1] {
+        TypeArg::Expr(sos_core::Expr::Const(Const::Ident(a))) => Some(a.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_catalog::{Histogram, ObjectStats};
+    use sos_core::sym;
+
+    fn obj(name: &str, ty: DataType) -> TypedExpr {
+        TypedExpr::new(TypedNode::Object(sym(name)), ty)
+    }
+
+    fn rel_ty() -> DataType {
+        DataType::rel(DataType::tuple(vec![(sym("k"), DataType::atom("int"))]))
+    }
+
+    fn catalog_with_stats(rows: u64, skew_low: bool) -> Catalog {
+        let mut cat = Catalog::new();
+        let values: Vec<f64> = if skew_low {
+            (0..rows)
+                .map(|i| if i % 10 == 0 { i as f64 } else { 1.0 })
+                .collect()
+        } else {
+            (0..rows).map(|i| i as f64).collect()
+        };
+        cat.set_stats(
+            sym("items_btree"),
+            ObjectStats {
+                rows,
+                pages: (rows / 64).max(1),
+                key_attr: Some(sym("k")),
+                key_histogram: Histogram::build(&values, 32),
+                ..ObjectStats::default()
+            },
+        );
+        cat
+    }
+
+    #[test]
+    fn object_estimates_use_stats_and_defaults() {
+        let cat = catalog_with_stats(6400, false);
+        let m = CostModel::new(&cat);
+        assert_eq!(m.cardinality(&obj("items_btree", rel_ty())), 6400.0);
+        // No stats → defaults.
+        assert_eq!(m.cardinality(&obj("mystery", rel_ty())), DEFAULT_ROWS);
+    }
+
+    #[test]
+    fn exactmatch_is_cheaper_than_scan() {
+        let cat = catalog_with_stats(64000, false);
+        let m = CostModel::new(&cat);
+        let tree = obj("items_btree", rel_ty());
+        let probe = TypedExpr::new(
+            TypedNode::Apply {
+                op: sym("exactmatch"),
+                spec: 0,
+                args: vec![
+                    tree.clone(),
+                    TypedExpr::new(TypedNode::Const(Const::Int(7)), DataType::atom("int")),
+                ],
+            },
+            rel_ty(),
+        );
+        let scan = TypedExpr::new(
+            TypedNode::Apply {
+                op: sym("feed"),
+                spec: 0,
+                args: vec![tree],
+            },
+            rel_ty(),
+        );
+        assert!(m.page_cost(&probe) < m.page_cost(&scan) / 10.0);
+    }
+
+    #[test]
+    fn sentinel_constants_fall_back_to_defaults() {
+        let cat = catalog_with_stats(64000, true);
+        let probe_const = Const::Int(999_983);
+        let tree = obj("items_btree", rel_ty());
+        let probe = TypedExpr::new(
+            TypedNode::Apply {
+                op: sym("exactmatch"),
+                spec: 0,
+                args: vec![
+                    tree,
+                    TypedExpr::new(TypedNode::Const(probe_const.clone()), DataType::atom("int")),
+                ],
+            },
+            rel_ty(),
+        );
+        let informed = CostModel::new(&cat);
+        let generic = CostModel::with_unknown(&cat, vec![probe_const]);
+        // Out-of-histogram literal → near zero rows when trusted; the
+        // generic model must not trust it and falls back to the
+        // unique-key assumption (≈ one row).
+        assert!(informed.cardinality(&probe) < 1.0);
+        assert!((generic.cardinality(&probe) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn skewed_eq_probe_estimates_heavy_value_high() {
+        // 90% of the keys are the value 1.0: probing it must estimate
+        // clearly more rows than the generic unique-key assumption
+        // (equi-width buckets cap the resolution well below the true
+        // 57600 — detecting heavy hitters exactly would need MCVs).
+        let cat = catalog_with_stats(64000, true);
+        let tree = obj("items_btree", rel_ty());
+        let probe = |c: Const| {
+            TypedExpr::new(
+                TypedNode::Apply {
+                    op: sym("exactmatch"),
+                    spec: 0,
+                    args: vec![
+                        tree.clone(),
+                        TypedExpr::new(TypedNode::Const(c), DataType::atom("int")),
+                    ],
+                },
+                rel_ty(),
+            )
+        };
+        let m = CostModel::new(&cat);
+        let heavy = m.cardinality(&probe(Const::Int(1)));
+        assert!(heavy > 10.0, "heavy value estimate {heavy}");
+    }
+
+    #[test]
+    fn search_join_scales_with_outer_cardinality() {
+        let cat = Catalog::new();
+        let m = CostModel::new(&cat);
+        let mk = |outer_rows: u64| {
+            let mut cat = Catalog::new();
+            cat.set_stats(
+                sym("outer"),
+                ObjectStats {
+                    rows: outer_rows,
+                    pages: (outer_rows / 64).max(1),
+                    ..ObjectStats::default()
+                },
+            );
+            cat
+        };
+        let term = |_: &CostModel| {
+            TypedExpr::new(
+                TypedNode::Apply {
+                    op: sym("search_join"),
+                    spec: 0,
+                    args: vec![
+                        TypedExpr::new(
+                            TypedNode::Apply {
+                                op: sym("feed"),
+                                spec: 0,
+                                args: vec![obj("outer", rel_ty())],
+                            },
+                            rel_ty(),
+                        ),
+                        TypedExpr::new(
+                            TypedNode::Apply {
+                                op: sym("exactmatch"),
+                                spec: 0,
+                                args: vec![
+                                    obj("inner_btree", rel_ty()),
+                                    TypedExpr::new(
+                                        TypedNode::Const(Const::Int(1)),
+                                        DataType::atom("int"),
+                                    ),
+                                ],
+                            },
+                            rel_ty(),
+                        ),
+                    ],
+                },
+                rel_ty(),
+            )
+        };
+        let small_cat = mk(10);
+        let big_cat = mk(100_000);
+        let small = CostModel::new(&small_cat).page_cost(&term(&m));
+        let big = CostModel::new(&big_cat).page_cost(&term(&m));
+        assert!(big > small * 100.0, "big={big} small={small}");
+    }
+
+    #[test]
+    fn op_estimates_cover_every_apply() {
+        let cat = catalog_with_stats(640, false);
+        let m = CostModel::new(&cat);
+        let term = TypedExpr::new(
+            TypedNode::Apply {
+                op: sym("count"),
+                spec: 0,
+                args: vec![TypedExpr::new(
+                    TypedNode::Apply {
+                        op: sym("feed"),
+                        spec: 0,
+                        args: vec![obj("items_btree", rel_ty())],
+                    },
+                    rel_ty(),
+                )],
+            },
+            DataType::atom("int"),
+        );
+        let ests = m.op_estimates(&term);
+        assert_eq!(ests.len(), 2);
+        assert_eq!(ests[0].0, sym("count"));
+        assert_eq!(ests[0].1, 1.0);
+        assert_eq!(ests[1].0, sym("feed"));
+        assert_eq!(ests[1].1, 640.0);
+    }
+}

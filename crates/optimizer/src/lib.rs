@@ -16,6 +16,7 @@
 //! framework gives an extensible optimizer.
 
 mod condition;
+pub mod cost;
 mod pattern;
 mod rewrite;
 mod ruleparse;
@@ -23,8 +24,11 @@ pub mod synth;
 mod validate;
 
 pub use condition::Condition;
+pub use cost::{btree_key_attr, CostModel, Estimate};
 pub use pattern::{OpPat, TermPattern};
-pub use rewrite::{Optimizer, OptimizerStats, Rule, RuleApplication, RuleStep, Strategy};
+pub use rewrite::{
+    OptimizeOpts, Optimizer, OptimizerStats, Rule, RuleAlt, RuleApplication, RuleStep, Strategy,
+};
 pub use ruleparse::parse_rules;
 pub use validate::{types_equivalent, Validation};
 

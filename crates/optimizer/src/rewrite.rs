@@ -2,13 +2,15 @@
 //! optimizer driver.
 
 use crate::condition::Condition;
+use crate::cost::CostModel;
 use crate::pattern::{match_term, RuleBindings, TermPattern};
 use crate::validate::{types_equivalent, Validation};
 use crate::OptError;
 use sos_catalog::Catalog;
 use sos_core::check::Checker;
 use sos_core::typed::{TypedExpr, TypedNode};
-use sos_core::{DataType, Expr, Symbol, TypeArg};
+use sos_core::{Const, DataType, Expr, Symbol, TypeArg};
+use std::time::Instant;
 
 /// One optimization rule: pattern, conditions, template.
 #[derive(Debug, Clone)]
@@ -21,7 +23,44 @@ pub struct Rule {
     /// an application of the bound lambda; a type written `$v` inside a
     /// lambda parameter splices the type bound to `v`.
     pub rhs: Expr,
+    /// Alternative templates considered only under cost-based
+    /// optimization: when the rule fires, each alternative whose extra
+    /// conditions hold is instantiated alongside the primary template and
+    /// the cheapest (by estimated page touches) well-typed candidate
+    /// wins. With cost-based optimization off, alternatives are ignored
+    /// and the primary template applies unconditionally — the historical
+    /// behavior.
+    pub alternatives: Vec<RuleAlt>,
 }
+
+/// One cost-competitive alternative template of a [`Rule`] (same LHS,
+/// extra conditions, different RHS).
+#[derive(Debug, Clone)]
+pub struct RuleAlt {
+    /// Name recorded in the rewrite trace when this alternative wins
+    /// (e.g. `select-btree-=-scan`).
+    pub name: String,
+    /// Conditions evaluated as extensions of the primary rule's
+    /// solutions (they may bind additional variables).
+    pub conditions: Vec<Condition>,
+    pub rhs: Expr,
+}
+
+/// Knobs for one optimization run.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeOpts {
+    pub validation: Validation,
+    /// Consider rule alternatives and pick the candidate with the lowest
+    /// estimated page cost (see [`CostModel`]).
+    pub cost_based: bool,
+    /// Constants whose values must not be trusted by the cost model
+    /// (plan-cache sentinels standing in for stripped literals).
+    pub unknown_consts: Vec<Const>,
+}
+
+/// Upper bound on instantiated candidates per redex under cost-based
+/// optimization (frontier solutions × alternatives can multiply).
+const MAX_CANDIDATES: usize = 16;
 
 /// How a step scans for redexes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +104,16 @@ pub struct OptimizerStats {
     /// the rewrite (counted under [`Validation::Count`]; under
     /// [`Validation::Strict`] the first violation aborts instead).
     pub plan_validation_failures: usize,
+    /// Wall time of the whole optimize call, in nanoseconds.
+    pub optimize_ns: u64,
+    /// Portion of `optimize_ns` spent matching and rewriting rules.
+    pub rewrite_ns: u64,
+    /// Portion of `optimize_ns` spent checking and costing candidate
+    /// plans (zero when cost-based optimization is off).
+    pub cost_ns: u64,
+    /// Time spent probing the plan cache before the rewriter ran (set by
+    /// the system layer; zero when the cache is off).
+    pub cache_lookup_ns: u64,
 }
 
 impl OptimizerStats {
@@ -74,6 +123,10 @@ impl OptimizerStats {
         self.rewrites += other.rewrites;
         self.rule_attempts += other.rule_attempts;
         self.plan_validation_failures += other.plan_validation_failures;
+        self.optimize_ns += other.optimize_ns;
+        self.rewrite_ns += other.rewrite_ns;
+        self.cost_ns += other.cost_ns;
+        self.cache_lookup_ns += other.cache_lookup_ns;
     }
 }
 
@@ -118,7 +171,7 @@ impl Optimizer {
         checker: &Checker,
         catalog: &Catalog,
     ) -> Result<(TypedExpr, OptimizerStats), OptError> {
-        self.drive(term, checker, catalog, Validation::Off, None)
+        self.drive(term, checker, catalog, &opts_for(Validation::Off), None)
             .map(|(t, s, _)| (t, s))
     }
 
@@ -131,8 +184,14 @@ impl Optimizer {
         checker: &Checker,
         catalog: &Catalog,
     ) -> Result<(TypedExpr, OptimizerStats, Vec<RuleApplication>), OptError> {
-        self.drive(term, checker, catalog, Validation::Off, Some(Vec::new()))
-            .map(|(t, s, trace)| (t, s, trace.unwrap_or_default()))
+        self.drive(
+            term,
+            checker,
+            catalog,
+            &opts_for(Validation::Off),
+            Some(Vec::new()),
+        )
+        .map(|(t, s, trace)| (t, s, trace.unwrap_or_default()))
     }
 
     /// Optimize under a plan-validation mode: every rewrite's result
@@ -146,7 +205,7 @@ impl Optimizer {
         catalog: &Catalog,
         validation: Validation,
     ) -> Result<(TypedExpr, OptimizerStats), OptError> {
-        self.drive(term, checker, catalog, validation, None)
+        self.drive(term, checker, catalog, &opts_for(validation), None)
             .map(|(t, s, _)| (t, s))
     }
 
@@ -159,8 +218,27 @@ impl Optimizer {
         catalog: &Catalog,
         validation: Validation,
     ) -> Result<(TypedExpr, OptimizerStats, Vec<RuleApplication>), OptError> {
-        self.drive(term, checker, catalog, validation, Some(Vec::new()))
-            .map(|(t, s, trace)| (t, s, trace.unwrap_or_default()))
+        self.drive(
+            term,
+            checker,
+            catalog,
+            &opts_for(validation),
+            Some(Vec::new()),
+        )
+        .map(|(t, s, trace)| (t, s, trace.unwrap_or_default()))
+    }
+
+    /// The general entry point: optimize under explicit
+    /// [`OptimizeOpts`], optionally recording the rewrite trace.
+    pub fn optimize_opts(
+        &self,
+        term: &TypedExpr,
+        checker: &Checker,
+        catalog: &Catalog,
+        opts: &OptimizeOpts,
+        traced: bool,
+    ) -> Result<(TypedExpr, OptimizerStats, Option<Vec<RuleApplication>>), OptError> {
+        self.drive(term, checker, catalog, opts, traced.then(Vec::new))
     }
 
     /// The rewrite loop. `trace` is `Some` only for traced runs, so the
@@ -170,33 +248,38 @@ impl Optimizer {
         term: &TypedExpr,
         checker: &Checker,
         catalog: &Catalog,
-        validation: Validation,
+        opts: &OptimizeOpts,
         mut trace: Option<Vec<RuleApplication>>,
     ) -> Result<(TypedExpr, OptimizerStats, Option<Vec<RuleApplication>>), OptError> {
+        let started = Instant::now();
+        let validation = opts.validation;
         let mut stats = OptimizerStats::default();
+        let mut cost_ns: u64 = 0;
         let mut current = term.clone();
         for (step_idx, step) in self.steps.iter().enumerate() {
             let mut rewrites_in_step = 0;
             loop {
-                let top_down = step.strategy != Strategy::ExhaustiveBottomUp;
-                let Some((rule, raw)) = walk(&current, &step.rules, catalog, top_down, &mut stats)
-                else {
+                let search = Search {
+                    rules: &step.rules,
+                    catalog,
+                    top_down: step.strategy != Strategy::ExhaustiveBottomUp,
+                    cost_based: opts.cost_based,
+                    render: trace.is_some(),
+                };
+                let Some(candidates) = walk(&current, &search, &mut stats) else {
                     break;
                 };
                 let before = trace.is_some().then(|| current.to_string());
                 let prev_ty = current.ty.clone();
-                current = checker.check_expr(&raw).map_err(|e| OptError::Recheck {
-                    rule: rule.name.clone(),
-                    error: e,
-                    term: format!("{raw}"),
-                })?;
+                let chosen = choose(candidates, checker, catalog, opts, &mut cost_ns)?;
+                current = chosen.term;
                 let validation_failure = (validation != Validation::Off
                     && !types_equivalent(checker.sig, &prev_ty, &current.ty))
                 .then(|| format!("result type changed from {prev_ty} to {}", current.ty));
                 if validation_failure.is_some() {
                     if validation == Validation::Strict {
                         return Err(OptError::PlanTypeChanged {
-                            rule: rule.name.clone(),
+                            rule: chosen.label.clone(),
                             before: prev_ty.to_string(),
                             after: current.ty.to_string(),
                         });
@@ -206,8 +289,8 @@ impl Optimizer {
                 if let (Some(trace), Some(before)) = (trace.as_mut(), before) {
                     trace.push(RuleApplication {
                         step: step.name.clone(),
-                        rule: rule.name.clone(),
-                        conditions: rule.conditions.iter().map(|c| c.to_string()).collect(),
+                        rule: chosen.label,
+                        conditions: chosen.conditions,
                         before,
                         after: current.to_string(),
                         validation_failure,
@@ -226,43 +309,146 @@ impl Optimizer {
                 }
             }
         }
+        stats.cost_ns = cost_ns;
+        stats.optimize_ns = started.elapsed().as_nanos() as u64;
+        stats.rewrite_ns = stats.optimize_ns.saturating_sub(cost_ns);
         Ok((current, stats, trace))
     }
 }
 
-/// Find the first redex (by strategy order) and return the applied rule
-/// plus the whole term in abstract syntax with the instantiated template
-/// spliced in.
-fn walk<'r>(
-    node: &TypedExpr,
-    rules: &'r [Rule],
+fn opts_for(validation: Validation) -> OptimizeOpts {
+    OptimizeOpts {
+        validation,
+        ..OptimizeOpts::default()
+    }
+}
+
+/// The chosen rewrite at one redex: the re-checked whole term plus the
+/// winning rule (or alternative) label and its rendered conditions.
+struct Chosen {
+    label: String,
+    conditions: Vec<String>,
+    term: TypedExpr,
+}
+
+/// Re-check every candidate and pick the cheapest well-typed one by
+/// estimated page cost. A single candidate (the cost-off path) is
+/// checked without costing, preserving the historical behavior exactly.
+fn choose(
+    mut candidates: Vec<Candidate>,
+    checker: &Checker,
     catalog: &Catalog,
+    opts: &OptimizeOpts,
+    cost_ns: &mut u64,
+) -> Result<Chosen, OptError> {
+    if candidates.len() == 1 {
+        let c = candidates.remove(0);
+        let term = checker.check_expr(&c.raw).map_err(|e| OptError::Recheck {
+            rule: c.label.clone(),
+            error: e,
+            term: format!("{}", c.raw),
+        })?;
+        return Ok(Chosen {
+            label: c.label,
+            conditions: c.conditions,
+            term,
+        });
+    }
+    let started = Instant::now();
+    let model = CostModel::with_unknown(catalog, opts.unknown_consts.clone());
+    let mut best: Option<(f64, usize, TypedExpr)> = None;
+    let mut primary_err = None;
+    for (i, c) in candidates.iter().enumerate() {
+        match checker.check_expr(&c.raw) {
+            Ok(t) => {
+                let cost = model.page_cost(&t);
+                // Strict `<`: ties go to the earliest candidate (the
+                // primary template first, then alternatives in order).
+                if best.as_ref().map(|(b, _, _)| cost < *b).unwrap_or(true) {
+                    best = Some((cost, i, t));
+                }
+            }
+            // An ill-typed alternative just loses the competition; an
+            // ill-typed primary is only an error when nothing survives.
+            Err(e) => {
+                if i == 0 {
+                    primary_err = Some(e);
+                }
+            }
+        }
+    }
+    *cost_ns += started.elapsed().as_nanos() as u64;
+    match best {
+        Some((_, i, term)) => {
+            let c = candidates.swap_remove(i);
+            Ok(Chosen {
+                label: c.label,
+                conditions: c.conditions,
+                term,
+            })
+        }
+        None => {
+            let c = candidates.remove(0);
+            Err(OptError::Recheck {
+                rule: c.label.clone(),
+                error: primary_err.expect("no candidate checked, primary error recorded"),
+                term: format!("{}", c.raw),
+            })
+        }
+    }
+}
+
+/// Search parameters threaded through the redex walk.
+struct Search<'a> {
+    rules: &'a [Rule],
+    catalog: &'a Catalog,
     top_down: bool,
-    stats: &mut OptimizerStats,
-) -> Option<(&'r Rule, Expr)> {
-    if top_down {
-        if let Some(r) = try_rules(node, rules, catalog, stats) {
+    cost_based: bool,
+    /// Render candidate conditions in the rule language (traced runs).
+    render: bool,
+}
+
+/// One instantiated rewrite candidate at a redex: the whole term in
+/// abstract syntax with the template spliced in.
+struct Candidate {
+    label: String,
+    conditions: Vec<String>,
+    raw: Expr,
+}
+
+/// Find the first redex (by strategy order) and return the instantiated
+/// candidates there — exactly one with cost-based optimization off, the
+/// primary plus surviving alternatives with it on.
+fn walk(node: &TypedExpr, search: &Search, stats: &mut OptimizerStats) -> Option<Vec<Candidate>> {
+    if search.top_down {
+        if let Some(r) = try_rules(node, search, stats) {
             return Some(r);
         }
     }
-    if let Some((rule, i, child_raw)) = walk_children(node, rules, catalog, top_down, stats) {
-        return Some((rule, rebuild(node, i, child_raw)));
+    if let Some((i, children)) = walk_children(node, search, stats) {
+        return Some(
+            children
+                .into_iter()
+                .map(|mut c| {
+                    c.raw = rebuild(node, i, c.raw);
+                    c
+                })
+                .collect(),
+        );
     }
-    if !top_down {
-        if let Some(r) = try_rules(node, rules, catalog, stats) {
+    if !search.top_down {
+        if let Some(r) = try_rules(node, search, stats) {
             return Some(r);
         }
     }
     None
 }
 
-fn walk_children<'r>(
+fn walk_children(
     node: &TypedExpr,
-    rules: &'r [Rule],
-    catalog: &Catalog,
-    top_down: bool,
+    search: &Search,
     stats: &mut OptimizerStats,
-) -> Option<(&'r Rule, usize, Expr)> {
+) -> Option<(usize, Vec<Candidate>)> {
     let children: Vec<&TypedExpr> = match &node.node {
         TypedNode::Apply { args, .. } | TypedNode::List(args) | TypedNode::Tuple(args) => {
             args.iter().collect()
@@ -272,20 +458,19 @@ fn walk_children<'r>(
         _ => Vec::new(),
     };
     for (i, c) in children.into_iter().enumerate() {
-        if let Some((rule, raw)) = walk(c, rules, catalog, top_down, stats) {
-            return Some((rule, i, raw));
+        if let Some(cands) = walk(c, search, stats) {
+            return Some((i, cands));
         }
     }
     None
 }
 
-fn try_rules<'r>(
+fn try_rules(
     node: &TypedExpr,
-    rules: &'r [Rule],
-    catalog: &Catalog,
+    search: &Search,
     stats: &mut OptimizerStats,
-) -> Option<(&'r Rule, Expr)> {
-    for rule in rules {
+) -> Option<Vec<Candidate>> {
+    for rule in search.rules {
         stats.rule_attempts += 1;
         let mut b = RuleBindings::default();
         if !match_term(&rule.lhs, node, &mut b) {
@@ -297,23 +482,78 @@ fn try_rules<'r>(
             b.types.insert(p, TypeArg::Type(ty));
         }
         // Conditions: a frontier of alternative binding sets.
-        let mut frontier = vec![b];
-        for cond in &rule.conditions {
-            let mut next = Vec::new();
-            for fb in &frontier {
-                next.extend(cond.eval(fb, catalog));
-            }
-            frontier = next;
-            if frontier.is_empty() {
+        let frontier = eval_conditions(&rule.conditions, vec![b], search.catalog);
+        if frontier.is_empty() {
+            continue;
+        }
+        if !search.cost_based {
+            // Historical behavior: first solution, primary template.
+            let solution = &frontier[0];
+            return Some(vec![Candidate {
+                label: rule.name.clone(),
+                conditions: rendered(search, &rule.conditions, &[]),
+                raw: instantiate(&rule.rhs, solution),
+            }]);
+        }
+        let mut candidates = Vec::new();
+        'solutions: for solution in &frontier {
+            candidates.push(Candidate {
+                label: rule.name.clone(),
+                conditions: rendered(search, &rule.conditions, &[]),
+                raw: instantiate(&rule.rhs, solution),
+            });
+            if candidates.len() >= MAX_CANDIDATES {
                 break;
             }
+            for alt in &rule.alternatives {
+                let ext = eval_conditions(&alt.conditions, vec![solution.clone()], search.catalog);
+                for asol in &ext {
+                    candidates.push(Candidate {
+                        label: alt.name.clone(),
+                        conditions: rendered(search, &rule.conditions, &alt.conditions),
+                        raw: instantiate(&alt.rhs, asol),
+                    });
+                    if candidates.len() >= MAX_CANDIDATES {
+                        break 'solutions;
+                    }
+                }
+            }
         }
-        if let Some(solution) = frontier.first() {
-            let raw = instantiate(&rule.rhs, solution);
-            return Some((rule, raw));
-        }
+        return Some(candidates);
     }
     None
+}
+
+/// Evaluate a condition list over a frontier of binding sets.
+fn eval_conditions(
+    conditions: &[Condition],
+    mut frontier: Vec<RuleBindings>,
+    catalog: &Catalog,
+) -> Vec<RuleBindings> {
+    for cond in conditions {
+        let mut next = Vec::new();
+        for fb in &frontier {
+            next.extend(cond.eval(fb, catalog));
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+/// Render conditions in the rule language for the rewrite trace (only on
+/// traced runs — the hot path allocates nothing here).
+fn rendered(search: &Search, primary: &[Condition], extra: &[Condition]) -> Vec<String> {
+    if !search.render {
+        return Vec::new();
+    }
+    primary
+        .iter()
+        .chain(extra.iter())
+        .map(|c| c.to_string())
+        .collect()
 }
 
 /// Rebuild a node in abstract syntax with child `i` replaced.

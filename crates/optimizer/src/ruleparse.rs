@@ -142,6 +142,7 @@ fn parse_rule(cur: &mut Cursor) -> Result<Rule, ParseError> {
         lhs,
         conditions,
         rhs,
+        alternatives: Vec::new(),
     })
 }
 

@@ -65,14 +65,21 @@ pub fn object_defs() -> (ObjectDefs, RepLinks) {
         (Symbol::new("sname"), DataType::atom("string")),
         (Symbol::new("region"), DataType::atom("pgon")),
     ]);
-    let btree_item = DataType::Cons(
-        Symbol::new("btree"),
-        vec![
-            TypeArg::Type(t_item.clone()),
-            TypeArg::Expr(Expr::Const(Const::Ident(Symbol::new("k")))),
-            TypeArg::Type(DataType::atom("int")),
-        ],
-    );
+    let btree_on = |t: &DataType, key: &str| {
+        DataType::Cons(
+            Symbol::new("btree"),
+            vec![
+                TypeArg::Type(t.clone()),
+                TypeArg::Expr(Expr::Const(Const::Ident(Symbol::new(key)))),
+                TypeArg::Type(DataType::atom("int")),
+            ],
+        )
+    };
+    let btree_item = btree_on(&t_item, "k");
+    // A btree on a *differently-attributed* relation: equi-join witnesses
+    // need an indexed inner whose tuple type differs from the outer's
+    // (identical attribute sets are rejected by the join checker).
+    let btree_ord = btree_on(&t_ord, "k2");
     let srel = |t: &DataType| DataType::Cons(Symbol::new("srel"), vec![TypeArg::Type(t.clone())]);
     // `lsdtree(t_st, fun (s) bbox(region(s)))` — the key function shape
     // the `lsdbbox` condition recognizes.
@@ -105,6 +112,7 @@ pub fn object_defs() -> (ObjectDefs, RepLinks) {
         (Symbol::new("fz_items_b_srel"), srel(&t_item)),
         (Symbol::new("fz_orders"), DataType::rel(t_ord.clone())),
         (Symbol::new("fz_orders_srel"), srel(&t_ord)),
+        (Symbol::new("fz_orders_btree"), btree_ord),
         (Symbol::new("fz_points"), DataType::rel(t_pt.clone())),
         (Symbol::new("fz_points_srel"), srel(&t_pt)),
         (Symbol::new("fz_regions"), DataType::rel(t_st.clone())),
@@ -117,6 +125,7 @@ pub fn object_defs() -> (ObjectDefs, RepLinks) {
         (Symbol::new("fz_items"), Symbol::new("fz_items_srel")),
         (Symbol::new("fz_items_b"), Symbol::new("fz_items_b_srel")),
         (Symbol::new("fz_orders"), Symbol::new("fz_orders_srel")),
+        (Symbol::new("fz_orders"), Symbol::new("fz_orders_btree")),
         (Symbol::new("fz_points"), Symbol::new("fz_points_srel")),
         (Symbol::new("fz_regions"), Symbol::new("fz_regions_lsd")),
         (Symbol::new("fz_regions"), Symbol::new("fz_regions_srel")),
@@ -515,6 +524,10 @@ pub fn verify_rule(sig: &Signature, scenario: &Scenario, step_name: &str, rule: 
 }
 
 /// Verify every rule of an optimizer against the canonical scenario.
+/// Cost-based alternatives are verified as derived rules: the primary's
+/// LHS, the primary's conditions extended by the alternative's, and the
+/// alternative's template — so an alternative that could break type
+/// preservation is caught exactly like a broken primary rule.
 pub fn verify_optimizer(sig: &Signature, opt: &Optimizer) -> Vec<RuleReport> {
     let scenario = Scenario::build(sig);
     let mut out = Vec::new();
@@ -525,6 +538,25 @@ pub fn verify_optimizer(sig: &Signature, opt: &Optimizer) -> Vec<RuleReport> {
                 rule: rule.name.clone(),
                 verdict: verify_rule(sig, &scenario, &step.name, rule),
             });
+            for alt in &rule.alternatives {
+                let derived = Rule {
+                    name: alt.name.clone(),
+                    lhs: rule.lhs.clone(),
+                    conditions: rule
+                        .conditions
+                        .iter()
+                        .chain(alt.conditions.iter())
+                        .cloned()
+                        .collect(),
+                    rhs: alt.rhs.clone(),
+                    alternatives: Vec::new(),
+                };
+                out.push(RuleReport {
+                    step: step.name.clone(),
+                    rule: alt.name.clone(),
+                    verdict: verify_rule(sig, &scenario, &step.name, &derived),
+                });
+            }
         }
     }
     out

@@ -229,6 +229,22 @@ fn print_output(out: &Output) {
     }
 }
 
+/// Render one object's collected statistics the way `.analyze` reports
+/// them.
+fn stats_line(s: &sos_catalog::ObjectStats) -> String {
+    let mut line = format!("{} row(s), {} page(s)", s.rows, s.pages);
+    if let (Some(attr), Some(_)) = (&s.key_attr, &s.key_histogram) {
+        line.push_str(&format!(", histogram on {attr}"));
+    }
+    if s.rect_histogram.is_some() || s.bbox.is_some() {
+        line.push_str(", rect distribution");
+    }
+    if !s.partition_rows.is_empty() {
+        line.push_str(&format!(", {} partition(s)", s.partition_rows.len()));
+    }
+    line
+}
+
 /// Render one partitioning spec the way `.partition <obj>` reports it.
 fn partition_line(spec: &sos_system::PartSpec) -> String {
     match &spec.method {
@@ -264,7 +280,7 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
     match head {
         ".quit" | ".exit" => return false,
         ".help" => {
-            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .checkpoint | .wal [policy <p>] | .stats [op] | .partition <obj> [<attr> hash <n> | <attr> range <b>...] | .workers [n] | .batch [n] | .compile [on|off] | .objects | .quit");
+            println!(".run <file> | .spec <file> | .rules <file> | .lint [json] | .explain [analyze] <query> | .trace on|off | .metrics | .ops [name] | .save <dir> | .checkpoint | .wal [policy <p>] | .stats [op] | .partition <obj> [<attr> hash <n> | <attr> range <b>...] | .analyze [obj] | .cost [on|off] | .cache [on|off|clear] | .workers [n] | .batch [n] | .compile [on|off] | .objects | .quit");
         }
         ".checkpoint" => {
             if !db.is_durable() {
@@ -372,6 +388,69 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
                 }
             }
         }
+        // `.analyze` collects statistics (row counts, histograms, MBR
+        // distributions) for one object or every stored object; the
+        // cost model reads them from the catalog.
+        ".analyze" => {
+            let arg = rest.trim();
+            if arg.is_empty() {
+                match db.analyze_all() {
+                    Ok(all) if all.is_empty() => println!("analyze: no stored objects"),
+                    Ok(all) => {
+                        for (name, s) in &all {
+                            println!("{name}: {}", stats_line(s));
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            } else {
+                match db.analyze(arg) {
+                    Ok(s) => println!("{arg}: {}", stats_line(&s)),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+        ".cost" => match rest.trim() {
+            "on" => {
+                db.set_cost_based(true);
+                println!("cost-based optimization on");
+            }
+            "off" => {
+                db.set_cost_based(false);
+                println!("cost-based optimization off");
+            }
+            "" => println!(
+                "cost-based optimization {}",
+                if db.cost_based_enabled() { "on" } else { "off" }
+            ),
+            _ => println!("error: `.cost` takes `on` or `off`"),
+        },
+        ".cache" => match rest.trim() {
+            "on" => {
+                db.set_plan_cache_enabled(true);
+                println!("plan cache on");
+            }
+            "off" => {
+                db.set_plan_cache_enabled(false);
+                println!("plan cache off");
+            }
+            "clear" => {
+                let n = db.clear_plan_cache();
+                println!("plan cache cleared ({n} entrie(s) dropped)");
+            }
+            "" => {
+                let m = db.metrics().planner;
+                println!(
+                    "plan cache {}: {} entrie(s), {} hit(s), {} miss(es), {} invalidation(s)",
+                    if db.plan_cache_enabled() { "on" } else { "off" },
+                    m.cache_entries,
+                    m.cache_hits,
+                    m.cache_misses,
+                    m.cache_invalidations
+                );
+            }
+            _ => println!("error: `.cache` takes `on`, `off`, or `clear`"),
+        },
         ".trace" => match rest.trim() {
             "on" => {
                 db.set_tracing(true);

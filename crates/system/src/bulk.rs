@@ -109,6 +109,9 @@ impl Database {
             };
             return Err(e);
         }
+        // Cached plans over the old representation (e.g. a serial scan)
+        // no longer match the partitioned object.
+        self.invalidate_plans_for(&key);
         Ok(())
     }
 
@@ -182,6 +185,9 @@ impl Database {
                 .stats
                 .record_partitions("bulk_load", h.part_count() as u64, 0);
         }
+        // A bulk load shifts the object's cardinality enough that any
+        // cost-chosen cached plan over it is suspect.
+        self.invalidate_plans_for(&key);
         Ok(loaded)
     }
 

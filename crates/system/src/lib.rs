@@ -38,22 +38,26 @@
 //! recording on, and [`Database::explain`] / [`Database::explain_analyze`]
 //! return a structured [`Explain`] with the ordered rewrite trace.
 
+pub mod analyze;
 pub mod builtin;
 pub mod bulk;
 pub mod fuzz;
 pub mod persist;
+pub mod plancache;
 pub mod rules;
 
 use sos_catalog::{Catalog, CatalogError};
 use sos_core::check::Checker;
 use sos_core::spec::Level;
 use sos_core::typed::{TypedExpr, TypedNode};
-use sos_core::{CheckError, DataType, Expr, Signature, Symbol, TypeArg};
+use sos_core::{CheckError, Const, DataType, Expr, Signature, Symbol, TypeArg};
 use sos_exec::{EvalCtx, ExecEngine, ExecError, StatementTx, Value};
 use sos_obs::explain::plan_tree;
 use sos_obs::metrics::{ops_delta, pool_delta};
 use sos_obs::trace::Tracer;
-use sos_optimizer::{OptError, Optimizer, OptimizerStats, RuleApplication, Validation};
+use sos_optimizer::{
+    OptError, OptimizeOpts, Optimizer, OptimizerStats, RuleApplication, Validation,
+};
 use sos_parser::{parse_program, ParseError, Statement};
 use sos_storage::{BufferPool, DiskManager, FileDisk, RecoveryInfo, Wal, WalOptions};
 use std::collections::HashMap;
@@ -63,7 +67,9 @@ use std::time::Instant;
 
 pub use sos_catalog::{PartMethod, PartSpec};
 pub use sos_obs::metrics::op_line;
-pub use sos_obs::{Explain, ExplainAnalysis, ExplainKind, MetricsSnapshot, Phase, PhaseTimings};
+pub use sos_obs::{
+    Explain, ExplainAnalysis, ExplainKind, MetricsSnapshot, Phase, PhaseTimings, PlannerStats,
+};
 pub use sos_storage::{CheckpointStats, Lsn, SyncPolicy};
 
 /// The WAL pipeline's LSN watermarks, for inspection (the shell's
@@ -215,6 +221,8 @@ pub struct DatabaseBuilder {
     strict_lint: bool,
     bulk_nosync: Option<bool>,
     validate_plans: Option<bool>,
+    plan_cache: Option<bool>,
+    cost_based: Option<bool>,
 }
 
 /// Where a durable database keeps its two files (or disks): the data
@@ -376,6 +384,28 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Cache optimized query plans keyed by normalized query shape
+    /// (default: off). A hit skips the rewriter entirely and re-binds
+    /// the cached plan's literals; see [`crate::plancache`] for the
+    /// normalization and the soundness argument. Entries are
+    /// invalidated by DDL, re-partitioning, bulk loads, and
+    /// [`Database::analyze`].
+    pub fn plan_cache(mut self, enabled: bool) -> DatabaseBuilder {
+        self.plan_cache = Some(enabled);
+        self
+    }
+
+    /// Choose among rule alternatives by estimated page cost (default:
+    /// off). When off, the optimizer always takes a rule's primary
+    /// template — the historical behavior. When on, rules with
+    /// alternatives (index probe vs. scan, hash join vs. index-probe
+    /// join) are costed with the catalog statistics collected by
+    /// [`Database::analyze`].
+    pub fn cost_based(mut self, enabled: bool) -> DatabaseBuilder {
+        self.cost_based = Some(enabled);
+        self
+    }
+
     /// Validate rewritten plans (default: on): after every rewrite the
     /// optimizer compares the plan's result type with the type before
     /// the rewrite (modulo representation). With `strict_lint` on, a
@@ -456,6 +486,9 @@ impl DatabaseBuilder {
             strict_lint: self.strict_lint,
             bulk_nosync: self.bulk_nosync.unwrap_or(true),
             validate_plans: self.validate_plans.unwrap_or(true),
+            plan_cache: plancache::PlanCache::default(),
+            plan_cache_enabled: self.plan_cache.unwrap_or(false),
+            cost_based: self.cost_based.unwrap_or(false),
             recovery,
         };
         if let Some(bytes) = recovered_meta {
@@ -487,6 +520,13 @@ pub struct Database {
     /// Re-typecheck rewritten plans against the pre-rewrite result type
     /// (see [`DatabaseBuilder::validate_plans`]).
     validate_plans: bool,
+    /// Optimized plans keyed by normalized query shape (see
+    /// [`plancache`]); consulted only when `plan_cache_enabled`.
+    plan_cache: plancache::PlanCache,
+    plan_cache_enabled: bool,
+    /// Choose among rule alternatives by estimated page cost (see
+    /// [`DatabaseBuilder::cost_based`]).
+    cost_based: bool,
     /// What crash recovery did at open (durable databases only).
     recovery: Option<RecoveryInfo>,
 }
@@ -578,6 +618,12 @@ impl Database {
             phases: self.tracer.timings(),
             wal: self.engine.pool.wal_stats(),
             compile: self.engine.stats.compile_snapshot(),
+            planner: PlannerStats {
+                cache_hits: self.plan_cache.hits,
+                cache_misses: self.plan_cache.misses,
+                cache_invalidations: self.plan_cache.invalidations,
+                cache_entries: self.plan_cache.len() as u64,
+            },
         }
     }
 
@@ -588,6 +634,7 @@ impl Database {
         self.engine.stats.reset();
         self.total_opt_stats = OptimizerStats::default();
         self.last_opt_stats = OptimizerStats::default();
+        self.plan_cache.reset_counters();
         self.tracer.reset();
     }
 
@@ -668,6 +715,49 @@ impl Database {
     /// Whether rewritten plans are re-typechecked per rewrite.
     pub fn validate_plans_enabled(&self) -> bool {
         self.validate_plans
+    }
+
+    /// Turn cost-based rewrite selection off/on at runtime (initial
+    /// value: [`DatabaseBuilder::cost_based`], default off).
+    pub fn set_cost_based(&mut self, enabled: bool) {
+        if self.cost_based != enabled {
+            // Cached templates were chosen under the old costing mode;
+            // keep the cache consistent with what the rewriter would
+            // produce now.
+            self.plan_cache.invalidate_all();
+        }
+        self.cost_based = enabled;
+    }
+
+    /// Whether rewrite alternatives are chosen by the page-touch cost
+    /// model.
+    pub fn cost_based_enabled(&self) -> bool {
+        self.cost_based
+    }
+
+    /// Turn the normalized-shape plan cache off/on at runtime (initial
+    /// value: [`DatabaseBuilder::plan_cache`], default off). Disabling
+    /// keeps entries and counters; re-enabling resumes with them.
+    pub fn set_plan_cache_enabled(&mut self, enabled: bool) {
+        self.plan_cache_enabled = enabled;
+    }
+
+    /// Whether query plans are served from the normalized-shape cache.
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.plan_cache_enabled
+    }
+
+    /// Drop every cached plan (counters survive; evictions count as
+    /// invalidations). Returns how many entries were dropped.
+    pub fn clear_plan_cache(&mut self) -> usize {
+        self.plan_cache.invalidate_all()
+    }
+
+    /// Evict cached plans whose footprint includes `name` — called by
+    /// every code path that changes what the optimizer would produce
+    /// for that object (DDL, re-partitioning, bulk loads, `analyze`).
+    pub(crate) fn invalidate_plans_for(&mut self, name: &Symbol) {
+        self.plan_cache.invalidate_object(name);
     }
 
     // ---- extensibility ----
@@ -783,6 +873,8 @@ impl Database {
             }
         }
         self.optimizer.steps.push(step);
+        // New rules change what every shape optimizes to.
+        self.plan_cache.invalidate_all();
         Ok(())
     }
 
@@ -894,8 +986,14 @@ impl Database {
         let checked = self.check(&self.resolve_expr(e))?;
         phases.push((Phase::Check, started.elapsed().as_nanos() as u64));
         let started = Instant::now();
-        let (optimized, rewrites) = self.optimize_traced(&checked)?;
+        let (optimized, rewrites, cache_outcome) = self.plan_query(&checked, true)?;
         phases.push((Phase::Optimize, started.elapsed().as_nanos() as u64));
+        let estimates = if self.cost_based {
+            let model = sos_optimizer::CostModel::new(&self.catalog);
+            aggregate_estimates(model.op_estimates(&optimized))
+        } else {
+            Vec::new()
+        };
         let analysis = if analyze {
             let pool_before = self.engine.pool.stats();
             let ops_before = self.engine.stats.snapshot();
@@ -904,8 +1002,10 @@ impl Database {
             let started = Instant::now();
             let value = self.eval(&optimized)?;
             phases.push((Phase::Execute, started.elapsed().as_nanos() as u64));
+            let ops = ops_delta(&ops_before, &self.engine.stats.snapshot());
             Some(ExplainAnalysis {
-                ops: ops_delta(&ops_before, &self.engine.stats.snapshot()),
+                misestimate_factor: misestimate_factor(&estimates, &ops),
+                ops,
                 pool: pool_delta(&pool_before, &self.engine.pool.stats()),
                 result: value_summary(&value),
                 wal: self.engine.pool.wal_stats().delta(&wal_before),
@@ -921,6 +1021,8 @@ impl Database {
             rewrites,
             plan: optimized.to_string(),
             plan_tree: plan_tree(&optimized),
+            plan_cache: cache_outcome,
+            estimates,
             analysis,
         })
     }
@@ -958,6 +1060,8 @@ impl Database {
             rewrites,
             plan: optimized.to_string(),
             plan_tree: plan_tree(&optimized),
+            plan_cache: None,
+            estimates: Vec::new(),
             analysis: None,
         })
     }
@@ -995,6 +1099,10 @@ impl Database {
                     let _ = self.catalog.delete_object(name);
                     return Err(e);
                 }
+                // A new object (and any rep links a later catalog insert
+                // adds) can change what the rewriter produces for shapes
+                // that don't even mention it yet — drop everything.
+                self.plan_cache.invalidate_all();
                 Ok(Output::Created(name.clone()))
             }
             Statement::Update(name, expr) => {
@@ -1038,6 +1146,12 @@ impl Database {
                     };
                     return Err(e);
                 }
+                // Updating a catalog relation (e.g. inserting a rep
+                // link) changes which rules fire for any shape; plain
+                // data updates leave cached plans valid.
+                if matches!(&expected, DataType::Cons(c, _) if c.as_str() == "catalog") {
+                    self.plan_cache.invalidate_all();
+                }
                 Ok(Output::Updated(target))
             }
             Statement::Delete(name) => {
@@ -1050,6 +1164,7 @@ impl Database {
                     }
                     return Err(e);
                 }
+                self.invalidate_plans_for(name);
                 Ok(Output::Deleted(name.clone()))
             }
             Statement::Query(expr) => {
@@ -1058,7 +1173,7 @@ impl Database {
                 let checked = self.check(&resolved);
                 self.tracer.finish(Phase::Check, span);
                 let checked = checked?;
-                let optimized = self.optimize(&checked)?;
+                let (optimized, _, _) = self.plan_query(&checked, false)?;
                 let value = self.eval(&optimized)?;
                 Ok(Output::Query(value))
             }
@@ -1138,15 +1253,7 @@ impl Database {
         if !self.optimize_enabled {
             return Ok(t.clone());
         }
-        let span = self.tracer.start();
-        let checker = Checker::new(&self.sig, &self.catalog);
-        let result = self
-            .optimizer
-            .optimize_with(t, &checker, &self.catalog, self.validation());
-        self.tracer.finish(Phase::Optimize, span);
-        let (optimized, stats) = result?;
-        self.last_opt_stats = stats;
-        self.total_opt_stats.absorb(stats);
+        let (optimized, _) = self.optimize_inner(t, &[], false)?;
         Ok(optimized)
     }
 
@@ -1159,13 +1266,99 @@ impl Database {
         if !self.optimize_enabled {
             return Ok((t.clone(), Vec::new()));
         }
+        self.optimize_inner(t, &[], true)
+    }
+
+    /// One call into the rewriter with the database's current options.
+    /// `unknown_consts` marks constants the cost model must treat as
+    /// unknown (the plan cache passes its sentinel literals so cached
+    /// templates get generic-plan costing).
+    fn optimize_inner(
+        &mut self,
+        t: &TypedExpr,
+        unknown_consts: &[Const],
+        traced: bool,
+    ) -> Result<(TypedExpr, Vec<RuleApplication>), SystemError> {
+        let span = self.tracer.start();
         let checker = Checker::new(&self.sig, &self.catalog);
-        let (optimized, stats, trace) =
-            self.optimizer
-                .optimize_traced_with(t, &checker, &self.catalog, self.validation())?;
+        let opts = OptimizeOpts {
+            validation: self.validation(),
+            cost_based: self.cost_based,
+            unknown_consts: unknown_consts.to_vec(),
+        };
+        let result = self
+            .optimizer
+            .optimize_opts(t, &checker, &self.catalog, &opts, traced);
+        self.tracer.finish(Phase::Optimize, span);
+        let (optimized, stats, trace) = result?;
         self.last_opt_stats = stats;
         self.total_opt_stats.absorb(stats);
-        Ok((optimized, trace))
+        Ok((optimized, trace.unwrap_or_default()))
+    }
+
+    /// Plan a query term. With the plan cache on, the term's normalized
+    /// shape (alpha-renamed variables, literals stripped to sentinels)
+    /// is looked up first: a hit rebinds this statement's literals into
+    /// the cached template and skips the rewriter entirely; a miss
+    /// optimizes the sentinel form (generic plan), caches it, and
+    /// rebinds. Returns the executable plan, the rewrite trace (empty on
+    /// a hit), and the cache outcome (`None` when the cache was not
+    /// consulted).
+    #[allow(clippy::type_complexity)]
+    fn plan_query(
+        &mut self,
+        checked: &TypedExpr,
+        traced: bool,
+    ) -> Result<(TypedExpr, Vec<RuleApplication>, Option<bool>), SystemError> {
+        if !self.optimize_enabled {
+            return Ok((checked.clone(), Vec::new(), None));
+        }
+        if !self.plan_cache_enabled {
+            let (optimized, trace) = self.optimize_inner(checked, &[], traced)?;
+            return Ok((optimized, trace, None));
+        }
+        // The lookup span covers the whole hit path — normalization, the
+        // map probe, and constant rebinding — so the reported optimizer
+        // time is what the cache actually costs, not just the probe.
+        let lookup_started = Instant::now();
+        let norm = plancache::normalize(checked);
+        if let Some(entry) = self.plan_cache.lookup(&norm.key) {
+            let plan = plancache::rebind(&entry.template, &entry.sentinels, &norm.literals);
+            let lookup_ns = lookup_started.elapsed().as_nanos() as u64;
+            let stats = OptimizerStats {
+                optimize_ns: lookup_ns,
+                cache_lookup_ns: lookup_ns,
+                ..OptimizerStats::default()
+            };
+            self.last_opt_stats = stats;
+            self.total_opt_stats.absorb(stats);
+            return Ok((plan, Vec::new(), Some(true)));
+        }
+        let lookup_ns = lookup_started.elapsed().as_nanos() as u64;
+        let (sentinels, sentinel_term) = plancache::generalize(checked, &norm.literals);
+        let (template, trace) = self.optimize_inner(&sentinel_term, &sentinels, traced)?;
+        self.last_opt_stats.cache_lookup_ns += lookup_ns;
+        self.last_opt_stats.optimize_ns += lookup_ns;
+        self.total_opt_stats.cache_lookup_ns += lookup_ns;
+        self.total_opt_stats.optimize_ns += lookup_ns;
+        // The cache footprint is every object either term mentions: a
+        // rewrite can swap the source's objects for representation
+        // objects, and invalidation must catch changes to both.
+        let mut objects = Vec::new();
+        plancache::referenced_objects(checked, &mut objects);
+        plancache::referenced_objects(&template, &mut objects);
+        objects.sort();
+        objects.dedup();
+        let plan = plancache::rebind(&template, &sentinels, &norm.literals);
+        self.plan_cache.insert(
+            norm.key,
+            plancache::CachedPlan {
+                template,
+                sentinels,
+                objects,
+            },
+        );
+        Ok((plan, trace, Some(false)))
     }
 
     fn eval(&mut self, t: &TypedExpr) -> Result<Value, SystemError> {
@@ -1295,6 +1488,39 @@ impl Default for Database {
     fn default() -> Self {
         Database::builder().build()
     }
+}
+
+/// Sum the cost model's per-occurrence row estimates by operator name,
+/// preserving the order of first appearance (matches the aggregated
+/// per-operator actuals `ExplainAnalysis` reports).
+fn aggregate_estimates(per_node: Vec<(Symbol, f64)>) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for (op, est) in per_node {
+        match out.iter_mut().find(|(n, _)| *n == op.as_str()) {
+            Some((_, total)) => *total += est,
+            None => out.push((op.to_string(), est)),
+        }
+    }
+    out
+}
+
+/// The worst estimated-vs-actual row ratio across operators that have
+/// both numbers, with +1 smoothing so empty results don't divide by
+/// zero. `None` when no operator has both.
+fn misestimate_factor(
+    estimates: &[(String, f64)],
+    ops: &[(String, sos_exec::OpStats)],
+) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for (name, est) in estimates {
+        let Some(act) = sos_obs::actual_rows(ops, name) else {
+            continue;
+        };
+        let act = act as f64;
+        let ratio = ((est + 1.0) / (act + 1.0)).max((act + 1.0) / (est + 1.0));
+        worst = Some(worst.map_or(ratio, |w: f64| w.max(ratio)));
+    }
+    worst
 }
 
 /// A short, deterministic summary of a produced value: kind and

@@ -10,7 +10,7 @@
 
 use sos_core::pattern::TypePattern;
 use sos_core::{sym, DataType, Expr, Symbol};
-use sos_optimizer::{Condition, Optimizer, Rule, RuleStep, TermPattern};
+use sos_optimizer::{Condition, Optimizer, Rule, RuleAlt, RuleStep, TermPattern};
 
 /// Shorthand: `Name(v)` template reference.
 fn name(v: &str) -> Expr {
@@ -112,6 +112,21 @@ fn index_rules() -> Vec<Rule> {
                 Condition::btree_key_is("b1", "a"),
             ],
             rhs,
+            // Cost-based alternative: a plain scan-and-filter over any
+            // representation. Wins when the predicate qualifies most of
+            // the relation (reading every leaf through the index is
+            // slower than one sequential pass).
+            alternatives: vec![RuleAlt {
+                name: format!("select-btree-{op}-scan"),
+                conditions: vec![Condition::catalog_link("rep", "rel1", "rep1")],
+                rhs: app(
+                    "consume",
+                    vec![app(
+                        "filter",
+                        vec![app("feed", vec![name("rep1")]), name("pred")],
+                    )],
+                ),
+            }],
         });
     }
 
@@ -160,6 +175,7 @@ fn index_rules() -> Vec<Rule> {
                 Condition::btree_key_is("b1", "a"),
             ],
             rhs: app("delete", vec![name("b1"), doomed]),
+            alternatives: Vec::new(),
         });
     }
 
@@ -223,6 +239,7 @@ fn index_rules() -> Vec<Rule> {
             lhs,
             conditions,
             rhs: app("consume", vec![app("filter", vec![search, residual])]),
+            alternatives: Vec::new(),
         });
     }
 
@@ -264,6 +281,30 @@ fn index_rules() -> Vec<Rule> {
                 ],
             )],
         ),
+        // Cost-based alternative: probe a B-tree on the right join
+        // attribute once per left tuple. Wins at high cardinality skew
+        // (small outer, large indexed inner); the attribute order of the
+        // result (tuple1 ++ tuple2) matches the hash join's.
+        alternatives: vec![RuleAlt {
+            name: "join-equi-index-probe".into(),
+            conditions: vec![
+                Condition::catalog_link("rep", "rel2", "b2"),
+                Condition::btree_key_is("b2", "a2"),
+            ],
+            rhs: app(
+                "consume",
+                vec![app(
+                    "search_join",
+                    vec![
+                        app("feed", vec![name("rep1")]),
+                        lam(
+                            &[("t1", "t1")],
+                            app("exactmatch", vec![name("b2"), app("a1", vec![name("t1")])]),
+                        ),
+                    ],
+                )],
+            ),
+        }],
     });
 
     // --- the Section 5 rule: geometric join via LSD-tree ---------------
@@ -335,6 +376,7 @@ fn index_rules() -> Vec<Rule> {
             Condition::lsd_indexes_bbox_of("lsd2", "regionf"),
         ],
         rhs,
+        alternatives: Vec::new(),
     });
 
     // --- modify on the B-tree key attribute: re_insert (Section 6) -----
@@ -358,6 +400,7 @@ fn index_rules() -> Vec<Rule> {
                 ),
             ],
         ),
+        alternatives: Vec::new(),
     });
 
     rules
@@ -389,6 +432,7 @@ fn generic_rules() -> Vec<Rule> {
                 vec![app("feed", vec![name("rep1")]), name("pred")],
             )],
         ),
+        alternatives: Vec::new(),
     });
 
     // join(rel1, rel2, pred) -> scan-based search join (Section 4's first
@@ -430,6 +474,7 @@ fn generic_rules() -> Vec<Rule> {
                 ],
             )],
         ),
+        alternatives: Vec::new(),
     });
 
     // insert(rel1, t) -> insert(rep1, t)
@@ -444,6 +489,7 @@ fn generic_rules() -> Vec<Rule> {
             Condition::catalog_link("rep", "rel1", "rep1"),
         ],
         rhs: app("insert", vec![name("rep1"), name("tup")]),
+        alternatives: Vec::new(),
     });
 
     // rel_insert(rel1, rel2) -> stream_insert(rep1, feed(rep2)):
@@ -466,6 +512,7 @@ fn generic_rules() -> Vec<Rule> {
             "stream_insert",
             vec![name("rep1"), app("feed", vec![name("rep2")])],
         ),
+        alternatives: Vec::new(),
     });
 
     // delete(rel1, pred) -> delete(rep1, filter(feed(rep1), pred))
@@ -494,6 +541,7 @@ fn generic_rules() -> Vec<Rule> {
                 ),
             ],
         ),
+        alternatives: Vec::new(),
     });
 
     // modify(rel1, pred, a, f) on a non-key attribute -> in-situ modify.
@@ -532,6 +580,7 @@ fn generic_rules() -> Vec<Rule> {
                 ),
             ],
         ),
+        alternatives: Vec::new(),
     });
 
     rules

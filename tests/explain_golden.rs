@@ -8,6 +8,7 @@
 //! Regenerate after an intentional format change with
 //! `UPDATE_GOLDEN=1 cargo test --test explain_golden`.
 
+use sos_exec::Value;
 use sos_system::Database;
 use std::path::PathBuf;
 
@@ -119,4 +120,63 @@ fn update_translation_explain_matches_golden() {
         }
     );
     assert_golden("update_insert_explain.txt", &report.render(false));
+}
+
+/// An analyzed, cost-based database over the items schema: statistics
+/// feed the estimates the report renders.
+fn analyzed_items_db(plan_cache: bool) -> Database {
+    let mut db = Database::builder()
+        .cost_based(true)
+        .plan_cache(plan_cache)
+        .build();
+    db.run(
+        r#"
+        type item = tuple(<(k, int), (name, string)>);
+        create items : rel(item);
+        create items_rep : btree(item, k, int);
+        create rep : catalog(<ident, ident>);
+        update rep := insert(rep, items, items_rep);
+    "#,
+    )
+    .unwrap();
+    db.bulk_load(
+        "items_rep",
+        (0..640)
+            .map(|i| Value::tuple(vec![Value::Int(i as i64), Value::Str(format!("n{i}"))]))
+            .collect(),
+    )
+    .unwrap();
+    db.analyze("items_rep").unwrap();
+    db
+}
+
+/// Cost-based `EXPLAIN ANALYZE`: estimated vs actual rows per operator
+/// (`est=… act=…`) and the worst misestimate factor, as a stable
+/// report.
+#[test]
+fn cost_based_explain_analyze_matches_golden() {
+    let mut db = analyzed_items_db(false);
+    let report = db.explain_analyze("items select[k <= 100] count").unwrap();
+    let text = report.render(false);
+    assert!(text.contains("est="), "report: {text}");
+    assert!(text.contains("act="), "report: {text}");
+    assert!(text.contains("misestimate:"), "report: {text}");
+    assert_golden("cost_select_explain_analyze.txt", &text);
+}
+
+/// The plan-cache line: a cold explain reports `plan cache: miss`, the
+/// identical shape re-explained reports `plan cache: hit` with an empty
+/// rewrite trace (the rewriter never ran).
+#[test]
+fn plan_cache_hit_explain_matches_golden() {
+    let mut db = analyzed_items_db(true);
+    let miss = db.explain("items select[k <= 100]").unwrap();
+    assert!(
+        miss.render(false).contains("plan cache: miss"),
+        "report: {}",
+        miss.render(false)
+    );
+    let hit = db.explain("items select[k <= 100]").unwrap();
+    assert!(hit.rewrites.is_empty());
+    assert_golden("plan_cache_hit_explain.txt", &hit.render(false));
 }

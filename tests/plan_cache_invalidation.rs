@@ -1,0 +1,204 @@
+//! Plan-cache invalidation: every code path that changes what the
+//! optimizer would produce must evict the affected cached plans — DDL,
+//! catalog-relation updates, re-partitioning, bulk loads, and
+//! `analyze`. The final test is the seeded negative: after a schema
+//! change that retypes a representation, executing the same query text
+//! must re-optimize against the new schema, never run the stale plan.
+
+use sos_catalog::{PartMethod, PartSpec};
+use sos_core::Symbol;
+use sos_exec::Value;
+use sos_system::Database;
+
+fn item_tuple(i: usize) -> Value {
+    Value::tuple(vec![Value::Int(i as i64), Value::Str(format!("n{i}"))])
+}
+
+/// A cache-enabled database: model relation `items` represented by a
+/// B-tree, plus an unrelated heap `other_rep`.
+fn db() -> Database {
+    let mut db = Database::builder().plan_cache(true).build();
+    db.run(
+        r#"
+        type item = tuple(<(k, int), (name, string)>);
+        create items : rel(item);
+        create items_rep : btree(item, k, int);
+        create other_rep : tidrel(item);
+        create rep : catalog(<ident, ident>);
+        update rep := insert(rep, items, items_rep);
+    "#,
+    )
+    .unwrap();
+    db.bulk_load("items_rep", (0..200).map(item_tuple).collect())
+        .unwrap();
+    db.bulk_load("other_rep", (0..50).map(item_tuple).collect())
+        .unwrap();
+    db
+}
+
+/// Warm one query shape into the cache and prove it hits.
+fn warm(db: &mut Database, q: &str) {
+    assert_eq!(db.explain(q).unwrap().plan_cache, Some(false), "warm `{q}`");
+    assert_eq!(db.explain(q).unwrap().plan_cache, Some(true), "hit `{q}`");
+}
+
+#[test]
+fn create_statement_invalidates_every_cached_plan() {
+    let mut db = db();
+    warm(&mut db, "items select[k = 5]");
+    warm(&mut db, "other_rep feed count");
+    assert_eq!(db.metrics().planner.cache_entries, 2);
+    db.run("create late_rep : tidrel(item);").unwrap();
+    let m = db.metrics().planner;
+    assert_eq!(m.cache_entries, 0, "DDL must drop every entry");
+    assert!(m.cache_invalidations >= 2);
+    assert_eq!(
+        db.explain("items select[k = 5]").unwrap().plan_cache,
+        Some(false),
+        "post-DDL optimize must be a miss"
+    );
+}
+
+#[test]
+fn catalog_relation_update_invalidates_every_cached_plan() {
+    let mut db = db();
+    warm(&mut db, "other_rep feed count");
+    db.run("create items_rep2 : btree(item, k, int);").unwrap();
+    // The create above already cleared the cache; re-warm, then insert a
+    // rep link — which changes which rules fire for every shape.
+    warm(&mut db, "other_rep feed count");
+    db.run("update rep := insert(rep, items, items_rep2);")
+        .unwrap();
+    assert_eq!(db.metrics().planner.cache_entries, 0);
+}
+
+#[test]
+fn delete_evicts_only_plans_touching_the_object() {
+    let mut db = db();
+    warm(&mut db, "items select[k = 5]");
+    warm(&mut db, "other_rep feed count");
+    assert_eq!(db.metrics().planner.cache_entries, 2);
+    db.run("delete other_rep;").unwrap();
+    let m = db.metrics().planner;
+    assert_eq!(m.cache_entries, 1, "only the other_rep plan evicts");
+    // The surviving shape still hits.
+    assert_eq!(
+        db.explain("items select[k = 5]").unwrap().plan_cache,
+        Some(true)
+    );
+}
+
+#[test]
+fn partition_respec_evicts_plans_over_the_object() {
+    let mut db = db();
+    warm(&mut db, "other_rep feed count");
+    warm(&mut db, "items select[k = 5]");
+    db.partition_object(
+        "other_rep",
+        PartSpec {
+            attr: Symbol::new("k"),
+            method: PartMethod::Hash { parts: 3 },
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        db.explain("other_rep feed count").unwrap().plan_cache,
+        Some(false),
+        "re-partitioning must evict the cached plan"
+    );
+    assert_eq!(
+        db.explain("items select[k = 5]").unwrap().plan_cache,
+        Some(true),
+        "unrelated plans survive"
+    );
+}
+
+#[test]
+fn bulk_load_evicts_plans_over_the_object() {
+    let mut db = db();
+    warm(&mut db, "items select[k = 5]");
+    warm(&mut db, "other_rep feed count");
+    db.bulk_load("items_rep", (200..400).map(item_tuple).collect())
+        .unwrap();
+    assert_eq!(
+        db.explain("items select[k = 5]").unwrap().plan_cache,
+        Some(false),
+        "bulk load must evict plans over the loaded object"
+    );
+    assert_eq!(
+        db.explain("other_rep feed count").unwrap().plan_cache,
+        Some(true)
+    );
+}
+
+#[test]
+fn analyze_evicts_plans_over_the_object() {
+    let mut db = db();
+    warm(&mut db, "items select[k = 5]");
+    warm(&mut db, "other_rep feed count");
+    db.analyze("items_rep").unwrap();
+    assert_eq!(
+        db.explain("items select[k = 5]").unwrap().plan_cache,
+        Some(false),
+        "fresh statistics must re-cost the plan"
+    );
+    assert_eq!(
+        db.explain("other_rep feed count").unwrap().plan_cache,
+        Some(true)
+    );
+}
+
+/// The seeded negative: retype `items`' representation from a B-tree to
+/// a heap under a cached index plan. Executing the same query text must
+/// re-optimize against the new schema — a stale cached plan would probe
+/// a B-tree that no longer exists.
+#[test]
+fn stale_plan_after_schema_change_is_impossible() {
+    let mut db = db();
+    warm(&mut db, "items select[k = 5]");
+    let cached = db.explain("items select[k = 5]").unwrap();
+    assert!(
+        cached.plan().contains("exactmatch"),
+        "plan: {}",
+        cached.plan()
+    );
+
+    // Retype the representation: drop the B-tree, rebuild as a heap.
+    db.run("delete items_rep;").unwrap();
+    db.run("create items_rep : tidrel(item);").unwrap();
+    db.bulk_load("items_rep", (0..10).map(item_tuple).collect())
+        .unwrap();
+
+    let fresh = db.explain("items select[k = 5]").unwrap();
+    assert_eq!(
+        fresh.plan_cache,
+        Some(false),
+        "stale plan served from cache"
+    );
+    assert!(
+        !fresh.plan().contains("exactmatch"),
+        "plan still probes the dropped B-tree: {}",
+        fresh.plan()
+    );
+    assert_eq!(
+        db.query("items select[k = 5] count").unwrap(),
+        Value::Int(1),
+        "wrong result after representation change"
+    );
+}
+
+#[test]
+fn counters_surface_in_metrics_and_reset() {
+    let mut db = db();
+    warm(&mut db, "items select[k = 5]");
+    let text = db.metrics().to_string();
+    assert!(text.contains("plan cache:"), "metrics: {text}");
+    db.reset_metrics();
+    let m = db.metrics().planner;
+    assert_eq!(
+        (m.cache_hits, m.cache_misses, m.cache_invalidations),
+        (0, 0, 0)
+    );
+    // Entries survive a counter reset (it resets metrics, not state).
+    assert_eq!(m.cache_entries, 1);
+}

@@ -32,6 +32,7 @@ fn type_breaking_rule() -> Rule {
             op: Symbol::new("count"),
             args: vec![Expr::Name(Symbol::new("rel1"))],
         },
+        alternatives: Vec::new(),
     }
 }
 
